@@ -1,0 +1,186 @@
+//! Prior localization accelerator comparators (paper Sec. 7.5).
+//!
+//! A fair head-to-head is impossible even in the paper — π-BA, BAX, Zhang
+//! et al. and PISCES target different algorithm variants, boards and
+//! benchmarks — so the paper normalizes per NLS iteration against each
+//! system's published numbers. This module encodes those published anchors
+//! as *relative* models: given our High-Perf design's per-iteration latency
+//! and energy, each comparator's numbers follow from the ratios its paper
+//! reports. The `sec7_5` experiment binary regenerates the comparison table
+//! from these anchors plus our independently computed High-Perf numbers.
+
+use archytas_hw::cholesky_latency;
+
+/// One prior accelerator, anchored by its published ratios to High-Perf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorAccelerator {
+    /// System name as cited.
+    pub name: &'static str,
+    /// `their_latency / high_perf_latency` (per NLS iteration).
+    pub latency_ratio: f64,
+    /// `their_energy / high_perf_energy` (per NLS iteration).
+    pub energy_ratio: f64,
+    /// Evaluation context, for the generated table.
+    pub notes: &'static str,
+}
+
+/// π-BA: FPGA accelerator for Jacobian + Schur elimination only, BAL
+/// dataset. High-Perf is 137× faster with 132× less energy.
+pub fn pi_ba() -> PriorAccelerator {
+    PriorAccelerator {
+        name: "pi-BA [45]",
+        latency_ratio: 137.0,
+        energy_ratio: 132.0,
+        notes: "Jacobian+Schur only, BAL dataset, per-iteration normalization",
+    }
+}
+
+/// BAX: full BA accelerator with generic vector units, BAL dataset.
+/// High-Perf is 9× faster and uses 44 % less energy.
+pub fn bax() -> PriorAccelerator {
+    PriorAccelerator {
+        name: "BAX [75]",
+        latency_ratio: 9.0,
+        energy_ratio: 1.0 / (1.0 - 0.44),
+        notes: "full BA, decoupled access/execute, per-iteration normalization",
+    }
+}
+
+/// Zhang et al. (on-chip VIO, Gauss–Newton): High-Perf achieves >20×
+/// speedup on EuRoC using ≈2× the hardware resources.
+pub fn zhang_vio() -> PriorAccelerator {
+    PriorAccelerator {
+        name: "Zhang et al. [88]",
+        latency_ratio: 20.0,
+        energy_ratio: 10.0,
+        notes: "on-manifold GN co-design; High-Perf uses ~2x resources",
+    }
+}
+
+/// PISCES: HLS-built whole-pipeline SLAM accelerator. Comparing the BA part,
+/// High-Perf is ≈5.4× faster at ≈3× the energy (PISCES optimizes power).
+pub fn pisces() -> PriorAccelerator {
+    PriorAccelerator {
+        name: "PISCES [9]",
+        latency_ratio: 5.4,
+        energy_ratio: 1.0 / 3.0,
+        notes: "HLS, power-aware sparse algebra, EuRoC MH (BA stage only)",
+    }
+}
+
+/// All four comparators in citation order.
+pub fn all_prior_accelerators() -> Vec<PriorAccelerator> {
+    vec![pi_ba(), bax(), zhang_vio(), pisces()]
+}
+
+impl PriorAccelerator {
+    /// The comparator's per-iteration latency given ours (ms).
+    pub fn latency_ms(&self, high_perf_iteration_ms: f64) -> f64 {
+        high_perf_iteration_ms * self.latency_ratio
+    }
+
+    /// The comparator's per-iteration energy given ours (mJ).
+    pub fn energy_mj(&self, high_perf_iteration_mj: f64) -> f64 {
+        high_perf_iteration_mj * self.energy_ratio
+    }
+}
+
+/// Model of the hand-optimized Vivado HLS Cholesky implementation the paper
+/// compares against (Sec. 7.5, "HLS Comparison"): no Evaluate/Update
+/// cross-iteration pipelining (HLS cannot see it), inner loops pipelined by
+/// the tool, and a 30 % lower achieved clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HlsCholesky {
+    /// Inner-loop pipelining credit HLS does achieve (calibrated so the
+    /// overall gap at the reference design matches the paper's 16.4×).
+    pub inner_pipelining: f64,
+    /// Achieved clock relative to the hand design (0.7 = 30 % lower).
+    pub clock_fraction: f64,
+    /// Resource multiplier relative to the hand design.
+    pub resource_factor: f64,
+}
+
+impl Default for HlsCholesky {
+    fn default() -> Self {
+        Self {
+            inner_pipelining: 2.15,
+            clock_fraction: 0.70,
+            resource_factor: 2.0,
+        }
+    }
+}
+
+impl HlsCholesky {
+    /// Effective cycles (normalized to the hand design's clock) of the HLS
+    /// implementation factorizing an `m × m` matrix.
+    pub fn latency_cycles(&self, m: usize) -> f64 {
+        // Single Update lane, no cross-iteration overlap, scaled by the
+        // inner pipelining credit and the clock gap.
+        cholesky_latency(m, 1) / self.inner_pipelining / self.clock_fraction
+    }
+
+    /// Slowdown of the HLS design versus the hand-optimized block at the
+    /// given matrix size and lane count.
+    pub fn slowdown_vs_hand(&self, m: usize, s: usize) -> f64 {
+        self.latency_cycles(m) / cholesky_latency(m, s)
+    }
+}
+
+/// The `s` value at which the paper's 16.4× HLS gap is anchored (a mid-size
+/// generated design's Cholesky lane count).
+pub const HLS_REFERENCE_LANES: usize = 34;
+
+/// Reference matrix size for the HLS comparison (the reduced system of a
+/// 10-keyframe window).
+pub const HLS_REFERENCE_DIM: usize = 150;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_published_ratios() {
+        assert_eq!(pi_ba().latency_ratio, 137.0);
+        assert_eq!(pi_ba().energy_ratio, 132.0);
+        assert_eq!(bax().latency_ratio, 9.0);
+        // BAX consumes more energy than High-Perf (44 % less from our side).
+        assert!((bax().energy_ratio - 1.786).abs() < 0.01);
+        // PISCES actually *wins* on energy (we are 3× higher).
+        assert!(pisces().energy_ratio < 1.0);
+    }
+
+    #[test]
+    fn derived_numbers_scale() {
+        let hp_ms = 2.0;
+        let hp_mj = 9.0;
+        let p = pi_ba();
+        assert_eq!(p.latency_ms(hp_ms), 274.0);
+        assert_eq!(p.energy_mj(hp_mj), 1188.0);
+    }
+
+    #[test]
+    fn hls_gap_matches_paper_anchor() {
+        // Sec. 7.5: the HLS Cholesky is 16.4× slower overall.
+        let hls = HlsCholesky::default();
+        let gap = hls.slowdown_vs_hand(HLS_REFERENCE_DIM, HLS_REFERENCE_LANES);
+        assert!(
+            (gap - 16.4).abs() < 2.5,
+            "HLS slowdown {gap:.1} should be ≈16.4×"
+        );
+        assert_eq!(hls.resource_factor, 2.0);
+    }
+
+    #[test]
+    fn hls_gap_grows_with_lanes() {
+        // The hand design's advantage comes precisely from the multi-lane
+        // Update pipelining HLS cannot express.
+        let hls = HlsCholesky::default();
+        assert!(hls.slowdown_vs_hand(150, 34) > hls.slowdown_vs_hand(150, 4));
+        assert!(hls.slowdown_vs_hand(150, 4) > 1.0);
+    }
+
+    #[test]
+    fn four_comparators_listed() {
+        assert_eq!(all_prior_accelerators().len(), 4);
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion bench of the accelerator simulators: the per-window
+//! cycle-level simulation (Figs. 13/15's inner loop), the f32 functional
+//! datapath, and the dataflow ablation (feature-stationary vs a
+//! keyframe-stationary Jacobian unit).
+
+use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
+use archytas_hw::{
+    f32_linear_solver, jacobian_feature_latency, simulate_window, AcceleratorConfig, HIGH_PERF,
+};
+use archytas_mdfg::ProblemShape;
+use archytas_slam::{build_normal_equations, FactorWeights};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_accel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accel_sim");
+
+    let shape = ProblemShape::typical();
+    for config in [AcceleratorConfig::new(8, 8, 16), HIGH_PERF] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_window", format!("nd{}", config.nd)),
+            &config,
+            |b, config| b.iter(|| simulate_window(black_box(&shape), config, 6)),
+        );
+    }
+
+    // Dataflow ablation: the feature-stationary design pays No·Co per
+    // feature (FIFO-fed); a keyframe-stationary alternative re-reads every
+    // feature point from RAM, modelled as a 3× per-access penalty
+    // (Sec. 4.2's power/latency argument for prioritizing feature reuse).
+    group.bench_function("dataflow_ablation", |b| {
+        b.iter(|| {
+            let feature_stationary = shape.features as f64
+                * jacobian_feature_latency(black_box(shape.obs_per_feature as f64));
+            let keyframe_stationary = feature_stationary * 3.0;
+            (feature_stationary, keyframe_stationary)
+        })
+    });
+
+    // f32 functional datapath on a realistic window's normal equations.
+    let data = kitti_sequences()[1].truncated(2.0).build();
+    let mut pipeline = VioPipeline::new(PipelineConfig::default());
+    for frame in &data.frames {
+        if pipeline.push_frame(frame) {
+            break;
+        }
+    }
+    let ne = build_normal_equations(pipeline.window(), &FactorWeights::default(), None);
+    // Damp exactly as the LM loop does before handing the system to the
+    // datapath: the raw gauge-pinned normal equations mix scales beyond
+    // f32's range.
+    let mut damped = ne.a.clone();
+    for i in 0..damped.rows() {
+        let d = damped.get(i, i).max(1e-9);
+        damped.add_at(i, i, 1e-3 * d);
+    }
+    group.sample_size(20);
+    group.bench_function("f32_functional_solve", |b| {
+        b.iter(|| {
+            f32_linear_solver(black_box(&damped), black_box(&ne.b), ne.num_landmarks)
+                .expect("solvable")
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_accel);
+criterion_main!(benches);

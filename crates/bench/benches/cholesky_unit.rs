@@ -1,0 +1,51 @@
+//! Criterion bench for the Cholesky block (Sec. 4.3 / Sec. 7.5's HLS
+//! study) and its ablation: multi-lane Update vs single-lane, plus the
+//! software factorization it models.
+
+use archytas_baselines::HlsCholesky;
+use archytas_hw::{cholesky_latency, cholesky_timeline};
+use archytas_math::{Cholesky, DMat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn spd(n: usize) -> DMat {
+    DMat::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1)
+        .gram()
+        .add_diagonal(n as f64)
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_unit");
+
+    // Software factorization (what the CPU baseline executes).
+    for n in [60usize, 150, 225] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("software_factor", n), &a, |b, a| {
+            b.iter(|| Cholesky::factor(black_box(a)).expect("SPD"))
+        });
+    }
+
+    // Event-driven microarchitecture simulation across lane counts
+    // (ablation: balanced multi-Update pipeline vs s = 1).
+    for s in [1usize, 6, 34, 97] {
+        group.bench_with_input(BenchmarkId::new("timeline_sim_150", s), &s, |b, &s| {
+            b.iter(|| cholesky_timeline(black_box(150), s))
+        });
+    }
+
+    // Closed-form Eq. 7 (what the synthesizer's inner loop evaluates).
+    group.bench_function("analytical_model_150x34", |b| {
+        b.iter(|| cholesky_latency(black_box(150), black_box(34)))
+    });
+
+    // HLS comparator model.
+    group.bench_function("hls_model_150", |b| {
+        let hls = HlsCholesky::default();
+        b.iter(|| hls.slowdown_vs_hand(black_box(150), black_box(34)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for the S-matrix layout (Sec. 3.3): split-storage
+//! assembly/reconstruction vs dense operations, plus the storage-model
+//! evaluation the synthesizer performs.
+
+use archytas_math::DMat;
+use archytas_mdfg::{storage_words, LayoutScheme, SplitS, POSE_DOF};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn filled_split(k: usize, b: usize) -> SplitS<f64> {
+    let mut s = SplitS::zeros(k, b);
+    let diag = DMat::from_fn(k, k, |i, j| ((i + j) % 5) as f64);
+    let sub = DMat::from_fn(k, k, |i, j| ((i * 2 + j) % 7) as f64);
+    let cam = DMat::from_fn(POSE_DOF, POSE_DOF, |i, j| ((i * 3 + j) % 3) as f64);
+    for i in 0..b {
+        s.add_imu_block(i, i, &diag);
+        if i + 1 < b {
+            s.add_imu_block(i + 1, i, &sub);
+        }
+        for j in 0..=i {
+            s.add_camera_block(i, j, &cam);
+        }
+    }
+    s
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+
+    for b_kf in [10usize, 15] {
+        let split = filled_split(15, b_kf);
+        group.bench_with_input(
+            BenchmarkId::new("split_to_dense", b_kf),
+            &split,
+            |bench, split| bench.iter(|| split.to_dense()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("split_assemble", b_kf),
+            &b_kf,
+            |bench, &b_kf| bench.iter(|| filled_split(15, black_box(b_kf))),
+        );
+    }
+
+    group.bench_function("storage_model_all_schemes", |b| {
+        b.iter(|| {
+            [
+                LayoutScheme::DenseFull,
+                LayoutScheme::DenseSymmetric,
+                LayoutScheme::SplitCompressed,
+                LayoutScheme::Csr,
+            ]
+            .map(|s| storage_words(s, black_box(15), black_box(15)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the M-DFG layer (Sec. 3): graph construction,
+//! blocking-choice optimization, and the D-type-vs-direct ablation.
+
+use archytas_mdfg::{
+    build_mdfg, nls_schur_cost, optimal_nls_blocking, ProblemShape,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mdfg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdfg");
+
+    group.bench_function("build_typical", |b| {
+        let shape = ProblemShape::typical();
+        b.iter(|| build_mdfg(black_box(&shape)))
+    });
+
+    // Blocking sweep: the cost-model search behind Fig. 3's D-type choice.
+    for features in [50usize, 150, 250] {
+        let shape = ProblemShape {
+            features,
+            ..ProblemShape::typical()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("optimal_blocking", features),
+            &shape,
+            |b, shape| b.iter(|| optimal_nls_blocking(black_box(shape))),
+        );
+    }
+
+    // Ablation: D-type Schur split vs the naive full-system solve (p = 0
+    // degenerates to dense Cholesky of the whole system).
+    group.bench_function("cost_dtype_vs_direct", |b| {
+        let shape = ProblemShape::typical();
+        b.iter(|| {
+            let dtype = nls_schur_cost(black_box(&shape), shape.features);
+            let direct_ish = nls_schur_cost(black_box(&shape), 1);
+            (dtype, direct_ish)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mdfg);
+criterion_main!(benches);

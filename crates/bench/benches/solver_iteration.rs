@@ -1,0 +1,64 @@
+//! Criterion bench of the software solver — the native execution behind the
+//! CPU baselines of Figs. 15–16: per-window linearization, Schur solve, and
+//! a full LM pass.
+
+use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
+use archytas_slam::{
+    build_normal_equations, schur_linear_solver, solve, FactorWeights, LmConfig, SlidingWindow,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Builds one realistic full window from a KITTI-like sequence.
+fn realistic_window() -> SlidingWindow {
+    let data = kitti_sequences()[2].truncated(2.0).build();
+    let mut pipeline = VioPipeline::new(PipelineConfig::default());
+    for frame in &data.frames {
+        if pipeline.push_frame(frame) {
+            break;
+        }
+    }
+    pipeline.window().clone()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let window = realistic_window();
+    let weights = FactorWeights::default();
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(20);
+
+    group.bench_function("build_normal_equations", |b| {
+        b.iter(|| build_normal_equations(black_box(&window), &weights, None))
+    });
+
+    // Damp as the LM loop does: the raw normal equations of a freshly
+    // initialized window can be rank-deficient before damping.
+    let ne = build_normal_equations(&window, &weights, None);
+    let mut damped = ne.a.clone();
+    for i in 0..damped.rows() {
+        damped.add_at(i, i, 1e-3 * ne.a.get(i, i).max(1e-9));
+    }
+    group.bench_function("schur_linear_solve", |b| {
+        b.iter(|| {
+            schur_linear_solver(black_box(&damped), black_box(&ne.b), ne.num_landmarks)
+                .expect("solvable")
+        })
+    });
+
+    group.bench_function("lm_full_window_6_iterations", |b| {
+        b.iter(|| {
+            let mut w = window.clone();
+            solve(
+                &mut w,
+                &weights,
+                None,
+                &LmConfig::with_iterations(6),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Sec. 7.3: time for the synthesizer to identify a
+//! design in the ~90,000-point space (paper: seconds vs 15 years of
+//! synthesis-in-the-loop search).
+
+use archytas_core::{synthesize, DesignSpec, Objective};
+use archytas_hw::FpgaPlatform;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_synthesizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesizer");
+    group.sample_size(20);
+
+    group.bench_function("zc706_power_optimal_20ms", |b| {
+        let spec = DesignSpec::zc706_power_optimal(20.0);
+        b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
+    });
+
+    group.bench_function("zc706_min_latency", |b| {
+        let spec = DesignSpec {
+            objective: Objective::MinLatency,
+            ..DesignSpec::zc706_power_optimal(0.0)
+        };
+        b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
+    });
+
+    group.bench_function("virtex7_min_latency_scaled_lattice", |b| {
+        let spec = DesignSpec {
+            platform: FpgaPlatform::virtex7_690t(),
+            objective: Objective::MinLatency,
+            ..DesignSpec::zc706_power_optimal(0.0)
+        };
+        b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesizer);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Fig. 13 — influence of the three customization knobs `nd`, `nm`, `s` on
+//! FPGA resources (left y: DSP/LUT/BRAM/FF %) and execution time (right y).
+//!
+//! Run: `cargo run --release -p archytas-bench --bin fig13`
+
+use archytas_bench::{banner, print_table};
+use archytas_hw::{
+    window_cycles, AcceleratorConfig, FpgaPlatform, ResourceKind, ResourceModel,
+};
+use archytas_mdfg::ProblemShape;
+
+fn sweep(
+    label: &str,
+    values: &[usize],
+    make: impl Fn(usize) -> AcceleratorConfig,
+    shape: &ProblemShape,
+    platform: &FpgaPlatform,
+    resources: &ResourceModel,
+) {
+    println!("\n--- Fig. 13{label}: sweep ---");
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    for &v in values {
+        let config = make(v);
+        let r = resources.resources(&config);
+        let cycles = window_cycles(shape, &config, 6);
+        let ms = cycles / (platform.clock_mhz * 1e3);
+        times.push(ms);
+        rows.push(vec![
+            v.to_string(),
+            format!("{:.1}", platform.utilization(ResourceKind::Dsp, r.dsp) * 100.0),
+            format!("{:.1}", platform.utilization(ResourceKind::Lut, r.lut) * 100.0),
+            format!("{:.1}", platform.utilization(ResourceKind::Bram, r.bram) * 100.0),
+            format!("{:.1}", platform.utilization(ResourceKind::Ff, r.ff) * 100.0),
+            format!("{ms:.2}"),
+        ]);
+    }
+    print_table(
+        &["value", "DSP %", "LUT %", "BRAM %", "FF %", "time (ms)"],
+        &rows,
+    );
+    let span = times.first().unwrap() / times.last().unwrap();
+    println!("  time span over this sweep: {span:.1}x (diminishing returns at the tail)");
+}
+
+fn main() {
+    banner(
+        "Fig. 13",
+        "knob sweeps: resources (left y) and execution time (right y)",
+    );
+    let shape = ProblemShape::typical();
+    let platform = FpgaPlatform::zc706();
+    let resources = ResourceModel::calibrated();
+
+    let nd_vals: Vec<usize> = (1..=20).step_by(2).collect();
+    sweep(
+        "a (nd)",
+        &nd_vals,
+        |nd| AcceleratorConfig::new(nd, 8, 16),
+        &shape,
+        &platform,
+        &resources,
+    );
+
+    let nm_vals: Vec<usize> = (1..=20).step_by(2).collect();
+    sweep(
+        "b (nm)",
+        &nm_vals,
+        |nm| AcceleratorConfig::new(8, nm, 16),
+        &shape,
+        &platform,
+        &resources,
+    );
+
+    let s_vals: Vec<usize> = vec![1, 5, 10, 20, 30, 40, 50, 60, 70, 80];
+    sweep(
+        "c (s)",
+        &s_vals,
+        |s| AcceleratorConfig::new(8, 8, s),
+        &shape,
+        &platform,
+        &resources,
+    );
+
+    // Sec. 7.2 headline claims.
+    let slowest = window_cycles(&shape, &AcceleratorConfig::new(1, 1, 1), 6);
+    let fastest = window_cycles(&shape, &AcceleratorConfig::new(30, 24, 120), 6);
+    let r_min = resources.resources(&AcceleratorConfig::new(1, 1, 1));
+    let r_max = resources.resources(&AcceleratorConfig::new(30, 24, 120));
+    println!();
+    println!(
+        "knobs span {:.0}x latency (paper: >20x); resources span {:.1}x LUT / {:.1}x DSP (paper: ~3x overall)",
+        slowest / fastest,
+        r_max.lut / r_min.lut,
+        r_max.dsp / r_min.dsp
+    );
+    println!(
+        "s is the dominant resource knob: +{:.0}% DSP from s=1 to s=80 (paper: ~50% DSP increase)",
+        (resources.resources(&AcceleratorConfig::new(8, 8, 80)).dsp
+            - resources.resources(&AcceleratorConfig::new(8, 8, 1)).dsp)
+            / platform.capacity.dsp
+            * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Fig. 15 — speedup and energy reduction of the Fig. 14 Pareto-optimal
+//! designs over the Intel and Arm baselines on a KITTI trace.
+//!
+//! Run: `cargo run --release -p archytas-bench --bin fig15`
+
+use archytas_bench::{banner, mean, print_table, sequence_shapes};
+use archytas_baselines::CpuPlatform;
+use archytas_core::{pareto_frontier, DesignSpec};
+use archytas_dataset::kitti_sequences;
+use archytas_hw::{AcceleratorModel, FpgaPlatform};
+
+fn main() {
+    banner(
+        "Fig. 15",
+        "speedup & energy reduction of Pareto designs over Intel/Arm (KITTI trace)",
+    );
+
+    let data = kitti_sequences()[2].truncated(12.0).build();
+    let shapes = sequence_shapes(&data, 10);
+    let intel = CpuPlatform::intel_comet_lake();
+    let arm = CpuPlatform::arm_a57();
+
+    let base = DesignSpec::zc706_power_optimal(20.0);
+    let frontier = pareto_frontier(&base, (2.2, 10.0), 12);
+
+    let mut rows = Vec::new();
+    let mut best = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for p in &frontier {
+        let model = AcceleratorModel::new(p.design.config, FpgaPlatform::zc706());
+        let accel_ms: Vec<f64> = shapes.iter().map(|s| model.window_latency_ms(s, 6)).collect();
+        let accel_mj: Vec<f64> = shapes.iter().map(|s| model.window_energy_mj(s, 6)).collect();
+        let intel_ms: Vec<f64> = shapes.iter().map(|s| intel.window_time_ms(s, 6)).collect();
+        let intel_mj: Vec<f64> = shapes.iter().map(|s| intel.window_energy_mj(s, 6)).collect();
+        let arm_ms: Vec<f64> = shapes.iter().map(|s| arm.window_time_ms(s, 6)).collect();
+        let arm_mj: Vec<f64> = shapes.iter().map(|s| arm.window_energy_mj(s, 6)).collect();
+
+        let s_intel = mean(&intel_ms) / mean(&accel_ms);
+        let e_intel = mean(&intel_mj) / mean(&accel_mj);
+        let s_arm = mean(&arm_ms) / mean(&accel_ms);
+        let e_arm = mean(&arm_mj) / mean(&accel_mj);
+        if s_intel > best.0 {
+            best = (s_intel, e_intel, s_arm, e_arm);
+        }
+        rows.push(vec![
+            format!("{:.2}", p.design.latency_ms),
+            format!("{:.2}", p.design.power_w),
+            format!("{s_intel:.1}x"),
+            format!("{e_intel:.1}x"),
+            format!("{s_arm:.1}x"),
+            format!("{e_arm:.1}x"),
+        ]);
+    }
+    print_table(
+        &[
+            "latency (ms)",
+            "power (W)",
+            "speedup vs Intel",
+            "energy red. vs Intel",
+            "speedup vs Arm",
+            "energy red. vs Arm",
+        ],
+        &rows,
+    );
+
+    println!();
+    println!(
+        "best design: {:.1}x / {:.1}x over Intel, {:.1}x / {:.1}x over Arm",
+        best.0, best.1, best.2, best.3
+    );
+    println!("paper's best on this figure: 7.4x / 83.1x over Intel, 32.0x / 12.9x over Arm");
+    println!(
+        "shape checks: higher speedup ⇒ higher energy reduction with taper; Arm speedup > Intel speedup; Intel energy reduction > Arm energy reduction"
+    );
+}

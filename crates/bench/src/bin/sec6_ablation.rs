@@ -1,0 +1,113 @@
+//! Sec. 6 ablation — three ways to drive the iteration knob:
+//!
+//! 1. **static cap** — no run-time optimization (every window at Iter = 6);
+//! 2. **profiled LUT** — the paper's mechanism (offline table + 2-bit
+//!    saturating counter + memoized gating);
+//! 3. **adaptive** — the paper's future-work suggestion, implemented: an
+//!    online-learned per-bucket requirement with no offline profiling.
+//!
+//! The estimator actually runs (f32 accelerator datapath); energy comes
+//! from the gating tables.
+//!
+//! Run: `cargo run --release -p archytas-bench --bin sec6_ablation`
+
+use archytas_bench::{banner, print_table};
+use archytas_core::{
+    AdaptiveIterPolicy, GatingTable, IterCounter, IterPolicy, ITER_CAP,
+};
+use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
+use archytas_hw::{f32_linear_solver, AcceleratorModel, FpgaPlatform, PowerModel, HIGH_PERF};
+use archytas_mdfg::ProblemShape;
+use archytas_slam::TrajectoryMetrics;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    StaticCap,
+    ProfiledLut,
+    Adaptive,
+}
+
+fn run(policy: Policy) -> (f64, f64, f64) {
+    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() { 60.0 } else { 25.0 };
+    let data = kitti_sequences()[0].truncated(duration).build();
+    let platform = FpgaPlatform::zc706();
+    let model = AcceleratorModel::new(HIGH_PERF, platform.clone());
+    let power = PowerModel::for_platform(&platform);
+    let gating = GatingTable::build(&HIGH_PERF, &ProblemShape::typical(), 2.5, &platform);
+
+    let lut = IterPolicy::default_table();
+    let mut counter = IterCounter::new(ITER_CAP);
+    let mut adaptive = AdaptiveIterPolicy::default();
+
+    let mut pipeline = VioPipeline::new(PipelineConfig::default());
+    let mut metrics = TrajectoryMetrics::new();
+    let mut energy = 0.0;
+    let mut iter_sum = 0usize;
+    let mut windows = 0usize;
+
+    for frame in &data.frames {
+        if !pipeline.push_frame(frame) {
+            continue;
+        }
+        let features = pipeline.window().num_landmarks();
+        let iterations = match policy {
+            Policy::StaticCap => ITER_CAP,
+            Policy::ProfiledLut => counter.observe(lut.iterations_for(features)),
+            Policy::Adaptive => adaptive.iterations_for(features),
+        };
+        let result = pipeline.optimize_and_slide_with(iterations, &f32_linear_solver);
+        if policy == Policy::Adaptive {
+            adaptive.observe(features, &result.report);
+        }
+        let shape = ProblemShape::from_workload(&result.workload);
+        let latency = model.window_latency_ms(&shape, iterations);
+        let p = match policy {
+            Policy::StaticCap => model.power_w(),
+            _ => power.gated_power_w(&HIGH_PERF, &gating.active_for(iterations)),
+        };
+        energy += latency * p;
+        metrics.record(&result.estimate, &result.ground_truth, 0.0);
+        iter_sum += iterations;
+        windows += 1;
+    }
+    (
+        energy,
+        metrics.rmse() * 100.0,
+        iter_sum as f64 / windows.max(1) as f64,
+    )
+}
+
+fn main() {
+    banner(
+        "Sec. 6 ablation",
+        "iteration-knob mechanisms: static cap vs profiled LUT vs online-adaptive",
+    );
+    let mut rows = Vec::new();
+    let baseline = run(Policy::StaticCap);
+    for (name, policy) in [
+        ("static cap (no runtime)", Policy::StaticCap),
+        ("profiled LUT + 2-bit counter (paper)", Policy::ProfiledLut),
+        ("online adaptive (paper's future work)", Policy::Adaptive),
+    ] {
+        let (energy, rmse, avg_iter) = if policy == Policy::StaticCap {
+            baseline
+        } else {
+            run(policy)
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{energy:.1}"),
+            format!("{:.1}%", (1.0 - energy / baseline.0) * 100.0),
+            format!("{rmse:.1}"),
+            format!("{avg_iter:.2}"),
+        ]);
+    }
+    print_table(
+        &["policy", "energy (mJ)", "saving", "RMSE (cm)", "avg Iter"],
+        &rows,
+    );
+    println!();
+    println!("expected shape: both dynamic policies save double-digit energy at ~unchanged RMSE;");
+    println!("the adaptive policy needs no offline profiling pass but starts conservative");
+    println!("(it must *observe* convergence before trimming the budget).");
+}

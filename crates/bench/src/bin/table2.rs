@@ -1,0 +1,71 @@
+//! Tbl. 2 — FPGA resource consumption (utilization percentages and absolute
+//! numbers) and customization parameters of the High-Perf and Low-Power
+//! designs on the ZC706.
+//!
+//! Run: `cargo run --release -p archytas-bench --bin table2`
+
+use archytas_bench::{banner, print_table};
+use archytas_core::{synthesize, DesignSpec};
+use archytas_hw::{FpgaPlatform, ResourceModel, HIGH_PERF, LOW_POWER};
+
+fn main() {
+    banner(
+        "Tbl. 2",
+        "resource consumption and (nd, nm, s) of High-Perf / Low-Power (ZC706)",
+    );
+
+    let platform = FpgaPlatform::zc706();
+    let model = ResourceModel::calibrated();
+    let mut rows = Vec::new();
+    for (name, config, paper) in [
+        (
+            "High-Perf",
+            HIGH_PERF,
+            "62.41%(136432) 37.28%(163006) 46.88%(255.5) 94.33%(849)",
+        ),
+        (
+            "Low-Power",
+            LOW_POWER,
+            "43.81%(95777) 28.97%(126670) 26.79%(146) 49.11%(442)",
+        ),
+    ] {
+        let util = model.utilization(&config, &platform);
+        let fmt = |i: usize| format!("{:.2}%({:.0})", util[i].2 * 100.0, util[i].1);
+        let bram = format!("{:.2}%({:.1})", util[2].2 * 100.0, util[2].1);
+        rows.push(vec![
+            name.to_string(),
+            fmt(0),
+            fmt(1),
+            bram,
+            fmt(3),
+            config.nd.to_string(),
+            config.nm.to_string(),
+            config.s.to_string(),
+        ]);
+        println!("paper {name}: {paper}  nd/nm/s per Tbl. 2");
+    }
+    println!();
+    print_table(
+        &["design", "LUT", "FF", "BRAM", "DSP", "nd", "nm", "s"],
+        &rows,
+    );
+
+    // The designs the synthesizer produces under equivalent constraints on
+    // our workload scale (our absolute latency calibration is faster than
+    // the paper's testbed, so the equivalent constraints are tighter).
+    println!();
+    println!("synthesized equivalents on this reproduction's latency scale:");
+    let mut rows = Vec::new();
+    for (name, bound) in [("High-Perf-like", 2.5), ("Low-Power-like", 3.5)] {
+        if let Ok(d) = synthesize(&DesignSpec::zc706_power_optimal(bound)) {
+            rows.push(vec![
+                name.to_string(),
+                format!("{:.2} ms", d.latency_ms),
+                format!("{:.2} W", d.power_w),
+                format!("({}, {}, {})", d.config.nd, d.config.nm, d.config.s),
+                format!("{:.0} DSP", d.resources.dsp),
+            ]);
+        }
+    }
+    print_table(&["design", "latency", "power", "(nd, nm, s)", "DSPs"], &rows);
+}

@@ -1,0 +1,118 @@
+//! Shared harness utilities for the experiment binaries that regenerate
+//! every table and figure of the Archytas paper (see DESIGN.md's experiment
+//! index and EXPERIMENTS.md for paper-vs-measured numbers).
+
+#![warn(missing_docs)]
+
+use archytas_dataset::{euroc_sequences, kitti_sequences, SequenceData, SequenceSpec};
+use archytas_mdfg::ProblemShape;
+
+/// Prints a fixed-width text table (header + separator + rows).
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&sep);
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Truncation (seconds) for suite runs; override with
+/// `ARCHYTAS_FULL=1` to run the full sequence durations.
+pub fn suite_truncation() -> Option<f64> {
+    if std::env::var("ARCHYTAS_FULL").is_ok() {
+        None
+    } else {
+        Some(15.0)
+    }
+}
+
+/// The benchmark suite: all KITTI-like and EuRoC-like sequences, truncated
+/// unless `ARCHYTAS_FULL=1`.
+pub fn suite() -> Vec<SequenceSpec> {
+    let trunc = suite_truncation();
+    kitti_sequences()
+        .into_iter()
+        .chain(euroc_sequences())
+        .map(|s| match trunc {
+            Some(t) => s.truncated(t),
+            None => s,
+        })
+        .collect()
+}
+
+/// Per-window problem shapes of a sequence, from the fast workload path.
+pub fn sequence_shapes(data: &SequenceData, window_size: usize) -> Vec<ProblemShape> {
+    data.window_workloads(window_size)
+        .iter()
+        .map(ProblemShape::from_workload)
+        .collect()
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values (0 for empty input).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_both_datasets() {
+        let s = suite();
+        assert_eq!(s.len(), 16);
+        assert!(s.iter().any(|x| x.name.starts_with("kitti")));
+        assert!(s.iter().any(|x| x.name.starts_with("euroc")));
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shapes_from_short_sequence() {
+        let data = kitti_sequences()[5].truncated(3.0).build();
+        let shapes = sequence_shapes(&data, 10);
+        assert!(!shapes.is_empty());
+        assert!(shapes.iter().all(|s| s.features > 0));
+    }
+}

@@ -1,0 +1,402 @@
+//! The hardware synthesizer (paper Sec. 5).
+//!
+//! Given a workload shape and design constraints, find the customization
+//! parameters `(nd, nm, s)` that optimize the objective:
+//!
+//! * Eq. 11 — minimize power subject to latency and resource constraints;
+//! * Eq. 12 — minimize latency subject to resource constraints.
+//!
+//! The feasible set is a 3-variable integer lattice of ≈90,000 points
+//! (`nd ∈ 1..=30`, `nm ∈ 1..=24`, `s ∈ 1..=125`). The paper solves the
+//! relaxation with YALMIP in milliseconds; an exact scan with monotone
+//! pruning is both faster to implement and strictly optimal, and still runs
+//! in single-digit milliseconds — against the ~15 *years* an exhaustive
+//! search through FPGA synthesis would take (Sec. 7.3).
+
+use archytas_hw::{
+    window_cycles, AcceleratorConfig, FpgaPlatform, PowerModel, ResourceModel, ResourceVector,
+};
+use archytas_mdfg::ProblemShape;
+use std::error::Error;
+use std::fmt;
+
+/// Bounds of the synthesizer's search lattice on the ZC706.
+/// `30 × 24 × 125 = 90,000` candidate designs — the space quoted in
+/// Sec. 7.3. Other boards scale these bounds with their DSP capacity (the
+/// knobs are MAC/lane counts, so fabric size is what admits more of them).
+pub const ND_MAX: usize = 30;
+/// Upper bound of the `nm` knob (ZC706).
+pub const NM_MAX: usize = 24;
+/// Upper bound of the `s` knob (ZC706).
+pub const S_MAX: usize = 125;
+
+/// Knob bounds for a platform, scaled by DSP capacity relative to the
+/// ZC706 (whose bounds are the paper's 90,000-point lattice).
+pub fn knob_bounds(platform: &FpgaPlatform) -> (usize, usize, usize) {
+    let scale = platform.capacity.dsp / FpgaPlatform::zc706().capacity.dsp;
+    let f = |base: usize| ((base as f64 * scale).round() as usize).max(4);
+    (f(ND_MAX), f(NM_MAX), f(S_MAX))
+}
+
+/// What the synthesizer optimizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Eq. 11: minimize power under a latency bound (ms per window).
+    MinPowerUnderLatency(f64),
+    /// Eq. 12: minimize latency under the resource constraint only.
+    MinLatency,
+}
+
+/// A complete design request.
+#[derive(Debug, Clone)]
+pub struct DesignSpec {
+    /// Workload the latency model is evaluated on.
+    pub shape: ProblemShape,
+    /// NLS iteration budget the design must sustain (`Iter` in Eq. 13).
+    pub iterations: usize,
+    /// Target FPGA.
+    pub platform: FpgaPlatform,
+    /// Optimization objective.
+    pub objective: Objective,
+}
+
+impl DesignSpec {
+    /// Spec for a power-optimal ZC706 design under `latency_ms`.
+    pub fn zc706_power_optimal(latency_ms: f64) -> Self {
+        Self {
+            shape: ProblemShape::typical(),
+            iterations: 6,
+            platform: FpgaPlatform::zc706(),
+            objective: Objective::MinPowerUnderLatency(latency_ms),
+        }
+    }
+}
+
+/// A synthesized design: the chosen configuration plus its modelled
+/// latency, power and resources.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDesign {
+    /// Chosen customization parameters.
+    pub config: AcceleratorConfig,
+    /// Modelled per-window latency (ms) at the spec's iteration budget.
+    pub latency_ms: f64,
+    /// Modelled power (W).
+    pub power_w: f64,
+    /// Modelled resources.
+    pub resources: ResourceVector,
+    /// Candidate designs examined before pruning/selection.
+    pub candidates_examined: usize,
+}
+
+/// Why synthesis failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// No lattice point satisfies both latency and resource constraints.
+    Infeasible {
+        /// The best (lowest) latency achievable within resources, ms.
+        best_achievable_latency_ms: f64,
+    },
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Infeasible {
+                best_achievable_latency_ms,
+            } => write!(
+                f,
+                "no feasible design: best achievable latency within resources is {best_achievable_latency_ms:.2} ms"
+            ),
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+/// Runs the synthesizer.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize(spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
+    let resources = ResourceModel::calibrated();
+    let power = PowerModel::for_platform(&spec.platform);
+    let clock_khz = spec.platform.clock_mhz * 1e3;
+
+    let latency_ms = |c: &AcceleratorConfig| -> f64 {
+        window_cycles(&spec.shape, c, spec.iterations) / clock_khz
+    };
+
+    let mut examined = 0usize;
+    let mut best: Option<SynthesizedDesign> = None;
+    let mut best_latency_any = f64::INFINITY;
+
+    let (nd_max, nm_max, s_max) = knob_bounds(&spec.platform);
+    for nd in 1..=nd_max {
+        for nm in 1..=nm_max {
+            // Resource feasibility is monotone in s: find the largest
+            // feasible s once and never examine beyond it.
+            let mut s_limit = 0usize;
+            for s in (1..=s_max).rev() {
+                if resources.fits(&AcceleratorConfig::new(nd, nm, s), &spec.platform) {
+                    s_limit = s;
+                    break;
+                }
+            }
+            if s_limit == 0 {
+                continue;
+            }
+            for s in 1..=s_limit {
+                let config = AcceleratorConfig::new(nd, nm, s);
+                examined += 1;
+                let lat = latency_ms(&config);
+                best_latency_any = best_latency_any.min(lat);
+                let feasible = match spec.objective {
+                    Objective::MinPowerUnderLatency(bound) => lat <= bound,
+                    Objective::MinLatency => true,
+                };
+                if !feasible {
+                    continue;
+                }
+                let p = power.power_w(&config);
+                let better = match (&best, spec.objective) {
+                    (None, _) => true,
+                    (Some(b), Objective::MinPowerUnderLatency(_)) => {
+                        p < b.power_w || (p == b.power_w && lat < b.latency_ms)
+                    }
+                    (Some(b), Objective::MinLatency) => {
+                        lat < b.latency_ms || (lat == b.latency_ms && p < b.power_w)
+                    }
+                };
+                if better {
+                    best = Some(SynthesizedDesign {
+                        config,
+                        latency_ms: lat,
+                        power_w: p,
+                        resources: resources.resources(&config),
+                        candidates_examined: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    match best {
+        Some(mut d) => {
+            d.candidates_examined = examined;
+            Ok(d)
+        }
+        None => Err(SynthesisError::Infeasible {
+            best_achievable_latency_ms: best_latency_any,
+        }),
+    }
+}
+
+/// One point of the latency-vs-power Pareto frontier (Fig. 14).
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// The design at this point.
+    pub design: SynthesizedDesign,
+    /// The latency constraint that produced it.
+    pub latency_constraint_ms: f64,
+}
+
+/// Sweeps the latency constraint to trace the power-optimal Pareto frontier
+/// (Fig. 14's square markers).
+pub fn pareto_frontier(
+    base: &DesignSpec,
+    latency_range_ms: (f64, f64),
+    steps: usize,
+) -> Vec<ParetoPoint> {
+    assert!(steps >= 2, "pareto_frontier: need at least two steps");
+    let (lo, hi) = latency_range_ms;
+    let mut out: Vec<ParetoPoint> = Vec::new();
+    for i in 0..steps {
+        let bound = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
+        let spec = DesignSpec {
+            objective: Objective::MinPowerUnderLatency(bound),
+            ..base.clone()
+        };
+        if let Ok(design) = synthesize(&spec) {
+            // Keep only non-dominated points.
+            let dominated = out.iter().any(|p| {
+                p.design.latency_ms <= design.latency_ms && p.design.power_w <= design.power_w
+            });
+            if !dominated {
+                out.retain(|p| {
+                    !(design.latency_ms <= p.design.latency_ms
+                        && design.power_w <= p.design.power_w)
+                });
+                out.push(ParetoPoint {
+                    design,
+                    latency_constraint_ms: bound,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        a.design
+            .latency_ms
+            .partial_cmp(&b.design.latency_ms)
+            .expect("finite latencies")
+    });
+    out
+}
+
+/// Best-effort Pareto validation (Sec. 7.3, "Validation"): perturb each
+/// frontier design's knobs and verify no perturbed neighbour dominates it.
+/// Returns the perturbed (latency, power) points for plotting and the number
+/// of dominating neighbours found (0 for a valid frontier).
+pub fn validate_by_perturbation(
+    spec: &DesignSpec,
+    frontier: &[ParetoPoint],
+) -> (Vec<(f64, f64)>, usize) {
+    let resources = ResourceModel::calibrated();
+    let power = PowerModel::for_platform(&spec.platform);
+    let clock_khz = spec.platform.clock_mhz * 1e3;
+    let mut perturbed = Vec::new();
+    let mut violations = 0usize;
+    for point in frontier {
+        let c = point.design.config;
+        for (dnd, dnm, ds) in [
+            (1i64, 0i64, 0i64),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 4),
+            (0, 0, -4),
+            (1, 1, 4),
+            (-1, -1, -4),
+        ] {
+            let nd = c.nd as i64 + dnd;
+            let nm = c.nm as i64 + dnm;
+            let s = c.s as i64 + ds;
+            if nd < 1 || nm < 1 || s < 1 {
+                continue;
+            }
+            let pc = AcceleratorConfig::new(nd as usize, nm as usize, s as usize);
+            if !resources.fits(&pc, &spec.platform) {
+                continue;
+            }
+            let lat = window_cycles(&spec.shape, &pc, spec.iterations) / clock_khz;
+            let pw = power.power_w(&pc);
+            perturbed.push((lat, pw));
+            // Does this perturbation dominate any frontier point?
+            if frontier.iter().any(|f| {
+                lat < f.design.latency_ms - 1e-9 && pw < f.design.power_w - 1e-9
+            }) {
+                violations += 1;
+            }
+        }
+    }
+    (perturbed, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archytas_hw::{HIGH_PERF, LOW_POWER};
+
+    #[test]
+    fn design_space_size_matches_paper() {
+        assert_eq!(ND_MAX * NM_MAX * S_MAX, 90_000);
+    }
+
+    #[test]
+    fn synthesizer_is_fast() {
+        let spec = DesignSpec::zc706_power_optimal(20.0);
+        let start = std::time::Instant::now();
+        let design = synthesize(&spec).expect("feasible");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed.as_millis() < 3_000,
+            "synthesis took {elapsed:?}, paper quotes ~3 s end-to-end"
+        );
+        assert!(design.candidates_examined > 10_000);
+    }
+
+    #[test]
+    fn constraints_are_respected() {
+        for bound in [5.0, 10.0, 20.0, 33.0] {
+            let spec = DesignSpec::zc706_power_optimal(bound);
+            let design = synthesize(&spec).expect("feasible");
+            assert!(
+                design.latency_ms <= bound,
+                "bound {bound}: latency {}",
+                design.latency_ms
+            );
+            assert!(design.resources.fits(&spec.platform.capacity));
+        }
+    }
+
+    #[test]
+    fn tighter_latency_costs_more_power() {
+        let fast = synthesize(&DesignSpec::zc706_power_optimal(2.5)).expect("feasible");
+        let slow = synthesize(&DesignSpec::zc706_power_optimal(30.0)).expect("feasible");
+        assert!(fast.power_w > slow.power_w);
+        assert!(fast.latency_ms < slow.latency_ms);
+    }
+
+    #[test]
+    fn min_latency_uses_the_fabric() {
+        let spec = DesignSpec {
+            objective: Objective::MinLatency,
+            ..DesignSpec::zc706_power_optimal(0.0)
+        };
+        let design = synthesize(&spec).expect("feasible");
+        // The fastest design should be near a resource wall (like High-Perf
+        // is DSP-limited).
+        let util = design.resources.dsp / spec.platform.capacity.dsp;
+        assert!(util > 0.8, "DSP utilization {util:.2}");
+    }
+
+    #[test]
+    fn impossible_latency_is_infeasible() {
+        let spec = DesignSpec::zc706_power_optimal(0.001);
+        match synthesize(&spec) {
+            Err(SynthesisError::Infeasible {
+                best_achievable_latency_ms,
+            }) => assert!(best_achievable_latency_ms > 0.001),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn named_designs_are_near_synthesized_ones() {
+        // Synthesizing under the paper's two constraints should produce
+        // designs in the same region of the space as Tbl. 2's.
+        let hp = synthesize(&DesignSpec::zc706_power_optimal(2.5)).expect("feasible");
+        assert!(
+            hp.config.nd >= HIGH_PERF.nd / 2,
+            "fast design has many D-Schur MACs: {:?}",
+            hp.config
+        );
+        let lp = synthesize(&DesignSpec::zc706_power_optimal(3.5)).expect("feasible");
+        assert!(lp.config.nd <= hp.config.nd);
+        let _ = LOW_POWER;
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let base = DesignSpec::zc706_power_optimal(20.0);
+        let frontier = pareto_frontier(&base, (2.2, 8.0), 10);
+        assert!(frontier.len() >= 3, "frontier has {} points", frontier.len());
+        for w in frontier.windows(2) {
+            assert!(w[0].design.latency_ms <= w[1].design.latency_ms);
+            assert!(
+                w[0].design.power_w >= w[1].design.power_w,
+                "power must fall as latency relaxes"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbation_validates_frontier() {
+        let base = DesignSpec::zc706_power_optimal(20.0);
+        let frontier = pareto_frontier(&base, (2.2, 8.0), 8);
+        let (points, violations) = validate_by_perturbation(&base, &frontier);
+        assert!(!points.is_empty());
+        assert_eq!(violations, 0, "no perturbed design may dominate the frontier");
+    }
+}

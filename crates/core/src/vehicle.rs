@@ -1,0 +1,244 @@
+//! The on-vehicle system (paper Fig. 1, right): sensors → front-end →
+//! sliding-window estimator, executed either on a generated accelerator
+//! (with or without the run-time optimizer) or on a CPU baseline.
+//!
+//! This module is the engine behind the paper's end-to-end experiments
+//! (Figs. 15–16, Sec. 7.6): one sequence in, per-window latency / energy /
+//! accuracy records out, with the estimation arithmetic actually executed
+//! (f64 on the CPU path, f32 through the accelerator functional model).
+
+use crate::runtime::{RuntimeSystem, ITER_CAP};
+use archytas_baselines::CpuPlatform;
+use archytas_dataset::{PipelineConfig, SequenceData, VioPipeline};
+use archytas_hw::{f32_linear_solver, AcceleratorModel};
+use archytas_mdfg::ProblemShape;
+use archytas_slam::{relative_error, schur_linear_solver, Pose, TrajectoryMetrics};
+
+/// Who executes the per-window optimization.
+#[derive(Debug)]
+pub enum Executor {
+    /// A generated accelerator; `runtime: Some(..)` enables the dynamic
+    /// optimizer (Sec. 6), `None` runs the static design at the full
+    /// iteration cap.
+    Accelerator {
+        /// The deployed design.
+        model: AcceleratorModel,
+        /// Optional run-time system.
+        runtime: Option<RuntimeSystem>,
+    },
+    /// The software implementation on a CPU platform, at a fixed iteration
+    /// budget.
+    Cpu {
+        /// The platform cost model.
+        platform: CpuPlatform,
+        /// Fixed NLS iteration budget.
+        iterations: usize,
+    },
+}
+
+/// One processed window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowRecord {
+    /// Window index.
+    pub window_id: usize,
+    /// Feature points in the window.
+    pub features: usize,
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Modelled latency (ms).
+    pub latency_ms: f64,
+    /// Modelled energy (mJ).
+    pub energy_mj: f64,
+    /// Translational error of the newest keyframe (m).
+    pub translation_error_m: f64,
+    /// Per-window relative error (Fig. 11's metric).
+    pub relative_error: f64,
+}
+
+/// Aggregate result of one sequence run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Sequence name.
+    pub sequence: String,
+    /// Per-window records.
+    pub windows: Vec<WindowRecord>,
+    /// Total modelled compute time (ms).
+    pub total_time_ms: f64,
+    /// Total modelled energy (mJ).
+    pub total_energy_mj: f64,
+    /// Trajectory RMSE (m).
+    pub rmse_m: f64,
+    /// Mean per-window relative error.
+    pub mean_relative_error: f64,
+}
+
+impl RunSummary {
+    /// Mean per-window latency (ms).
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.total_time_ms / self.windows.len() as f64
+        }
+    }
+
+    /// Mean power over the run (W).
+    pub fn mean_power_w(&self) -> f64 {
+        if self.total_time_ms <= 0.0 {
+            0.0
+        } else {
+            self.total_energy_mj / self.total_time_ms
+        }
+    }
+}
+
+/// Runs one sequence end-to-end under the given executor.
+pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary {
+    let mut pipeline = VioPipeline::new(PipelineConfig::default());
+    let mut records = Vec::new();
+    let mut metrics = TrajectoryMetrics::new();
+    let mut total_time = 0.0;
+    let mut total_energy = 0.0;
+    let mut prev_pair: Option<(Pose, Pose)> = None; // (est, gt)
+
+    for frame in &data.frames {
+        if !pipeline.push_frame(frame) {
+            continue;
+        }
+        let features = pipeline.window().num_landmarks();
+
+        // Decide iterations / power / solver per executor.
+        let (iterations, power_w, is_accel) = match executor {
+            Executor::Accelerator { model, runtime } => match runtime {
+                Some(rt) => {
+                    let d = rt.step(features);
+                    (d.iterations, d.gated_power_w, true)
+                }
+                None => (ITER_CAP, model.power_w(), true),
+            },
+            Executor::Cpu {
+                platform,
+                iterations,
+            } => (*iterations, platform.power_w, false),
+        };
+
+        let result = if is_accel {
+            pipeline.optimize_and_slide_with(iterations, &f32_linear_solver)
+        } else {
+            pipeline.optimize_and_slide_with(iterations, &schur_linear_solver)
+        };
+
+        let shape = ProblemShape::from_workload(&result.workload);
+        let latency_ms = match executor {
+            Executor::Accelerator { model, .. } => model.window_latency_ms(&shape, iterations),
+            Executor::Cpu { platform, .. } => platform.window_time_ms(&shape, iterations),
+        };
+        let energy_mj = latency_ms * power_w;
+        total_time += latency_ms;
+        total_energy += energy_mj;
+
+        let rel = prev_pair.map_or(0.0, |(pe, pg)| {
+            relative_error(&pe, &result.estimate, &pg, &result.ground_truth)
+        });
+        prev_pair = Some((result.estimate, result.ground_truth));
+        metrics.record(&result.estimate, &result.ground_truth, rel);
+
+        records.push(WindowRecord {
+            window_id: result.window_id,
+            features,
+            iterations,
+            latency_ms,
+            energy_mj,
+            translation_error_m: result
+                .estimate
+                .translation_distance(&result.ground_truth),
+            relative_error: rel,
+        });
+    }
+
+    RunSummary {
+        sequence: data.spec.name.clone(),
+        windows: records,
+        total_time_ms: total_time,
+        total_energy_mj: total_energy,
+        rmse_m: metrics.rmse(),
+        mean_relative_error: metrics.mean_relative_error(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::IterPolicy;
+    use archytas_dataset::kitti_sequences;
+    use archytas_hw::{FpgaPlatform, HIGH_PERF};
+
+    fn short_sequence() -> SequenceData {
+        kitti_sequences()[3].truncated(3.0).build()
+    }
+
+    fn accel_executor(dynamic: bool) -> Executor {
+        let model = AcceleratorModel::new(HIGH_PERF, FpgaPlatform::zc706());
+        let runtime = dynamic.then(|| {
+            RuntimeSystem::new(
+                HIGH_PERF,
+                &ProblemShape::typical(),
+                2.5,
+                &FpgaPlatform::zc706(),
+                IterPolicy::default_table(),
+            )
+        });
+        Executor::Accelerator { model, runtime }
+    }
+
+    #[test]
+    fn accelerator_run_produces_records() {
+        let data = short_sequence();
+        let mut exec = accel_executor(false);
+        let summary = run_sequence(&data, &mut exec);
+        assert_eq!(summary.windows.len(), data.frames.len() - 9);
+        assert!(summary.total_time_ms > 0.0);
+        assert!(summary.rmse_m < 1.0, "rmse {}", summary.rmse_m);
+        assert!(summary.windows.iter().all(|w| w.iterations == ITER_CAP));
+    }
+
+    #[test]
+    fn dynamic_runtime_cuts_energy_not_accuracy() {
+        let data = short_sequence();
+        let static_summary = run_sequence(&data, &mut accel_executor(false));
+        let dynamic_summary = run_sequence(&data, &mut accel_executor(true));
+        assert!(
+            dynamic_summary.total_energy_mj < static_summary.total_energy_mj,
+            "dynamic {} mJ vs static {} mJ",
+            dynamic_summary.total_energy_mj,
+            static_summary.total_energy_mj
+        );
+        // Accuracy within a hair (Sec. 7.6: ≤0.01 cm mean degradation band).
+        assert!(dynamic_summary.rmse_m < static_summary.rmse_m + 0.02);
+    }
+
+    #[test]
+    fn cpu_run_is_slower_but_same_accuracy_class() {
+        let data = short_sequence();
+        let accel = run_sequence(&data, &mut accel_executor(false));
+        let mut cpu_exec = Executor::Cpu {
+            platform: CpuPlatform::intel_comet_lake(),
+            iterations: ITER_CAP,
+        };
+        let cpu = run_sequence(&data, &mut cpu_exec);
+        assert!(cpu.total_time_ms > accel.total_time_ms * 2.0);
+        assert!(cpu.total_energy_mj > accel.total_energy_mj * 10.0);
+        // f32 accelerator datapath tracks the f64 software estimate.
+        assert!((accel.rmse_m - cpu.rmse_m).abs() < 0.05);
+    }
+
+    #[test]
+    fn summary_statistics_consistent() {
+        let data = short_sequence();
+        let summary = run_sequence(&data, &mut accel_executor(false));
+        let sum: f64 = summary.windows.iter().map(|w| w.latency_ms).sum();
+        assert!((sum - summary.total_time_ms).abs() < 1e-9);
+        assert!(summary.mean_latency_ms() > 0.0);
+        assert!(summary.mean_power_w() > 1.0);
+    }
+}

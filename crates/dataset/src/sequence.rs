@@ -1,0 +1,249 @@
+//! Named, seeded benchmark sequences: KITTI-like odometry drives 00–10 and
+//! EuRoC-like Machine Hall flights MH-01–05.
+//!
+//! Each sequence deterministically generates its trajectory, landmark world
+//! (with a per-sequence texture/density profile that creates the feature
+//! droughts of Fig. 11) and frame stream.
+
+use crate::frontend::{generate_frames, Frame, FrontendConfig};
+use crate::trajectory::{HallTrajectory, RoadTrajectory, Trajectory};
+use crate::world::World;
+use archytas_slam::{PinholeCamera, WindowWorkload};
+
+/// Which dataset family a sequence mimics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetFamily {
+    /// KITTI odometry (self-driving car, grayscale sequences).
+    Kitti,
+    /// EuRoC MAV (drone, Machine Hall sequences).
+    Euroc,
+}
+
+impl std::fmt::Display for DatasetFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetFamily::Kitti => write!(f, "KITTI"),
+            DatasetFamily::Euroc => write!(f, "EuRoC"),
+        }
+    }
+}
+
+/// Static description of a benchmark sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceSpec {
+    /// Sequence name, e.g. `kitti-00` or `euroc-mh-03`.
+    pub name: String,
+    /// Dataset family.
+    pub family: DatasetFamily,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// Master seed (world, noise and drought placement derive from it).
+    pub seed: u64,
+}
+
+/// A fully generated sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceData {
+    /// The spec this was generated from.
+    pub spec: SequenceSpec,
+    /// Camera intrinsics used for projection.
+    pub camera: PinholeCamera,
+    /// Frame stream at keyframe rate.
+    pub frames: Vec<Frame>,
+}
+
+/// The eleven KITTI-like odometry sequences (00–10).
+pub fn kitti_sequences() -> Vec<SequenceSpec> {
+    (0..11)
+        .map(|i| SequenceSpec {
+            name: format!("kitti-{i:02}"),
+            family: DatasetFamily::Kitti,
+            // Long enough that Fig. 11's window range (400–900) exists on
+            // sequence 00.
+            duration: if i == 0 { 100.0 } else { 45.0 + 7.0 * i as f64 },
+            seed: 1000 + i,
+        })
+        .collect()
+}
+
+/// The five EuRoC-like Machine Hall sequences (MH-01–05).
+pub fn euroc_sequences() -> Vec<SequenceSpec> {
+    (1..=5)
+        .map(|i| SequenceSpec {
+            name: format!("euroc-mh-{i:02}"),
+            family: DatasetFamily::Euroc,
+            duration: 40.0 + 8.0 * i as f64,
+            seed: 2000 + i,
+        })
+        .collect()
+}
+
+impl SequenceSpec {
+    /// A short variant of this sequence (for tests and quick demos).
+    pub fn truncated(&self, duration: f64) -> SequenceSpec {
+        SequenceSpec {
+            duration: duration.min(self.duration),
+            ..self.clone()
+        }
+    }
+
+    /// Generates the sequence data (deterministic per spec).
+    pub fn build(&self) -> SequenceData {
+        let camera = match self.family {
+            DatasetFamily::Kitti => PinholeCamera::kitti_like(),
+            DatasetFamily::Euroc => PinholeCamera::euroc_like(),
+        };
+        let frontend = FrontendConfig {
+            seed: self.seed.wrapping_mul(0x9e3779b97f4a7c15),
+            max_features: match self.family {
+                DatasetFamily::Kitti => 180,
+                DatasetFamily::Euroc => 140,
+            },
+            ..FrontendConfig::default()
+        };
+        let seed = self.seed;
+        let frames = match self.family {
+            DatasetFamily::Kitti => {
+                let traj = RoadTrajectory::kitti_like(self.duration);
+                let length = traj.sample(self.duration).pose.trans.x() + 100.0;
+                let world =
+                    World::road_corridor(length, seed, move |s| drought_profile(s, seed));
+                generate_frames(&traj, &world, &camera, &frontend)
+            }
+            DatasetFamily::Euroc => {
+                let traj = HallTrajectory::euroc_like(self.duration);
+                let world = World::machine_hall(seed, move |angle| {
+                    // Texture varies around the hall; one wall is poor.
+                    drought_profile(angle * 60.0, seed)
+                });
+                generate_frames(&traj, &world, &camera, &frontend)
+            }
+        };
+        SequenceData {
+            spec: self.clone(),
+            camera,
+            frames,
+        }
+    }
+}
+
+/// Texture/density profile along the path: a base level with smooth
+/// variation plus seeded low-texture stretches (the droughts of Fig. 11).
+fn drought_profile(s: f64, seed: u64) -> f64 {
+    let phase = (seed % 97) as f64 * 0.13;
+    let slow = 0.5 + 0.5 * (0.013 * s + phase).sin();
+    let base = 0.35 + 0.55 * slow;
+    // Two drought centers per ~600 m, positions derived from the seed.
+    let mut density = base;
+    for k in 0..4 {
+        let center = 150.0 + 280.0 * k as f64 + ((seed >> (k * 8)) % 127) as f64;
+        let width = 35.0 + ((seed >> (k * 4)) % 31) as f64;
+        let d = (s - center) / width;
+        density -= 0.75 * (-d * d).exp();
+    }
+    density.clamp(0.08, 1.0)
+}
+
+impl SequenceData {
+    /// Per-window workload statistics computed directly from the frame
+    /// stream, without running the estimator — the fast path for
+    /// hardware-model-only experiments (Figs. 13–16).
+    ///
+    /// Window `i` covers frames `i..i+window_size`; a feature's anchor frame
+    /// contributes the landmark, subsequent sightings contribute
+    /// observations, and features whose last sighting is the window's oldest
+    /// frame count as marginalized.
+    pub fn window_workloads(&self, window_size: usize) -> Vec<WindowWorkload> {
+        use std::collections::HashMap;
+        let n = self.frames.len();
+        if n < window_size {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n - window_size + 1);
+        for start in 0..=(n - window_size) {
+            let mut seen: HashMap<u64, (usize, usize)> = HashMap::new(); // id → (count, last frame)
+            for (k, frame) in self.frames[start..start + window_size].iter().enumerate() {
+                for f in &frame.features {
+                    let e = seen.entry(f.id).or_insert((0, k));
+                    e.0 += 1;
+                    e.1 = k;
+                }
+            }
+            let features = seen.len();
+            let observations: usize = seen.values().map(|(c, _)| *c).sum();
+            let marginalized = seen.values().filter(|(_, last)| *last == 0).count();
+            out.push(WindowWorkload {
+                features,
+                observations,
+                keyframes: window_size,
+                marginalized_features: marginalized,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_lists() {
+        assert_eq!(kitti_sequences().len(), 11);
+        assert_eq!(euroc_sequences().len(), 5);
+        assert_eq!(kitti_sequences()[0].name, "kitti-00");
+        assert_eq!(euroc_sequences()[4].name, "euroc-mh-05");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = kitti_sequences()[1].truncated(5.0);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.frames.len(), b.frames.len());
+        assert_eq!(a.frames[10].features, b.frames[10].features);
+    }
+
+    #[test]
+    fn kitti_feature_counts_fluctuate() {
+        let spec = kitti_sequences()[0].truncated(40.0);
+        let data = spec.build();
+        let counts: Vec<usize> = data.frames.iter().map(|f| f.features.len()).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > 100, "rich stretches exist (max {max})");
+        assert!(min < max / 2, "droughts exist (min {min}, max {max})");
+    }
+
+    #[test]
+    fn euroc_sequences_build() {
+        let spec = euroc_sequences()[0].truncated(6.0);
+        let data = spec.build();
+        assert_eq!(data.frames.len(), 60);
+        assert!(data.frames.iter().all(|f| !f.features.is_empty()));
+    }
+
+    #[test]
+    fn window_workloads_cover_sequence() {
+        let spec = kitti_sequences()[2].truncated(6.0);
+        let data = spec.build();
+        let w = data.window_workloads(10);
+        assert_eq!(w.len(), data.frames.len() - 9);
+        for wl in &w {
+            assert!(wl.features > 0);
+            assert!(wl.observations >= wl.features);
+            assert_eq!(wl.keyframes, 10);
+            assert!(wl.avg_observations_per_feature() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn drought_profile_bounded() {
+        for seed in [1u64, 1003, 2005] {
+            for i in 0..200 {
+                let d = drought_profile(i as f64 * 5.0, seed);
+                assert!((0.08..=1.0).contains(&d));
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Continuous ground-truth trajectories for the two synthetic dataset
+//! families.
+//!
+//! * **KITTI-like** — planar road driving: straight segments and arcs with a
+//!   varying speed profile (car at 5–15 m/s), camera looking along the
+//!   direction of travel.
+//! * **EuRoC-like** — a drone flying a 3D Lissajous pattern inside a machine
+//!   hall, with altitude oscillation and mild roll/pitch.
+//!
+//! A trajectory is a map `t → (pose, velocity, angular velocity, world
+//! acceleration)`; the IMU synthesizer differentiates nothing — all
+//! quantities are analytic, so the generated inertial data is exactly
+//! consistent with the ground-truth poses.
+
+use archytas_slam::{Mat3, Pose, Quat, Vec3};
+
+/// Kinematic state of the body at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KinematicSample {
+    /// Body pose (camera frame: z forward, x right, y down).
+    pub pose: Pose,
+    /// World-frame velocity.
+    pub velocity: Vec3,
+    /// Body-frame angular velocity (what a gyro measures, bias/noise aside).
+    pub angular_velocity: Vec3,
+    /// World-frame linear acceleration (gravity *not* included).
+    pub acceleration: Vec3,
+}
+
+/// A continuous ground-truth trajectory.
+pub trait Trajectory {
+    /// Kinematic state at time `t` (seconds from sequence start).
+    fn sample(&self, t: f64) -> KinematicSample;
+    /// Total duration in seconds.
+    fn duration(&self) -> f64;
+}
+
+/// Rotation mapping camera axes (z forward, x right, y down) into a z-up
+/// world whose forward direction is +x.
+fn camera_to_world_base() -> Quat {
+    // Columns: image of camera x → world −y, camera y → world −z,
+    // camera z → world +x.
+    let m = Mat3([[0.0, 0.0, 1.0], [-1.0, 0.0, 0.0], [0.0, -1.0, 0.0]]);
+    mat_to_quat(&m)
+}
+
+/// Converts a (proper) rotation matrix to a quaternion.
+fn mat_to_quat(m: &Mat3) -> Quat {
+    let trace = m.get(0, 0) + m.get(1, 1) + m.get(2, 2);
+    if trace > 0.0 {
+        let s = (trace + 1.0).sqrt() * 2.0;
+        Quat {
+            w: 0.25 * s,
+            v: Vec3::new(
+                (m.get(2, 1) - m.get(1, 2)) / s,
+                (m.get(0, 2) - m.get(2, 0)) / s,
+                (m.get(1, 0) - m.get(0, 1)) / s,
+            ),
+        }
+        .normalized()
+    } else {
+        // Find the dominant diagonal element.
+        let (i, j, k) = if m.get(0, 0) > m.get(1, 1) && m.get(0, 0) > m.get(2, 2) {
+            (0, 1, 2)
+        } else if m.get(1, 1) > m.get(2, 2) {
+            (1, 2, 0)
+        } else {
+            (2, 0, 1)
+        };
+        let s = (1.0 + m.get(i, i) - m.get(j, j) - m.get(k, k)).sqrt() * 2.0;
+        let mut v = [0.0; 3];
+        v[i] = 0.25 * s;
+        v[j] = (m.get(j, i) + m.get(i, j)) / s;
+        v[k] = (m.get(k, i) + m.get(i, k)) / s;
+        Quat {
+            w: (m.get(k, j) - m.get(j, k)) / s,
+            v: Vec3::new(v[0], v[1], v[2]),
+        }
+        .normalized()
+    }
+}
+
+/// Planar road trajectory: position follows a smooth curve
+/// `x(t) = s(t)`, `y(t) = A·sin(ω·s)` — gentle lane weaving over a long
+/// straight — with speed `v(t)` oscillating between `v_min` and `v_max`.
+#[derive(Debug, Clone)]
+pub struct RoadTrajectory {
+    duration: f64,
+    v_min: f64,
+    v_max: f64,
+    speed_period: f64,
+    weave_amp: f64,
+    weave_freq: f64,
+}
+
+impl RoadTrajectory {
+    /// A KITTI-like drive of the given duration (seconds).
+    pub fn kitti_like(duration: f64) -> Self {
+        Self {
+            duration,
+            v_min: 5.0,
+            v_max: 14.0,
+            speed_period: 40.0,
+            weave_amp: 8.0,
+            weave_freq: 0.011,
+        }
+    }
+
+    /// Arc length travelled at time `t` (closed form of ∫v dt).
+    fn arclength(&self, t: f64) -> f64 {
+        let mid = 0.5 * (self.v_min + self.v_max);
+        let amp = 0.5 * (self.v_max - self.v_min);
+        let w = std::f64::consts::TAU / self.speed_period;
+        mid * t - amp / w * ((w * t).cos() - 1.0)
+    }
+
+    fn speed(&self, t: f64) -> f64 {
+        let mid = 0.5 * (self.v_min + self.v_max);
+        let amp = 0.5 * (self.v_max - self.v_min);
+        let w = std::f64::consts::TAU / self.speed_period;
+        mid + amp * (w * t).sin()
+    }
+}
+
+impl Trajectory for RoadTrajectory {
+    fn sample(&self, t: f64) -> KinematicSample {
+        let eps = 1e-4;
+        let pos = |t: f64| {
+            let s = self.arclength(t);
+            Vec3::new(s, self.weave_amp * (self.weave_freq * s).sin(), 1.6)
+        };
+        let p = pos(t);
+        // Velocity and acceleration by differentiating the closed-form
+        // position in s, chained with ds/dt = speed.
+        let s = self.arclength(t);
+        let v_s = self.speed(t);
+        let dy_ds = self.weave_amp * self.weave_freq * (self.weave_freq * s).cos();
+        let velocity = Vec3::new(v_s, v_s * dy_ds, 0.0);
+        // Numeric acceleration (central difference of the analytic velocity).
+        let vel_at = |t: f64| {
+            let s = self.arclength(t);
+            let v = self.speed(t);
+            let dy = self.weave_amp * self.weave_freq * (self.weave_freq * s).cos();
+            Vec3::new(v, v * dy, 0.0)
+        };
+        let acceleration = (vel_at(t + eps) - vel_at(t - eps)) * (1.0 / (2.0 * eps));
+
+        // Heading follows the velocity direction.
+        let yaw = velocity.y().atan2(velocity.x());
+        let heading = Quat::exp(&Vec3::new(0.0, 0.0, yaw));
+        let rot = heading.mul(&camera_to_world_base()).normalized();
+        // Angular velocity: yaw rate about world z, expressed in the body.
+        let yaw_at = |t: f64| {
+            let v = vel_at(t);
+            v.y().atan2(v.x())
+        };
+        let yaw_rate = (yaw_at(t + eps) - yaw_at(t - eps)) / (2.0 * eps);
+        let omega_world = Vec3::new(0.0, 0.0, yaw_rate);
+        let angular_velocity = rot.inverse().rotate(&omega_world);
+
+        KinematicSample {
+            pose: Pose::new(rot, p),
+            velocity,
+            angular_velocity,
+            acceleration,
+        }
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+/// Indoor 3D trajectory: a Lissajous loop in a hall with altitude bobbing
+/// and a yaw that tracks the direction of travel.
+#[derive(Debug, Clone)]
+pub struct HallTrajectory {
+    duration: f64,
+    radius_x: f64,
+    radius_y: f64,
+    omega: f64,
+    altitude_amp: f64,
+}
+
+impl HallTrajectory {
+    /// A EuRoC-MH-like flight of the given duration.
+    pub fn euroc_like(duration: f64) -> Self {
+        Self {
+            duration,
+            radius_x: 5.0,
+            radius_y: 3.5,
+            omega: std::f64::consts::TAU / 25.0,
+            altitude_amp: 0.8,
+        }
+    }
+
+    fn position(&self, t: f64) -> Vec3 {
+        Vec3::new(
+            self.radius_x * (self.omega * t).sin(),
+            self.radius_y * (2.0 * self.omega * t).sin() * 0.5 + self.radius_y * 0.3,
+            1.5 + self.altitude_amp * (0.7 * self.omega * t).sin(),
+        )
+    }
+}
+
+impl Trajectory for HallTrajectory {
+    fn sample(&self, t: f64) -> KinematicSample {
+        let eps = 1e-4;
+        let p = self.position(t);
+        let velocity = (self.position(t + eps) - self.position(t - eps)) * (1.0 / (2.0 * eps));
+        let acceleration = (self.position(t + eps) + self.position(t - eps) - p - p)
+            * (1.0 / (eps * eps));
+
+        // Yaw follows travel; add gentle roll/pitch like an actual quad.
+        let speed_xy = (velocity.x() * velocity.x() + velocity.y() * velocity.y()).sqrt();
+        let yaw = if speed_xy > 0.05 {
+            velocity.y().atan2(velocity.x())
+        } else {
+            0.0
+        };
+        let roll = 0.08 * (1.3 * self.omega * t).sin();
+        let pitch = 0.06 * (1.7 * self.omega * t).cos();
+        let attitude = Quat::exp(&Vec3::new(0.0, 0.0, yaw))
+            .mul(&Quat::exp(&Vec3::new(roll, pitch, 0.0)))
+            .normalized();
+        let rot = attitude.mul(&camera_to_world_base()).normalized();
+
+        // Angular velocity from finite rotation differences (body frame).
+        let rot_at = |t: f64| {
+            let v = (self.position(t + eps) - self.position(t - eps)) * (1.0 / (2.0 * eps));
+            let sxy = (v.x() * v.x() + v.y() * v.y()).sqrt();
+            let yaw = if sxy > 0.05 { v.y().atan2(v.x()) } else { 0.0 };
+            let roll = 0.08 * (1.3 * self.omega * t).sin();
+            let pitch = 0.06 * (1.7 * self.omega * t).cos();
+            Quat::exp(&Vec3::new(0.0, 0.0, yaw))
+                .mul(&Quat::exp(&Vec3::new(roll, pitch, 0.0)))
+                .mul(&camera_to_world_base())
+                .normalized()
+        };
+        let dq = rot_at(t).inverse().mul(&rot_at(t + eps));
+        let angular_velocity = dq.log() * (1.0 / eps);
+
+        KinematicSample {
+            pose: Pose::new(rot, p),
+            velocity,
+            angular_velocity,
+            acceleration,
+        }
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rotation_is_proper() {
+        let q = camera_to_world_base();
+        // Camera forward (+z) maps to world +x.
+        let fwd = q.rotate(&Vec3::new(0.0, 0.0, 1.0));
+        assert!((fwd - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-12);
+        // Camera down (+y) maps to world −z.
+        let down = q.rotate(&Vec3::new(0.0, 1.0, 0.0));
+        assert!((down - Vec3::new(0.0, 0.0, -1.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mat_quat_roundtrip() {
+        for theta in [
+            Vec3::new(0.3, 0.2, -0.4),
+            Vec3::new(3.0, 0.1, 0.0), // near-π rotation exercises the branches
+            Vec3::new(0.0, 3.0, 0.2),
+            Vec3::new(0.1, 0.0, 3.0),
+        ] {
+            let q = Quat::exp(&theta);
+            let back = mat_to_quat(&q.to_mat());
+            assert!(q.angle_to(&back) < 1e-9, "theta {theta:?}");
+        }
+    }
+
+    #[test]
+    fn road_velocity_matches_position_derivative() {
+        let traj = RoadTrajectory::kitti_like(100.0);
+        let eps = 1e-5;
+        for &t in &[1.0, 17.3, 56.0, 90.0] {
+            let s = traj.sample(t);
+            let numeric = (traj.sample(t + eps).pose.trans - traj.sample(t - eps).pose.trans)
+                * (1.0 / (2.0 * eps));
+            assert!(
+                (numeric - s.velocity).norm() < 1e-3,
+                "t={t}: {numeric:?} vs {:?}",
+                s.velocity
+            );
+        }
+    }
+
+    #[test]
+    fn road_speed_stays_in_band() {
+        let traj = RoadTrajectory::kitti_like(120.0);
+        for i in 0..120 {
+            let s = traj.sample(i as f64);
+            let v = s.velocity.norm();
+            assert!(v > 4.0 && v < 16.5, "t={i}: speed {v}");
+        }
+    }
+
+    #[test]
+    fn road_camera_looks_forward() {
+        let traj = RoadTrajectory::kitti_like(60.0);
+        let s = traj.sample(10.0);
+        let cam_fwd = s.pose.rot.rotate(&Vec3::new(0.0, 0.0, 1.0));
+        let v_dir = s.velocity.normalized();
+        assert!(cam_fwd.dot(&v_dir) > 0.99, "forward alignment");
+    }
+
+    #[test]
+    fn hall_stays_in_hall() {
+        let traj = HallTrajectory::euroc_like(60.0);
+        for i in 0..240 {
+            let s = traj.sample(i as f64 * 0.25);
+            assert!(s.pose.trans.x().abs() < 6.0);
+            assert!(s.pose.trans.y().abs() < 6.0);
+            assert!(s.pose.trans.z() > 0.3 && s.pose.trans.z() < 3.0);
+        }
+    }
+
+    #[test]
+    fn hall_angular_velocity_consistent_with_rotation() {
+        let traj = HallTrajectory::euroc_like(60.0);
+        let dt = 1e-4;
+        for &t in &[3.0, 12.5, 40.0] {
+            let s0 = traj.sample(t);
+            let s1 = traj.sample(t + dt);
+            let dq = s0.pose.rot.inverse().mul(&s1.pose.rot);
+            let omega_numeric = dq.log() * (1.0 / dt);
+            assert!(
+                (omega_numeric - s0.angular_velocity).norm() < 0.05,
+                "t={t}: {omega_numeric:?} vs {:?}",
+                s0.angular_velocity
+            );
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Static landmark worlds.
+//!
+//! Landmarks are scattered around the trajectory with a *density profile*
+//! that varies along the path. The profile is what produces the
+//! feature-count dynamics of the paper's Fig. 11 — stretches of the
+//! environment with sparse texture (droughts) drive the feature count down
+//! and the error up, which is precisely the signal the run-time system
+//! exploits (Sec. 6.1).
+
+use archytas_slam::Vec3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One world landmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldPoint {
+    /// Stable identifier.
+    pub id: u64,
+    /// World-frame position.
+    pub position: Vec3,
+}
+
+/// A static field of landmarks.
+#[derive(Debug, Clone)]
+pub struct World {
+    points: Vec<WorldPoint>,
+}
+
+impl World {
+    /// Landmarks lining a road corridor of length `length` metres.
+    ///
+    /// `density(s)` ∈ (0, 1] scales the local landmark density at arclength
+    /// `s`; the generator plants points on walls/poles/foliage at lateral
+    /// offsets of 3–25 m and heights 0–6 m.
+    pub fn road_corridor(length: f64, seed: u64, density: impl Fn(f64) -> f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        let mut id = 0u64;
+        let step = 1.0;
+        let mut s = 0.0;
+        while s < length {
+            let d = density(s).clamp(0.0, 1.0);
+            // Up to ~14 landmarks per metre of road at full density.
+            let lambda = 14.0 * d;
+            let count = poisson_knuth(&mut rng, lambda);
+            for _ in 0..count {
+                let side = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                let lateral = side * rng.gen_range(3.0..25.0);
+                let along = s + rng.gen_range(0.0..step);
+                let height = rng.gen_range(0.0..6.0);
+                // Roads weave; landmarks follow the same gentle sine the
+                // trajectory uses so the corridor stays populated.
+                let weave = 8.0 * (0.011 * along).sin();
+                points.push(WorldPoint {
+                    id,
+                    position: Vec3::new(along, weave + lateral, height),
+                });
+                id += 1;
+            }
+            s += step;
+        }
+        Self { points }
+    }
+
+    /// Landmarks on the walls, floor and equipment of a machine hall.
+    pub fn machine_hall(seed: u64, density: impl Fn(f64) -> f64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        let mut id = 0u64;
+        // Density here varies with azimuth angle around the hall, modelling
+        // walls with poor texture.
+        let sectors = 72;
+        for sector in 0..sectors {
+            let angle = sector as f64 / sectors as f64 * std::f64::consts::TAU;
+            let d = density(angle).clamp(0.0, 1.0);
+            let count = poisson_knuth(&mut rng, 45.0 * d);
+            for _ in 0..count {
+                let r = rng.gen_range(6.0..9.0);
+                let a = angle + rng.gen_range(0.0..(std::f64::consts::TAU / sectors as f64));
+                let z = rng.gen_range(0.0..4.0);
+                points.push(WorldPoint {
+                    id,
+                    position: Vec3::new(r * a.cos(), r * a.sin(), z),
+                });
+                id += 1;
+            }
+        }
+        // Floor/equipment clutter in the middle.
+        for _ in 0..800 {
+            points.push(WorldPoint {
+                id,
+                position: Vec3::new(
+                    rng.gen_range(-6.0..6.0),
+                    rng.gen_range(-6.0..6.0),
+                    rng.gen_range(0.0..1.2),
+                ),
+            });
+            id += 1;
+        }
+        Self { points }
+    }
+
+    /// All landmarks.
+    pub fn points(&self) -> &[WorldPoint] {
+        &self.points
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Landmarks within `radius` of `center` (linear scan; worlds are
+    /// generated once per sequence so no index is needed).
+    pub fn near(&self, center: &Vec3, radius: f64) -> impl Iterator<Item = &WorldPoint> {
+        let r2 = radius * radius;
+        let c = *center;
+        self.points.iter().filter(move |p| {
+            let d = p.position - c;
+            d.dot(&d) <= r2
+        })
+    }
+}
+
+/// Knuth's algorithm for small-λ Poisson samples (λ ≤ ~50 here).
+fn poisson_knuth(rng: &mut SmallRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // safety valve; unreachable for sane λ
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corridor_density_profile_is_respected() {
+        // Zero density in [100, 200) must leave that stretch empty.
+        let w = World::road_corridor(300.0, 7, |s| if (100.0..200.0).contains(&s) { 0.0 } else { 1.0 });
+        let in_gap = w
+            .points()
+            .iter()
+            .filter(|p| p.position.x() >= 101.0 && p.position.x() < 200.0)
+            .count();
+        assert_eq!(in_gap, 0);
+        assert!(w.len() > 1000, "populated stretches have landmarks: {}", w.len());
+    }
+
+    #[test]
+    fn corridor_is_deterministic_per_seed() {
+        let a = World::road_corridor(50.0, 42, |_| 1.0);
+        let b = World::road_corridor(50.0, 42, |_| 1.0);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.points()[0], b.points()[0]);
+        let c = World::road_corridor(50.0, 43, |_| 1.0);
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn hall_has_walls_and_clutter() {
+        let w = World::machine_hall(3, |_| 1.0);
+        assert!(w.len() > 2000);
+        let high = w.points().iter().filter(|p| p.position.z() > 1.5).count();
+        assert!(high > 100, "wall points exist");
+    }
+
+    #[test]
+    fn near_filters_by_radius() {
+        let w = World::machine_hall(3, |_| 1.0);
+        let center = Vec3::new(0.0, 0.0, 1.0);
+        let close: Vec<_> = w.near(&center, 2.0).collect();
+        for p in &close {
+            assert!((p.position - center).norm() <= 2.0);
+        }
+        let all: Vec<_> = w.near(&center, 100.0).collect();
+        assert_eq!(all.len(), w.len());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let w = World::road_corridor(100.0, 9, |_| 0.8);
+        let mut ids: Vec<u64> = w.points().iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), w.len());
+    }
+}

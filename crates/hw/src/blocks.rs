@@ -1,0 +1,224 @@
+//! Analytical latency models of the template's hardware blocks
+//! (paper Sec. 4.2–4.4, Eqs. 6–10).
+//!
+//! All latencies are in clock cycles at the design clock (143 MHz). The
+//! three *customizable* blocks — Cholesky (`s` Update lanes), D-type Schur
+//! (`nd` MACs) and M-type Schur (`nm` MACs) — expose their parameter
+//! explicitly; everything else is fixed-function.
+
+/// The three customization parameters of the template (Sec. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// MAC units in the D-type Schur block.
+    pub nd: usize,
+    /// MAC units in the M-type Schur block.
+    pub nm: usize,
+    /// Update lanes in the Cholesky block.
+    pub s: usize,
+}
+
+impl AcceleratorConfig {
+    /// Creates a config; all parameters must be ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is zero.
+    pub fn new(nd: usize, nm: usize, s: usize) -> Self {
+        assert!(nd >= 1 && nm >= 1 && s >= 1, "config parameters must be ≥ 1");
+        Self { nd, nm, s }
+    }
+
+    /// `true` when every knob of `self` is ≤ the corresponding knob of
+    /// `other` — the run-time system's clock-gating constraint (Eq. 18).
+    pub fn within(&self, other: &AcceleratorConfig) -> bool {
+        self.nd <= other.nd && self.nm <= other.nm && self.s <= other.s
+    }
+}
+
+/// Per-stage latency of the (deeply pipelined) Observation block, in cycles
+/// per observation (`Co` in Eq. 6).
+pub const OBSERVATION_CYCLES: f64 = 2.0;
+
+/// Fixed latency of the Feature block for one feature point (`Lf`), cycles.
+pub const FEATURE_BLOCK_LATENCY: f64 = 36.0;
+
+/// Evaluate-unit latency per Cholesky iteration (`E` in Eq. 7): one square
+/// root plus divisions, pipelined.
+pub const CHOLESKY_EVALUATE_LATENCY: f64 = 12.0;
+
+/// Visual Jacobian block: per-feature latency (Eq. 6), `L_Jac = No · Co`.
+///
+/// The Feature and Observation blocks form a statistically balanced pipeline
+/// (Sec. 4.2), so the steady-state cost per feature is the Observation
+/// block's work.
+pub fn jacobian_feature_latency(avg_obs_per_feature: f64) -> f64 {
+    avg_obs_per_feature.max(1.0) * OBSERVATION_CYCLES
+}
+
+/// Number of pipeline stages the Feature block is cut into for balance:
+/// `Lf / (No · Co)` (Sec. 4.2, "Balancing Pipeline").
+pub fn feature_block_stages(avg_obs_per_feature: f64) -> usize {
+    (FEATURE_BLOCK_LATENCY / jacobian_feature_latency(avg_obs_per_feature))
+        .ceil()
+        .max(1.0) as usize
+}
+
+/// Cholesky block latency (Eq. 7–8) for an `m × m` system with `s` Update
+/// lanes:
+///
+/// `L = Σ_{k=0}^{⌊m/s⌋} max(s·E, E + m_k(m_k−1)/2)` with `m_k = m − s·k − 1`.
+pub fn cholesky_latency(m: usize, s: usize) -> f64 {
+    assert!(s >= 1, "cholesky_latency: s must be ≥ 1");
+    if m == 0 {
+        return 0.0;
+    }
+    let e = CHOLESKY_EVALUATE_LATENCY;
+    let mut total = 0.0;
+    let rounds = m / s;
+    for k in 0..=rounds {
+        let mk = m as i64 - (s * k) as i64 - 1;
+        if mk < 0 {
+            break;
+        }
+        let update = e + (mk * (mk - 1)).max(0) as f64 / 2.0;
+        total += (s as f64 * e).max(update);
+    }
+    total
+}
+
+/// D-type Schur block: per-feature latency (Eq. 9),
+/// `L = (6·No)² / nd` — the rank-1 outer-product accumulation of one
+/// feature's contribution, spread over `nd` MACs.
+pub fn dschur_feature_latency(avg_obs_per_feature: f64, nd: usize) -> f64 {
+    assert!(nd >= 1, "dschur_feature_latency: nd must be ≥ 1");
+    let w = 6.0 * avg_obs_per_feature.max(1.0);
+    w * w / nd as f64
+}
+
+/// M-type Schur block latency (Eq. 10):
+///
+/// `L ≈ 15·am + am² + bk·(15+am)·(6(b−1)+9) + bk·(6(b−1)+9)²`
+/// with `bk = (15+am)/nm`,
+/// where `am` is the number of marginalized features and `b` the keyframe
+/// count.
+pub fn mschur_latency(am: usize, b: usize, nm: usize) -> f64 {
+    assert!(nm >= 1, "mschur_latency: nm must be ≥ 1");
+    let am_f = am as f64;
+    let width = 6.0 * (b as f64 - 1.0) + 9.0;
+    let bk = (15.0 + am_f) / nm as f64;
+    15.0 * am_f + am_f * am_f + bk * (15.0 + am_f) * width + bk * width * width
+}
+
+/// Back-substitution latency (fixed-function, Eq. 14's `L_sub`): two
+/// triangular solves of the reduced `kb × kb` system on fixed 8-wide logic.
+pub fn back_substitution_latency(reduced_dim: usize) -> f64 {
+    (reduced_dim * reduced_dim) as f64 / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let c = AcceleratorConfig::new(4, 3, 10);
+        assert_eq!(c.nd, 4);
+        assert!(AcceleratorConfig::new(1, 1, 1).within(&c));
+        assert!(!AcceleratorConfig::new(5, 1, 1).within(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn zero_config_rejected() {
+        let _ = AcceleratorConfig::new(0, 1, 1);
+    }
+
+    #[test]
+    fn jacobian_latency_scales_with_observations() {
+        assert_eq!(jacobian_feature_latency(5.0), 10.0);
+        assert_eq!(jacobian_feature_latency(10.0), 20.0);
+        // Degenerate inputs clamp to one observation.
+        assert_eq!(jacobian_feature_latency(0.0), 2.0);
+    }
+
+    #[test]
+    fn feature_stages_balance_pipeline() {
+        // No = 3 → stage time 6 cycles → 36/6 = 6 stages.
+        assert_eq!(feature_block_stages(3.0), 6);
+        // Deeper observation work → fewer feature stages needed.
+        assert!(feature_block_stages(18.0) <= 1);
+    }
+
+    #[test]
+    fn cholesky_single_lane_matches_serial_sum() {
+        // With s = 1 every round is max(E, E + mk(mk−1)/2) = E + mk(mk−1)/2
+        // (for mk ≥ 2), i.e. the serial Evaluate+Update sum.
+        let m = 10;
+        let total = cholesky_latency(m, 1);
+        let mut expected = 0.0;
+        for k in 0..=m {
+            let mk = m as i64 - k as i64 - 1;
+            if mk < 0 {
+                break;
+            }
+            expected += CHOLESKY_EVALUATE_LATENCY
+                .max(CHOLESKY_EVALUATE_LATENCY + (mk * (mk - 1)).max(0) as f64 / 2.0);
+        }
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn cholesky_more_lanes_never_slower() {
+        let m = 150;
+        let mut prev = f64::INFINITY;
+        for s in [1, 2, 4, 8, 16, 32, 64] {
+            let l = cholesky_latency(m, s);
+            assert!(l <= prev + 1e-9, "s={s}: {l} > {prev}");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn cholesky_oversized_s_hurts() {
+        // Eq. 7's max(s·E, ·) captures a real artifact: with a single
+        // Evaluate unit, a round of s iterations takes at least s·E cycles,
+        // so over-provisioning Update lanes eventually *slows the block
+        // down* — one reason the synthesizer must optimize s rather than
+        // maximize it.
+        let m = 30;
+        let at_m = cholesky_latency(m, m);
+        let beyond = cholesky_latency(m, 4 * m);
+        assert!(beyond > at_m, "4m lanes ({beyond}) must cost more than m lanes ({at_m})");
+        // And the floor is the Evaluate serialization m·E.
+        assert!(at_m >= m as f64 * CHOLESKY_EVALUATE_LATENCY);
+    }
+
+    #[test]
+    fn dschur_inverse_in_nd() {
+        let l1 = dschur_feature_latency(5.0, 1);
+        let l10 = dschur_feature_latency(5.0, 10);
+        assert!((l1 / l10 - 10.0).abs() < 1e-9);
+        assert_eq!(l1, 900.0); // (6·5)²
+    }
+
+    #[test]
+    fn mschur_decreases_with_nm() {
+        let a = mschur_latency(15, 10, 1);
+        let b = mschur_latency(15, 10, 8);
+        let c = mschur_latency(15, 10, 20);
+        assert!(a > b && b > c);
+        // The am-quadratic terms are nm-independent (they bound the floor).
+        assert!(c > 15.0 * 15.0 + 225.0 - 1.0);
+    }
+
+    #[test]
+    fn back_substitution_is_quadratic() {
+        assert_eq!(back_substitution_latency(8), 8.0);
+        assert_eq!(back_substitution_latency(16), 32.0);
+    }
+
+    #[test]
+    fn empty_cholesky_is_free() {
+        assert_eq!(cholesky_latency(0, 4), 0.0);
+    }
+}

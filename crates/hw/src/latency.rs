@@ -1,0 +1,132 @@
+//! End-to-end latency model of one sliding window (paper Eqs. 13–15).
+
+use crate::blocks::{
+    back_substitution_latency, cholesky_latency, dschur_feature_latency,
+    jacobian_feature_latency, mschur_latency, AcceleratorConfig,
+};
+use archytas_mdfg::ProblemShape;
+
+/// Host-interface overhead per window: trigger, feature upload and result
+/// readback over the host bus (Sec. 7.1: "The FPGA is triggered by the host
+/// for each sliding window").
+pub const WINDOW_OVERHEAD_CYCLES: f64 = 10_000.0;
+
+/// Per-iteration sequencing overhead (buffer swaps, block restarts).
+pub const ITERATION_OVERHEAD_CYCLES: f64 = 2_000.0;
+
+/// Latency of one NLS iteration in cycles (Eq. 14):
+///
+/// `L_NLS = Σᵢ₌₁ᵃ max(L_Jac, L_DSchur(nd)) + L_Cholesky(s) + L_sub`
+///
+/// The `max` captures the pipeline parallelism between the Jacobian unit and
+/// the D-type Schur unit streaming across the `a` feature points (Sec. 4.1).
+pub fn nls_iteration_cycles(shape: &ProblemShape, config: &AcceleratorConfig) -> f64 {
+    let no = shape.obs_per_feature as f64;
+    let per_feature = jacobian_feature_latency(no).max(dschur_feature_latency(no, config.nd));
+    let reduced = shape.pose_block_dim();
+    shape.features as f64 * per_feature
+        + cholesky_latency(reduced, config.s)
+        + back_substitution_latency(reduced)
+        + ITERATION_OVERHEAD_CYCLES
+}
+
+/// Marginalization latency in cycles (Eq. 15):
+///
+/// `L_Marg = am·L_Jac + L_DSchur(nd) + L_Cholesky(s) + L_MSchur(nm)`
+pub fn marginalization_cycles(shape: &ProblemShape, config: &AcceleratorConfig) -> f64 {
+    let no = shape.obs_per_feature as f64;
+    let am = shape.marginalized_features;
+    // The marginalized block's D-type Schur (S′) runs once over the am
+    // features being folded in.
+    let dschur = am as f64 * dschur_feature_latency(no, config.nd);
+    am as f64 * jacobian_feature_latency(no)
+        + dschur
+        + cholesky_latency(am + shape.states_per_keyframe, config.s)
+        + mschur_latency(am, shape.keyframes, config.nm)
+}
+
+/// Total latency of one sliding window in cycles (Eq. 13):
+/// `Iter × L_NLS + L_Marg`.
+pub fn window_cycles(shape: &ProblemShape, config: &AcceleratorConfig, iterations: usize) -> f64 {
+    iterations as f64 * nls_iteration_cycles(shape, config)
+        + marginalization_cycles(shape, config)
+        + WINDOW_OVERHEAD_CYCLES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nd: usize, nm: usize, s: usize) -> AcceleratorConfig {
+        AcceleratorConfig::new(nd, nm, s)
+    }
+
+    #[test]
+    fn latency_monotone_in_iterations() {
+        let shape = ProblemShape::typical();
+        let c = cfg(8, 8, 16);
+        let l1 = window_cycles(&shape, &c, 1);
+        let l6 = window_cycles(&shape, &c, 6);
+        assert!(l6 > l1);
+        // Exactly linear in Iter (Eq. 13).
+        let nls = nls_iteration_cycles(&shape, &c);
+        assert!((l6 - l1 - 5.0 * nls).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_config_is_never_slower() {
+        let shape = ProblemShape::typical();
+        let small = window_cycles(&shape, &cfg(2, 2, 4), 4);
+        let big = window_cycles(&shape, &cfg(28, 19, 97), 4);
+        assert!(big < small);
+    }
+
+    #[test]
+    fn knobs_span_a_wide_latency_range() {
+        // Sec. 7.2: varying the parameters changes end-to-end latency by
+        // over 20×.
+        let shape = ProblemShape::typical();
+        let slowest = window_cycles(&shape, &cfg(1, 1, 1), 6);
+        let fastest = window_cycles(&shape, &cfg(30, 24, 120), 6);
+        assert!(
+            slowest / fastest > 20.0,
+            "range {:.1}× should exceed 20×",
+            slowest / fastest
+        );
+    }
+
+    #[test]
+    fn jacobian_bound_kicks_in() {
+        // With a huge nd the per-feature cost is bounded below by the
+        // Jacobian unit (the max in Eq. 14).
+        let shape = ProblemShape::typical();
+        let no = shape.obs_per_feature as f64;
+        let c = cfg(10_000, 8, 16);
+        let nls = nls_iteration_cycles(&shape, &c);
+        let jac_floor = shape.features as f64 * jacobian_feature_latency(no);
+        assert!(nls >= jac_floor);
+    }
+
+    #[test]
+    fn window_latency_in_millisecond_band() {
+        // Per-window latency on a mid-size configuration must land in the
+        // real-time millisecond regime the paper's designs occupy
+        // (Figs. 13–14 span ~10–260 ms; our calibration sits at the fast
+        // end of that band — shape, not absolute scale, is the target).
+        let shape = ProblemShape::typical();
+        let cycles = window_cycles(&shape, &cfg(8, 8, 16), 6);
+        let ms = cycles / 143e3;
+        assert!((0.5..70.0).contains(&ms), "latency {ms:.2} ms outside band");
+    }
+
+    #[test]
+    fn marginalization_scales_with_am() {
+        let mut shape = ProblemShape::typical();
+        let c = cfg(8, 8, 16);
+        shape.marginalized_features = 5;
+        let small = marginalization_cycles(&shape, &c);
+        shape.marginalized_features = 40;
+        let large = marginalization_cycles(&shape, &c);
+        assert!(large > small * 2.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! 2×2 block partitioning of square matrices.
+//!
+//! The Schur elimination in the NLS solver (paper Eq. 3–4) and the prior
+//! computation in marginalization (paper Eq. 5) both start by blocking a
+//! square matrix `A` as `[U X; W V]` at a split point chosen by the M-DFG
+//! cost model.
+
+use crate::error::{MathError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+
+/// A split point partitioning an `n × n` matrix into a 2×2 block structure
+/// with a leading `p × p` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Size of the leading block (`U` / `M₁₁`).
+    pub p: usize,
+    /// Size of the trailing block (`V` / `M₂₂`).
+    pub q: usize,
+}
+
+impl BlockSpec {
+    /// Creates a spec splitting dimension `n` at `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidBlockSpec`] when `p > n`.
+    pub fn new(p: usize, n: usize) -> Result<Self> {
+        if p > n {
+            return Err(MathError::InvalidBlockSpec { split: p, dim: n });
+        }
+        Ok(Self { p, q: n - p })
+    }
+
+    /// Total dimension `p + q`.
+    pub fn dim(&self) -> usize {
+        self.p + self.q
+    }
+}
+
+/// A square matrix partitioned as `[u x; w v]` with a matching right-hand
+/// side split `[bx; by]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blocked2x2<T: Scalar> {
+    /// Leading `p × p` block (`U` in Eq. 3; diagonal under the optimal split).
+    pub u: Matrix<T>,
+    /// Upper-right `p × q` block.
+    pub x: Matrix<T>,
+    /// Lower-left `q × p` block (`Wᵀ = X` for symmetric `A`).
+    pub w: Matrix<T>,
+    /// Trailing `q × q` block.
+    pub v: Matrix<T>,
+}
+
+impl<T: Scalar> Blocked2x2<T> {
+    /// Partitions `a` according to `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `a` is not square or its
+    /// dimension differs from `spec.dim()`.
+    pub fn partition(a: &Matrix<T>, spec: BlockSpec) -> Result<Self> {
+        if !a.is_square() || a.rows() != spec.dim() {
+            return Err(MathError::DimensionMismatch {
+                op: "block_partition",
+                lhs: a.shape(),
+                rhs: (spec.dim(), spec.dim()),
+            });
+        }
+        let (p, q) = (spec.p, spec.q);
+        Ok(Self {
+            u: a.submatrix(0, 0, p, p),
+            x: a.submatrix(0, p, p, q),
+            w: a.submatrix(p, 0, q, p),
+            v: a.submatrix(p, p, q, q),
+        })
+    }
+
+    /// Reassembles the four blocks into a dense matrix.
+    pub fn assemble(&self) -> Matrix<T> {
+        let p = self.u.rows();
+        let q = self.v.rows();
+        let mut a = Matrix::zeros(p + q, p + q);
+        a.set_submatrix(0, 0, &self.u);
+        a.set_submatrix(0, p, &self.x);
+        a.set_submatrix(p, 0, &self.w);
+        a.set_submatrix(p, p, &self.v);
+        a
+    }
+
+    /// `true` when the leading block `U` is diagonal within tolerance `tol` —
+    /// the precondition for the cheap D-type Schur path.
+    pub fn leading_block_is_diagonal(&self, tol: T) -> bool {
+        for i in 0..self.u.rows() {
+            for j in 0..self.u.cols() {
+                if i != j && self.u.get(i, j).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Splits a vector `[bx; by]` at `spec.p`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] when `b.len() != spec.dim()`.
+pub fn split_vector<T: Scalar>(
+    b: &Vector<T>,
+    spec: BlockSpec,
+) -> Result<(Vector<T>, Vector<T>)> {
+    if b.len() != spec.dim() {
+        return Err(MathError::DimensionMismatch {
+            op: "split_vector",
+            lhs: (b.len(), 1),
+            rhs: (spec.dim(), 1),
+        });
+    }
+    Ok((b.segment(0, spec.p), b.segment(spec.p, spec.q)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type M = Matrix<f64>;
+
+    fn sample() -> M {
+        M::from_fn(5, 5, |i, j| (i * 5 + j) as f64)
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(BlockSpec::new(3, 5).is_ok());
+        assert!(BlockSpec::new(6, 5).is_err());
+        assert_eq!(BlockSpec::new(2, 5).unwrap().q, 3);
+    }
+
+    #[test]
+    fn partition_assemble_roundtrip() {
+        let a = sample();
+        let spec = BlockSpec::new(2, 5).unwrap();
+        let blocked = Blocked2x2::partition(&a, spec).unwrap();
+        assert_eq!(blocked.u.shape(), (2, 2));
+        assert_eq!(blocked.x.shape(), (2, 3));
+        assert_eq!(blocked.w.shape(), (3, 2));
+        assert_eq!(blocked.v.shape(), (3, 3));
+        assert_eq!(blocked.assemble(), a);
+    }
+
+    #[test]
+    fn diagonal_detection() {
+        let mut a = M::zeros(4, 4);
+        for i in 0..4 {
+            a.set(i, i, 2.0);
+        }
+        a.set(2, 3, 5.0); // off-diagonal but outside the leading block
+        let blocked = Blocked2x2::partition(&a, BlockSpec::new(2, 4).unwrap()).unwrap();
+        assert!(blocked.leading_block_is_diagonal(0.0));
+        let mut b = a.clone();
+        b.set(0, 1, 1.0);
+        let blocked = Blocked2x2::partition(&b, BlockSpec::new(2, 4).unwrap()).unwrap();
+        assert!(!blocked.leading_block_is_diagonal(0.0));
+    }
+
+    #[test]
+    fn vector_split() {
+        let v = Vector::from(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let (bx, by) = split_vector(&v, BlockSpec::new(2, 5).unwrap()).unwrap();
+        assert_eq!(bx.as_slice(), &[1.0, 2.0]);
+        assert_eq!(by.as_slice(), &[3.0, 4.0, 5.0]);
+        assert!(split_vector(&v, BlockSpec { p: 2, q: 2 }).is_err());
+    }
+
+    #[test]
+    fn partition_rejects_bad_dim() {
+        let a = sample();
+        assert!(Blocked2x2::partition(&a, BlockSpec { p: 2, q: 2 }).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Cholesky decomposition — the `CD` M-DFG primitive.
+//!
+//! The factorization is written in the Evaluate/Update formulation the
+//! Archytas hardware template uses (paper Sec. 4.3, Fig. 8): iteration `i`
+//! first *evaluates* column `i` of `L` and then *updates* the trailing
+//! `(n−i−1)²/2` sub-matrix. The hardware crate reuses this exact structure to
+//! count per-phase operations, so the software factorization and the cycle
+//! model cannot drift apart.
+
+use crate::error::{MathError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::triangular::{solve_lower, solve_upper};
+use crate::vector::Vector;
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky<T: Scalar> {
+    l: Matrix<T>,
+}
+
+/// Operation counts of one factorization, split by the hardware template's
+/// two pipeline phases.
+///
+/// At iteration `i` of an `m × m` factorization the Evaluate phase performs
+/// `m − i` operations (one square root plus divisions) and the Update phase
+/// performs `(m − i − 1)(m − i)/2` multiply-subtract operations; these counts
+/// feed the latency model of the Cholesky hardware block (paper Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CholeskyOpCounts {
+    /// Total Evaluate-phase operations across all iterations.
+    pub evaluate_ops: usize,
+    /// Total Update-phase operations across all iterations.
+    pub update_ops: usize,
+    /// Number of Evaluate/Update iterations (the matrix dimension).
+    pub iterations: usize,
+}
+
+impl<T: Scalar> Cholesky<T> {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `a` is not square and
+    /// [`MathError::NotPositiveDefinite`] when a pivot is non-positive or not
+    /// finite. Symmetry is assumed (only the lower triangle is read).
+    pub fn factor(a: &Matrix<T>) -> Result<Self> {
+        if !a.is_square() {
+            return Err(MathError::DimensionMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let (l, _) = Self::factor_counting(a)?;
+        Ok(l)
+    }
+
+    /// Factors `a` and reports the per-phase operation counts used by the
+    /// hardware latency model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`].
+    pub fn factor_counting(a: &Matrix<T>) -> Result<(Self, CholeskyOpCounts)> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // `work` holds the trailing sub-matrix (lower triangle of S_k).
+        let mut work = a.clone();
+        let mut counts = CholeskyOpCounts {
+            iterations: n,
+            ..Default::default()
+        };
+        for k in 0..n {
+            // --- Evaluate phase: column k of L ---
+            let pivot = work.get(k, k);
+            if pivot <= T::ZERO || !pivot.is_finite() {
+                return Err(MathError::NotPositiveDefinite { pivot: k });
+            }
+            let d = pivot.sqrt();
+            l.set(k, k, d);
+            counts.evaluate_ops += n - k;
+            for i in (k + 1)..n {
+                l.set(i, k, work.get(i, k) / d);
+            }
+            // --- Update phase: S_{k+1} = S_k − l_k·l_kᵀ on the trailing block ---
+            for i in (k + 1)..n {
+                let lik = l.get(i, k);
+                for j in (k + 1)..=i {
+                    let v = work.get(i, j) - lik * l.get(j, k);
+                    work.set(i, j, v);
+                    counts.update_ops += 1;
+                }
+            }
+        }
+        Ok((Self { l }, counts))
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix<T> {
+        &self.l
+    }
+
+    /// Consumes the factorization and returns `L`.
+    pub fn into_l(self) -> Matrix<T> {
+        self.l
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A·x = b` by forward then backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &Vector<T>) -> Vector<T> {
+        let y = solve_lower(&self.l, b);
+        solve_upper(&self.l.transpose(), &y)
+    }
+
+    /// Dense inverse `A⁻¹`, computed by solving against the identity columns.
+    ///
+    /// Used by the M-type Schur path when a generic (non-diagonal) block must
+    /// be inverted (paper Eq. 5 resolves this to two smaller inversions, but
+    /// the recursion bottoms out here).
+    pub fn inverse(&self) -> Matrix<T> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = Vector::zeros(n);
+            e[j] = T::ONE;
+            let col = self.solve(&e);
+            for i in 0..n {
+                inv.set(i, j, col[i]);
+            }
+        }
+        inv
+    }
+
+    /// Log-determinant of `A` (`2·Σ log Lᵢᵢ`), useful for covariance sanity
+    /// checks in tests.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim())
+            .map(|i| self.l.get(i, i).to_f64().ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type M = Matrix<f64>;
+    type V = Vector<f64>;
+
+    fn spd(n: usize) -> M {
+        // Deterministic SPD matrix: B·Bᵀ + n·I.
+        let b = M::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 / 11.0 - 0.4);
+        b.gram().add_diagonal(n as f64)
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = spd(8);
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = &ch.l().try_mul(&ch.l().transpose()).unwrap() - &a;
+        assert!(rec.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = spd(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(ch.l().get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_residual() {
+        let a = spd(10);
+        let b: V = (0..10).map(|i| i as f64 - 4.0).collect();
+        let x = Cholesky::factor(&a).unwrap().solve(&b);
+        assert!((&a.mat_vec(&x) - &b).norm() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_matches_identity() {
+        let a = spd(5);
+        let inv = Cholesky::factor(&a).unwrap().inverse();
+        let eye = a.try_mul(&inv).unwrap();
+        assert!((&eye - &M::identity(5)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = M::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(MathError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = M::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(MathError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn op_counts_match_closed_form() {
+        // Paper Sec. 4.3: Evaluate at iteration i costs (n-i) ops; Update
+        // costs (n-i-1)(n-i)/2. Summing i = 0..n gives the totals below.
+        let n = 9;
+        let a = spd(n);
+        let (_, counts) = Cholesky::factor_counting(&a).unwrap();
+        let expected_eval: usize = (1..=n).sum();
+        let expected_update: usize = (0..n).map(|k| (n - k - 1) * (n - k) / 2).sum();
+        assert_eq!(counts.iterations, n);
+        assert_eq!(counts.evaluate_ops, expected_eval);
+        assert_eq!(counts.update_ops, expected_update);
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = M::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let ld = Cholesky::factor(&a).unwrap().log_det();
+        assert!((ld - (36.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let a = spd(4).cast::<f32>();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = &ch.l().try_mul(&ch.l().transpose()).unwrap() - &a;
+        assert!(rec.max_abs() < 1e-4);
+    }
+}

@@ -1,0 +1,186 @@
+//! Diagonal matrix — the `DMatInv` / `DMatMul` operand of the M-DFG.
+//!
+//! The D-type Schur complement (paper Sec. 3.2.2) owes its cheapness to the
+//! fact that the `U` block of the blocked linear system is diagonal: inversion
+//! is `O(n)` and products against it are `O(n²)` rather than `O(n³)`.
+
+use crate::error::{MathError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use std::fmt;
+
+/// Diagonal matrix stored as just its diagonal.
+#[derive(Clone, PartialEq)]
+pub struct DiagMat<T: Scalar> {
+    diag: Vec<T>,
+}
+
+impl<T: Scalar> DiagMat<T> {
+    /// Creates a diagonal matrix from its diagonal entries.
+    pub fn new(diag: Vec<T>) -> Self {
+        Self { diag }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            diag: vec![T::ONE; n],
+        }
+    }
+
+    /// Extracts the diagonal of a square dense matrix, ignoring off-diagonal
+    /// content.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is not square.
+    pub fn from_dense_diagonal(m: &Matrix<T>) -> Self {
+        assert!(m.is_square(), "from_dense_diagonal: matrix must be square");
+        Self {
+            diag: (0..m.rows()).map(|i| m.get(i, i)).collect(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Diagonal entries.
+    pub fn diagonal(&self) -> &[T] {
+        &self.diag
+    }
+
+    /// Inverse — the `DMatInv` M-DFG primitive; `O(n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::SingularDiagonal`] when an entry is zero or not
+    /// finite.
+    pub fn inverse(&self) -> Result<Self> {
+        let mut inv = Vec::with_capacity(self.diag.len());
+        for (i, &d) in self.diag.iter().enumerate() {
+            if d == T::ZERO || !d.is_finite() {
+                return Err(MathError::SingularDiagonal { index: i });
+            }
+            inv.push(T::ONE / d);
+        }
+        Ok(Self { diag: inv })
+    }
+
+    /// Left product `self · m` — the `DMatMul` M-DFG primitive; `O(n·cols)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m.rows() != self.dim()`.
+    pub fn mul_dense(&self, m: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(m.rows(), self.dim(), "mul_dense: dimension mismatch");
+        Matrix::from_fn(m.rows(), m.cols(), |i, j| self.diag[i] * m.get(i, j))
+    }
+
+    /// Right product `m · self`; `O(rows·n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m.cols() != self.dim()`.
+    pub fn mul_dense_right(&self, m: &Matrix<T>) -> Matrix<T> {
+        assert_eq!(m.cols(), self.dim(), "mul_dense_right: dimension mismatch");
+        Matrix::from_fn(m.rows(), m.cols(), |i, j| m.get(i, j) * self.diag[j])
+    }
+
+    /// Product with a vector; `O(n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.dim()`.
+    pub fn mul_vec(&self, v: &Vector<T>) -> Vector<T> {
+        assert_eq!(v.len(), self.dim(), "mul_vec: dimension mismatch");
+        self.diag
+            .iter()
+            .zip(v.as_slice())
+            .map(|(&d, &x)| d * x)
+            .collect()
+    }
+
+    /// Expands to a dense matrix (for testing and for paths that have no
+    /// diagonal specialization).
+    pub fn to_dense(&self) -> Matrix<T> {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| if i == j { self.diag[i] } else { T::ZERO })
+    }
+}
+
+impl<T: Scalar> fmt::Debug for DiagMat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiagMat(dim={}) {:?}", self.dim(), self.diag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type D = DiagMat<f64>;
+    type M = Matrix<f64>;
+
+    #[test]
+    fn inverse_roundtrip() {
+        let d = D::new(vec![2.0, 4.0, 8.0]);
+        let inv = d.inverse().unwrap();
+        assert_eq!(inv.diagonal(), &[0.5, 0.25, 0.125]);
+        let product = inv.mul_dense(&d.to_dense());
+        assert_eq!(product, M::identity(3));
+    }
+
+    #[test]
+    fn inverse_rejects_zero() {
+        let d = D::new(vec![1.0, 0.0]);
+        assert_eq!(
+            d.inverse().unwrap_err(),
+            MathError::SingularDiagonal { index: 1 }
+        );
+    }
+
+    #[test]
+    fn inverse_rejects_nan() {
+        let d = D::new(vec![f64::NAN]);
+        assert!(d.inverse().is_err());
+    }
+
+    #[test]
+    fn left_product_matches_dense() {
+        let d = D::new(vec![2.0, 3.0]);
+        let m = M::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let fast = d.mul_dense(&m);
+        let dense = &d.to_dense() * &m;
+        assert_eq!(fast, dense);
+    }
+
+    #[test]
+    fn right_product_matches_dense() {
+        let d = D::new(vec![2.0, 3.0]);
+        let m = M::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let fast = d.mul_dense_right(&m);
+        let dense = &m * &d.to_dense();
+        assert_eq!(fast, dense);
+    }
+
+    #[test]
+    fn vec_product() {
+        let d = D::new(vec![2.0, -1.0]);
+        let v = Vector::from(vec![3.0, 4.0]);
+        assert_eq!(d.mul_vec(&v).as_slice(), &[6.0, -4.0]);
+    }
+
+    #[test]
+    fn from_dense_takes_diagonal_only() {
+        let m = M::from_rows(&[&[5.0, 9.0], &[9.0, 7.0]]);
+        let d = D::from_dense_diagonal(&m);
+        assert_eq!(d.diagonal(), &[5.0, 7.0]);
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        assert_eq!(D::identity(2).diagonal(), &[1.0, 1.0]);
+    }
+}

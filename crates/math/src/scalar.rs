@@ -1,0 +1,134 @@
+//! Scalar abstraction so the same kernels serve the `f64` software solver and
+//! the `f32` hardware functional model.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable in every kernel of this crate.
+///
+/// This trait is sealed: it is implemented for `f32` and `f64` only, which
+/// mirrors the two datapath widths that exist in the system (double-precision
+/// host software, single-precision FPGA datapath).
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + private::Sealed
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon for this width.
+    const EPSILON: Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Largest finite value.
+    fn max_value() -> Self;
+    /// Lossy conversion from `f64` (identity for `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+    /// `true` when the value is finite (not NaN/inf).
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    fn max_value() -> Self {
+        f64::MAX
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    fn max_value() -> Self {
+        f32::MAX
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        assert_eq!(f64::from_f64(1.5), 1.5);
+        assert_eq!(1.5f64.to_f64(), 1.5);
+        assert_eq!(4.0f64.sqrt(), 2.0);
+    }
+
+    #[test]
+    fn f32_narrowing() {
+        let narrowed = f32::from_f64(1.0 + 1e-12);
+        assert_eq!(narrowed, 1.0f32);
+        assert!((2.0f32).sqrt().to_f64() - std::f64::consts::SQRT_2 < 1e-7);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(1.0f64.is_finite());
+        assert!(!(f64::MAX * 2.0).is_finite());
+        assert!(!f32::NAN.is_finite());
+    }
+}

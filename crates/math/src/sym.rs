@@ -1,0 +1,185 @@
+//! Symmetric matrix with packed lower-triangular storage.
+//!
+//! The linear-system parameter matrix `S` of the NLS solver is symmetric
+//! (paper Sec. 3.3, Fig. 4); exploiting the symmetry alone halves the on-chip
+//! storage, before the SLAM-specific `Si`/`Sc` split applied by
+//! `archytas-mdfg::layout`.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use std::fmt;
+
+/// Symmetric matrix storing only the lower triangle (row-packed).
+#[derive(Clone, PartialEq)]
+pub struct SymMat<T: Scalar> {
+    dim: usize,
+    /// Row-packed lower triangle: row i contributes i+1 entries.
+    data: Vec<T>,
+}
+
+impl<T: Scalar> SymMat<T> {
+    /// Creates a zero symmetric matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            dim: n,
+            data: vec![T::ZERO; n * (n + 1) / 2],
+        }
+    }
+
+    /// Packs a dense symmetric matrix. The strict upper triangle of `m` is
+    /// ignored, so callers holding an "almost symmetric" matrix (e.g. from
+    /// accumulated floating-point noise) get a canonical symmetrization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` is not square.
+    pub fn from_dense(m: &Matrix<T>) -> Self {
+        assert!(m.is_square(), "from_dense: matrix must be square");
+        let n = m.rows();
+        let mut s = Self::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                s.set(i, j, m.get(i, j));
+            }
+        }
+        s
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of scalars actually stored (`n(n+1)/2`).
+    pub fn stored_len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j);
+        i * (i + 1) / 2 + j
+    }
+
+    /// Element `(i, j)`; symmetry makes the order of the indices irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> T {
+        assert!(i < self.dim && j < self.dim, "get: index out of bounds");
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        self.data[self.idx(i, j)]
+    }
+
+    /// Sets element `(i, j)` (and implicitly `(j, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.dim && j < self.dim, "set: index out of bounds");
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let k = self.idx(i, j);
+        self.data[k] = v;
+    }
+
+    /// Adds `v` to element `(i, j)` (and implicitly `(j, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn add_at(&mut self, i: usize, j: usize, v: T) {
+        assert!(i < self.dim && j < self.dim, "add_at: index out of bounds");
+        let (i, j) = if i >= j { (i, j) } else { (j, i) };
+        let k = self.idx(i, j);
+        self.data[k] += v;
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> Matrix<T> {
+        Matrix::from_fn(self.dim, self.dim, |i, j| self.get(i, j))
+    }
+
+    /// Product with a vector, exploiting symmetry to read each stored element
+    /// at most twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.dim()`.
+    pub fn mul_vec(&self, v: &Vector<T>) -> Vector<T> {
+        assert_eq!(v.len(), self.dim, "mul_vec: dimension mismatch");
+        let mut out = Vector::zeros(self.dim);
+        for i in 0..self.dim {
+            for j in 0..=i {
+                let s = self.data[self.idx(i, j)];
+                out[i] += s * v[j];
+                if i != j {
+                    out[j] += s * v[i];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<T: Scalar> fmt::Debug for SymMat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymMat(dim={}, stored={})", self.dim, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type M = Matrix<f64>;
+    type S = SymMat<f64>;
+
+    fn sample_dense() -> M {
+        M::from_rows(&[&[2.0, 1.0, 0.5], &[1.0, 3.0, -1.0], &[0.5, -1.0, 4.0]])
+    }
+
+    #[test]
+    fn storage_is_half() {
+        let s = S::zeros(10);
+        assert_eq!(s.stored_len(), 55);
+        assert_eq!(s.dim(), 10);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = S::from_dense(&d);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn set_mirrors() {
+        let mut s = S::zeros(3);
+        s.set(0, 2, 7.0);
+        assert_eq!(s.get(2, 0), 7.0);
+        s.add_at(2, 0, 1.0);
+        assert_eq!(s.get(0, 2), 8.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let d = sample_dense();
+        let s = S::from_dense(&d);
+        let v = Vector::from(vec![1.0, -2.0, 3.0]);
+        let fast = s.mul_vec(&v);
+        let dense = d.mat_vec(&v);
+        for i in 0..3 {
+            assert!((fast[i] - dense[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_dense_canonicalizes_asymmetry() {
+        let mut d = sample_dense();
+        d.set(0, 2, 999.0); // strict upper triangle is ignored
+        let s = S::from_dense(&d);
+        assert_eq!(s.get(0, 2), 0.5);
+    }
+}

@@ -1,0 +1,318 @@
+//! Dense column vector.
+
+use crate::scalar::Scalar;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Dense column vector over a [`Scalar`].
+///
+/// Used for residuals, right-hand sides, and state increments throughout the
+/// solver. Arithmetic on references avoids cloning in hot loops:
+///
+/// ```
+/// use archytas_math::DVec;
+/// let a = DVec::from(vec![1.0, 2.0]);
+/// let b = DVec::from(vec![3.0, 4.0]);
+/// let c = &a + &b;
+/// assert_eq!(c.as_slice(), &[4.0, 6.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Vector<T: Scalar> {
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Vector<T> {
+    /// Creates a zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            data: vec![T::ZERO; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the vector and returns the underlying storage.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> T {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (no square root; cheaper for comparisons).
+    pub fn norm_squared(&self) -> T {
+        self.dot(self)
+    }
+
+    /// Inner product with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Self) -> T {
+        assert_eq!(self.len(), other.len(), "dot: length mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    /// Returns `self + alpha * other` (the BLAS `axpy` shape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&self, alpha: T, other: &Self) -> Self {
+        assert_eq!(self.len(), other.len(), "axpy: length mismatch");
+        Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| a + alpha * b)
+                .collect(),
+        }
+    }
+
+    /// Scales every element by `alpha`.
+    pub fn scale(&self, alpha: T) -> Self {
+        Self {
+            data: self.data.iter().map(|&a| a * alpha).collect(),
+        }
+    }
+
+    /// Contiguous sub-vector `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn segment(&self, start: usize, len: usize) -> Self {
+        Self {
+            data: self.data[start..start + len].to_vec(),
+        }
+    }
+
+    /// Writes `seg` into `[start, start + seg.len())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn set_segment(&mut self, start: usize, seg: &Self) {
+        self.data[start..start + seg.len()].copy_from_slice(&seg.data);
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &Self) -> Self {
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Self { data }
+    }
+
+    /// Largest absolute element, or zero for the empty vector.
+    pub fn max_abs(&self) -> T {
+        self.data
+            .iter()
+            .map(|v| v.abs())
+            .fold(T::ZERO, |acc, v| if v > acc { v } else { acc })
+    }
+
+    /// `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Converts element-wise to another scalar width (e.g. `f64` → `f32` when
+    /// handing data to the hardware functional model).
+    pub fn cast<U: Scalar>(&self) -> Vector<U> {
+        Vector {
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// Iterator over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+}
+
+impl<T: Scalar> From<Vec<T>> for Vector<T> {
+    fn from(data: Vec<T>) -> Self {
+        Self { data }
+    }
+}
+
+impl<T: Scalar> FromIterator<T> for Vector<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Scalar> Extend<T> for Vector<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.data.extend(iter);
+    }
+}
+
+impl<T: Scalar> Index<usize> for Vector<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T: Scalar> IndexMut<usize> for Vector<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector(len={}) {:?}", self.len(), self.data)
+    }
+}
+
+impl<T: Scalar> Add for &Vector<T> {
+    type Output = Vector<T>;
+    fn add(self, rhs: Self) -> Vector<T> {
+        assert_eq!(self.len(), rhs.len(), "add: length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect()
+    }
+}
+
+impl<T: Scalar> Sub for &Vector<T> {
+    type Output = Vector<T>;
+    fn sub(self, rhs: Self) -> Vector<T> {
+        assert_eq!(self.len(), rhs.len(), "sub: length mismatch");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect()
+    }
+}
+
+impl<T: Scalar> Neg for &Vector<T> {
+    type Output = Vector<T>;
+    fn neg(self) -> Vector<T> {
+        self.data.iter().map(|&a| -a).collect()
+    }
+}
+
+impl<T: Scalar> Mul<T> for &Vector<T> {
+    type Output = Vector<T>;
+    fn mul(self, rhs: T) -> Vector<T> {
+        self.scale(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    type V = Vector<f64>;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = V::zeros(4);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(v.norm(), 0.0);
+        assert!(V::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let v = V::from(vec![3.0, 4.0]);
+        assert_eq!(v.dot(&v), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let a = V::from(vec![1.0, 2.0]);
+        let b = V::from(vec![10.0, 20.0]);
+        let c = a.axpy(0.5, &b);
+        assert_eq!(c.as_slice(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn segment_roundtrip() {
+        let mut v = V::zeros(5);
+        let seg = V::from(vec![1.0, 2.0]);
+        v.set_segment(2, &seg);
+        assert_eq!(v.segment(2, 2).as_slice(), &[1.0, 2.0]);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[2], 1.0);
+    }
+
+    #[test]
+    fn arithmetic_on_refs() {
+        let a = V::from(vec![1.0, 2.0]);
+        let b = V::from(vec![3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn max_abs_and_finite() {
+        let v = V::from(vec![-7.0, 3.0]);
+        assert_eq!(v.max_abs(), 7.0);
+        assert!(v.all_finite());
+        let bad = V::from(vec![f64::NAN]);
+        assert!(!bad.all_finite());
+        assert_eq!(V::zeros(0).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn cast_narrows() {
+        let v = V::from(vec![1.0 + 1e-12]);
+        let f: Vector<f32> = v.cast();
+        assert_eq!(f[0], 1.0f32);
+    }
+
+    #[test]
+    fn concat_and_collect() {
+        let a = V::from(vec![1.0]);
+        let b = V::from(vec![2.0, 3.0]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let collected: V = (0..3).map(|i| i as f64).collect();
+        assert_eq!(collected.as_slice(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot: length mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = V::zeros(2).dot(&V::zeros(3));
+    }
+}

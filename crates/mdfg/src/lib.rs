@@ -1,0 +1,43 @@
+//! Macro data-flow graph (M-DFG) layer of the Archytas framework
+//! (paper Sec. 3).
+//!
+//! Hardware acceleration needs a *concrete* software implementation; the
+//! general MAP algorithm description leaves blocks like the linear-system
+//! solver open. This crate raises the abstraction to coarse primitive nodes
+//! (Tbl. 1), builds cost models for the candidate implementations, picks the
+//! blocking strategies (D-type/M-type Schur), optimizes the `S`-matrix data
+//! layout, and statically schedules the resulting graph onto the hardware
+//! template's block classes.
+//!
+//! # Example
+//!
+//! ```
+//! use archytas_mdfg::{build_mdfg, schedule, ProblemShape};
+//!
+//! let shape = ProblemShape::typical();
+//! let built = build_mdfg(&shape);
+//! // The cost model recovers the paper's observation: the optimal blocking
+//! // makes the leading block the (diagonal) landmark block.
+//! assert_eq!(built.nls_blocking.p, shape.features);
+//! let sched = schedule(&built);
+//! assert!(!sched.shared_blocks.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod graph;
+mod layout;
+mod node;
+mod schedule;
+
+pub use builder::{
+    build_mdfg, marginalization_schur_cost, nls_schur_cost, optimal_marginalization_blocking,
+    optimal_nls_blocking, BlockingChoice, BuiltMdfg, ProblemShape,
+};
+pub use graph::{MDfg, Node, NodeId};
+pub use layout::{
+    saving_vs_dense, storage_words, LayoutScheme, SplitS, POSE_DOF,
+};
+pub use node::{node_cost, Dims, NodeKind};
+pub use schedule::{schedule, Assignment, HwBlockClass, Phase, Schedule};

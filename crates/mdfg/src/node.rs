@@ -1,0 +1,169 @@
+//! Primitive M-DFG node types (paper Tbl. 1) and their arithmetic cost
+//! models.
+//!
+//! The cost model is the foundation of both the M-DFG builder's blocking
+//! decisions (Sec. 3.2) and the hardware synthesizer's latency estimates
+//! (Sec. 5): each node knows how many scalar operations it performs given
+//! its operand dimensions.
+
+use std::fmt;
+
+/// The nine primitive node types of Tbl. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Diagonal matrix inversion.
+    DMatInv,
+    /// Dense matrix multiplication.
+    MatMul,
+    /// Diagonal × dense matrix multiplication.
+    DMatMul,
+    /// Matrix subtraction (or addition).
+    MatSub,
+    /// Matrix transpose.
+    MatTp,
+    /// Cholesky decomposition.
+    CD,
+    /// Forward and backward substitution (triangular solves).
+    FBSub,
+    /// Visual Jacobian computation.
+    VJac,
+    /// IMU Jacobian computation.
+    IJac,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::DMatInv => "DMatInv",
+            NodeKind::MatMul => "MatMul",
+            NodeKind::DMatMul => "DMatMul",
+            NodeKind::MatSub => "MatSub",
+            NodeKind::MatTp => "MatTp",
+            NodeKind::CD => "CD",
+            NodeKind::FBSub => "FBSub",
+            NodeKind::VJac => "VJac",
+            NodeKind::IJac => "IJac",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operand dimensions of a node.
+///
+/// Interpretation per kind:
+/// * `MatMul`: `(m × k) · (k × n)` → `rows = m`, `inner = k`, `cols = n`.
+/// * `DMatMul`: diagonal of size `rows` times a `rows × cols` matrix.
+/// * `DMatInv`: diagonal of size `rows`.
+/// * `MatSub`/`MatTp`: a `rows × cols` operand.
+/// * `CD`/`FBSub`: a square system of size `rows`.
+/// * `VJac`: `rows` = number of observations (2×6 blocks each).
+/// * `IJac`: `rows` = number of IMU constraints (15×30 blocks each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dims {
+    /// Primary dimension (see kind-specific interpretation).
+    pub rows: usize,
+    /// Secondary dimension.
+    pub cols: usize,
+    /// Inner (contraction) dimension for products.
+    pub inner: usize,
+}
+
+impl Dims {
+    /// Dimensions of a square operand.
+    pub fn square(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            inner: 0,
+        }
+    }
+
+    /// Dimensions of a rectangular operand.
+    pub fn rect(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            inner: 0,
+        }
+    }
+
+    /// Dimensions of a matrix product `(m × k) · (k × n)`.
+    pub fn product(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            rows: m,
+            cols: n,
+            inner: k,
+        }
+    }
+}
+
+/// Scalar-operation cost of a node — the currency of every cost model in
+/// the framework (1 unit ≈ one multiply-accumulate).
+pub fn node_cost(kind: NodeKind, dims: Dims) -> u64 {
+    let r = dims.rows as u64;
+    let c = dims.cols as u64;
+    let k = dims.inner as u64;
+    match kind {
+        NodeKind::DMatInv => r,
+        NodeKind::MatMul => r * k * c,
+        NodeKind::DMatMul => r * c,
+        NodeKind::MatSub => r * c,
+        // A transpose moves data without arithmetic; cost one word-move per
+        // element so the scheduler still accounts for its occupancy.
+        NodeKind::MatTp => r * c,
+        // n³/3 multiply-accumulates plus n square roots (counted once each).
+        NodeKind::CD => r * r * r / 3 + r,
+        // Forward plus backward pass: 2 · n²/2.
+        NodeKind::FBSub => r * r,
+        // One visual Jacobian: ~60 scalar ops per 2×6 observation block
+        // (projection derivative chain), see `archytas-slam::factors`.
+        NodeKind::VJac => r * 60,
+        // One IMU Jacobian: ~700 scalar ops per 15×30 constraint pair.
+        NodeKind::IJac => r * 700,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_cost_is_cubic() {
+        assert_eq!(node_cost(NodeKind::MatMul, Dims::product(10, 20, 30)), 6000);
+    }
+
+    #[test]
+    fn diagonal_ops_are_cheap() {
+        let n = 100;
+        assert_eq!(node_cost(NodeKind::DMatInv, Dims::square(n)), n as u64);
+        assert_eq!(
+            node_cost(NodeKind::DMatMul, Dims::rect(n, 50)),
+            (n * 50) as u64
+        );
+        // Diagonal inversion is n× cheaper than a same-size dense product by
+        // at least a quadratic factor — the heart of the D-type Schur win.
+        let dense = node_cost(NodeKind::MatMul, Dims::product(n, n, n));
+        let diag = node_cost(NodeKind::DMatInv, Dims::square(n));
+        assert!(dense / diag >= (n * n) as u64 / 2);
+    }
+
+    #[test]
+    fn cholesky_cost_cubic_over_three() {
+        let c = node_cost(NodeKind::CD, Dims::square(30));
+        assert_eq!(c, 27000 / 3 + 30);
+    }
+
+    #[test]
+    fn display_names_match_paper_table() {
+        assert_eq!(NodeKind::DMatInv.to_string(), "DMatInv");
+        assert_eq!(NodeKind::CD.to_string(), "CD");
+        assert_eq!(NodeKind::FBSub.to_string(), "FBSub");
+        assert_eq!(NodeKind::VJac.to_string(), "VJac");
+    }
+
+    #[test]
+    fn dims_constructors() {
+        assert_eq!(Dims::square(5), Dims { rows: 5, cols: 5, inner: 0 });
+        assert_eq!(Dims::product(2, 3, 4).inner, 3);
+    }
+}

@@ -1,0 +1,233 @@
+//! Static scheduling of the M-DFG onto hardware template blocks
+//! (paper Sec. 4.1).
+//!
+//! Two techniques keep utilization high: *sharing* — the NLS solver and
+//! marginalization are inherently sequential, so identical subgraphs (both
+//! D-type Schur computations, the Cholesky units) map to the same hardware
+//! block — and *pipelining* — producer/consumer block pairs that stream
+//! independent feature points (Jacobian → D-type Schur) are marked as
+//! pipelined so the latency model can overlap them (the `max` in Eq. 14).
+
+use crate::builder::BuiltMdfg;
+use crate::graph::NodeId;
+use crate::node::NodeKind;
+use std::collections::HashMap;
+
+/// The hardware template's block classes (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwBlockClass {
+    /// Visual Jacobian unit (Keyframe/Feature/Observation blocks).
+    VisualJacobian,
+    /// IMU Jacobian unit.
+    ImuJacobian,
+    /// Logic preparing `A` and `b` / forming `H` and `b`.
+    FormInformation,
+    /// D-type Schur complement unit (`nd` MACs).
+    DTypeSchur,
+    /// M-type Schur complement unit (`nm` MACs).
+    MTypeSchur,
+    /// Cholesky decomposition unit (1 Evaluate + `s` Update lanes).
+    Cholesky,
+    /// Back/forward substitution logic (fixed function).
+    BackSubstitution,
+}
+
+/// Which phase of the per-window algorithm a node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// The iterative NLS solve.
+    Nls,
+    /// Marginalization.
+    Marginalization,
+}
+
+/// One node-to-block assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Phase the node belongs to.
+    pub phase: Phase,
+    /// The node.
+    pub node: NodeId,
+    /// Hardware block executing it.
+    pub block: HwBlockClass,
+}
+
+/// A complete static schedule for one window shape.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Every node's assignment.
+    pub assignments: Vec<Assignment>,
+    /// Block classes used by *both* phases — hardware shared across the two
+    /// sequential phases (Sec. 4.1, first technique).
+    pub shared_blocks: Vec<HwBlockClass>,
+    /// Producer→consumer block pairs pipelined across feature points
+    /// (Sec. 4.1, second technique).
+    pub pipelined_pairs: Vec<(HwBlockClass, HwBlockClass)>,
+}
+
+impl Schedule {
+    /// Assignments belonging to one phase.
+    pub fn phase_assignments(&self, phase: Phase) -> impl Iterator<Item = &Assignment> {
+        self.assignments.iter().filter(move |a| a.phase == phase)
+    }
+
+    /// Distinct block classes the schedule uses.
+    pub fn blocks_used(&self) -> Vec<HwBlockClass> {
+        let mut set: Vec<HwBlockClass> = Vec::new();
+        for a in &self.assignments {
+            if !set.contains(&a.block) {
+                set.push(a.block);
+            }
+        }
+        set
+    }
+}
+
+/// Maps a node to its hardware block class from its kind and label.
+fn classify(kind: NodeKind, label: &str) -> HwBlockClass {
+    match kind {
+        NodeKind::VJac => HwBlockClass::VisualJacobian,
+        NodeKind::IJac => HwBlockClass::ImuJacobian,
+        NodeKind::CD => HwBlockClass::Cholesky,
+        NodeKind::FBSub => HwBlockClass::BackSubstitution,
+        _ => {
+            if label.contains("dschur") {
+                HwBlockClass::DTypeSchur
+            } else if label.contains("mschur") {
+                // The paper maps S′ (a D-type Schur inside the M-type
+                // computation) onto the *same* D-type hardware (Sec. 3.2.3);
+                // the remaining M-type assembly keeps its own unit.
+                if label.contains("Sprime") || label.contains("M11inv") || label.contains("M21M11inv")
+                {
+                    HwBlockClass::DTypeSchur
+                } else {
+                    HwBlockClass::MTypeSchur
+                }
+            } else if label.contains("prior") {
+                HwBlockClass::MTypeSchur
+            } else if label.contains("back") {
+                HwBlockClass::BackSubstitution
+            } else {
+                HwBlockClass::FormInformation
+            }
+        }
+    }
+}
+
+/// Builds the static schedule of a built M-DFG.
+pub fn schedule(built: &BuiltMdfg) -> Schedule {
+    let mut assignments = Vec::new();
+    for (id, node) in built.nls.iter() {
+        assignments.push(Assignment {
+            phase: Phase::Nls,
+            node: id,
+            block: classify(node.kind, &node.label),
+        });
+    }
+    for (id, node) in built.marginalization.iter() {
+        assignments.push(Assignment {
+            phase: Phase::Marginalization,
+            node: id,
+            block: classify(node.kind, &node.label),
+        });
+    }
+
+    // Shared blocks: classes appearing in both phases.
+    let mut per_phase: HashMap<HwBlockClass, (bool, bool)> = HashMap::new();
+    for a in &assignments {
+        let e = per_phase.entry(a.block).or_insert((false, false));
+        match a.phase {
+            Phase::Nls => e.0 = true,
+            Phase::Marginalization => e.1 = true,
+        }
+    }
+    let shared_blocks: Vec<HwBlockClass> = per_phase
+        .iter()
+        .filter(|(_, (n, m))| *n && *m)
+        .map(|(b, _)| *b)
+        .collect();
+
+    Schedule {
+        assignments,
+        shared_blocks,
+        pipelined_pairs: vec![(HwBlockClass::VisualJacobian, HwBlockClass::DTypeSchur)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_mdfg, ProblemShape};
+
+    fn built_schedule() -> Schedule {
+        schedule(&build_mdfg(&ProblemShape::typical()))
+    }
+
+    #[test]
+    fn every_node_is_assigned() {
+        let built = build_mdfg(&ProblemShape::typical());
+        let s = schedule(&built);
+        assert_eq!(
+            s.assignments.len(),
+            built.nls.len() + built.marginalization.len()
+        );
+    }
+
+    #[test]
+    fn dschur_shared_between_phases() {
+        let s = built_schedule();
+        assert!(
+            s.shared_blocks.contains(&HwBlockClass::DTypeSchur),
+            "the D-type Schur unit must serve both phases: {:?}",
+            s.shared_blocks
+        );
+        assert!(s.shared_blocks.contains(&HwBlockClass::Cholesky));
+        assert!(s.shared_blocks.contains(&HwBlockClass::VisualJacobian));
+    }
+
+    #[test]
+    fn sprime_lands_on_dtype_unit() {
+        let built = build_mdfg(&ProblemShape::typical());
+        let s = schedule(&built);
+        let sprime = s
+            .phase_assignments(Phase::Marginalization)
+            .find(|a| built.marginalization.node(a.node).label.contains("Sprime"))
+            .expect("Sprime node exists");
+        assert_eq!(sprime.block, HwBlockClass::DTypeSchur);
+    }
+
+    #[test]
+    fn prior_assembly_uses_mtype_unit() {
+        let built = build_mdfg(&ProblemShape::typical());
+        let s = schedule(&built);
+        let hp = s
+            .phase_assignments(Phase::Marginalization)
+            .find(|a| built.marginalization.node(a.node).label.contains("Hp_mul"))
+            .expect("Hp node exists");
+        assert_eq!(hp.block, HwBlockClass::MTypeSchur);
+    }
+
+    #[test]
+    fn jacobian_schur_pipelined() {
+        let s = built_schedule();
+        assert!(s
+            .pipelined_pairs
+            .contains(&(HwBlockClass::VisualJacobian, HwBlockClass::DTypeSchur)));
+    }
+
+    #[test]
+    fn blocks_used_covers_template() {
+        let s = built_schedule();
+        let used = s.blocks_used();
+        for b in [
+            HwBlockClass::VisualJacobian,
+            HwBlockClass::ImuJacobian,
+            HwBlockClass::DTypeSchur,
+            HwBlockClass::MTypeSchur,
+            HwBlockClass::Cholesky,
+            HwBlockClass::BackSubstitution,
+        ] {
+            assert!(used.contains(&b), "{b:?} missing from schedule");
+        }
+    }
+}

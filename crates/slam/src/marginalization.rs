@@ -1,0 +1,365 @@
+//! Marginalization: turning the oldest keyframe and its landmarks into a
+//! prior for the next window (paper Sec. 3.1, "Marginalization").
+//!
+//! The procedure follows the paper's three steps: (1) linearize all factors
+//! touching the marginalized states, (2) form the information matrix
+//! `H = JᵀJ` and vector `b = Jᵀe`, (3) block `H` and apply the Schur
+//! complement (the **M-type Schur**: the marginalized block mixes landmark
+//! and pose states, so — unlike the NLS solve — its leading sub-block is only
+//! *partially* diagonal; the M-DFG builder picks the blocking with the
+//! diagonal `M₁₁`, which is exactly the landmark sub-block here).
+
+use crate::factors::{evaluate_imu, evaluate_visual, FactorWeights};
+use crate::prior::Prior;
+use crate::window::{SlidingWindow, STATE_DIM};
+use archytas_math::{dense_schur_complement, BlockSpec, Blocked2x2, Cholesky, DMat, DVec};
+
+/// Outcome of marginalizing the oldest keyframe out of a window.
+#[derive(Debug, Clone)]
+pub struct MarginalizationResult {
+    /// The shrunk window (oldest keyframe and its landmarks removed, indices
+    /// re-based).
+    pub window: SlidingWindow,
+    /// The new prior over the remaining keyframes.
+    pub prior: Prior,
+    /// Number of landmarks marginalized (`am` in the paper's Eq. 10/15).
+    pub marginalized_landmarks: usize,
+}
+
+/// Marginalizes keyframe 0 (and every landmark anchored there) out of
+/// `window`, producing the shrunk window and the prior `(Hp, rp)` for the
+/// next optimization.
+///
+/// `prior` is the previous window's prior, which itself touches the
+/// marginalized keyframe and is therefore folded into the new one.
+///
+/// # Panics
+///
+/// Panics when the window has fewer than two keyframes.
+pub fn marginalize_oldest(
+    window: &SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+) -> MarginalizationResult {
+    let b = window.num_keyframes();
+    assert!(b >= 2, "marginalize_oldest: need at least two keyframes");
+
+    // Landmarks anchored at keyframe 0 are marginalized with it.
+    let marg_landmarks: Vec<usize> = (0..window.landmarks.len())
+        .filter(|&l| window.landmarks[l].anchor == 0)
+        .collect();
+    let am = marg_landmarks.len();
+    let lm_slot: std::collections::HashMap<usize, usize> = marg_landmarks
+        .iter()
+        .enumerate()
+        .map(|(slot, &l)| (l, slot))
+        .collect();
+
+    // Local ordering: [marginalized landmarks (am) | kf0 (15) | kept keyframes ((b−1)·15)].
+    let marg_dim = am + STATE_DIM;
+    let dim = marg_dim + (b - 1) * STATE_DIM;
+    let kf_off = |k: usize| -> usize {
+        if k == 0 {
+            am
+        } else {
+            marg_dim + (k - 1) * STATE_DIM
+        }
+    };
+
+    let mut h = DMat::zeros(dim, dim);
+    let mut g = DVec::zeros(dim);
+
+    // --- visual factors of marginalized landmarks ---
+    let wv2 = weights.visual * weights.visual;
+    for obs in &window.observations {
+        let Some(&slot) = lm_slot.get(&obs.landmark) else {
+            continue;
+        };
+        let lm = &window.landmarks[obs.landmark];
+        if obs.keyframe == lm.anchor {
+            continue;
+        }
+        let Some(ev) = evaluate_visual(
+            &window.keyframes[lm.anchor].pose,
+            &window.keyframes[obs.keyframe].pose,
+            &lm.bearing,
+            lm.inv_depth,
+            obs.uv,
+        ) else {
+            continue;
+        };
+        let col_rho = slot;
+        let col_anchor = kf_off(0);
+        let col_obs = kf_off(obs.keyframe);
+        for r in 0..2 {
+            let e = ev.residual[r];
+            let mut cols = vec![col_rho];
+            let mut vals = vec![ev.j_rho[r]];
+            for c in 0..6 {
+                cols.push(col_anchor + c);
+                vals.push(ev.j_anchor[r][c]);
+                cols.push(col_obs + c);
+                vals.push(ev.j_obs[r][c]);
+            }
+            accumulate(&mut h, &mut g, &cols, &vals, e, wv2);
+        }
+    }
+
+    // --- the IMU factor attached to keyframe 0 ---
+    for cons in window.imu.iter().filter(|c| c.first == 0) {
+        let ev = evaluate_imu(
+            &window.keyframes[0],
+            &window.keyframes[1],
+            &cons.preintegration,
+        );
+        let off_i = kf_off(0);
+        let off_j = kf_off(1);
+        for r in 0..15 {
+            let w = weights.imu_row(r);
+            let e = ev.residual[r];
+            let mut cols = Vec::with_capacity(30);
+            let mut vals = Vec::with_capacity(30);
+            for c in 0..15 {
+                cols.push(off_i + c);
+                vals.push(ev.j_i[r][c]);
+                cols.push(off_j + c);
+                vals.push(ev.j_j[r][c]);
+            }
+            accumulate(&mut h, &mut g, &cols, &vals, e, w * w);
+        }
+    }
+
+    // --- previous prior (touches kf0 and the kept keyframes) ---
+    if let Some(p) = prior {
+        // The prior's own ordering is [kf0, kf1, ...]; shift past the
+        // landmark slots of the local marginalization ordering.
+        let hp = p.information();
+        let jt_r = p.gradient(window);
+        let pdim = p.dim();
+        for i in 0..pdim {
+            let gi = map_prior_index(i, am);
+            g[gi] -= jt_r[i];
+            for j in 0..pdim {
+                let gj = map_prior_index(j, am);
+                h.add_at(gi, gj, hp.get(i, j));
+            }
+        }
+    } else {
+        // Gauge prior on kf0, matching `build_normal_equations`.
+        let off = kf_off(0);
+        for c in 0..STATE_DIM {
+            let w2 = if c < 6 { 1e8 } else { 1e2 };
+            h.add_at(off + c, off + c, w2);
+        }
+    }
+
+    // --- Schur complement: keep the trailing (b−1)·15 block ---
+    let spec = BlockSpec::new(marg_dim, dim).expect("valid split");
+    let blocked = Blocked2x2::partition(&h, spec).expect("partition");
+    let (bx, by) = archytas_math::split_vector(&g, spec).expect("split");
+    // Regularize the marginalized block before inversion (it can be gauge
+    // deficient when landmarks have few observations).
+    let m = blocked.u.add_diagonal(1e-9);
+    let hp = dense_schur_complement(&m, &blocked.w, &blocked.v)
+        .expect("marginal information stays factorizable");
+    let m_inv = Cholesky::factor(&m).expect("regularized M is SPD").inverse();
+    let rp = &by - &blocked.w.mat_vec(&m_inv.mat_vec(&bx));
+
+    let lin_states = window.keyframes[1..].to_vec();
+    let new_prior = Prior::from_information(&hp, &rp, lin_states, 1e-9);
+
+    // --- shrink the window ---
+    let window_out = shrink_window(window, &marg_landmarks);
+
+    MarginalizationResult {
+        window: window_out,
+        prior: new_prior,
+        marginalized_landmarks: am,
+    }
+}
+
+/// Maps an index of the prior's ordering (`[kf0 | kf1..]`) into the local
+/// marginalization ordering (`[lms | kf0 | kf1..]`).
+fn map_prior_index(i: usize, am: usize) -> usize {
+    am + i
+}
+
+fn accumulate(h: &mut DMat, g: &mut DVec, cols: &[usize], vals: &[f64], e: f64, w2: f64) {
+    for (k, (&ci, &vi)) in cols.iter().zip(vals).enumerate() {
+        if vi == 0.0 {
+            continue;
+        }
+        g[ci] -= w2 * vi * e;
+        for (&cj, &vj) in cols[k..].iter().zip(&vals[k..]) {
+            if vj == 0.0 {
+                continue;
+            }
+            let contrib = w2 * vi * vj;
+            h.add_at(ci, cj, contrib);
+            if ci != cj {
+                h.add_at(cj, ci, contrib);
+            }
+        }
+    }
+}
+
+/// Removes keyframe 0 and the given landmarks, re-basing all indices.
+fn shrink_window(window: &SlidingWindow, marg_landmarks: &[usize]) -> SlidingWindow {
+    let is_marged: std::collections::HashSet<usize> = marg_landmarks.iter().copied().collect();
+    let mut new_index = vec![usize::MAX; window.landmarks.len()];
+    let mut landmarks = Vec::new();
+    for (l, lm) in window.landmarks.iter().enumerate() {
+        if is_marged.contains(&l) {
+            continue;
+        }
+        let mut lm = *lm;
+        lm.anchor -= 1;
+        new_index[l] = landmarks.len();
+        landmarks.push(lm);
+    }
+    let observations = window
+        .observations
+        .iter()
+        .filter(|o| !is_marged.contains(&o.landmark) && o.keyframe != 0)
+        .map(|o| {
+            let mut o = *o;
+            o.landmark = new_index[o.landmark];
+            o.keyframe -= 1;
+            o
+        })
+        .collect();
+    let imu = window
+        .imu
+        .iter()
+        .filter(|c| c.first != 0)
+        .map(|c| {
+            let mut c = c.clone();
+            c.first -= 1;
+            c
+        })
+        .collect();
+    SlidingWindow {
+        keyframes: window.keyframes[1..].to_vec(),
+        landmarks,
+        observations,
+        imu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Pose, Quat, Vec3};
+    use crate::window::{ImuConstraint, KeyframeState, Landmark, Observation};
+    use crate::imu::{ImuSample, Preintegration};
+
+    /// Three keyframes moving along +x, landmarks anchored at kf0 and kf1.
+    fn build_window() -> SlidingWindow {
+        let mut w = SlidingWindow::new();
+        for i in 0..3 {
+            w.keyframes.push(KeyframeState::at_pose(
+                Pose::new(Quat::IDENTITY, Vec3::new(i as f64 * 0.4, 0.0, 0.0)),
+                i as f64 * 0.1,
+            ));
+        }
+        // Two landmarks anchored at kf0, one at kf1; all observed downstream.
+        let specs = [(0usize, 0.1, 0.05, 5.0), (0, -0.2, 0.1, 7.0), (1, 0.15, -0.1, 6.0)];
+        for (idx, (anchor, x, y, d)) in specs.iter().enumerate() {
+            let bearing = Vec3::new(*x, *y, 1.0);
+            let p_w = w.keyframes[*anchor].pose.transform(&(bearing * *d));
+            w.landmarks.push(Landmark {
+                id: idx as u64,
+                anchor: *anchor,
+                bearing,
+                inv_depth: 1.0 / d,
+            });
+            for kf in (*anchor + 1)..3 {
+                let p_c = w.keyframes[kf].pose.inverse_transform(&p_w);
+                w.observations.push(Observation {
+                    landmark: idx,
+                    keyframe: kf,
+                    uv: [p_c.x() / p_c.z(), p_c.y() / p_c.z()],
+                });
+            }
+        }
+        // IMU constraints consistent with uniform motion (v = 4 m/s along x).
+        for i in 0..w.keyframes.len() {
+            w.keyframes[i].velocity = Vec3::new(4.0, 0.0, 0.0);
+        }
+        for i in 0..2 {
+            let samples: Vec<ImuSample> = (0..20)
+                .map(|_| ImuSample {
+                    gyro: Vec3::ZERO,
+                    accel: -crate::imu::GRAVITY, // at rest rotationally, constant velocity
+                    dt: 0.005,
+                })
+                .collect();
+            w.imu.push(ImuConstraint {
+                first: i,
+                preintegration: Preintegration::integrate(&samples, Vec3::ZERO, Vec3::ZERO),
+            });
+        }
+        w
+    }
+
+    #[test]
+    fn window_shrinks_consistently() {
+        let w = build_window();
+        let result = marginalize_oldest(&w, &FactorWeights::default(), None);
+        assert_eq!(result.marginalized_landmarks, 2);
+        let nw = &result.window;
+        assert_eq!(nw.num_keyframes(), 2);
+        assert_eq!(nw.num_landmarks(), 1);
+        assert!(nw.validate(), "shrunk window has consistent indices");
+        // The surviving landmark was anchored at kf1, now kf0.
+        assert_eq!(nw.landmarks[0].anchor, 0);
+        assert!(nw.imu.iter().all(|c| c.first == 0));
+    }
+
+    #[test]
+    fn prior_covers_remaining_keyframes() {
+        let w = build_window();
+        let result = marginalize_oldest(&w, &FactorWeights::default(), None);
+        assert_eq!(result.prior.num_keyframes(), 2);
+        assert_eq!(result.prior.dim(), 30);
+    }
+
+    #[test]
+    fn prior_information_is_psd_and_nontrivial() {
+        let w = build_window();
+        let result = marginalize_oldest(&w, &FactorWeights::default(), None);
+        let hp = result.prior.information();
+        assert!(hp.is_symmetric(1e-6));
+        // PSD check via Cholesky of Hp + εI.
+        assert!(hp.add_diagonal(1e-6).cholesky().is_ok());
+        assert!(hp.max_abs() > 1.0, "prior carries real information");
+    }
+
+    /// Marginalization must preserve the minimizer: for a window already at
+    /// the ground truth (zero residuals), the prior's gradient at the
+    /// remaining states must be (numerically) zero.
+    #[test]
+    fn prior_gradient_zero_at_consistent_states() {
+        let w = build_window();
+        let result = marginalize_oldest(&w, &FactorWeights::default(), None);
+        let g = result.prior.gradient(&result.window);
+        assert!(
+            g.max_abs() < 1e-3,
+            "gradient at the optimum should vanish, got {}",
+            g.max_abs()
+        );
+    }
+
+    #[test]
+    fn chained_marginalization_folds_prior() {
+        let w = build_window();
+        let weights = FactorWeights::default();
+        let r1 = marginalize_oldest(&w, &weights, None);
+        // Second marginalization consumes the first prior.
+        let r2 = marginalize_oldest(&r1.window, &weights, Some(&r1.prior));
+        assert_eq!(r2.window.num_keyframes(), 1);
+        assert_eq!(r2.prior.num_keyframes(), 1);
+        let hp = r2.prior.information();
+        assert!(hp.max_abs() > 1.0);
+    }
+}

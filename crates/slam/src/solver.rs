@@ -1,0 +1,332 @@
+//! Levenberg–Marquardt nonlinear least-squares solver (paper Sec. 3.1, the
+//! "NLS Solver" phase).
+//!
+//! Each iteration performs the paper's three steps: linearize (Jacobians),
+//! prepare `A·δp = b`, and solve the linear system — the solve going through
+//! the D-type Schur elimination of `archytas_math::SchurSystem`, exactly the
+//! structure the generated hardware implements.
+
+use crate::factors::FactorWeights;
+use crate::prior::Prior;
+use crate::problem::{apply_increment, build_normal_equations, evaluate_cost};
+use crate::window::SlidingWindow;
+use archytas_math::{BlockSpec, Cholesky, DVec, SchurSystem};
+
+/// Configuration of the LM solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmConfig {
+    /// Maximum number of outer iterations (the paper's `Iter` knob; the
+    /// run-time system tunes this between 1 and 6).
+    pub max_iterations: usize,
+    /// Initial damping factor λ.
+    pub initial_lambda: f64,
+    /// Multiplier applied to λ after a rejected step.
+    pub lambda_up: f64,
+    /// Multiplier applied to λ after an accepted step.
+    pub lambda_down: f64,
+    /// Relative cost-decrease threshold for convergence.
+    pub cost_tolerance: f64,
+    /// Maximum consecutive rejected steps before giving up an iteration.
+    pub max_retries: usize,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 6,
+            initial_lambda: 1e-4,
+            lambda_up: 10.0,
+            lambda_down: 0.5,
+            cost_tolerance: 1e-6,
+            max_retries: 5,
+        }
+    }
+}
+
+impl LmConfig {
+    /// Config with a fixed iteration budget — the knob the Archytas run-time
+    /// system turns (Sec. 6.2).
+    pub fn with_iterations(iterations: usize) -> Self {
+        Self {
+            max_iterations: iterations,
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of one sliding-window optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Iterations actually executed (≤ `max_iterations`).
+    pub iterations: usize,
+    /// Cost before the first iteration.
+    pub initial_cost: f64,
+    /// Cost after the last accepted step.
+    pub final_cost: f64,
+    /// `true` when the relative cost decrease fell below tolerance.
+    pub converged: bool,
+    /// Final damping factor.
+    pub lambda: f64,
+    /// Norm of the last accepted increment.
+    pub last_step_norm: f64,
+    /// Norms of every accepted increment, in iteration order (empty when no
+    /// step was accepted). Run-time policies use the settle point of this
+    /// trajectory to learn iteration requirements.
+    pub step_norms: Vec<f64>,
+}
+
+/// A pluggable linear solver for the damped normal equations.
+///
+/// Arguments are `(A_damped, b, num_landmarks)`; `None` signals a
+/// factorization failure (the LM loop responds by raising λ). The default is
+/// [`schur_linear_solver`]; the hardware functional model substitutes its
+/// single-precision datapath here.
+pub type LinearSolver<'a> = &'a dyn Fn(&archytas_math::DMat, &DVec, usize) -> Option<DVec>;
+
+/// Solves the sliding-window MAP problem in place using the default
+/// double-precision D-type Schur linear solver.
+///
+/// Returns a [`SolveReport`]; the window's keyframes and landmarks are left
+/// at the optimized estimate.
+pub fn solve(
+    window: &mut SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    config: &LmConfig,
+) -> SolveReport {
+    solve_with(window, weights, prior, config, &schur_linear_solver)
+}
+
+/// Solves the sliding-window MAP problem with a caller-provided linear
+/// solver (see [`LinearSolver`]).
+pub fn solve_with(
+    window: &mut SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    config: &LmConfig,
+    linear_solver: LinearSolver<'_>,
+) -> SolveReport {
+    let mut lambda = config.initial_lambda;
+    let mut report = SolveReport {
+        iterations: 0,
+        initial_cost: f64::NAN,
+        final_cost: f64::NAN,
+        converged: false,
+        lambda,
+        last_step_norm: 0.0,
+        step_norms: Vec::new(),
+    };
+
+    for _ in 0..config.max_iterations {
+        let ne = build_normal_equations(window, weights, prior);
+        if report.initial_cost.is_nan() {
+            report.initial_cost = ne.cost;
+        }
+        report.final_cost = ne.cost;
+
+        let mut accepted = false;
+        for _ in 0..=config.max_retries {
+            let damped = damp(&ne.a, lambda);
+            let Some(delta) = linear_solver(&damped, &ne.b, ne.num_landmarks) else {
+                lambda *= config.lambda_up;
+                continue;
+            };
+            if !delta.all_finite() {
+                lambda *= config.lambda_up;
+                continue;
+            }
+            let mut candidate = window.clone();
+            apply_increment(&mut candidate, &delta);
+            let new_cost = evaluate_cost(&candidate, weights, prior);
+            if new_cost.is_finite() && new_cost < ne.cost {
+                *window = candidate;
+                lambda = (lambda * config.lambda_down).max(1e-12);
+                report.last_step_norm = delta.norm();
+                report.step_norms.push(report.last_step_norm);
+                report.final_cost = new_cost;
+                accepted = true;
+                break;
+            }
+            lambda *= config.lambda_up;
+        }
+        report.iterations += 1;
+        report.lambda = lambda;
+        if !accepted {
+            break;
+        }
+        let decrease = (report.initial_cost - report.final_cost).abs();
+        let rel = decrease / report.initial_cost.max(1e-30);
+        if report.final_cost <= config.cost_tolerance
+            || (report.iterations > 1 && rel < config.cost_tolerance)
+        {
+            report.converged = true;
+            break;
+        }
+    }
+    if report.initial_cost.is_nan() {
+        report.initial_cost = 0.0;
+        report.final_cost = 0.0;
+    }
+    report
+}
+
+/// Marquardt damping: `A + λ·diag(A)` with a floor on the diagonal.
+fn damp(a: &archytas_math::DMat, lambda: f64) -> archytas_math::DMat {
+    let mut out = a.clone();
+    for i in 0..a.rows() {
+        let d = a.get(i, i).max(1e-9);
+        out.add_at(i, i, lambda * d);
+    }
+    out
+}
+
+/// The default linear solver: D-type Schur elimination when landmarks are
+/// present, dense Cholesky otherwise. Returns `None` when the system is not
+/// positive definite at this damping level.
+pub fn schur_linear_solver(a: &archytas_math::DMat, b: &DVec, num_landmarks: usize) -> Option<DVec> {
+    if num_landmarks == 0 {
+        return Cholesky::factor(a).ok().map(|ch| ch.solve(b));
+    }
+    let spec = BlockSpec::new(num_landmarks, a.rows()).ok()?;
+    let sys = SchurSystem::new(a, b, spec).ok()?;
+    sys.solve().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Pose, Quat, Vec3};
+    use crate::window::{KeyframeState, Landmark, Observation};
+
+    /// A bundle-adjustment-only window with perturbable ground truth.
+    fn make_window(num_kf: usize, num_lm: usize) -> (SlidingWindow, Vec<Pose>) {
+        let mut gt_poses = Vec::new();
+        let mut w = SlidingWindow::new();
+        for i in 0..num_kf {
+            let pose = Pose::new(
+                Quat::exp(&Vec3::new(0.0, 0.01 * i as f64, 0.0)),
+                Vec3::new(0.3 * i as f64, 0.02 * i as f64, 0.0),
+            );
+            gt_poses.push(pose);
+            w.keyframes.push(KeyframeState::at_pose(pose, i as f64 * 0.1));
+        }
+        for l in 0..num_lm {
+            let fx = (l as f64 / num_lm as f64 - 0.5) * 0.8;
+            let fy = ((l * 7 % num_lm) as f64 / num_lm as f64 - 0.5) * 0.5;
+            let depth = 4.0 + (l % 5) as f64;
+            let bearing = Vec3::new(fx, fy, 1.0);
+            let p_w = gt_poses[0].transform(&(bearing * depth));
+            w.landmarks.push(Landmark {
+                id: l as u64,
+                anchor: 0,
+                bearing,
+                inv_depth: 1.0 / depth,
+            });
+            for kf in 1..num_kf {
+                let p_c = gt_poses[kf].inverse_transform(&p_w);
+                if p_c.z() > 0.1 {
+                    w.observations.push(Observation {
+                        landmark: l,
+                        keyframe: kf,
+                        uv: [p_c.x() / p_c.z(), p_c.y() / p_c.z()],
+                    });
+                }
+            }
+        }
+        (w, gt_poses)
+    }
+
+    #[test]
+    fn converges_from_perturbed_initialization() {
+        let (mut w, gt) = make_window(4, 30);
+        // Perturb everything except the gauge-fixed first keyframe.
+        for i in 1..w.keyframes.len() {
+            w.keyframes[i] = w.keyframes[i].boxplus(&[
+                0.01, -0.01, 0.005, 0.05, -0.03, 0.02, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ]);
+        }
+        for lm in &mut w.landmarks {
+            lm.inv_depth *= 1.15;
+        }
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::default(),
+        );
+        assert!(report.final_cost < report.initial_cost * 1e-4,
+            "cost {} -> {}", report.initial_cost, report.final_cost);
+        // Monocular, visual-only BA recovers the trajectory only up to a
+        // global scale (the IMU would pin it); compare after normalizing by
+        // the scale implied by the second keyframe.
+        let scale = w.keyframes[1].pose.trans.norm() / gt[1].trans.norm();
+        assert!(scale > 0.5 && scale < 2.0, "degenerate scale {scale}");
+        for (i, gt_pose) in gt.iter().enumerate() {
+            let est_scaled = w.keyframes[i].pose.trans * (1.0 / scale);
+            let err = (est_scaled - gt_pose.trans).norm();
+            assert!(err < 1e-3, "kf {i} error {err} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_a_noop() {
+        let (mut w, _) = make_window(3, 10);
+        let before = w.clone();
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::with_iterations(0),
+        );
+        assert_eq!(report.iterations, 0);
+        assert_eq!(w.keyframes.len(), before.keyframes.len());
+    }
+
+    #[test]
+    fn already_converged_stops_early() {
+        let (mut w, _) = make_window(3, 15);
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::default(),
+        );
+        // Ground-truth initialization: cost is ~0, should stop after the
+        // first check rather than burning all 6 iterations.
+        assert!(report.iterations <= 2, "iterations {}", report.iterations);
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt() {
+        let (w0, _) = make_window(4, 25);
+        let perturb = |w: &SlidingWindow| {
+            let mut w = w.clone();
+            for i in 1..w.keyframes.len() {
+                let mut d = [0.0; 15];
+                d[3] = 0.08;
+                d[1] = 0.02;
+                w.keyframes[i] = w.keyframes[i].boxplus(&d);
+            }
+            w
+        };
+        let weights = FactorWeights::default();
+        let mut w1 = perturb(&w0);
+        let r1 = solve(&mut w1, &weights, None, &LmConfig::with_iterations(1));
+        let mut w6 = perturb(&w0);
+        let r6 = solve(&mut w6, &weights, None, &LmConfig::with_iterations(6));
+        assert!(r6.final_cost <= r1.final_cost * 1.0001);
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (mut w, _) = make_window(3, 12);
+        for lm in &mut w.landmarks {
+            lm.inv_depth *= 1.3;
+        }
+        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        assert!(report.iterations >= 1);
+        assert!(report.final_cost <= report.initial_cost);
+        assert!(report.lambda > 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Self-driving scenario: a KITTI-like drive processed end-to-end on the
+//! High-Perf accelerator (with the dynamic run-time optimizer) and on the
+//! Intel CPU baseline, comparing latency, energy and accuracy.
+//!
+//! Run: `cargo run --release --example selfdriving_kitti`
+
+use archytas_baselines::CpuPlatform;
+use archytas_core::{run_sequence, Executor, IterPolicy, RuntimeSystem, ITER_CAP};
+use archytas_dataset::kitti_sequences;
+use archytas_hw::{AcceleratorModel, FpgaPlatform, HIGH_PERF};
+use archytas_mdfg::ProblemShape;
+
+fn main() {
+    let data = kitti_sequences()[0].truncated(20.0).build();
+    println!(
+        "sequence {}: {} frames, camera {}x{}",
+        data.spec.name,
+        data.frames.len(),
+        data.camera.width,
+        data.camera.height
+    );
+
+    // Accelerator with the dynamic optimizer (Sec. 6).
+    let platform = FpgaPlatform::zc706();
+    let mut accel = Executor::Accelerator {
+        model: AcceleratorModel::new(HIGH_PERF, platform.clone()),
+        runtime: Some(RuntimeSystem::new(
+            HIGH_PERF,
+            &ProblemShape::typical(),
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        )),
+    };
+    let accel_run = run_sequence(&data, &mut accel);
+
+    // Software baseline on the 12-core Intel machine.
+    let mut cpu = Executor::Cpu {
+        platform: CpuPlatform::intel_comet_lake(),
+        iterations: ITER_CAP,
+    };
+    let cpu_run = run_sequence(&data, &mut cpu);
+
+    println!("\n{:<26}{:>14}{:>14}", "", "accelerator", "Intel CPU");
+    println!(
+        "{:<26}{:>14.2}{:>14.2}",
+        "mean window latency (ms)",
+        accel_run.mean_latency_ms(),
+        cpu_run.mean_latency_ms()
+    );
+    println!(
+        "{:<26}{:>14.1}{:>14.1}",
+        "total energy (mJ)", accel_run.total_energy_mj, cpu_run.total_energy_mj
+    );
+    println!(
+        "{:<26}{:>14.2}{:>14.2}",
+        "trajectory RMSE (cm)",
+        accel_run.rmse_m * 100.0,
+        cpu_run.rmse_m * 100.0
+    );
+    println!(
+        "\nspeedup {:.1}x, energy reduction {:.1}x, accuracy within {:.2} cm",
+        cpu_run.total_time_ms / accel_run.total_time_ms,
+        cpu_run.total_energy_mj / accel_run.total_energy_mj,
+        (accel_run.rmse_m - cpu_run.rmse_m).abs() * 100.0
+    );
+
+    // Show the run-time knob at work: iteration histogram.
+    let mut hist = [0usize; ITER_CAP + 1];
+    for w in &accel_run.windows {
+        hist[w.iterations] += 1;
+    }
+    println!("\nper-window NLS iterations chosen by the run-time system:");
+    for (iter, count) in hist.iter().enumerate().filter(|(_, c)| **c > 0) {
+        println!("  Iter = {iter}: {count} windows");
+    }
+}

@@ -1,0 +1,3 @@
+//! Workspace root: the Archytas reproduction, re-exported for examples
+//! and integration tests. See README.md and DESIGN.md.
+pub use archytas_core as core;

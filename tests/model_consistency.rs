@@ -1,0 +1,91 @@
+//! Cross-crate consistency: the analytical models, the cycle-level
+//! simulator, the M-DFG cost model and the dataset workloads must all agree
+//! where they overlap.
+
+use archytas_dataset::kitti_sequences;
+use archytas_hw::{
+    cholesky_latency, cholesky_timeline, simulate_window, window_cycles, AcceleratorConfig,
+    FpgaPlatform, PowerModel, ResourceModel, HIGH_PERF, LOW_POWER,
+};
+use archytas_mdfg::{build_mdfg, schedule, HwBlockClass, ProblemShape};
+
+#[test]
+fn cycle_sim_matches_analytical_latency_on_real_workloads() {
+    let data = kitti_sequences()[1].truncated(4.0).build();
+    let config = AcceleratorConfig::new(12, 6, 24);
+    for workload in data.window_workloads(10) {
+        let shape = ProblemShape::from_workload(&workload);
+        let sim = simulate_window(&shape, &config, 4);
+        let model = window_cycles(&shape, &config, 4);
+        assert!(
+            (sim.total_cycles - model).abs() / model < 1e-9,
+            "sim {} vs model {model}",
+            sim.total_cycles
+        );
+    }
+}
+
+#[test]
+fn cholesky_event_sim_bounded_by_closed_form() {
+    for m in [30usize, 90, 150, 225] {
+        for s in [1usize, 8, 34, 97] {
+            if s > m {
+                continue;
+            }
+            assert!(
+                cholesky_timeline(m, s) <= cholesky_latency(m, s) + 1e-9,
+                "m={m} s={s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn schedule_covers_every_mdfg_node_on_real_shapes() {
+    let data = kitti_sequences()[2].truncated(3.0).build();
+    for workload in data.window_workloads(10).iter().take(5) {
+        let shape = ProblemShape::from_workload(workload);
+        let built = build_mdfg(&shape);
+        let sched = schedule(&built);
+        assert_eq!(
+            sched.assignments.len(),
+            built.nls.len() + built.marginalization.len()
+        );
+        assert!(sched.shared_blocks.contains(&HwBlockClass::DTypeSchur));
+        // The blocking decision stays D-type across real workloads.
+        assert_eq!(built.nls_blocking.p, shape.features);
+    }
+}
+
+#[test]
+fn named_designs_dominate_each_other_consistently() {
+    // High-Perf must be faster everywhere; Low-Power must use less power —
+    // across the entire workload range of a real sequence.
+    let data = kitti_sequences()[0].truncated(5.0).build();
+    let power = PowerModel::zc706();
+    assert!(power.power_w(&HIGH_PERF) > power.power_w(&LOW_POWER));
+    for workload in data.window_workloads(10) {
+        let shape = ProblemShape::from_workload(&workload);
+        let hp = window_cycles(&shape, &HIGH_PERF, 6);
+        let lp = window_cycles(&shape, &LOW_POWER, 6);
+        assert!(hp < lp, "HP {hp} !< LP {lp} on {shape:?}");
+    }
+}
+
+#[test]
+fn resource_model_consistent_with_all_platforms() {
+    let model = ResourceModel::calibrated();
+    let zc706 = FpgaPlatform::zc706();
+    let virtex = FpgaPlatform::virtex7_690t();
+    // Everything that fits the ZC706 fits the Virtex-7.
+    for nd in [1usize, 10, 28] {
+        for nm in [1usize, 8, 19] {
+            for s in [1usize, 34, 97] {
+                let c = AcceleratorConfig::new(nd, nm, s);
+                if model.fits(&c, &zc706) {
+                    assert!(model.fits(&c, &virtex), "{c:?}");
+                }
+            }
+        }
+    }
+}

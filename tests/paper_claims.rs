@@ -1,0 +1,104 @@
+//! The paper's headline quantitative claims, pinned as assertions. These are
+//! the fast, model-level claims; the estimator-in-the-loop claims live in
+//! the experiment binaries (see EXPERIMENTS.md).
+
+use archytas_baselines::{CpuPlatform, HlsCholesky, HLS_REFERENCE_DIM, HLS_REFERENCE_LANES};
+use archytas_core::{knob_bounds, ND_MAX, NM_MAX, S_MAX};
+use archytas_hw::{
+    window_cycles, AcceleratorConfig, AcceleratorModel, FpgaPlatform, ResourceModel, HIGH_PERF,
+    LOW_POWER,
+};
+use archytas_mdfg::{
+    optimal_nls_blocking, saving_vs_dense, LayoutScheme, ProblemShape,
+};
+
+#[test]
+fn design_space_is_90000_points() {
+    assert_eq!(ND_MAX * NM_MAX * S_MAX, 90_000);
+    let (nd, nm, s) = knob_bounds(&FpgaPlatform::zc706());
+    assert_eq!((nd, nm, s), (ND_MAX, NM_MAX, S_MAX));
+}
+
+#[test]
+fn table2_dsp_counts_exact() {
+    let model = ResourceModel::calibrated();
+    assert_eq!(model.resources(&HIGH_PERF).dsp, 849.0);
+    assert_eq!(model.resources(&LOW_POWER).dsp, 442.0);
+}
+
+#[test]
+fn storage_saving_is_78_percent() {
+    let saving = saving_vs_dense(LayoutScheme::SplitCompressed, 15, 15);
+    assert!((saving - 0.787).abs() < 0.01);
+}
+
+#[test]
+fn hls_cholesky_gap_is_16x() {
+    let gap = HlsCholesky::default().slowdown_vs_hand(HLS_REFERENCE_DIM, HLS_REFERENCE_LANES);
+    assert!((gap - 16.4).abs() < 2.5, "gap {gap}");
+}
+
+#[test]
+fn knobs_span_over_20x_latency() {
+    let shape = ProblemShape::typical();
+    let slow = window_cycles(&shape, &AcceleratorConfig::new(1, 1, 1), 6);
+    let fast = window_cycles(&shape, &AcceleratorConfig::new(30, 24, 120), 6);
+    assert!(slow / fast > 20.0, "span {:.1}", slow / fast);
+}
+
+#[test]
+fn optimal_blocking_is_always_dtype() {
+    // "the optimal solution almost always blocks A in such a way that U is
+    // a diagonal matrix" — across the workload range the datasets produce.
+    for features in [30usize, 80, 150, 250, 400] {
+        for obs in [3usize, 6, 10] {
+            let shape = ProblemShape {
+                features,
+                obs_per_feature: obs,
+                ..ProblemShape::typical()
+            };
+            let choice = optimal_nls_blocking(&shape);
+            assert!(choice.leading_diagonal, "{shape:?}");
+            assert_eq!(choice.p, features, "{shape:?}");
+        }
+    }
+}
+
+#[test]
+fn fig16_headline_ratios_in_band() {
+    let shape = ProblemShape::typical();
+    let hp = AcceleratorModel::new(HIGH_PERF, FpgaPlatform::zc706());
+    let intel = CpuPlatform::intel_comet_lake();
+    let arm = CpuPlatform::arm_a57();
+    let speed_intel = intel.window_time_ms(&shape, 6) / hp.window_latency_ms(&shape, 6);
+    let energy_intel = intel.window_energy_mj(&shape, 6) / hp.window_energy_mj(&shape, 6);
+    let speed_arm = arm.window_time_ms(&shape, 6) / hp.window_latency_ms(&shape, 6);
+    let energy_arm = arm.window_energy_mj(&shape, 6) / hp.window_energy_mj(&shape, 6);
+    // Paper: 6.2x/74x vs Intel, 39.7x/14.6x vs Arm. Bands are ±45 %.
+    assert!((3.5..10.0).contains(&speed_intel), "{speed_intel:.1}");
+    assert!((40.0..110.0).contains(&energy_intel), "{energy_intel:.1}");
+    assert!((22.0..60.0).contains(&speed_arm), "{speed_arm:.1}");
+    assert!((8.0..25.0).contains(&energy_arm), "{energy_arm:.1}");
+}
+
+#[test]
+fn virtex_outruns_zc706_outruns_kintex() {
+    // Sec. 7.7's board ordering emerges from the scaled knob lattices.
+    let shape = ProblemShape::typical();
+    let mut latencies = Vec::new();
+    for platform in [
+        FpgaPlatform::kintex7_160t(),
+        FpgaPlatform::zc706(),
+        FpgaPlatform::virtex7_690t(),
+    ] {
+        let spec = archytas_core::DesignSpec {
+            shape,
+            iterations: 6,
+            platform: platform.clone(),
+            objective: archytas_core::Objective::MinLatency,
+        };
+        latencies.push(archytas_core::synthesize(&spec).expect("feasible").latency_ms);
+    }
+    assert!(latencies[0] > latencies[1], "Kintex slower than ZC706");
+    assert!(latencies[1] > latencies[2], "ZC706 slower than Virtex");
+}

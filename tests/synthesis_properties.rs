@@ -1,0 +1,104 @@
+//! Property-based tests of the synthesizer and run-time system: constraints
+//! hold for arbitrary specifications.
+
+use archytas_core::{synthesize, DesignSpec, GatingTable, IterCounter, IterPolicy, Objective};
+use archytas_hw::{window_cycles, AcceleratorConfig, FpgaPlatform, PowerModel};
+use archytas_mdfg::ProblemShape;
+use proptest::prelude::*;
+
+fn shape_strategy() -> impl Strategy<Value = ProblemShape> {
+    (20usize..400, 4usize..16, 2usize..15, 0usize..60).prop_map(
+        |(features, keyframes, obs, marg)| ProblemShape {
+            features,
+            keyframes,
+            states_per_keyframe: 15,
+            obs_per_feature: obs,
+            marginalized_features: marg.min(features),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the workload and latency bound, a successful synthesis
+    /// respects both constraints and is power-minimal among a sample of
+    /// feasible alternatives.
+    #[test]
+    fn synthesis_respects_constraints(shape in shape_strategy(), bound_ms in 1.0..40.0f64) {
+        let spec = DesignSpec {
+            shape,
+            iterations: 6,
+            platform: FpgaPlatform::zc706(),
+            objective: Objective::MinPowerUnderLatency(bound_ms),
+        };
+        let power = PowerModel::zc706();
+        if let Ok(design) = synthesize(&spec) {
+            prop_assert!(design.latency_ms <= bound_ms + 1e-9);
+            prop_assert!(design.resources.fits(&spec.platform.capacity));
+            // Spot-check optimality: a few cheaper configurations must all
+            // violate a constraint.
+            for (dn, dm, ds) in [(1i64, 0i64, 0i64), (0, 1, 0), (0, 0, 1)] {
+                let nd = design.config.nd as i64 - dn;
+                let nm = design.config.nm as i64 - dm;
+                let s = design.config.s as i64 - ds;
+                if nd < 1 || nm < 1 || s < 1 {
+                    continue;
+                }
+                let smaller = AcceleratorConfig::new(nd as usize, nm as usize, s as usize);
+                if power.power_w(&smaller) < design.power_w {
+                    let lat = window_cycles(&shape, &smaller, 6)
+                        / (spec.platform.clock_mhz * 1e3);
+                    prop_assert!(
+                        lat > bound_ms,
+                        "cheaper {smaller:?} is feasible at {lat} ms"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Gating tables never exceed the built design and always meet the
+    /// bound when any in-bounds configuration can.
+    #[test]
+    fn gating_table_sound(shape in shape_strategy(), bound_ms in 1.0..30.0f64) {
+        let platform = FpgaPlatform::zc706();
+        let built = AcceleratorConfig::new(28, 19, 97);
+        let table = GatingTable::build(&built, &shape, bound_ms, &platform);
+        let clock_khz = platform.clock_mhz * 1e3;
+        for iter in 1..=6usize {
+            let active = table.active_for(iter);
+            prop_assert!(active.within(&built));
+            let full_lat = window_cycles(&shape, &built, iter) / clock_khz;
+            let active_lat = window_cycles(&shape, &active, iter) / clock_khz;
+            // If even the full design cannot meet the bound, the table falls
+            // back to it; otherwise the active config must meet the bound.
+            if full_lat <= bound_ms {
+                prop_assert!(active_lat <= bound_ms + 1e-9);
+            }
+        }
+    }
+
+    /// The 2-bit counter's budget is always within 1..=6 and changes by at
+    /// most one step per window, whatever the target sequence.
+    #[test]
+    fn counter_is_bounded_and_smooth(targets in proptest::collection::vec(0usize..10, 1..60)) {
+        let mut c = IterCounter::new(4);
+        let mut prev = c.current();
+        for t in targets {
+            let now = c.observe(t);
+            prop_assert!((1..=6).contains(&now));
+            prop_assert!(now.abs_diff(prev) <= 1);
+            prev = now;
+        }
+    }
+
+    /// The iteration policy is monotone: fewer features never means fewer
+    /// iterations.
+    #[test]
+    fn policy_monotone(f1 in 0usize..400, f2 in 0usize..400) {
+        let p = IterPolicy::default_table();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(p.iterations_for(lo) >= p.iterations_for(hi));
+    }
+}
