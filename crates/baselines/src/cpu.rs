@@ -76,6 +76,59 @@ impl CpuPlatform {
     }
 }
 
+/// A [`CpuPlatform`] with a memoized window-time evaluation.
+///
+/// [`CpuPlatform::window_work_ops`] rebuilds the M-DFG for every call — by
+/// far the dominant cost of the Fig. 15/16 sweeps — yet depends only on
+/// `(shape, iterations)`. This wrapper evaluates each distinct key exactly
+/// once (energy derives from the cached time), mirrors
+/// `archytas_hw::CachedAcceleratorModel`, and exposes the same hit/miss
+/// counters for exactly-once assertions in tests.
+#[derive(Debug)]
+pub struct CachedCpuPlatform {
+    cpu: CpuPlatform,
+    time: archytas_par::Memo<(ProblemShape, usize), f64>,
+}
+
+impl CachedCpuPlatform {
+    /// Wraps `cpu` with an empty cache.
+    pub fn new(cpu: CpuPlatform) -> Self {
+        Self {
+            cpu,
+            time: archytas_par::Memo::new(),
+        }
+    }
+
+    /// The wrapped platform.
+    pub fn cpu(&self) -> &CpuPlatform {
+        &self.cpu
+    }
+
+    /// Memoized [`CpuPlatform::window_time_ms`].
+    pub fn window_time_ms(&self, shape: &ProblemShape, iterations: usize) -> f64 {
+        self.time.get_or_compute((*shape, iterations), || {
+            self.cpu.window_time_ms(shape, iterations)
+        })
+    }
+
+    /// Memoized [`CpuPlatform::window_energy_mj`] (reuses the cached time;
+    /// package power is shape-independent).
+    pub fn window_energy_mj(&self, shape: &ProblemShape, iterations: usize) -> f64 {
+        self.window_time_ms(shape, iterations) * self.cpu.power_w
+    }
+
+    /// Cost-model evaluations actually performed (== distinct
+    /// `(shape, iterations)` keys requested).
+    pub fn evaluations(&self) -> usize {
+        self.time.misses()
+    }
+
+    /// Lookups served from the cache without evaluation.
+    pub fn cache_hits(&self) -> usize {
+        self.time.hits()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +196,24 @@ mod tests {
         let w6 = CpuPlatform::window_work_ops(&shape, 6);
         assert!(w6 > w1 * 3);
         assert!(w6 < w1 * 7);
+    }
+
+    #[test]
+    fn cached_cpu_matches_and_evaluates_once() {
+        let cpu = CpuPlatform::intel_comet_lake();
+        let cached = CachedCpuPlatform::new(cpu.clone());
+        let shape = typical();
+        for _ in 0..4 {
+            assert_eq!(
+                cached.window_time_ms(&shape, 6).to_bits(),
+                cpu.window_time_ms(&shape, 6).to_bits()
+            );
+            assert_eq!(
+                cached.window_energy_mj(&shape, 6).to_bits(),
+                cpu.window_energy_mj(&shape, 6).to_bits()
+            );
+        }
+        assert_eq!(cached.evaluations(), 1);
+        assert_eq!(cached.cache_hits(), 7);
     }
 }

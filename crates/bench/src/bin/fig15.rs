@@ -1,13 +1,19 @@
 //! Fig. 15 — speedup and energy reduction of the Fig. 14 Pareto-optimal
 //! designs over the Intel and Arm baselines on a KITTI trace.
 //!
+//! The frontier sweep itself fans out over the worker pool (one synthesis
+//! per latency bound), the CPU baselines are memoized, and the per-design
+//! evaluation rows are computed in parallel — all bit-identical to the
+//! serial path by `archytas-par`'s determinism contract.
+//!
 //! Run: `cargo run --release -p archytas-bench --bin fig15`
 
+use archytas_baselines::{CachedCpuPlatform, CpuPlatform};
 use archytas_bench::{banner, mean, print_table, sequence_shapes};
-use archytas_baselines::CpuPlatform;
 use archytas_core::{pareto_frontier, DesignSpec};
 use archytas_dataset::kitti_sequences;
 use archytas_hw::{AcceleratorModel, FpgaPlatform};
+use archytas_par::Pool;
 
 fn main() {
     banner(
@@ -17,27 +23,35 @@ fn main() {
 
     let data = kitti_sequences()[2].truncated(12.0).build();
     let shapes = sequence_shapes(&data, 10);
-    let intel = CpuPlatform::intel_comet_lake();
-    let arm = CpuPlatform::arm_a57();
+    let intel = CachedCpuPlatform::new(CpuPlatform::intel_comet_lake());
+    let arm = CachedCpuPlatform::new(CpuPlatform::arm_a57());
 
     let base = DesignSpec::zc706_power_optimal(20.0);
     let frontier = pareto_frontier(&base, (2.2, 10.0), 12);
 
-    let mut rows = Vec::new();
-    let mut best = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for p in &frontier {
+    // The CPU means are design-independent; hoist them out of the loop
+    // (the caches would collapse the recomputation anyway).
+    let intel_ms = mean(&shapes.iter().map(|s| intel.window_time_ms(s, 6)).collect::<Vec<_>>());
+    let intel_mj = mean(&shapes.iter().map(|s| intel.window_energy_mj(s, 6)).collect::<Vec<_>>());
+    let arm_ms = mean(&shapes.iter().map(|s| arm.window_time_ms(s, 6)).collect::<Vec<_>>());
+    let arm_mj = mean(&shapes.iter().map(|s| arm.window_energy_mj(s, 6)).collect::<Vec<_>>());
+
+    // One evaluation task per frontier design, fanned out over the pool.
+    let evals = Pool::global().with_serial_threshold(2).par_map(&frontier, |p| {
         let model = AcceleratorModel::new(p.design.config, FpgaPlatform::zc706());
         let accel_ms: Vec<f64> = shapes.iter().map(|s| model.window_latency_ms(s, 6)).collect();
         let accel_mj: Vec<f64> = shapes.iter().map(|s| model.window_energy_mj(s, 6)).collect();
-        let intel_ms: Vec<f64> = shapes.iter().map(|s| intel.window_time_ms(s, 6)).collect();
-        let intel_mj: Vec<f64> = shapes.iter().map(|s| intel.window_energy_mj(s, 6)).collect();
-        let arm_ms: Vec<f64> = shapes.iter().map(|s| arm.window_time_ms(s, 6)).collect();
-        let arm_mj: Vec<f64> = shapes.iter().map(|s| arm.window_energy_mj(s, 6)).collect();
+        (
+            intel_ms / mean(&accel_ms),
+            intel_mj / mean(&accel_mj),
+            arm_ms / mean(&accel_ms),
+            arm_mj / mean(&accel_mj),
+        )
+    });
 
-        let s_intel = mean(&intel_ms) / mean(&accel_ms);
-        let e_intel = mean(&intel_mj) / mean(&accel_mj);
-        let s_arm = mean(&arm_ms) / mean(&accel_ms);
-        let e_arm = mean(&arm_mj) / mean(&accel_mj);
+    let mut rows = Vec::new();
+    let mut best = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (p, (s_intel, e_intel, s_arm, e_arm)) in frontier.iter().zip(evals) {
         if s_intel > best.0 {
             best = (s_intel, e_intel, s_arm, e_arm);
         }

@@ -2,13 +2,14 @@
 //! of the High-Perf and Low-Power designs over the Intel and Arm baselines
 //! on the full KITTI + EuRoC suites (no dynamic optimization).
 //!
+//! Sequences are generated in parallel (`ARCHYTAS_THREADS` controls the
+//! worker count) and every model evaluation is memoized, so each distinct
+//! `(shape, iterations)` key is costed exactly once per platform.
+//!
 //! Run: `cargo run --release -p archytas-bench --bin fig16`
 //! (`ARCHYTAS_FULL=1` for full-length sequences).
 
-use archytas_bench::{banner, mean, print_table, sequence_shapes, suite};
-use archytas_baselines::CpuPlatform;
-use archytas_hw::{AcceleratorModel, FpgaPlatform, HIGH_PERF, LOW_POWER};
-use archytas_slam::mean_stdev;
+use archytas_bench::{banner, fig16_result, print_table, suite};
 
 fn main() {
     banner(
@@ -16,63 +17,35 @@ fn main() {
         "mean speedup & energy reduction of High-Perf / Low-Power (KITTI + EuRoC)",
     );
 
-    let designs = [("High-Perf", HIGH_PERF), ("Low-Power", LOW_POWER)];
-    let cpus = [CpuPlatform::intel_comet_lake(), CpuPlatform::arm_a57()];
-
-    // Per-sequence per-design ratios.
-    let mut rows = Vec::new();
-    for (dname, config) in designs {
-        let model = AcceleratorModel::new(config, FpgaPlatform::zc706());
-        for cpu in &cpus {
-            let mut speedups = Vec::new();
-            let mut energies = Vec::new();
-            for spec in suite() {
-                let data = spec.build();
-                let shapes = sequence_shapes(&data, 10);
-                if shapes.is_empty() {
-                    continue;
-                }
-                let accel_ms = mean(
-                    &shapes
-                        .iter()
-                        .map(|s| model.window_latency_ms(s, 6))
-                        .collect::<Vec<_>>(),
-                );
-                let accel_mj = mean(
-                    &shapes
-                        .iter()
-                        .map(|s| model.window_energy_mj(s, 6))
-                        .collect::<Vec<_>>(),
-                );
-                let cpu_ms = mean(
-                    &shapes
-                        .iter()
-                        .map(|s| cpu.window_time_ms(s, 6))
-                        .collect::<Vec<_>>(),
-                );
-                let cpu_mj = mean(
-                    &shapes
-                        .iter()
-                        .map(|s| cpu.window_energy_mj(s, 6))
-                        .collect::<Vec<_>>(),
-                );
-                speedups.push(cpu_ms / accel_ms);
-                energies.push(cpu_mj / accel_mj);
-            }
-            let (sm, ss) = mean_stdev(&speedups);
-            let (em, es) = mean_stdev(&energies);
-            rows.push(vec![
-                dname.to_string(),
-                cpu.name.split(' ').next().unwrap_or("?").to_string(),
-                format!("{sm:.1}x ± {ss:.1}"),
-                format!("{em:.1}x ± {es:.1}"),
-            ]);
-        }
-    }
+    let result = fig16_result(&suite());
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.design.to_string(),
+                r.baseline.split(' ').next().unwrap_or("?").to_string(),
+                format!("{:.1}x ± {:.1}", r.speedup.0, r.speedup.1),
+                format!("{:.1}x ± {:.1}", r.energy_reduction.0, r.energy_reduction.1),
+            ]
+        })
+        .collect();
     print_table(
         &["design", "baseline", "speedup", "energy reduction"],
         &rows,
     );
+
+    println!();
+    println!(
+        "model cache: {} distinct (shape, iter) keys;",
+        result.distinct_keys
+    );
+    for s in &result.cache_stats {
+        println!(
+            "  {:<40} {} evaluations, {} cache hits",
+            s.name, s.evaluations, s.hits
+        );
+    }
 
     println!();
     println!("paper's Fig. 16: High-Perf 6.2x/74.0x (Intel), 39.7x/14.6x (Arm);");

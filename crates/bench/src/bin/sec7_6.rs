@@ -64,10 +64,11 @@ fn main() {
 
     for (dname, config, bound) in [("High-Perf", HIGH_PERF, 2.5), ("Low-Power", LOW_POWER, 3.5)] {
         println!("\n--- {dname} (gating bound {bound} ms) ---");
-        let rows: Vec<Vec<String>> = sequences
-            .iter()
-            .map(|s| run_pair(s, config, bound))
-            .collect();
+        // Each pair runs the full estimator twice — by far enough work to
+        // justify one worker per sequence. Rows come back in input order.
+        let rows: Vec<Vec<String>> = archytas_par::Pool::global()
+            .with_serial_threshold(2)
+            .par_map(&sequences, |s| run_pair(s, config, bound));
         print_table(
             &[
                 "sequence",

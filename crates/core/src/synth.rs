@@ -17,6 +17,7 @@ use archytas_hw::{
     window_cycles, AcceleratorConfig, FpgaPlatform, PowerModel, ResourceModel, ResourceVector,
 };
 use archytas_mdfg::ProblemShape;
+use archytas_par::Pool;
 use std::error::Error;
 use std::fmt;
 
@@ -113,71 +114,140 @@ impl fmt::Display for SynthesisError {
 
 impl Error for SynthesisError {}
 
-/// Runs the synthesizer.
+/// Strict "candidate beats incumbent" predicate shared by the serial and
+/// striped scans. Lexicographic on (power, latency) for Eq. 11 and
+/// (latency, power) for Eq. 12; ties keep the incumbent, so the earliest
+/// candidate in `(nd, nm, s)` scan order wins — exactly the serial
+/// best-so-far semantics.
+fn beats(objective: Objective, lat: f64, p: f64, b: &SynthesizedDesign) -> bool {
+    match objective {
+        Objective::MinPowerUnderLatency(_) => {
+            p < b.power_w || (p == b.power_w && lat < b.latency_ms)
+        }
+        Objective::MinLatency => lat < b.latency_ms || (lat == b.latency_ms && p < b.power_w),
+    }
+}
+
+/// Partial scan result of one `nd` stripe of the lattice.
+struct StripeScan {
+    examined: usize,
+    best_latency_any: f64,
+    best: Option<SynthesizedDesign>,
+}
+
+/// Scans the full `(nm, s)` plane at a fixed `nd` — the serial inner loops of
+/// the branch-and-bound, unchanged.
+fn scan_stripe(
+    spec: &DesignSpec,
+    resources: &ResourceModel,
+    power: &PowerModel,
+    nd: usize,
+    nm_max: usize,
+    s_max: usize,
+) -> StripeScan {
+    let clock_khz = spec.platform.clock_mhz * 1e3;
+    let mut scan = StripeScan {
+        examined: 0,
+        best_latency_any: f64::INFINITY,
+        best: None,
+    };
+    for nm in 1..=nm_max {
+        // Resource feasibility is monotone in s: find the largest
+        // feasible s once and never examine beyond it.
+        let mut s_limit = 0usize;
+        for s in (1..=s_max).rev() {
+            if resources.fits(&AcceleratorConfig::new(nd, nm, s), &spec.platform) {
+                s_limit = s;
+                break;
+            }
+        }
+        if s_limit == 0 {
+            continue;
+        }
+        for s in 1..=s_limit {
+            let config = AcceleratorConfig::new(nd, nm, s);
+            scan.examined += 1;
+            let lat = window_cycles(&spec.shape, &config, spec.iterations) / clock_khz;
+            scan.best_latency_any = scan.best_latency_any.min(lat);
+            let feasible = match spec.objective {
+                Objective::MinPowerUnderLatency(bound) => lat <= bound,
+                Objective::MinLatency => true,
+            };
+            if !feasible {
+                continue;
+            }
+            let p = power.power_w(&config);
+            let better = match &scan.best {
+                None => true,
+                Some(b) => beats(spec.objective, lat, p, b),
+            };
+            if better {
+                scan.best = Some(SynthesizedDesign {
+                    config,
+                    latency_ms: lat,
+                    power_w: p,
+                    resources: resources.resources(&config),
+                    candidates_examined: 0,
+                });
+            }
+        }
+    }
+    scan
+}
+
+/// Runs the synthesizer on the global pool.
 ///
 /// # Errors
 ///
 /// Returns [`SynthesisError::Infeasible`] when no configuration meets the
 /// constraints on the target platform.
 pub fn synthesize(spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
+    synthesize_with(spec, &Pool::global())
+}
+
+/// Runs the synthesizer on an explicit pool.
+///
+/// The lattice is striped over `nd`: each stripe runs the serial `(nm, s)`
+/// scan (including the monotone `s_limit` pruning) independently, and the
+/// per-stripe winners are folded in ascending `nd` order with the same strict
+/// [`beats`] predicate as the serial best-so-far loop. Because the predicate
+/// is a strict lexicographic order and ties keep the earlier candidate, the
+/// fold selects the identical design the serial scan does, for any thread
+/// count.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize_with(
+    spec: &DesignSpec,
+    pool: &Pool,
+) -> Result<SynthesizedDesign, SynthesisError> {
     let resources = ResourceModel::calibrated();
     let power = PowerModel::for_platform(&spec.platform);
-    let clock_khz = spec.platform.clock_mhz * 1e3;
-
-    let latency_ms = |c: &AcceleratorConfig| -> f64 {
-        window_cycles(&spec.shape, c, spec.iterations) / clock_khz
-    };
+    let (nd_max, nm_max, s_max) = knob_bounds(&spec.platform);
+    let nds: Vec<usize> = (1..=nd_max).collect();
+    // A stripe is ~nm_max·s_max model evaluations — far above any sensible
+    // per-item threshold — so gate only on "more than one stripe".
+    let stripes = pool
+        .with_serial_threshold(pool.serial_threshold().min(2))
+        .par_map(&nds, |&nd| {
+            scan_stripe(spec, &resources, &power, nd, nm_max, s_max)
+        });
 
     let mut examined = 0usize;
     let mut best: Option<SynthesizedDesign> = None;
     let mut best_latency_any = f64::INFINITY;
-
-    let (nd_max, nm_max, s_max) = knob_bounds(&spec.platform);
-    for nd in 1..=nd_max {
-        for nm in 1..=nm_max {
-            // Resource feasibility is monotone in s: find the largest
-            // feasible s once and never examine beyond it.
-            let mut s_limit = 0usize;
-            for s in (1..=s_max).rev() {
-                if resources.fits(&AcceleratorConfig::new(nd, nm, s), &spec.platform) {
-                    s_limit = s;
-                    break;
-                }
-            }
-            if s_limit == 0 {
-                continue;
-            }
-            for s in 1..=s_limit {
-                let config = AcceleratorConfig::new(nd, nm, s);
-                examined += 1;
-                let lat = latency_ms(&config);
-                best_latency_any = best_latency_any.min(lat);
-                let feasible = match spec.objective {
-                    Objective::MinPowerUnderLatency(bound) => lat <= bound,
-                    Objective::MinLatency => true,
-                };
-                if !feasible {
-                    continue;
-                }
-                let p = power.power_w(&config);
-                let better = match (&best, spec.objective) {
-                    (None, _) => true,
-                    (Some(b), Objective::MinPowerUnderLatency(_)) => {
-                        p < b.power_w || (p == b.power_w && lat < b.latency_ms)
-                    }
-                    (Some(b), Objective::MinLatency) => {
-                        lat < b.latency_ms || (lat == b.latency_ms && p < b.power_w)
-                    }
-                };
-                if better {
-                    best = Some(SynthesizedDesign {
-                        config,
-                        latency_ms: lat,
-                        power_w: p,
-                        resources: resources.resources(&config),
-                        candidates_examined: 0,
-                    });
-                }
+    for stripe in stripes {
+        examined += stripe.examined;
+        best_latency_any = best_latency_any.min(stripe.best_latency_any);
+        if let Some(cand) = stripe.best {
+            let better = match &best {
+                None => true,
+                Some(b) => beats(spec.objective, cand.latency_ms, cand.power_w, b),
+            };
+            if better {
+                best = Some(cand);
             }
         }
     }
@@ -203,36 +273,60 @@ pub struct ParetoPoint {
 }
 
 /// Sweeps the latency constraint to trace the power-optimal Pareto frontier
-/// (Fig. 14's square markers).
+/// (Fig. 14's square markers), on the global pool.
 pub fn pareto_frontier(
     base: &DesignSpec,
     latency_range_ms: (f64, f64),
     steps: usize,
 ) -> Vec<ParetoPoint> {
+    pareto_frontier_with(base, latency_range_ms, steps, &Pool::global())
+}
+
+/// Pareto sweep on an explicit pool.
+///
+/// The per-bound synthesis runs are independent and fan out over the pool
+/// (each one scans its lattice serially — the nested-parallelism guard in
+/// `archytas-par` sees to that); the dominance filter then folds the results
+/// in ascending-bound order, which is the exact serial construction.
+pub fn pareto_frontier_with(
+    base: &DesignSpec,
+    latency_range_ms: (f64, f64),
+    steps: usize,
+    pool: &Pool,
+) -> Vec<ParetoPoint> {
     assert!(steps >= 2, "pareto_frontier: need at least two steps");
     let (lo, hi) = latency_range_ms;
+    let bounds: Vec<f64> = (0..steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+        .collect();
+    let designs = pool
+        .with_serial_threshold(pool.serial_threshold().min(2))
+        .par_map(&bounds, |&bound| {
+            synthesize_with(
+                &DesignSpec {
+                    objective: Objective::MinPowerUnderLatency(bound),
+                    ..base.clone()
+                },
+                pool,
+            )
+            .ok()
+        });
     let mut out: Vec<ParetoPoint> = Vec::new();
-    for i in 0..steps {
-        let bound = lo + (hi - lo) * i as f64 / (steps - 1) as f64;
-        let spec = DesignSpec {
-            objective: Objective::MinPowerUnderLatency(bound),
-            ..base.clone()
-        };
-        if let Ok(design) = synthesize(&spec) {
-            // Keep only non-dominated points.
-            let dominated = out.iter().any(|p| {
-                p.design.latency_ms <= design.latency_ms && p.design.power_w <= design.power_w
+    for (&bound, design) in bounds.iter().zip(designs) {
+        let Some(design) = design else { continue };
+        // Keep only non-dominated points.
+        let dominated = out.iter().any(|p| {
+            p.design.latency_ms <= design.latency_ms && p.design.power_w <= design.power_w
+        });
+        if !dominated {
+            out.retain(|p| {
+                !(design.latency_ms <= p.design.latency_ms
+                    && design.power_w <= p.design.power_w)
             });
-            if !dominated {
-                out.retain(|p| {
-                    !(design.latency_ms <= p.design.latency_ms
-                        && design.power_w <= p.design.power_w)
-                });
-                out.push(ParetoPoint {
-                    design,
-                    latency_constraint_ms: bound,
-                });
-            }
+            out.push(ParetoPoint {
+                design,
+                latency_constraint_ms: bound,
+            });
         }
     }
     out.sort_by(|a, b| {
@@ -255,40 +349,51 @@ pub fn validate_by_perturbation(
     let resources = ResourceModel::calibrated();
     let power = PowerModel::for_platform(&spec.platform);
     let clock_khz = spec.platform.clock_mhz * 1e3;
+    // Frontier points are validated independently; per-point results are
+    // concatenated in frontier order, matching the serial construction.
+    let per_point = Pool::global()
+        .with_serial_threshold(2)
+        .par_map(frontier, |point| {
+            let mut perturbed = Vec::new();
+            let mut violations = 0usize;
+            let c = point.design.config;
+            for (dnd, dnm, ds) in [
+                (1i64, 0i64, 0i64),
+                (-1, 0, 0),
+                (0, 1, 0),
+                (0, -1, 0),
+                (0, 0, 4),
+                (0, 0, -4),
+                (1, 1, 4),
+                (-1, -1, -4),
+            ] {
+                let nd = c.nd as i64 + dnd;
+                let nm = c.nm as i64 + dnm;
+                let s = c.s as i64 + ds;
+                if nd < 1 || nm < 1 || s < 1 {
+                    continue;
+                }
+                let pc = AcceleratorConfig::new(nd as usize, nm as usize, s as usize);
+                if !resources.fits(&pc, &spec.platform) {
+                    continue;
+                }
+                let lat = window_cycles(&spec.shape, &pc, spec.iterations) / clock_khz;
+                let pw = power.power_w(&pc);
+                perturbed.push((lat, pw));
+                // Does this perturbation dominate any frontier point?
+                if frontier.iter().any(|f| {
+                    lat < f.design.latency_ms - 1e-9 && pw < f.design.power_w - 1e-9
+                }) {
+                    violations += 1;
+                }
+            }
+            (perturbed, violations)
+        });
     let mut perturbed = Vec::new();
     let mut violations = 0usize;
-    for point in frontier {
-        let c = point.design.config;
-        for (dnd, dnm, ds) in [
-            (1i64, 0i64, 0i64),
-            (-1, 0, 0),
-            (0, 1, 0),
-            (0, -1, 0),
-            (0, 0, 4),
-            (0, 0, -4),
-            (1, 1, 4),
-            (-1, -1, -4),
-        ] {
-            let nd = c.nd as i64 + dnd;
-            let nm = c.nm as i64 + dnm;
-            let s = c.s as i64 + ds;
-            if nd < 1 || nm < 1 || s < 1 {
-                continue;
-            }
-            let pc = AcceleratorConfig::new(nd as usize, nm as usize, s as usize);
-            if !resources.fits(&pc, &spec.platform) {
-                continue;
-            }
-            let lat = window_cycles(&spec.shape, &pc, spec.iterations) / clock_khz;
-            let pw = power.power_w(&pc);
-            perturbed.push((lat, pw));
-            // Does this perturbation dominate any frontier point?
-            if frontier.iter().any(|f| {
-                lat < f.design.latency_ms - 1e-9 && pw < f.design.power_w - 1e-9
-            }) {
-                violations += 1;
-            }
-        }
+    for (mut pts, v) in per_point {
+        perturbed.append(&mut pts);
+        violations += v;
     }
     (perturbed, violations)
 }
@@ -387,6 +492,41 @@ mod tests {
             assert!(
                 w[0].design.power_w >= w[1].design.power_w,
                 "power must fall as latency relaxes"
+            );
+        }
+    }
+
+    #[test]
+    fn striped_scan_matches_serial_for_any_thread_count() {
+        for objective in [Objective::MinPowerUnderLatency(4.0), Objective::MinLatency] {
+            let spec = DesignSpec {
+                objective,
+                ..DesignSpec::zc706_power_optimal(4.0)
+            };
+            let serial = synthesize_with(&spec, &Pool::with_threads(1)).expect("feasible");
+            for threads in [2, 8] {
+                let par = synthesize_with(&spec, &Pool::with_threads(threads)).expect("feasible");
+                assert_eq!(par.config, serial.config, "{objective:?} @ {threads} threads");
+                assert_eq!(par.latency_ms.to_bits(), serial.latency_ms.to_bits());
+                assert_eq!(par.power_w.to_bits(), serial.power_w.to_bits());
+                assert_eq!(par.candidates_examined, serial.candidates_examined);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_frontier_matches_serial() {
+        let base = DesignSpec::zc706_power_optimal(20.0);
+        let serial = pareto_frontier_with(&base, (2.2, 8.0), 10, &Pool::with_threads(1));
+        let par = pareto_frontier_with(&base, (2.2, 8.0), 10, &Pool::with_threads(8));
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.design.config, b.design.config);
+            assert_eq!(a.design.latency_ms.to_bits(), b.design.latency_ms.to_bits());
+            assert_eq!(a.design.power_w.to_bits(), b.design.power_w.to_bits());
+            assert_eq!(
+                a.latency_constraint_ms.to_bits(),
+                b.latency_constraint_ms.to_bits()
             );
         }
     }

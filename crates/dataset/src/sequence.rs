@@ -206,7 +206,9 @@ mod tests {
 
     #[test]
     fn kitti_feature_counts_fluctuate() {
-        let spec = kitti_sequences()[0].truncated(40.0);
+        // 60 s guarantees the trajectory crosses a deep drought center
+        // regardless of where the seeded centers land.
+        let spec = kitti_sequences()[0].truncated(60.0);
         let data = spec.build();
         let counts: Vec<usize> = data.frames.iter().map(|f| f.features.len()).collect();
         let max = *counts.iter().max().unwrap();

@@ -12,6 +12,12 @@ use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::triangular::{solve_lower, solve_upper};
 use crate::vector::Vector;
+use archytas_par::Pool;
+
+/// Minimum trailing-block size (elements) before an Update phase goes
+/// parallel. The per-element work is a single fused multiply-subtract, so a
+/// scope spawn only pays for itself on large trailing blocks.
+const UPDATE_PAR_MIN: usize = 4096;
 
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,12 +63,34 @@ impl<T: Scalar> Cholesky<T> {
     }
 
     /// Factors `a` and reports the per-phase operation counts used by the
-    /// hardware latency model.
+    /// hardware latency model. Uses the global pool.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Cholesky::factor`].
     pub fn factor_counting(a: &Matrix<T>) -> Result<(Self, CholeskyOpCounts)> {
+        Self::factor_counting_with(a, &Pool::global())
+    }
+
+    /// Factors `a` on an explicit pool.
+    ///
+    /// The Evaluate phase is inherently sequential (each pivot depends on all
+    /// previous updates), but the Update phase's trailing rows are mutually
+    /// independent — the same property the hardware template's parallel
+    /// Update lanes exploit (paper Fig. 8) — so they are distributed across
+    /// the pool's workers. Each element receives the single multiply-subtract
+    /// it would in the serial loop, so the factor is bit-identical for any
+    /// thread count, and [`CholeskyOpCounts`] is unchanged: the Update count
+    /// per iteration is the exact closed form `(n−k−1)(n−k)/2` the serial
+    /// increments sum to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`].
+    pub fn factor_counting_with(
+        a: &Matrix<T>,
+        pool: &Pool,
+    ) -> Result<(Self, CholeskyOpCounts)> {
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         // `work` holds the trailing sub-matrix (lower triangle of S_k).
@@ -71,6 +99,7 @@ impl<T: Scalar> Cholesky<T> {
             iterations: n,
             ..Default::default()
         };
+        let pool = pool.with_serial_threshold(pool.serial_threshold().max(UPDATE_PAR_MIN));
         for k in 0..n {
             // --- Evaluate phase: column k of L ---
             let pivot = work.get(k, k);
@@ -84,14 +113,18 @@ impl<T: Scalar> Cholesky<T> {
                 l.set(i, k, work.get(i, k) / d);
             }
             // --- Update phase: S_{k+1} = S_k − l_k·l_kᵀ on the trailing block ---
-            for i in (k + 1)..n {
-                let lik = l.get(i, k);
-                for j in (k + 1)..=i {
-                    let v = work.get(i, j) - lik * l.get(j, k);
-                    work.set(i, j, v);
-                    counts.update_ops += 1;
+            // Row i of the trailing block only reads column k of L (fully
+            // written above) and writes row i of `work`, so rows update in
+            // parallel; chunks of one row keep the borrow regions disjoint.
+            let l_ref = &l;
+            pool.par_chunks_mut(&mut work.as_mut_slice()[(k + 1) * n..], n, |c, wr| {
+                let i = k + 1 + c;
+                let lik = l_ref.row(i)[k];
+                for (j, w) in wr.iter_mut().enumerate().take(i + 1).skip(k + 1) {
+                    *w = *w - lik * l_ref.row(j)[k];
                 }
-            }
+            });
+            counts.update_ops += (n - 1 - k) * (n - k) / 2;
         }
         Ok((Self { l }, counts))
     }

@@ -3,8 +3,14 @@
 use crate::error::{MathError, Result};
 use crate::scalar::Scalar;
 use crate::vector::Vector;
+use archytas_par::Pool;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Row-block granularity for the parallel product/Gram kernels: each worker
+/// task computes this many output rows, amortizing chunk-claim overhead while
+/// still load-balancing tall matrices.
+const ROW_BLOCK: usize = 8;
 
 /// Dense row-major matrix over a [`Scalar`].
 ///
@@ -140,9 +146,24 @@ impl<T: Scalar> Matrix<T> {
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
+    /// Row `i` as a mutable slice.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over all rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
     /// Read-only row-major storage.
     pub fn as_slice(&self) -> &[T] {
         &self.data
+    }
+
+    /// Mutable row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
     }
 
     /// Transposed copy.
@@ -156,12 +177,26 @@ impl<T: Scalar> Matrix<T> {
         t
     }
 
-    /// Matrix product, dimension-checked.
+    /// Matrix product, dimension-checked, on the global pool.
     ///
     /// # Errors
     ///
     /// Returns [`MathError::DimensionMismatch`] when `self.cols != rhs.rows`.
     pub fn try_mul(&self, rhs: &Self) -> Result<Self> {
+        self.try_mul_with(rhs, &Pool::global())
+    }
+
+    /// Matrix product on an explicit pool.
+    ///
+    /// Output rows are independent, so they are computed in [`ROW_BLOCK`]
+    /// blocks across the pool's workers. Within each output row the i-k-j
+    /// accumulation order is exactly the serial kernel's, so the result is
+    /// bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] when `self.cols != rhs.rows`.
+    pub fn try_mul_with(&self, rhs: &Self, pool: &Pool) -> Result<Self> {
         if self.cols != rhs.rows {
             return Err(MathError::DimensionMismatch {
                 op: "mat_mul",
@@ -170,20 +205,26 @@ impl<T: Scalar> Matrix<T> {
             });
         }
         let mut out = Self::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps both streams sequential in row-major storage.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == T::ZERO {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        let n = rhs.cols;
+        if n == 0 {
+            return Ok(out);
+        }
+        pool.par_chunks_mut(&mut out.data, ROW_BLOCK * n, |blk, out_block| {
+            let i0 = blk * ROW_BLOCK;
+            for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                let a_row = self.row(i0 + r);
+                // i-k-j order keeps both streams sequential in row-major
+                // storage; k ascends exactly as in the serial kernel.
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == T::ZERO {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -213,36 +254,53 @@ impl<T: Scalar> Matrix<T> {
     pub fn transpose_mat_vec(&self, v: &Vector<T>) -> Vector<T> {
         assert_eq!(self.rows, v.len(), "transpose_mat_vec: dimension mismatch");
         let mut out = Vector::zeros(self.cols);
-        for i in 0..self.rows {
-            let vi = v[i];
+        for (row, &vi) in self.rows_iter().zip(v.as_slice()) {
             if vi == T::ZERO {
                 continue;
             }
-            for j in 0..self.cols {
-                out[j] += self.get(i, j) * vi;
+            for (o, &a) in out.as_mut_slice().iter_mut().zip(row) {
+                *o += a * vi;
             }
         }
         out
     }
 
-    /// Gram product `selfᵀ · self`, the information-matrix kernel `H = JᵀJ`.
+    /// Gram product `selfᵀ · self` (the information-matrix kernel `H = JᵀJ`)
+    /// on the global pool.
     pub fn gram(&self) -> Self {
-        let mut out = Self::zeros(self.cols, self.cols);
-        for k in 0..self.rows {
-            let row = self.row(k);
-            for i in 0..self.cols {
-                let a = row[i];
-                if a == T::ZERO {
-                    continue;
-                }
-                for j in i..self.cols {
-                    let v = a * row[j];
-                    out.add_at(i, j, v);
+        self.gram_with(&Pool::global())
+    }
+
+    /// Gram product on an explicit pool.
+    ///
+    /// Each output row `i` holds `out[i][j] = Σ_k self[k][i]·self[k][j]`
+    /// (upper triangle, mirrored afterwards); rows are independent and are
+    /// computed in [`ROW_BLOCK`] blocks across the pool's workers. `k`
+    /// ascends per output element exactly as in a serial rank-1-update
+    /// formulation, so the result is bit-identical for any thread count.
+    pub fn gram_with(&self, pool: &Pool) -> Self {
+        let n = self.cols;
+        let mut out = Self::zeros(n, n);
+        if n == 0 {
+            return out;
+        }
+        pool.par_chunks_mut(&mut out.data, ROW_BLOCK * n, |blk, out_block| {
+            let i0 = blk * ROW_BLOCK;
+            for (r, out_row) in out_block.chunks_mut(n).enumerate() {
+                let i = i0 + r;
+                for row in self.rows_iter() {
+                    let a = row[i];
+                    if a == T::ZERO {
+                        continue;
+                    }
+                    for (o, &b) in out_row[i..].iter_mut().zip(&row[i..]) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         // Mirror the upper triangle.
-        for i in 0..self.cols {
+        for i in 0..n {
             for j in 0..i {
                 let v = out.get(j, i);
                 out.set(i, j, v);
@@ -582,5 +640,37 @@ mod tests {
     #[should_panic(expected = "from_vec: buffer size mismatch")]
     fn from_vec_checks_len() {
         let _ = M::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn row_mut_edits_in_place() {
+        let mut m = sample();
+        m.row_mut(1)[2] = 42.0;
+        assert_eq!(m.get(1, 2), 42.0);
+        m.row_mut(0).fill(0.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_iter_walks_all_rows() {
+        let m = sample();
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], &[1.0, 2.0, 3.0]);
+        assert_eq!(rows[1], &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn explicit_pool_kernels_match_serial() {
+        use archytas_par::Pool;
+        let a = M::from_fn(37, 23, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = M::from_fn(23, 29, |i, j| ((i * 7 + j * 11) % 17) as f64 * 0.25);
+        let serial = Pool::with_threads(1);
+        let forced = Pool::with_threads(4).with_serial_threshold(0);
+        assert_eq!(
+            a.try_mul_with(&b, &serial).unwrap(),
+            a.try_mul_with(&b, &forced).unwrap()
+        );
+        assert_eq!(a.gram_with(&serial), a.gram_with(&forced));
     }
 }

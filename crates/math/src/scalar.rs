@@ -10,6 +10,9 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// This trait is sealed: it is implemented for `f32` and `f64` only, which
 /// mirrors the two datapath widths that exist in the system (double-precision
 /// host software, single-precision FPGA datapath).
+///
+/// `Send + Sync` are supertraits so matrices can be shared with the scoped
+/// workers of `archytas-par` (trivially true for both float widths).
 pub trait Scalar:
     Copy
     + Debug
@@ -17,6 +20,8 @@ pub trait Scalar:
     + Default
     + PartialEq
     + PartialOrd
+    + Send
+    + Sync
     + Add<Output = Self>
     + Sub<Output = Self>
     + Mul<Output = Self>

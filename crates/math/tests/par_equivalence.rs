@@ -1,0 +1,137 @@
+//! Parallel kernels must be bit-identical to serial execution for every
+//! thread count — the determinism contract of `archytas-par` applied to the
+//! `archytas-math` hot paths.
+
+use archytas_math::{Cholesky, DMat, DVec, Scalar};
+use archytas_par::Pool;
+use proptest::prelude::*;
+
+/// Pools covering the serial path, an even split, and heavy oversubscription
+/// (the container may have a single core — oversubscription is exactly what
+/// must NOT change results). Threshold 0 forces the parallel code path.
+fn pools() -> [Pool; 3] {
+    [1, 2, 8].map(|t| Pool::with_threads(t).with_serial_threshold(0))
+}
+
+fn bits(m: &DMat) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic pseudo-random fill (SplitMix64-style) so proptest only has
+/// to draw shapes and a seed, not whole buffers.
+fn fill(rows: usize, cols: usize, seed: u64) -> DMat {
+    DMat::from_fn(rows, cols, |i, j| {
+        let mut z = seed
+            .wrapping_add((i as u64) << 32 | j as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) * 20.0 - 10.0
+    })
+}
+
+#[test]
+fn mul_bit_identical_across_pools() {
+    let a = fill(67, 45, 1);
+    let b = fill(45, 53, 2);
+    let reference = bits(&a.try_mul_with(&b, &pools()[0]).unwrap());
+    for pool in &pools()[1..] {
+        assert_eq!(bits(&a.try_mul_with(&b, pool).unwrap()), reference);
+    }
+}
+
+#[test]
+fn gram_bit_identical_across_pools() {
+    let a = fill(91, 40, 3);
+    let reference = bits(&a.gram_with(&pools()[0]));
+    for pool in &pools()[1..] {
+        assert_eq!(bits(&a.gram_with(pool)), reference);
+    }
+}
+
+#[test]
+fn cholesky_bit_identical_across_pools() {
+    // n = 90 keeps early trailing blocks (≈ n² elements) above the
+    // factorization's internal parallelism floor, so the Update phase truly
+    // runs on the workers for multi-thread pools.
+    let n = 90;
+    let spd = fill(n, n, 4).gram().add_diagonal(n as f64);
+    let (l0, c0) = Cholesky::factor_counting_with(&spd, &pools()[0]).unwrap();
+    for pool in &pools()[1..] {
+        let (l, c) = Cholesky::factor_counting_with(&spd, pool).unwrap();
+        assert_eq!(bits(l.l()), bits(l0.l()));
+        assert_eq!(c, c0, "op counts must not depend on the thread count");
+    }
+}
+
+#[test]
+fn transpose_mat_vec_matches_explicit_transpose() {
+    let a = fill(33, 21, 5);
+    let v: DVec = (0..33).map(|i| (i as f64 * 0.37).cos()).collect();
+    let fused = a.transpose_mat_vec(&v);
+    let explicit = a.transpose().mat_vec(&v);
+    let close = fused
+        .as_slice()
+        .iter()
+        .zip(explicit.as_slice())
+        .all(|(x, y)| (x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+    assert!(close);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mul_equivalence_random_shapes(
+        (r, k, c) in (1usize..28, 1usize..28, 1usize..28),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = fill(r, k, seed);
+        let b = fill(k, c, seed ^ 0xDEAD_BEEF);
+        let reference = bits(&a.try_mul_with(&b, &pools()[0]).unwrap());
+        for pool in &pools()[1..] {
+            prop_assert_eq!(bits(&a.try_mul_with(&b, pool).unwrap()), reference.clone());
+        }
+    }
+
+    #[test]
+    fn gram_equivalence_random_shapes(
+        (r, c) in (1usize..40, 1usize..32),
+        seed in 0u64..1_000_000,
+    ) {
+        let a = fill(r, c, seed);
+        let reference = bits(&a.gram_with(&pools()[0]));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(bits(&a.gram_with(pool)), reference.clone());
+        }
+        // And the parallel Gram still equals the explicit product shape-wise.
+        prop_assert_eq!(a.gram_with(&pools()[2]).shape(), (c, c));
+    }
+
+    #[test]
+    fn cholesky_equivalence_random_sizes(n in 1usize..24, seed in 0u64..1_000_000) {
+        let spd = fill(n, n, seed).gram().add_diagonal(n as f64 + 1.0);
+        let (l0, c0) = Cholesky::factor_counting_with(&spd, &pools()[0]).unwrap();
+        for pool in &pools()[1..] {
+            let (l, cts) = Cholesky::factor_counting_with(&spd, pool).unwrap();
+            prop_assert_eq!(bits(l.l()), bits(l0.l()));
+            prop_assert_eq!(cts, c0);
+        }
+    }
+
+    #[test]
+    fn zero_skip_never_changes_results(r in 1usize..20, c in 1usize..20, seed in 0u64..1000) {
+        // Sparse-ish matrices exercise the a == 0 fast path.
+        let mut a = fill(r, c, seed);
+        for i in 0..r {
+            for j in 0..c {
+                if (i + j + seed as usize) % 3 == 0 {
+                    a.set(i, j, f64::ZERO);
+                }
+            }
+        }
+        let reference = bits(&a.gram_with(&pools()[0]));
+        for pool in &pools()[1..] {
+            prop_assert_eq!(bits(&a.gram_with(pool)), reference.clone());
+        }
+    }
+}

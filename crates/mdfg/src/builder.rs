@@ -17,7 +17,9 @@ use crate::graph::{MDfg, NodeId};
 use crate::node::{node_cost, Dims, NodeKind};
 
 /// Shape of one sliding-window problem, the input to every cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` lets shapes key memoized model evaluations (`archytas-par`'s
+/// `Memo`), since distinct windows frequently share a shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProblemShape {
     /// Number of feature points (`a`).
     pub features: usize,

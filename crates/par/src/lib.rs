@@ -1,0 +1,65 @@
+//! Std-only parallel execution layer for the Archytas reproduction.
+//!
+//! The paper's software baseline is a *multithreaded* ceres-based solver
+//! (Sec. 7.1) and its hardware template wins by exploiting parallel Update
+//! lanes and MAC arrays; this crate is the software-side analogue: a scoped
+//! worker pool over [`std::thread::scope`] (no external dependencies —
+//! DESIGN.md's sanctioned set has no threading crate) that the math kernels,
+//! the synthesizer and the experiment sweeps all share.
+//!
+//! # Determinism contract
+//!
+//! Every combinator preserves *serial semantics bit-for-bit*:
+//!
+//! * [`Pool::par_map`] returns results in input order; each element is
+//!   computed by exactly one closure call, so any thread count (including 1)
+//!   yields the identical `Vec`.
+//! * [`Pool::par_chunks_mut`] hands out disjoint chunks; each chunk sees the
+//!   same serial computation it would in a plain loop.
+//! * [`Pool::par_reduce`] partitions by a *fixed* chunk size (independent of
+//!   thread count) and folds partials in chunk order, so even non-associative
+//!   floating-point reductions are reproducible across `ARCHYTAS_THREADS`
+//!   settings.
+//!
+//! # Thread-count knob
+//!
+//! [`Pool::global`] reads `ARCHYTAS_THREADS` (0 or unset → hardware
+//! parallelism via [`std::thread::available_parallelism`]). Work below a
+//! tunable threshold ([`Pool::with_serial_threshold`], default
+//! [`DEFAULT_SERIAL_THRESHOLD`], env `ARCHYTAS_PAR_THRESHOLD`) runs serially
+//! so tiny matrices pay zero overhead. Nested calls (a parallel kernel
+//! invoked from inside a worker) automatically degrade to serial instead of
+//! oversubscribing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod memo;
+mod pool;
+
+pub use memo::Memo;
+pub use pool::{Pool, DEFAULT_SERIAL_THRESHOLD};
+
+/// [`Pool::par_map`] on the [`Pool::global`] pool.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    Pool::global().par_map(items, f)
+}
+
+/// [`Pool::par_chunks_mut`] on the [`Pool::global`] pool.
+pub fn par_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_size: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    Pool::global().par_chunks_mut(data, chunk_size, f);
+}
+
+/// [`Pool::par_reduce`] on the [`Pool::global`] pool.
+pub fn par_reduce<T: Sync, A: Send>(
+    items: &[T],
+    chunk_size: usize,
+    map: impl Fn(usize, &[T]) -> A + Sync,
+    fold: impl FnMut(A, A) -> A,
+) -> Option<A> {
+    Pool::global().par_reduce(items, chunk_size, map, fold)
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Quick parallel-layer benchmark smoke: runs the synthesizer,
+# solver-iteration and accelerator-simulation criterion benches in --quick
+# mode at ARCHYTAS_THREADS=1 and ARCHYTAS_THREADS=4, and collects the
+# BENCHJSON lines the vendored criterion harness emits into BENCH_par.json.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_par.json}"
+BENCHES=(synthesizer solver_iteration accel_sim)
+THREAD_COUNTS=(1 4)
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "building benches (release)..." >&2
+cargo build -q --release -p archytas-bench --benches
+
+for threads in "${THREAD_COUNTS[@]}"; do
+    for bench in "${BENCHES[@]}"; do
+        echo "running $bench (ARCHYTAS_THREADS=$threads, --quick)..." >&2
+        ARCHYTAS_THREADS="$threads" \
+            cargo bench -q -p archytas-bench --bench "$bench" -- --quick \
+            | sed -n "s/^BENCHJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"result\":/p" \
+            | sed 's/$/}/' >> "$TMP"
+    done
+done
+
+# Assemble a single JSON document: one record per (threads, bench, case).
+{
+    echo '{"schema":"archytas-bench-smoke-v1","records":['
+    paste -sd, - < "$TMP"
+    echo ']}'
+} > "$OUT"
+
+count="$(wc -l < "$TMP")"
+echo "wrote $OUT ($count records)" >&2

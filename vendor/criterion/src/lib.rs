@@ -1,0 +1,187 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace's benches use: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, `sample_size` and [`Bencher::iter`].
+//!
+//! Measurement model: every benchmark is warmed up once, then timed for
+//! `sample_size` samples; each sample batches enough iterations to be
+//! clock-resolvable. Besides the human-readable line, each benchmark emits a
+//! machine-readable `BENCHJSON {...}` line that `scripts/bench_smoke.sh`
+//! collects into `BENCH_par.json`.
+//!
+//! CLI: `--quick` (or env `ARCHYTAS_BENCH_QUICK=1`) cuts samples to a
+//! minimum for smoke runs; all other flags cargo passes are ignored.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("ARCHYTAS_BENCH_QUICK").is_ok();
+        Self { quick }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run(&id.to_string(), |b| f(b));
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.name, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; drop does the same).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let samples = if self.criterion.quick {
+            2
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            samples,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        println!("{full:<50} time: {:>12.1} ns/iter", bencher.mean_ns);
+        println!(
+            "BENCHJSON {{\"name\":\"{full}\",\"mean_ns\":{:.1},\"samples\":{samples}}}",
+            bencher.mean_ns
+        );
+    }
+}
+
+/// Per-benchmark timing driver.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, batching iterations so each sample is
+    /// clock-resolvable.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + batch sizing: target ≥ ~1 ms per sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once_ns = start.elapsed().as_nanos().max(1) as f64;
+        let batch = ((1_000_000.0 / once_ns).ceil() as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0;
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_ns += t.elapsed().as_nanos() as f64;
+            iters += batch;
+        }
+        self.mean_ns = total_ns / iters as f64;
+    }
+}
+
+/// Groups benchmark functions under one callable (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion { quick: true };
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("simulate_window", "nd28");
+        assert_eq!(id.name, "simulate_window/nd28");
+    }
+}
