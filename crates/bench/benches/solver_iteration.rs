@@ -3,8 +3,11 @@
 //! a full LM pass.
 
 use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
+use archytas_math::{BlockSparseSystem, SchurScratch};
+use archytas_par::Pool;
 use archytas_slam::{
-    build_normal_equations, schur_linear_solver, solve, FactorWeights, LmConfig, SlidingWindow,
+    build_block_normal_equations, build_normal_equations, schur_linear_solver, solve,
+    solve_in_workspace, FactorWeights, LmConfig, SlidingWindow, SolverWorkspace,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -45,6 +48,27 @@ fn bench_solver(c: &mut Criterion) {
         })
     });
 
+    // Block-sparse counterparts: same window, assembled into the
+    // block-structured system and solved via Schur elimination that never
+    // materializes the dense `A` (bit-identical outputs by construction).
+    let mut sys = BlockSparseSystem::new();
+    group.bench_function("build_block_normal_equations", |b| {
+        b.iter(|| build_block_normal_equations(black_box(&window), &weights, None, &mut sys))
+    });
+
+    build_block_normal_equations(&window, &weights, None, &mut sys);
+    sys.damp(1e-3, 1e-9);
+    let mut scratch = SchurScratch::default();
+    let mut delta = archytas_math::DVec::zeros(0);
+    let pool = Pool::global();
+    group.bench_function("block_schur_linear_solve", |b| {
+        b.iter(|| {
+            sys.solve_into(&mut scratch, &pool, &mut delta)
+                .expect("solvable");
+            black_box(&delta);
+        })
+    });
+
     group.bench_function("lm_full_window_6_iterations", |b| {
         b.iter(|| {
             let mut w = window.clone();
@@ -54,6 +78,17 @@ fn bench_solver(c: &mut Criterion) {
                 None,
                 &LmConfig::with_iterations(6),
             )
+        })
+    });
+
+    // Cross-window workspace reuse (the pipeline's steady state): every
+    // buffer — block system, Schur scratch, increment, candidate window —
+    // survives between solves.
+    let mut ws = SolverWorkspace::new();
+    group.bench_function("lm_full_window_reused_workspace", |b| {
+        b.iter(|| {
+            let mut w = window.clone();
+            solve_in_workspace(&mut ws, &mut w, &weights, None, &LmConfig::with_iterations(6))
         })
     });
 

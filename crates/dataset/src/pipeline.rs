@@ -9,7 +9,8 @@
 use crate::frontend::Frame;
 use archytas_slam::{
     marginalize_oldest, FactorWeights, ImuConstraint, KeyframeState, Landmark, LmConfig,
-    Observation, Pose, Preintegration, Prior, SlidingWindow, SolveReport, WindowWorkload, GRAVITY,
+    Observation, Pose, Preintegration, Prior, SlidingWindow, SolveReport, SolverWorkspace,
+    WindowWorkload, GRAVITY,
 };
 use std::collections::HashMap;
 
@@ -91,6 +92,8 @@ pub struct VioPipeline {
     /// Ground-truth poses aligned with `window.keyframes`.
     gt_window: Vec<KeyframeState>,
     windows_processed: usize,
+    /// Solver buffers reused across every window this pipeline optimizes.
+    workspace: SolverWorkspace,
 }
 
 impl VioPipeline {
@@ -103,6 +106,7 @@ impl VioPipeline {
             landmark_of: HashMap::new(),
             gt_window: Vec::new(),
             windows_processed: 0,
+            workspace: SolverWorkspace::new(),
         }
     }
 
@@ -208,7 +212,23 @@ impl VioPipeline {
     ///
     /// Panics when called before the window is full.
     pub fn optimize_and_slide(&mut self, iterations: usize) -> WindowResult {
-        self.optimize_and_slide_with(iterations, &archytas_slam::schur_linear_solver)
+        assert!(
+            self.window.num_keyframes() >= self.config.window_size,
+            "optimize_and_slide: window not full"
+        );
+        let prior = if self.config.use_prior {
+            self.prior.as_ref()
+        } else {
+            None
+        };
+        let report = archytas_slam::solve_in_workspace(
+            &mut self.workspace,
+            &mut self.window,
+            &self.config.weights,
+            prior,
+            &LmConfig::with_iterations(iterations),
+        );
+        self.slide(report)
     }
 
     /// Like [`VioPipeline::optimize_and_slide`] but with a caller-provided
@@ -239,7 +259,17 @@ impl VioPipeline {
             &LmConfig::with_iterations(iterations),
             linear_solver,
         );
+        self.slide(report)
+    }
 
+    /// Records the optimized window's result, marginalizes the oldest
+    /// keyframe, and slides the window (shared tail of both optimize paths).
+    fn slide(&mut self, report: SolveReport) -> WindowResult {
+        let prior = if self.config.use_prior {
+            self.prior.as_ref()
+        } else {
+            None
+        };
         let am = self
             .window
             .landmarks

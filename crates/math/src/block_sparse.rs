@@ -1,0 +1,717 @@
+//! Block-sparse normal equations for the sliding-window solver.
+//!
+//! [`SchurSystem`](crate::SchurSystem) consumes a *dense* `A` and pays three
+//! O(n²)–O(n³) round-trips per solve: partitioning copies every block,
+//! `W·U⁻¹·Wᵀ` runs through a dense `try_mul` against a materialized
+//! `transpose()`, and each retry of the LM damping loop re-clones the whole
+//! matrix. But the window's normal equations are never dense (paper Fig. 3b):
+//! `U` is diagonal (one inverse depth per landmark), and each landmark's `W`
+//! column intersects only the few keyframes that observe it, in fixed-height
+//! blocks (the pose-tangent slots of each 15-dim keyframe state).
+//!
+//! [`BlockSparseSystem`] stores exactly that structure — `U` as a diagonal
+//! vector, `W` as per-landmark block lists (block-CSR with a fixed block
+//! height `kb` and row pitch `stride`), `V` dense — and solves by Schur
+//! elimination directly on it, skipping the dense assembly entirely. The
+//! upper-right block `X = Wᵀ` is implied by symmetry and never stored, the
+//! storage saving the paper notes for the diagonal-`U` blocking.
+//!
+//! # Bit-identity contract
+//!
+//! For a system whose dense image ([`BlockSparseSystem::to_dense`]) is handed
+//! to [`SchurSystem`](crate::SchurSystem), [`BlockSparseSystem::solve_into`]
+//! returns the *bit-identical* increment, for any thread count. This holds
+//! because every floating-point operation of the dense path is replayed with
+//! the same operands in the same order, except for additions of structural
+//! zeros — and those are exact no-ops: assembled entries are accumulated sums
+//! of nonzero terms, which under round-to-nearest can produce `+0.0` but
+//! never `-0.0`, so an accumulator never sits at `-0.0` where adding `+0.0`
+//! would flip its sign. The per-entry accumulation order matches because the
+//! block lists are kept sorted by row and iterated in ascending landmark
+//! order, exactly the `i-k-j` order of the dense `try_mul` kernel.
+//!
+//! # Damping without clones
+//!
+//! [`BlockSparseSystem::damp`] applies the Marquardt diagonal scaling
+//! `A + λ·diag(A)` in place: the first call snapshots the undamped diagonal,
+//! and every call (including re-damps at a higher λ after a rejected step)
+//! rewrites the diagonal from that snapshot. [`BlockSparseSystem::undamp`]
+//! restores it. No full-matrix copy is ever taken.
+
+use crate::cholesky::Cholesky;
+use crate::error::{MathError, Result};
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::vector::Vector;
+use archytas_par::Pool;
+
+/// Normal equations `[U Wᵀ; W V]·δp = [bx; by]` in block-sparse form.
+///
+/// Dimensions: `U` is `p × p` diagonal, `V` is `q × q` dense, `W` is `q × p`
+/// with each landmark column holding a sorted list of `kb`-high blocks whose
+/// start rows are multiples of `stride` (the per-keyframe state pitch).
+///
+/// Build one with [`BlockSparseSystem::reset`] followed by the `add_*`
+/// scatter methods, then [`BlockSparseSystem::damp`] and
+/// [`BlockSparseSystem::solve_into`]. The struct is designed to be allocated
+/// once and reused across LM iterations and windows: `reset` and the solve
+/// scratch keep every buffer's allocation alive.
+#[derive(Debug, Clone)]
+pub struct BlockSparseSystem<T: Scalar> {
+    p: usize,
+    q: usize,
+    kb: usize,
+    stride: usize,
+    /// Diagonal of `U` (one entry per landmark).
+    u: Vec<T>,
+    /// Per-landmark sorted block start rows (within the `q`-dim pose region).
+    w_rows: Vec<Vec<u32>>,
+    /// Per-landmark block values, `kb` contiguous entries per block, in the
+    /// same order as `w_rows`.
+    w_vals: Vec<Vec<T>>,
+    /// Dense keyframe block `V`.
+    v: Matrix<T>,
+    bx: Vec<T>,
+    by: Vec<T>,
+    /// Undamped diagonals of `U` and `V`, captured by the first [`damp`]
+    /// after an assembly; see the module docs.
+    ///
+    /// [`damp`]: BlockSparseSystem::damp
+    saved_u: Vec<T>,
+    saved_v: Vec<T>,
+    damp_saved: bool,
+    /// Memo of the last `W` block located by [`add_w`]: `(lm, b0, pos)`.
+    /// Scatter writes arrive in per-block runs (a visual row touches up to
+    /// `kb` consecutive rows of one block), so this absorbs most lookups.
+    /// Refreshed on every call, so it can never go stale across inserts.
+    ///
+    /// [`add_w`]: BlockSparseSystem::add_w
+    w_memo: (usize, u32, usize),
+}
+
+impl<T: Scalar> Default for BlockSparseSystem<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Scalar> BlockSparseSystem<T> {
+    /// Creates an empty system; call [`BlockSparseSystem::reset`] before use.
+    pub fn new() -> Self {
+        Self {
+            p: 0,
+            q: 0,
+            kb: 1,
+            stride: 1,
+            u: Vec::new(),
+            w_rows: Vec::new(),
+            w_vals: Vec::new(),
+            v: Matrix::zeros(0, 0),
+            bx: Vec::new(),
+            by: Vec::new(),
+            saved_u: Vec::new(),
+            saved_v: Vec::new(),
+            damp_saved: false,
+            w_memo: (usize::MAX, 0, 0),
+        }
+    }
+
+    /// Clears the system to an all-zero `p`/`q` shape, reusing allocations.
+    ///
+    /// `kb` is the `W` block height and `stride` the row pitch blocks are
+    /// aligned to (`stride = 15`, `kb = 6` for the sliding window: visual
+    /// factors touch only the pose-tangent slots of each keyframe state).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kb` is zero or exceeds `stride`, or when `q` is not a
+    /// multiple of `stride`.
+    pub fn reset(&mut self, p: usize, q: usize, kb: usize, stride: usize) {
+        assert!(
+            kb >= 1 && kb <= stride,
+            "block height {kb} must be in 1..={stride}"
+        );
+        assert!(
+            q % stride == 0,
+            "pose dimension {q} is not a multiple of the stride {stride}"
+        );
+        self.p = p;
+        self.q = q;
+        self.kb = kb;
+        self.stride = stride;
+        self.u.clear();
+        self.u.resize(p, T::ZERO);
+        if self.w_rows.len() < p {
+            self.w_rows.resize_with(p, Vec::new);
+            self.w_vals.resize_with(p, Vec::new);
+        }
+        for lm in 0..p {
+            self.w_rows[lm].clear();
+            self.w_vals[lm].clear();
+        }
+        self.v.reset_zeros(q, q);
+        self.bx.clear();
+        self.bx.resize(p, T::ZERO);
+        self.by.clear();
+        self.by.resize(q, T::ZERO);
+        self.damp_saved = false;
+        self.w_memo = (usize::MAX, 0, 0);
+    }
+
+    /// Size of the diagonal (eliminated) block.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Size of the reduced (keyframe) block.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Full system dimension `p + q`.
+    pub fn dim(&self) -> usize {
+        self.p + self.q
+    }
+
+    /// Number of `W` blocks currently stored.
+    pub fn nnz_blocks(&self) -> usize {
+        self.w_rows[..self.p].iter().map(Vec::len).sum()
+    }
+
+    /// Scalars stored for the matrix (`U` diagonal + `W` blocks + dense `V`),
+    /// versus the `(p + q)²` a dense assembly would hold.
+    pub fn stored_entries(&self) -> usize {
+        self.p + self.nnz_blocks() * self.kb + self.q * self.q
+    }
+
+    /// Adds `val` to the diagonal `U` entry of landmark `j`.
+    pub fn add_u(&mut self, j: usize, val: T) {
+        self.u[j] += val;
+    }
+
+    /// Adds `val` to `V[r][c]` (`r`, `c` relative to the pose region).
+    pub fn add_v(&mut self, r: usize, c: usize, val: T) {
+        self.v.add_at(r, c, val);
+    }
+
+    /// Adds `scale·vals[t]` to `V[r][c0 + t]` for each nonzero `vals[t]`.
+    ///
+    /// Run form of [`BlockSparseSystem::add_v`]: one contiguous row write per
+    /// call instead of a bounds-checked scatter per element. Skipping the
+    /// zero entries matches the assembler's zero-Jacobian guard and cannot
+    /// change stored bits besides: accumulated entries are sums of nonzero
+    /// terms, hence never `-0.0`, and adding `±0.0` to anything that is not
+    /// `-0.0` leaves its bit pattern alone.
+    pub fn add_v_row(&mut self, r: usize, c0: usize, vals: &[T], scale: T) {
+        let row = &mut self.v.row_mut(r)[c0..c0 + vals.len()];
+        for (slot, &v) in row.iter_mut().zip(vals) {
+            if v != T::ZERO {
+                *slot += scale * v;
+            }
+        }
+    }
+
+    /// Copies `V`'s strict upper triangle onto its lower one.
+    ///
+    /// Assemblers that accumulate only upper-triangle pose–pose writes (the
+    /// mirror of every contribution carries the exact same value, so the
+    /// eagerly-mirrored lower triangle would be bitwise equal anyway) call
+    /// this once at the end instead of paying a strided write per entry.
+    pub fn reflect_v_upper(&mut self) {
+        for r in 0..self.q {
+            for c in (r + 1)..self.q {
+                let v = self.v.get(r, c);
+                self.v.set(c, r, v);
+            }
+        }
+    }
+
+    /// Adds `val` to `W[r][lm]` (`r` relative to the pose region), creating
+    /// the enclosing block on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` falls outside the leading `kb` rows of its
+    /// `stride`-aligned block.
+    pub fn add_w(&mut self, lm: usize, r: usize, val: T) {
+        *self.w_entry_mut(lm, r) += val;
+    }
+
+    /// Adds `scale·vals[t]` to `W[r0 + t][lm]` for each nonzero `vals[t]`,
+    /// resolving the enclosing block once for the whole run (the run form of
+    /// [`BlockSparseSystem::add_w`], with the zero-skip semantics of
+    /// [`BlockSparseSystem::add_v_row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run does not stay inside the leading `kb` rows of one
+    /// `stride`-aligned block.
+    pub fn add_w_run(&mut self, lm: usize, r0: usize, vals: &[T], scale: T) {
+        if vals.is_empty() {
+            return;
+        }
+        let b0 = r0 - r0 % self.stride;
+        let local = r0 - b0;
+        assert!(
+            local + vals.len() <= self.kb,
+            "w run {r0}..{} leaves the {}-high block starting at {b0}",
+            r0 + vals.len(),
+            self.kb
+        );
+        let pos = self.w_block_pos(lm, b0);
+        let at = pos * self.kb + local;
+        let slots = &mut self.w_vals[lm][at..at + vals.len()];
+        for (slot, &v) in slots.iter_mut().zip(vals) {
+            if v != T::ZERO {
+                *slot += scale * v;
+            }
+        }
+    }
+
+    /// Subtracts `val` from the landmark right-hand side `bx[j]` (the scatter
+    /// convention of Gauss–Newton assembly: `b -= Jᵀ·W·e`).
+    pub fn sub_bx(&mut self, j: usize, val: T) {
+        self.bx[j] -= val;
+    }
+
+    /// Subtracts `val` from the pose right-hand side `by[r]`.
+    pub fn sub_by(&mut self, r: usize, val: T) {
+        self.by[r] -= val;
+    }
+
+    fn w_entry_mut(&mut self, lm: usize, r: usize) -> &mut T {
+        let b0 = r - r % self.stride;
+        let local = r - b0;
+        assert!(
+            local < self.kb,
+            "w row {r} falls outside the {}-high block starting at {b0}",
+            self.kb
+        );
+        let pos = self.w_block_pos(lm, b0);
+        &mut self.w_vals[lm][pos * self.kb + local]
+    }
+
+    /// Index of the block starting at pose row `b0` in landmark `lm`'s block
+    /// list, inserting a zeroed block on first touch. Memoizes the last
+    /// lookup — the assembler writes each block as a burst of entries.
+    fn w_block_pos(&mut self, lm: usize, b0: usize) -> usize {
+        if self.w_memo.0 == lm && self.w_memo.1 == b0 as u32 {
+            return self.w_memo.2;
+        }
+        let rows = &mut self.w_rows[lm];
+        let pos = match rows.binary_search(&(b0 as u32)) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                rows.insert(pos, b0 as u32);
+                let at = pos * self.kb;
+                self.w_vals[lm].splice(at..at, std::iter::repeat(T::ZERO).take(self.kb));
+                pos
+            }
+        };
+        self.w_memo = (lm, b0 as u32, pos);
+        pos
+    }
+
+    /// Applies Marquardt damping `A + λ·diag(A)` (with `floor` as the minimum
+    /// diagonal magnitude) in place.
+    ///
+    /// The first call after [`BlockSparseSystem::reset`] snapshots the
+    /// undamped diagonal; every call rewrites the diagonal from that
+    /// snapshot, so re-damping at a different λ needs no undo in between.
+    /// Matches the dense reference `a[i][i] + λ·max(a[i][i], floor)`
+    /// bit-for-bit.
+    pub fn damp(&mut self, lambda: T, floor: T) {
+        if !self.damp_saved {
+            self.saved_u.clone_from(&self.u);
+            self.saved_v.clear();
+            self.saved_v.extend((0..self.q).map(|i| self.v.get(i, i)));
+            self.damp_saved = true;
+        }
+        for (u, &s) in self.u.iter_mut().zip(&self.saved_u) {
+            let d = if s > floor { s } else { floor };
+            *u = s + lambda * d;
+        }
+        for (i, &s) in self.saved_v.iter().enumerate() {
+            let d = if s > floor { s } else { floor };
+            self.v.set(i, i, s + lambda * d);
+        }
+    }
+
+    /// Restores the undamped diagonal captured by the first
+    /// [`BlockSparseSystem::damp`]; a no-op when no damping is active.
+    pub fn undamp(&mut self) {
+        if !self.damp_saved {
+            return;
+        }
+        self.u.copy_from_slice(&self.saved_u);
+        for (i, &s) in self.saved_v.iter().enumerate() {
+            self.v.set(i, i, s);
+        }
+        self.damp_saved = false;
+    }
+
+    /// Solves the system by D-type Schur elimination into `out`
+    /// (`δp = [δpx; δpy]`), using `scratch` for every intermediate buffer.
+    ///
+    /// Bit-identical to [`SchurSystem::solve`](crate::SchurSystem::solve) on
+    /// the dense image of this system, for any `pool` configuration (see the
+    /// module docs). The `q × q` outer-product accumulation — the dominant
+    /// cost — is row-parallel with a FLOP-weighted dispatch gate, so small
+    /// windows never pay a fork/join.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::SingularDiagonal`] when a `U` entry is zero or
+    /// not finite, and [`MathError::NotPositiveDefinite`] when the reduced
+    /// system fails to factor (the LM loop responds by raising λ).
+    pub fn solve_into(
+        &self,
+        scratch: &mut SchurScratch<T>,
+        pool: &Pool,
+        out: &mut Vector<T>,
+    ) -> Result<()> {
+        let (p, q, kb) = (self.p, self.q, self.kb);
+        // U⁻¹, with DiagMat::inverse's exact singularity test.
+        scratch.uinv.clear();
+        for (i, &d) in self.u[..p].iter().enumerate() {
+            if d == T::ZERO || !d.is_finite() {
+                return Err(MathError::SingularDiagonal { index: i });
+            }
+            scratch.uinv.push(T::ONE / d);
+        }
+        // Transpose index: landmarks (ascending) intersecting each pose row,
+        // with the offset of their W value for that row. Rebuilt per solve —
+        // O(nnz), negligible next to the O(q²·p̂) elimination below.
+        if scratch.row_lms.len() < q {
+            scratch.row_lms.resize_with(q, Vec::new);
+        }
+        for row in scratch.row_lms.iter_mut().take(q) {
+            row.clear();
+        }
+        let mut mac_ops = 0usize;
+        for lm in 0..p {
+            let nnz = self.w_rows[lm].len() * kb;
+            for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
+                for t in 0..kb {
+                    scratch.row_lms[r0 as usize + t].push((lm as u32, (bi * kb + t) as u32));
+                    mac_ops += nnz;
+                }
+            }
+        }
+        // S = V − W·U⁻¹·Wᵀ. Each output row accumulates over its landmarks in
+        // ascending order — the dense kernel's i-k-j order restricted to the
+        // nonzero pattern — and rows are independent, so the prod buffer is
+        // row-parallel. `mac_ops` is the exact multiply-accumulate count.
+        scratch.prod.reset_zeros(q, q);
+        {
+            let uinv = &scratch.uinv;
+            let row_lms = &scratch.row_lms;
+            let w_rows = &self.w_rows;
+            let w_vals = &self.w_vals;
+            pool.par_chunks_mut_weighted(scratch.prod.as_mut_slice(), q, mac_ops, |r, prow| {
+                for &(lm, off) in &row_lms[r] {
+                    let lm = lm as usize;
+                    // Same operand order as the dense path: (w·u⁻¹) first,
+                    // and the same skip as try_mul's zero-multiplicand test.
+                    let s = w_vals[lm][off as usize] * uinv[lm];
+                    if s == T::ZERO {
+                        continue;
+                    }
+                    let vals = &w_vals[lm];
+                    for (bi, &c0) in w_rows[lm].iter().enumerate() {
+                        let c0 = c0 as usize;
+                        for (t, &wv) in vals[bi * kb..(bi + 1) * kb].iter().enumerate() {
+                            prow[c0 + t] += s * wv;
+                        }
+                    }
+                }
+            });
+        }
+        scratch.schur.reset_zeros(q, q);
+        for ((s, &vv), &pp) in scratch
+            .schur
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.v.as_slice())
+            .zip(scratch.prod.as_slice())
+        {
+            *s = vv - pp;
+        }
+        // Reduced RHS: by − W·(U⁻¹·bx).
+        scratch.s2.clear();
+        scratch
+            .s2
+            .extend(scratch.uinv.iter().zip(&self.bx).map(|(&ui, &b)| ui * b));
+        scratch.rhs.resize_fill(q, T::ZERO);
+        {
+            let rhs = scratch.rhs.as_mut_slice();
+            for (r, row) in scratch.row_lms[..q].iter().enumerate() {
+                let mut acc = T::ZERO;
+                for &(lm, off) in row {
+                    let lm = lm as usize;
+                    acc += self.w_vals[lm][off as usize] * scratch.s2[lm];
+                }
+                rhs[r] = self.by[r] - acc;
+            }
+        }
+        scratch.chol.refactor_with(&scratch.schur, pool)?;
+        let dy = scratch.chol.solve(&scratch.rhs);
+        // Back-substitute: U·δpx = bx − Wᵀ·δpy, then concatenate.
+        out.resize_fill(p + q, T::ZERO);
+        let o = out.as_mut_slice();
+        for lm in 0..p {
+            let mut acc = T::ZERO;
+            let vals = &self.w_vals[lm];
+            for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
+                for t in 0..kb {
+                    let vi = dy[r0 as usize + t];
+                    // transpose_mat_vec's zero-row skip.
+                    if vi == T::ZERO {
+                        continue;
+                    }
+                    acc += vals[bi * kb + t] * vi;
+                }
+            }
+            o[lm] = scratch.uinv[lm] * (self.bx[lm] - acc);
+        }
+        o[p..].copy_from_slice(dy.as_slice());
+        Ok(())
+    }
+
+    /// Materializes the dense `(A, b)` this system represents (symmetric,
+    /// with `X = Wᵀ` filled in) — the input the dense
+    /// [`SchurSystem`](crate::SchurSystem) path partitions. For tests and the
+    /// equivalence suite.
+    pub fn to_dense(&self) -> (Matrix<T>, Vector<T>) {
+        let n = self.p + self.q;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = Vector::zeros(n);
+        for j in 0..self.p {
+            a.set(j, j, self.u[j]);
+            b[j] = self.bx[j];
+        }
+        for lm in 0..self.p {
+            for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
+                for t in 0..self.kb {
+                    let val = self.w_vals[lm][bi * self.kb + t];
+                    let r = self.p + r0 as usize + t;
+                    a.set(r, lm, val);
+                    a.set(lm, r, val);
+                }
+            }
+        }
+        for r in 0..self.q {
+            for c in 0..self.q {
+                a.set(self.p + r, self.p + c, self.v.get(r, c));
+            }
+            b[self.p + r] = self.by[r];
+        }
+        (a, b)
+    }
+}
+
+/// Reusable intermediate buffers for [`BlockSparseSystem::solve_into`].
+///
+/// Allocate once (`SchurScratch::default()`), reuse for every solve — across
+/// damping retries, LM iterations and windows. All buffers grow to the
+/// largest window seen and stay allocated.
+#[derive(Debug, Clone)]
+pub struct SchurScratch<T: Scalar> {
+    uinv: Vec<T>,
+    s2: Vec<T>,
+    row_lms: Vec<Vec<(u32, u32)>>,
+    prod: Matrix<T>,
+    schur: Matrix<T>,
+    rhs: Vector<T>,
+    chol: Cholesky<T>,
+}
+
+impl<T: Scalar> Default for SchurScratch<T> {
+    fn default() -> Self {
+        Self {
+            uinv: Vec::new(),
+            s2: Vec::new(),
+            row_lms: Vec::new(),
+            prod: Matrix::zeros(0, 0),
+            schur: Matrix::zeros(0, 0),
+            rhs: Vector::zeros(0),
+            chol: Cholesky::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockSpec;
+    use crate::schur::SchurSystem;
+
+    type Sys = BlockSparseSystem<f64>;
+
+    /// A well-conditioned system: 3 landmarks, 2 pose blocks of stride 7 with
+    /// kb = 4 (deliberately not the SLAM 15/6 to exercise generality).
+    fn build() -> Sys {
+        let (p, q, kb, stride) = (3, 14, 4, 7);
+        let mut s = Sys::new();
+        s.reset(p, q, kb, stride);
+        for j in 0..p {
+            s.add_u(j, 5.0 + j as f64);
+            s.sub_bx(j, -(0.3 + 0.1 * j as f64));
+        }
+        for r in 0..q {
+            s.add_v(r, r, 10.0 + r as f64 * 0.5);
+            s.sub_by(r, (r as f64 * 0.7 - 2.0) * -1.0);
+            for c in (r + 1)..q {
+                let v = 0.3 / (1.0 + (r as f64 - c as f64).abs());
+                s.add_v(r, c, v);
+                s.add_v(c, r, v);
+            }
+        }
+        // Landmark 0 seen by both keyframe blocks, 1 only by the first,
+        // 2 only by the second; insert out of order to exercise sorting.
+        for t in 0..kb {
+            s.add_w(0, 7 + t, 0.2 * t as f64 - 0.3);
+            s.add_w(0, t, 0.1 * t as f64 + 0.05);
+            s.add_w(1, t, -0.15 + 0.07 * t as f64);
+            s.add_w(2, 7 + t, 0.12 - 0.04 * t as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn solve_matches_dense_schur_bitwise() {
+        let s = build();
+        let (a, b) = s.to_dense();
+        let spec = BlockSpec::new(s.p(), s.dim()).unwrap();
+        let reference = SchurSystem::new(&a, &b, spec).unwrap().solve().unwrap();
+        let mut scratch = SchurScratch::default();
+        let mut out = Vector::zeros(0);
+        for pool in [
+            Pool::with_threads(1),
+            Pool::with_threads(2).with_serial_threshold(0),
+            Pool::with_threads(8).with_serial_threshold(0),
+        ] {
+            s.solve_into(&mut scratch, &pool, &mut out).unwrap();
+            assert_eq!(out.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
+    fn damp_matches_dense_damping_and_undamp_restores() {
+        let mut s = build();
+        let (a0, _) = s.to_dense();
+        s.damp(1e-3, 1e-9);
+        s.damp(10.0, 1e-9); // re-damp at a higher λ, no undo in between
+        let (ad, _) = s.to_dense();
+        for i in 0..s.dim() {
+            let d = a0.get(i, i);
+            assert_eq!(ad.get(i, i), d + 10.0 * d.max(1e-9), "diag {i}");
+        }
+        // Off-diagonals untouched.
+        for i in 0..s.dim() {
+            for j in 0..s.dim() {
+                if i != j {
+                    assert_eq!(ad.get(i, j), a0.get(i, j));
+                }
+            }
+        }
+        s.undamp();
+        let (ar, _) = s.to_dense();
+        for i in 0..s.dim() {
+            assert_eq!(ar.get(i, i), a0.get(i, i));
+        }
+    }
+
+    #[test]
+    fn damped_solve_matches_dense_damped_solve() {
+        let mut s = build();
+        s.damp(0.37, 1e-9);
+        let (a, b) = s.to_dense();
+        let reference = SchurSystem::new(&a, &b, BlockSpec::new(s.p(), s.dim()).unwrap())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let mut scratch = SchurScratch::default();
+        let mut out = Vector::zeros(0);
+        s.solve_into(&mut scratch, &Pool::with_threads(4).with_serial_threshold(0), &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn empty_landmark_block_degenerates_to_dense_cholesky() {
+        let mut s = Sys::new();
+        s.reset(0, 4, 2, 2);
+        for r in 0..4 {
+            s.add_v(r, r, 6.0 + r as f64);
+            s.sub_by(r, -(1.0 + r as f64));
+        }
+        s.add_v(0, 1, 0.5);
+        s.add_v(1, 0, 0.5);
+        let (a, b) = s.to_dense();
+        let reference = Cholesky::factor(&a).unwrap().solve(&b);
+        let mut scratch = SchurScratch::default();
+        let mut out = Vector::zeros(0);
+        s.solve_into(&mut scratch, &Pool::with_threads(1), &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        let s1 = build();
+        let mut s2 = Sys::new();
+        // Smaller system after a bigger one: stale scratch rows must not leak.
+        s2.reset(1, 7, 4, 7);
+        s2.add_u(0, 4.0);
+        s2.sub_bx(0, -1.0);
+        for r in 0..7 {
+            s2.add_v(r, r, 9.0);
+            s2.sub_by(r, -0.5);
+        }
+        for t in 0..4 {
+            s2.add_w(0, t, 0.1 + 0.1 * t as f64);
+        }
+        let mut scratch = SchurScratch::default();
+        let mut out = Vector::zeros(0);
+        let pool = Pool::with_threads(1);
+        s1.solve_into(&mut scratch, &pool, &mut out).unwrap();
+        let (a, b) = s2.to_dense();
+        let reference = SchurSystem::new(&a, &b, BlockSpec::new(1, 8).unwrap())
+            .unwrap()
+            .solve()
+            .unwrap();
+        s2.solve_into(&mut scratch, &pool, &mut out).unwrap();
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn singular_u_is_reported_with_index() {
+        let mut s = build();
+        s.reset(2, 7, 4, 7);
+        s.add_u(0, 3.0); // landmark 1 left at zero
+        assert!(matches!(
+            s.solve_into(
+                &mut SchurScratch::default(),
+                &Pool::with_threads(1),
+                &mut Vector::zeros(0)
+            ),
+            Err(MathError::SingularDiagonal { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn storage_is_sparse() {
+        let s = build();
+        assert_eq!(s.nnz_blocks(), 4);
+        assert!(s.stored_entries() < s.dim() * s.dim());
+    }
+
+    #[test]
+    #[should_panic(expected = "falls outside")]
+    fn out_of_block_row_is_rejected() {
+        let mut s = Sys::new();
+        s.reset(1, 7, 4, 7);
+        s.add_w(0, 5, 1.0); // rows 4..7 of the stride-7 block are not in kb=4
+    }
+}

@@ -14,15 +14,15 @@ use crate::triangular::{solve_lower, solve_upper};
 use crate::vector::Vector;
 use archytas_par::Pool;
 
-/// Minimum trailing-block size (elements) before an Update phase goes
-/// parallel. The per-element work is a single fused multiply-subtract, so a
-/// scope spawn only pays for itself on large trailing blocks.
-const UPDATE_PAR_MIN: usize = 4096;
 
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cholesky<T: Scalar> {
     l: Matrix<T>,
+    /// `Lᵀ`, kept row-major: the factorization writes columns of `L`
+    /// contiguously into it, and back-substitution reads it without the
+    /// per-solve transpose it would otherwise re-materialize.
+    lt: Matrix<T>,
 }
 
 /// Operation counts of one factorization, split by the hardware template's
@@ -42,6 +42,17 @@ pub struct CholeskyOpCounts {
     pub iterations: usize,
 }
 
+impl<T: Scalar> Default for Cholesky<T> {
+    /// An empty (0-dimensional) factorization, as a reusable-buffer seed for
+    /// [`Cholesky::refactor_with`].
+    fn default() -> Self {
+        Self {
+            l: Matrix::zeros(0, 0),
+            lt: Matrix::zeros(0, 0),
+        }
+    }
+}
+
 impl<T: Scalar> Cholesky<T> {
     /// Factors the symmetric positive-definite matrix `a`.
     ///
@@ -49,7 +60,7 @@ impl<T: Scalar> Cholesky<T> {
     ///
     /// Returns [`MathError::DimensionMismatch`] when `a` is not square and
     /// [`MathError::NotPositiveDefinite`] when a pivot is non-positive or not
-    /// finite. Symmetry is assumed (only the lower triangle is read).
+    /// finite. Symmetry is assumed (only the upper triangle is read).
     pub fn factor(a: &Matrix<T>) -> Result<Self> {
         if !a.is_square() {
             return Err(MathError::DimensionMismatch {
@@ -91,15 +102,43 @@ impl<T: Scalar> Cholesky<T> {
         a: &Matrix<T>,
         pool: &Pool,
     ) -> Result<(Self, CholeskyOpCounts)> {
+        let mut fact = Self {
+            l: Matrix::zeros(0, 0),
+            lt: Matrix::zeros(0, 0),
+        };
+        let counts = fact.refactor_with(a, pool)?;
+        Ok((fact, counts))
+    }
+
+    /// Re-runs the factorization on `a`, reusing this value's buffers — no
+    /// allocation when `a` has the shape of the previous factorization. The
+    /// arithmetic is identical to [`Cholesky::factor_counting_with`].
+    ///
+    /// On error the value is left in an unspecified (but safe) state; run
+    /// another `refactor_with` before using it again.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`].
+    pub fn refactor_with(&mut self, a: &Matrix<T>, pool: &Pool) -> Result<CholeskyOpCounts> {
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
-        // `work` holds the trailing sub-matrix (lower triangle of S_k).
-        let mut work = a.clone();
+        // The factor is accumulated as `Lᵀ` (row-major): the Evaluate phase
+        // then writes column k of `L` into one contiguous row, and the Update
+        // phase reads that same row sequentially — the strided column
+        // traffic of a row-major `L` would cost a cache line per element.
+        self.lt.reset_zeros(n, n);
+        // The trailing sub-matrix S_k, also stored TRANSPOSED: row j holds
+        // the elements (i, j), i ≥ j, contiguously, so the Evaluate phase's
+        // column read and the Update phase's row walks are all sequential.
+        // Seeding it from `a`'s rows reads the upper triangle (symmetry is
+        // assumed). `self.l` doubles as the buffer; it is overwritten with
+        // the final row-major factor afterwards.
+        let work = &mut self.l;
+        work.clone_from(a);
         let mut counts = CholeskyOpCounts {
             iterations: n,
             ..Default::default()
         };
-        let pool = pool.with_serial_threshold(pool.serial_threshold().max(UPDATE_PAR_MIN));
         for k in 0..n {
             // --- Evaluate phase: column k of L ---
             let pivot = work.get(k, k);
@@ -107,26 +146,44 @@ impl<T: Scalar> Cholesky<T> {
                 return Err(MathError::NotPositiveDefinite { pivot: k });
             }
             let d = pivot.sqrt();
-            l.set(k, k, d);
             counts.evaluate_ops += n - k;
-            for i in (k + 1)..n {
-                l.set(i, k, work.get(i, k) / d);
+            {
+                let wrow = work.row(k);
+                let col = self.lt.row_mut(k);
+                col[k] = d;
+                for i in (k + 1)..n {
+                    col[i] = wrow[i] / d;
+                }
             }
             // --- Update phase: S_{k+1} = S_k − l_k·l_kᵀ on the trailing block ---
-            // Row i of the trailing block only reads column k of L (fully
-            // written above) and writes row i of `work`, so rows update in
-            // parallel; chunks of one row keep the borrow regions disjoint.
-            let l_ref = &l;
-            pool.par_chunks_mut(&mut work.as_mut_slice()[(k + 1) * n..], n, |c, wr| {
-                let i = k + 1 + c;
-                let lik = l_ref.row(i)[k];
-                for (j, w) in wr.iter_mut().enumerate().take(i + 1).skip(k + 1) {
-                    *w = *w - lik * l_ref.row(j)[k];
-                }
-            });
-            counts.update_ops += (n - 1 - k) * (n - k) / 2;
+            // Transposed row j of the trailing block only reads column k of L
+            // (fully written above) and writes elements (i, j) for i ≥ j, so
+            // rows update in parallel; chunks of one row keep the borrow
+            // regions disjoint. Each element receives exactly the one
+            // multiply-subtract of the textbook serial loop, with the same
+            // operands, so the factor is bit-identical to it. The phase
+            // performs (n−k−1)(n−k)/2 such operations in total — which is
+            // what the weighted dispatch gates on: small trailing blocks
+            // (every iteration of a window-sized Schur complement) never pay
+            // a fork/join.
+            let update_ops = (n - 1 - k) * (n - k) / 2;
+            let lcol = &*self.lt.row(k);
+            pool.par_chunks_mut_weighted(
+                &mut work.as_mut_slice()[(k + 1) * n..],
+                n,
+                update_ops,
+                |c, wr| {
+                    let j = k + 1 + c;
+                    let ljk = lcol[j];
+                    for (w, &li) in wr[j..].iter_mut().zip(&lcol[j..]) {
+                        *w = *w - li * ljk;
+                    }
+                },
+            );
+            counts.update_ops += update_ops;
         }
-        Ok((Self { l }, counts))
+        self.lt.transpose_into(&mut self.l);
+        Ok(counts)
     }
 
     /// The lower-triangular factor `L`.
@@ -151,7 +208,7 @@ impl<T: Scalar> Cholesky<T> {
     /// Panics when `b.len()` differs from the matrix dimension.
     pub fn solve(&self, b: &Vector<T>) -> Vector<T> {
         let y = solve_lower(&self.l, b);
-        solve_upper(&self.l.transpose(), &y)
+        solve_upper(&self.lt, &y)
     }
 
     /// Dense inverse `A⁻¹`, computed by solving against the identity columns.

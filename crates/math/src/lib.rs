@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 mod block;
+mod block_sparse;
 mod cholesky;
 mod diag;
 mod error;
@@ -44,6 +45,7 @@ mod triangular;
 mod vector;
 
 pub use block::{split_vector, BlockSpec, Blocked2x2};
+pub use block_sparse::{BlockSparseSystem, SchurScratch};
 pub use cholesky::Cholesky;
 pub use diag::DiagMat;
 pub use error::{MathError, Result};

@@ -25,11 +25,30 @@ const ROW_BLOCK: usize = 8;
 /// let b = a.transpose();
 /// assert_eq!(b.get(0, 1), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Matrix<T: Scalar> {
     rows: usize,
     cols: usize,
     data: Vec<T>,
+}
+
+impl<T: Scalar> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the existing allocation when it is
+    /// large enough — the derived impl would reallocate on every call, which
+    /// matters for per-iteration buffers in the solver hot loop.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows = source.rows;
+        self.cols = source.cols;
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl<T: Scalar> Matrix<T> {
@@ -40,6 +59,17 @@ impl<T: Scalar> Matrix<T> {
             cols,
             data: vec![T::ZERO; rows * cols],
         }
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the allocation.
+    ///
+    /// Equivalent to `*self = Matrix::zeros(rows, cols)` without the
+    /// reallocation; used by the solver's reusable workspaces.
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, T::ZERO);
     }
 
     /// Creates the `n × n` identity matrix.
@@ -169,12 +199,19 @@ impl<T: Scalar> Matrix<T> {
     /// Transposed copy.
     pub fn transpose(&self) -> Self {
         let mut t = Self::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t);
+        t
+    }
+
+    /// Writes this matrix's transpose into `out`, reshaping and reusing its
+    /// allocation.
+    pub fn transpose_into(&self, out: &mut Self) {
+        out.reset_zeros(self.cols, self.rows);
         for i in 0..self.rows {
             for j in 0..self.cols {
-                t.set(j, i, self.get(i, j));
+                out.set(j, i, self.get(i, j));
             }
         }
-        t
     }
 
     /// Matrix product, dimension-checked, on the global pool.
@@ -209,7 +246,9 @@ impl<T: Scalar> Matrix<T> {
         if n == 0 {
             return Ok(out);
         }
-        pool.par_chunks_mut(&mut out.data, ROW_BLOCK * n, |blk, out_block| {
+        // One multiply-accumulate per (i, k, j) triple.
+        let est_ops = self.rows * self.cols * n;
+        pool.par_chunks_mut_weighted(&mut out.data, ROW_BLOCK * n, est_ops, |blk, out_block| {
             let i0 = blk * ROW_BLOCK;
             for (r, out_row) in out_block.chunks_mut(n).enumerate() {
                 let a_row = self.row(i0 + r);
@@ -284,7 +323,9 @@ impl<T: Scalar> Matrix<T> {
         if n == 0 {
             return out;
         }
-        pool.par_chunks_mut(&mut out.data, ROW_BLOCK * n, |blk, out_block| {
+        // Upper triangle only: one multiply-accumulate per (i ≤ j, k) triple.
+        let est_ops = n * (n + 1) / 2 * self.rows;
+        pool.par_chunks_mut_weighted(&mut out.data, ROW_BLOCK * n, est_ops, |blk, out_block| {
             let i0 = blk * ROW_BLOCK;
             for (r, out_row) in out_block.chunks_mut(n).enumerate() {
                 let i = i0 + r;

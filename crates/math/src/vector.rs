@@ -16,9 +16,23 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// let c = &a + &b;
 /// assert_eq!(c.as_slice(), &[4.0, 6.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Vector<T: Scalar> {
     data: Vec<T>,
+}
+
+impl<T: Scalar> Clone for Vector<T> {
+    fn clone(&self) -> Self {
+        Self {
+            data: self.data.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing the existing allocation when it is
+    /// large enough (the derived impl would reallocate on every call).
+    fn clone_from(&mut self, source: &Self) {
+        self.data.clone_from(&source.data);
+    }
 }
 
 impl<T: Scalar> Vector<T> {
@@ -27,6 +41,12 @@ impl<T: Scalar> Vector<T> {
         Self {
             data: vec![T::ZERO; n],
         }
+    }
+
+    /// Resizes to `n` elements, all set to `value`, reusing the allocation.
+    pub fn resize_fill(&mut self, n: usize, value: T) {
+        self.data.clear();
+        self.data.resize(n, value);
     }
 
     /// Number of elements.

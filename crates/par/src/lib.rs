@@ -28,8 +28,19 @@
 //! tunable threshold ([`Pool::with_serial_threshold`], default
 //! [`DEFAULT_SERIAL_THRESHOLD`], env `ARCHYTAS_PAR_THRESHOLD`) runs serially
 //! so tiny matrices pay zero overhead. Nested calls (a parallel kernel
-//! invoked from inside a worker) automatically degrade to serial instead of
-//! oversubscribing.
+//! invoked from inside a worker) automatically degrade to serial — on the
+//! inner level only; the enclosing region keeps its workers.
+//!
+//! # Granularity-aware dispatch
+//!
+//! Item count alone is a poor proxy for work: the solver's Cholesky Update
+//! phases touch thousands of elements but execute one fused multiply-subtract
+//! per element, so spawning scoped workers costs more than the arithmetic
+//! saves. Kernels that can estimate their scalar-operation count pass it
+//! through [`Pool::should_parallelize_work`] /
+//! [`Pool::par_chunks_mut_weighted`]; jobs below the work floor
+//! ([`Pool::with_min_work`], default [`DEFAULT_MIN_PARALLEL_WORK`], env
+//! `ARCHYTAS_PAR_MIN_WORK`) stay serial regardless of their element count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -38,7 +49,7 @@ mod memo;
 mod pool;
 
 pub use memo::Memo;
-pub use pool::{Pool, DEFAULT_SERIAL_THRESHOLD};
+pub use pool::{Pool, DEFAULT_MIN_PARALLEL_WORK, DEFAULT_SERIAL_THRESHOLD};
 
 /// [`Pool::par_map`] on the [`Pool::global`] pool.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {

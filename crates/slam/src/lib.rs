@@ -59,8 +59,14 @@ pub use imu::{ImuSample, Preintegration, GRAVITY};
 pub use marginalization::{marginalize_oldest, MarginalizationResult};
 pub use metrics::{mean_stdev, relative_error, rmse_translation, TrajectoryMetrics};
 pub use prior::Prior;
-pub use problem::{apply_increment, build_normal_equations, evaluate_cost, NormalEquations};
-pub use solver::{schur_linear_solver, solve, solve_with, LinearSolver, LmConfig, SolveReport};
+pub use problem::{
+    apply_increment, build_block_normal_equations, build_normal_equations, evaluate_cost,
+    BlockNormalEqInfo, NormalEquations, POSE_TANGENT_DIM,
+};
+pub use solver::{
+    schur_linear_solver, solve, solve_in_workspace, solve_with, LinearSolver, LmConfig,
+    SolveReport, SolverWorkspace,
+};
 pub use window::{
     ImuConstraint, KeyframeState, Landmark, Observation, SlidingWindow, WindowWorkload, STATE_DIM,
 };

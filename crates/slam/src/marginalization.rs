@@ -12,7 +12,7 @@
 use crate::factors::{evaluate_imu, evaluate_visual, FactorWeights};
 use crate::prior::Prior;
 use crate::window::{SlidingWindow, STATE_DIM};
-use archytas_math::{dense_schur_complement, BlockSpec, Blocked2x2, Cholesky, DMat, DVec};
+use archytas_math::{BlockSpec, Blocked2x2, Cholesky, DMat, DVec};
 
 /// Outcome of marginalizing the oldest keyframe out of a window.
 #[derive(Debug, Clone)]
@@ -93,13 +93,18 @@ pub fn marginalize_oldest(
         let col_obs = kf_off(obs.keyframe);
         for r in 0..2 {
             let e = ev.residual[r];
-            let mut cols = vec![col_rho];
-            let mut vals = vec![ev.j_rho[r]];
+            // Fixed-size gather (1 rho + interleaved anchor/observer pose
+            // columns, preserving the historical accumulation order) — no
+            // per-row heap allocation.
+            let mut cols = [0usize; 13];
+            let mut vals = [0f64; 13];
+            cols[0] = col_rho;
+            vals[0] = ev.j_rho[r];
             for c in 0..6 {
-                cols.push(col_anchor + c);
-                vals.push(ev.j_anchor[r][c]);
-                cols.push(col_obs + c);
-                vals.push(ev.j_obs[r][c]);
+                cols[1 + 2 * c] = col_anchor + c;
+                vals[1 + 2 * c] = ev.j_anchor[r][c];
+                cols[2 + 2 * c] = col_obs + c;
+                vals[2 + 2 * c] = ev.j_obs[r][c];
             }
             accumulate(&mut h, &mut g, &cols, &vals, e, wv2);
         }
@@ -117,13 +122,13 @@ pub fn marginalize_oldest(
         for r in 0..15 {
             let w = weights.imu_row(r);
             let e = ev.residual[r];
-            let mut cols = Vec::with_capacity(30);
-            let mut vals = Vec::with_capacity(30);
+            let mut cols = [0usize; 30];
+            let mut vals = [0f64; 30];
             for c in 0..15 {
-                cols.push(off_i + c);
-                vals.push(ev.j_i[r][c]);
-                cols.push(off_j + c);
-                vals.push(ev.j_j[r][c]);
+                cols[2 * c] = off_i + c;
+                vals[2 * c] = ev.j_i[r][c];
+                cols[2 * c + 1] = off_j + c;
+                vals[2 * c + 1] = ev.j_j[r][c];
             }
             accumulate(&mut h, &mut g, &cols, &vals, e, w * w);
         }
@@ -158,11 +163,22 @@ pub fn marginalize_oldest(
     let blocked = Blocked2x2::partition(&h, spec).expect("partition");
     let (bx, by) = archytas_math::split_vector(&g, spec).expect("split");
     // Regularize the marginalized block before inversion (it can be gauge
-    // deficient when landmarks have few observations).
+    // deficient when landmarks have few observations). `M` is factored once
+    // and the inverse shared between the Schur complement and the reduced
+    // right-hand side — historically `dense_schur_complement` and the `rp`
+    // computation each ran their own O(n³) factorization of the same matrix.
     let m = blocked.u.add_diagonal(1e-9);
-    let hp = dense_schur_complement(&m, &blocked.w, &blocked.v)
-        .expect("marginal information stays factorizable");
-    let m_inv = Cholesky::factor(&m).expect("regularized M is SPD").inverse();
+    let m_inv = Cholesky::factor(&m)
+        .expect("regularized M is SPD")
+        .inverse();
+    let lm_inv = blocked
+        .w
+        .try_mul(&m_inv)
+        .expect("marginal block shapes agree");
+    let prod = lm_inv
+        .try_mul(&blocked.w.transpose())
+        .expect("marginal block shapes agree");
+    let hp = &blocked.v - &prod;
     let rp = &by - &blocked.w.mat_vec(&m_inv.mat_vec(&bx));
 
     let lin_states = window.keyframes[1..].to_vec();

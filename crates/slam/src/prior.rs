@@ -128,15 +128,26 @@ impl Prior {
     /// cost. The prior occupies the keyframe block of the window ordering
     /// (columns `num_landmarks()..`).
     pub fn add_to_normal_equations(&self, window: &SlidingWindow, a: &mut DMat, b: &mut DVec) -> f64 {
+        self.add_to_sink(window, &mut crate::problem::DenseSink { a, b })
+    }
+
+    /// Sink-generic form of [`Prior::add_to_normal_equations`]: the same
+    /// writes in the same order, routed through the assembly sink so the
+    /// dense and block-sparse paths stay bit-identical.
+    pub(crate) fn add_to_sink<S: crate::problem::NormalEqSink>(
+        &self,
+        window: &SlidingWindow,
+        sink: &mut S,
+    ) -> f64 {
         let off = window.kf_offset(0);
         let r = self.residual(window);
         let h = self.information();
         let grad = self.jacobian.transpose_mat_vec(&r);
         for i in 0..self.dim() {
-            b[off + i] -= grad[i];
-            for j in 0..self.dim() {
-                a.add_at(off + i, off + j, h.get(i, j));
-            }
+            sink.sub_b(off + i, grad[i]);
+            // One dense run per row (scale 1 is exact; see the run method's
+            // zero-skip note for why dropping `±0.0` entries is bit-safe).
+            sink.add_a_row(off + i, off, h.row(i), 1.0);
         }
         0.5 * r.norm_squared()
     }

@@ -13,7 +13,164 @@
 use crate::factors::{evaluate_imu, evaluate_visual, FactorWeights};
 use crate::prior::Prior;
 use crate::window::{SlidingWindow, STATE_DIM};
-use archytas_math::{DMat, DVec};
+use archytas_math::{BlockSparseSystem, DMat, DVec};
+
+/// Height of the `W` blocks a visual factor writes: the pose-tangent slots of
+/// a keyframe state (rotation + translation, the first 6 of the 15).
+pub const POSE_TANGENT_DIM: usize = 6;
+
+/// Destination of normal-equation scatter writes.
+///
+/// The assembly loop is generic over this sink so the dense matrix and the
+/// block-sparse system are filled by the *same* factor iteration: every
+/// logical entry receives the same contributions in the same order, which is
+/// what makes the two solve paths bit-identical.
+pub(crate) trait NormalEqSink {
+    /// Adds `v` at `(i, j)` of `A` in the global state ordering. Raw — no
+    /// implicit mirroring; callers write both triangles explicitly.
+    fn add_a(&mut self, i: usize, j: usize, v: f64);
+    /// Subtracts `v` from `b[i]` (the `b -= Jᵀ·W·e` scatter convention).
+    fn sub_b(&mut self, i: usize, v: f64);
+    /// Adds `scale·vals[t]` at `(i, j0 + t)` for each nonzero `vals[t]` — the
+    /// contiguous-run form of [`NormalEqSink::add_a`] that lets sinks use
+    /// slice writes on matrix rows.
+    ///
+    /// Skipping the zero entries mirrors the per-pair scatter's zero guard
+    /// and is bit-safe even where the per-element path did not skip:
+    /// accumulated entries are sums of nonzero terms, hence never `-0.0`,
+    /// and adding `±0.0` to anything that is not `-0.0` leaves its bit
+    /// pattern alone.
+    fn add_a_row(&mut self, i: usize, j0: usize, vals: &[f64], scale: f64) {
+        for (t, &v) in vals.iter().enumerate() {
+            if v != 0.0 {
+                self.add_a(i, j0 + t, scale * v);
+            }
+        }
+    }
+    /// Mirror of an [`NormalEqSink::add_a_row`]: the symmetric counterpart
+    /// writes `scale·vals[t]` at `(i0 + t, j)`, below the diagonal (the
+    /// assembler emits runs in ascending column order, so row writes land in
+    /// the upper triangle and mirrors in the lower).
+    ///
+    /// Because the mirror of every contribution carries the exact same value
+    /// as its primary, the accumulated lower triangle is bitwise equal to
+    /// the transposed upper one. Sinks may therefore ignore these calls and
+    /// instead copy the lower triangle from the upper in
+    /// [`NormalEqSink::reflect_upper`] — *except* where the mirrored region
+    /// is their only storage for a block (the block-sparse `W`).
+    fn mirror_a_col(&mut self, i0: usize, j: usize, vals: &[f64], scale: f64) {
+        for (t, &v) in vals.iter().enumerate() {
+            if v != 0.0 {
+                self.add_a(i0 + t, j, scale * v);
+            }
+        }
+    }
+    /// Called once after the factor loop (before the prior, whose `Hp` may
+    /// be asymmetric in the last bits and is therefore written raw to both
+    /// triangles). Sinks that ignored [`NormalEqSink::mirror_a_col`] writes
+    /// reconstruct the lower triangle here by copying the upper.
+    fn reflect_upper(&mut self) {}
+}
+
+pub(crate) struct DenseSink<'a> {
+    pub a: &'a mut DMat,
+    pub b: &'a mut DVec,
+}
+
+impl NormalEqSink for DenseSink<'_> {
+    fn add_a(&mut self, i: usize, j: usize, v: f64) {
+        self.a.add_at(i, j, v);
+    }
+    fn sub_b(&mut self, i: usize, v: f64) {
+        self.b[i] -= v;
+    }
+    fn add_a_row(&mut self, i: usize, j0: usize, vals: &[f64], scale: f64) {
+        let row = &mut self.a.row_mut(i)[j0..j0 + vals.len()];
+        for (slot, &v) in row.iter_mut().zip(vals) {
+            if v != 0.0 {
+                *slot += scale * v;
+            }
+        }
+    }
+    fn mirror_a_col(&mut self, _i0: usize, _j: usize, _vals: &[f64], _scale: f64) {
+        // Deferred: the whole lower triangle is copied in `reflect_upper`.
+    }
+    fn reflect_upper(&mut self) {
+        let n = self.a.rows();
+        for r in 0..n {
+            for c in (r + 1)..n {
+                let v = self.a.get(r, c);
+                self.a.set(c, r, v);
+            }
+        }
+    }
+}
+
+/// Routes global-ordering writes into a [`BlockSparseSystem`]: the leading
+/// `p` indices are landmarks, the rest the pose region. Upper-right (`X`)
+/// writes are dropped — that block is implied by symmetry and never stored —
+/// so the `W` entries receive exactly the mirror-write sequence the dense
+/// lower-left block gets.
+struct BlockSink<'a> {
+    sys: &'a mut BlockSparseSystem<f64>,
+    p: usize,
+}
+
+impl NormalEqSink for BlockSink<'_> {
+    fn add_a(&mut self, i: usize, j: usize, v: f64) {
+        let p = self.p;
+        match (i < p, j < p) {
+            (true, true) => {
+                debug_assert_eq!(i, j, "off-diagonal landmark–landmark entry");
+                self.sys.add_u(i, v);
+            }
+            (false, false) => self.sys.add_v(i - p, j - p, v),
+            (false, true) => self.sys.add_w(j, i - p, v),
+            (true, false) => {}
+        }
+    }
+    fn sub_b(&mut self, i: usize, v: f64) {
+        if i < self.p {
+            self.sys.sub_bx(i, v);
+        } else {
+            self.sys.sub_by(i - self.p, v);
+        }
+    }
+    fn add_a_row(&mut self, i: usize, j0: usize, vals: &[f64], scale: f64) {
+        let p = self.p;
+        if i >= p && j0 >= p {
+            self.sys.add_v_row(i - p, j0 - p, vals, scale);
+        } else if i < p && j0 >= p {
+            // X block: implied by symmetry, never stored.
+        } else {
+            for (t, &v) in vals.iter().enumerate() {
+                if v != 0.0 {
+                    self.add_a(i, j0 + t, scale * v);
+                }
+            }
+        }
+    }
+    fn mirror_a_col(&mut self, i0: usize, j: usize, vals: &[f64], scale: f64) {
+        let p = self.p;
+        if i0 >= p && j < p {
+            // The mirror writes *are* the `W` block's storage (the upper
+            // `X` primaries are dropped), so they cannot be deferred.
+            self.sys.add_w_run(j, i0 - p, vals, scale);
+        } else if i0 >= p {
+            // Pose–pose mirror: deferred, `reflect_upper` copies `V`'s
+            // lower triangle from the upper.
+        } else {
+            for (t, &v) in vals.iter().enumerate() {
+                if v != 0.0 {
+                    self.add_a(i0 + t, j, scale * v);
+                }
+            }
+        }
+    }
+    fn reflect_upper(&mut self) {
+        self.sys.reflect_v_upper();
+    }
+}
 
 /// Assembled normal equations plus bookkeeping for one linearization.
 #[derive(Debug, Clone)]
@@ -41,9 +198,67 @@ pub fn build_normal_equations(
     prior: Option<&Prior>,
 ) -> NormalEquations {
     let a_dim = window.state_dim();
-    let num_l = window.num_landmarks();
     let mut a = DMat::zeros(a_dim, a_dim);
     let mut b = DVec::zeros(a_dim);
+    let (cost, used) = assemble(window, weights, prior, &mut DenseSink { a: &mut a, b: &mut b });
+    NormalEquations {
+        a,
+        b,
+        cost,
+        num_landmarks: window.num_landmarks(),
+        used_observations: used,
+    }
+}
+
+/// Assembly metadata of one block-sparse linearization (the block analogue of
+/// the bookkeeping fields of [`NormalEquations`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockNormalEqInfo {
+    /// One-half squared weighted residual norm (the MAP cost, Eq. 2).
+    pub cost: f64,
+    /// Number of landmark (diagonal-block) parameters.
+    pub num_landmarks: usize,
+    /// Visual observations actually used (in front of both cameras).
+    pub used_observations: usize,
+}
+
+/// Builds the normal equations of a window directly in block-sparse form,
+/// skipping the dense `state_dim × state_dim` assembly entirely.
+///
+/// `sys` is reset to the window's shape (reusing its allocations) and filled
+/// through the same factor loop as [`build_normal_equations`], so its dense
+/// image is bit-identical to the matrix that function produces — and
+/// [`BlockSparseSystem::solve_into`] on it is bit-identical to the dense
+/// Schur path.
+pub fn build_block_normal_equations(
+    window: &SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    sys: &mut BlockSparseSystem<f64>,
+) -> BlockNormalEqInfo {
+    let num_l = window.num_landmarks();
+    sys.reset(
+        num_l,
+        STATE_DIM * window.num_keyframes(),
+        POSE_TANGENT_DIM,
+        STATE_DIM,
+    );
+    let (cost, used) = assemble(window, weights, prior, &mut BlockSink { sys, p: num_l });
+    BlockNormalEqInfo {
+        cost,
+        num_landmarks: num_l,
+        used_observations: used,
+    }
+}
+
+/// The shared factor loop: linearizes every factor and scatters it into
+/// `sink`. Returns `(cost, used_observations)`.
+fn assemble<S: NormalEqSink>(
+    window: &SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    sink: &mut S,
+) -> (f64, usize) {
     let mut cost = 0.0;
     let mut used = 0;
 
@@ -75,22 +290,21 @@ pub fn build_normal_equations(
         for r in 0..2 {
             let e = ev.residual[r];
             cost += 0.5 * wv2 * e * e;
-            // Gather the sparse row: 1 rho column + two 6-dim pose blocks.
-            // (Pose tangent occupies the first 6 slots of the 15-dim state.)
-            let mut cols = [0usize; 13];
-            let mut vals = [0f64; 13];
-            cols[0] = col_rho;
-            vals[0] = ev.j_rho[r];
-            for c in 0..6 {
-                cols[1 + c] = col_anchor + c;
-                vals[1 + c] = ev.j_anchor[r][c];
-                cols[7 + c] = col_obs + c;
-                vals[7 + c] = ev.j_obs[r][c];
-            }
-            // Guard against the anchor and observer being the same state
-            // (excluded above, but keep the invariant explicit).
+            // The sparse row: 1 rho column + two 6-wide pose-tangent runs,
+            // ordered by column (re-anchoring can place the anchor after the
+            // observer). Pose tangent occupies the first 6 slots of the
+            // 15-dim state. Guard against the anchor and observer being the
+            // same state (excluded above, but keep the invariant explicit).
             debug_assert_ne!(col_anchor, col_obs);
-            scatter_row(&mut a, &mut b, &cols, &vals, e, wv2);
+            let j_rho = [ev.j_rho[r]];
+            let anchor_run = (col_anchor, &ev.j_anchor[r][..]);
+            let obs_run = (col_obs, &ev.j_obs[r][..]);
+            let (first, second) = if col_anchor < col_obs {
+                (anchor_run, obs_run)
+            } else {
+                (obs_run, anchor_run)
+            };
+            scatter_runs(sink, &[(col_rho, &j_rho[..]), first, second], e, wv2);
         }
     }
 
@@ -106,58 +320,67 @@ pub fn build_normal_equations(
             let w2 = w * w;
             let e = ev.residual[r];
             cost += 0.5 * w2 * e * e;
-            let mut cols = [0usize; 30];
-            let mut vals = [0f64; 30];
-            for c in 0..15 {
-                cols[c] = off_i + c;
-                vals[c] = ev.j_i[r][c];
-                cols[15 + c] = off_j + c;
-                vals[15 + c] = ev.j_j[r][c];
-            }
-            scatter_row(&mut a, &mut b, &cols, &vals, e, w2);
+            // Two 15-wide runs: the full states of the bracketing keyframes.
+            scatter_runs(
+                sink,
+                &[(off_i, &ev.j_i[r][..]), (off_j, &ev.j_j[r][..])],
+                e,
+                w2,
+            );
         }
     }
 
+    // Factor scatter done: materialize the (bitwise-symmetric) lower
+    // triangle before the raw prior/gauge writes land on both triangles.
+    sink.reflect_upper();
+
     // --- marginalization prior ---
     if let Some(p) = prior {
-        cost += p.add_to_normal_equations(window, &mut a, &mut b);
+        cost += p.add_to_sink(window, sink);
     } else {
         // Gauge fixation: strongly pin keyframe 0's pose (and weakly its
         // velocity/biases so the very first window is well-conditioned).
         let off = window.kf_offset(0);
         for c in 0..STATE_DIM {
             let w2 = if c < 6 { 1e8 } else { 1e2 };
-            a.add_at(off + c, off + c, w2);
+            sink.add_a(off + c, off + c, w2);
         }
     }
 
-    NormalEquations {
-        a,
-        b,
-        cost,
-        num_landmarks: num_l,
-        used_observations: used,
-    }
+    (cost, used)
 }
 
-/// Rank-1 update of `A` and `b` from one sparse residual row.
+/// Rank-1 update of `A` and `b` from one sparse residual row whose nonzero
+/// columns form contiguous runs.
 ///
-/// `cols`/`vals` describe the nonzero Jacobian entries of the row, `e` its
-/// residual and `w2` its squared weight.
-fn scatter_row(a: &mut DMat, b: &mut DVec, cols: &[usize], vals: &[f64], e: f64, w2: f64) {
-    for (idx_i, (&ci, &vi)) in cols.iter().zip(vals).enumerate() {
-        if vi == 0.0 {
-            continue;
-        }
-        b[ci] -= w2 * vi * e;
-        for (&cj, &vj) in cols[idx_i..].iter().zip(&vals[idx_i..]) {
-            if vj == 0.0 {
+/// `runs` lists the row's `(first_column, jacobian_values)` segments — they
+/// must be disjoint and in ascending column order, so that `add_a_row`
+/// primaries land in the upper triangle and `mirror_a_col` writes below the
+/// diagonal. `e` is the row's residual and `w2` its squared weight. Every
+/// cell of `A` receives at most one contribution per call (each unordered
+/// column pair appears exactly once), so the write order within the call is
+/// free; the run shape turns the historical per-pair scatter into contiguous
+/// row writes while producing the exact same per-cell values `(w2·vi)·vj`,
+/// with the same zero-Jacobian skips.
+fn scatter_runs<S: NormalEqSink>(sink: &mut S, runs: &[(usize, &[f64])], e: f64, w2: f64) {
+    for (ri, &(c0i, vals_i)) in runs.iter().enumerate() {
+        for (ti, &vi) in vals_i.iter().enumerate() {
+            if vi == 0.0 {
                 continue;
             }
-            let contrib = w2 * vi * vj;
-            a.add_at(ci, cj, contrib);
-            if ci != cj {
-                a.add_at(cj, ci, contrib);
+            let ci = c0i + ti;
+            let wvi = w2 * vi;
+            sink.sub_b(ci, wvi * e);
+            // Diagonal plus the rest of this run, then the mirror of the
+            // off-diagonal part.
+            let tail = &vals_i[ti..];
+            sink.add_a_row(ci, ci, tail, wvi);
+            if tail.len() > 1 {
+                sink.mirror_a_col(ci + 1, ci, &tail[1..], wvi);
+            }
+            for &(c0j, vals_j) in &runs[ri + 1..] {
+                sink.add_a_row(ci, c0j, vals_j, wvi);
+                sink.mirror_a_col(c0j, ci, vals_j, wvi);
             }
         }
     }
@@ -212,8 +435,11 @@ pub fn apply_increment(window: &mut SlidingWindow, delta: &DVec) {
     }
     for i in 0..window.num_keyframes() {
         let off = num_l + i * STATE_DIM;
-        let slice: Vec<f64> = (0..STATE_DIM).map(|c| delta[off + c]).collect();
-        window.keyframes[i] = window.keyframes[i].boxplus(&slice);
+        let mut tangent = [0.0; STATE_DIM];
+        for (c, t) in tangent.iter_mut().enumerate() {
+            *t = delta[off + c];
+        }
+        window.keyframes[i] = window.keyframes[i].boxplus(&tangent);
     }
 }
 

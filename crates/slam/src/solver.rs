@@ -8,9 +8,15 @@
 
 use crate::factors::FactorWeights;
 use crate::prior::Prior;
-use crate::problem::{apply_increment, build_normal_equations, evaluate_cost};
+use crate::problem::{
+    apply_increment, build_block_normal_equations, build_normal_equations, evaluate_cost,
+};
 use crate::window::SlidingWindow;
-use archytas_math::{BlockSpec, Cholesky, DVec, SchurSystem};
+use archytas_math::{BlockSparseSystem, BlockSpec, Cholesky, DVec, SchurScratch, SchurSystem};
+use archytas_par::Pool;
+
+/// Diagonal floor of the Marquardt damping `A + λ·max(diag(A), floor)`.
+const DAMP_FLOOR: f64 = 1e-9;
 
 /// Configuration of the LM solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,18 +89,146 @@ pub struct SolveReport {
 /// single-precision datapath here.
 pub type LinearSolver<'a> = &'a dyn Fn(&archytas_math::DMat, &DVec, usize) -> Option<DVec>;
 
+/// Reusable buffers for the block-sparse LM solve path: the block-structured
+/// normal equations, the Schur-elimination scratch, the increment vector and
+/// the candidate window of the step-acceptance test.
+///
+/// Allocate once and pass to [`solve_in_workspace`] for every window — all
+/// buffers grow to the largest window seen and stay allocated, so steady-state
+/// iterations perform no per-iteration (or per-retry) heap allocation for the
+/// linear-system side.
+#[derive(Debug, Clone)]
+pub struct SolverWorkspace {
+    sys: BlockSparseSystem<f64>,
+    scratch: SchurScratch<f64>,
+    delta: DVec,
+    candidate: SlidingWindow,
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self {
+            sys: BlockSparseSystem::new(),
+            scratch: SchurScratch::default(),
+            delta: DVec::zeros(0),
+            candidate: SlidingWindow::new(),
+        }
+    }
+}
+
 /// Solves the sliding-window MAP problem in place using the default
 /// double-precision D-type Schur linear solver.
 ///
 /// Returns a [`SolveReport`]; the window's keyframes and landmarks are left
 /// at the optimized estimate.
+///
+/// This goes through the block-sparse pipeline with a transient
+/// [`SolverWorkspace`]; callers solving many windows should hold a workspace
+/// and call [`solve_in_workspace`] to reuse its buffers. Either way the
+/// result is bit-identical to the dense reference path
+/// ([`solve_with`] + [`schur_linear_solver`]).
 pub fn solve(
     window: &mut SlidingWindow,
     weights: &FactorWeights,
     prior: Option<&Prior>,
     config: &LmConfig,
 ) -> SolveReport {
-    solve_with(window, weights, prior, config, &schur_linear_solver)
+    let mut ws = SolverWorkspace::new();
+    solve_in_workspace(&mut ws, window, weights, prior, config)
+}
+
+/// Solves the sliding-window MAP problem through the block-sparse normal
+/// equations, reusing `ws` for every buffer.
+///
+/// The LM loop is the same as [`solve_with`]'s; the differences are purely
+/// mechanical: the normal equations are assembled block-sparse (never
+/// materializing the dense `A`), damping is applied in place with
+/// snapshot-undo instead of cloning the matrix, and the candidate window of
+/// the acceptance test is a reused buffer swapped in on accept rather than a
+/// fresh clone per retry. Every floating-point operation matches the dense
+/// reference, so the report and the optimized window are bit-identical to
+/// [`solve`]'s documented behavior for any `ARCHYTAS_THREADS` setting.
+pub fn solve_in_workspace(
+    ws: &mut SolverWorkspace,
+    window: &mut SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    config: &LmConfig,
+) -> SolveReport {
+    let pool = Pool::global();
+    let mut lambda = config.initial_lambda;
+    let mut report = SolveReport {
+        iterations: 0,
+        initial_cost: f64::NAN,
+        final_cost: f64::NAN,
+        converged: false,
+        lambda,
+        last_step_norm: 0.0,
+        step_norms: Vec::new(),
+    };
+
+    for _ in 0..config.max_iterations {
+        let info = build_block_normal_equations(window, weights, prior, &mut ws.sys);
+        if report.initial_cost.is_nan() {
+            report.initial_cost = info.cost;
+        }
+        report.final_cost = info.cost;
+
+        let mut accepted = false;
+        for _ in 0..=config.max_retries {
+            ws.sys.damp(lambda, DAMP_FLOOR);
+            if ws
+                .sys
+                .solve_into(&mut ws.scratch, &pool, &mut ws.delta)
+                .is_err()
+            {
+                lambda *= config.lambda_up;
+                continue;
+            }
+            if !ws.delta.all_finite() {
+                lambda *= config.lambda_up;
+                continue;
+            }
+            ws.candidate.clone_from(window);
+            apply_increment(&mut ws.candidate, &ws.delta);
+            let new_cost = evaluate_cost(&ws.candidate, weights, prior);
+            if new_cost.is_finite() && new_cost < info.cost {
+                std::mem::swap(window, &mut ws.candidate);
+                lambda = (lambda * config.lambda_down).max(1e-12);
+                report.last_step_norm = ws.delta.norm();
+                report.step_norms.push(report.last_step_norm);
+                report.final_cost = new_cost;
+                accepted = true;
+                break;
+            }
+            lambda *= config.lambda_up;
+        }
+        report.iterations += 1;
+        report.lambda = lambda;
+        if !accepted {
+            break;
+        }
+        let decrease = (report.initial_cost - report.final_cost).abs();
+        let rel = decrease / report.initial_cost.max(1e-30);
+        if report.final_cost <= config.cost_tolerance
+            || (report.iterations > 1 && rel < config.cost_tolerance)
+        {
+            report.converged = true;
+            break;
+        }
+    }
+    if report.initial_cost.is_nan() {
+        report.initial_cost = 0.0;
+        report.final_cost = 0.0;
+    }
+    report
 }
 
 /// Solves the sliding-window MAP problem with a caller-provided linear
@@ -116,6 +250,12 @@ pub fn solve_with(
         last_step_norm: 0.0,
         step_norms: Vec::new(),
     };
+    // Reused across iterations and damping retries: `damped` is copied from
+    // `ne.a` once per linearization and only its diagonal is rewritten per
+    // retry (in-place damping with undo-by-rewrite, instead of a full-matrix
+    // clone per retry); `candidate` is the acceptance-test window buffer.
+    let mut damped = archytas_math::DMat::zeros(0, 0);
+    let mut candidate = SlidingWindow::new();
 
     for _ in 0..config.max_iterations {
         let ne = build_normal_equations(window, weights, prior);
@@ -123,10 +263,11 @@ pub fn solve_with(
             report.initial_cost = ne.cost;
         }
         report.final_cost = ne.cost;
+        damped.clone_from(&ne.a);
 
         let mut accepted = false;
         for _ in 0..=config.max_retries {
-            let damped = damp(&ne.a, lambda);
+            damp_in_place(&mut damped, &ne.a, lambda);
             let Some(delta) = linear_solver(&damped, &ne.b, ne.num_landmarks) else {
                 lambda *= config.lambda_up;
                 continue;
@@ -135,11 +276,11 @@ pub fn solve_with(
                 lambda *= config.lambda_up;
                 continue;
             }
-            let mut candidate = window.clone();
+            candidate.clone_from(window);
             apply_increment(&mut candidate, &delta);
             let new_cost = evaluate_cost(&candidate, weights, prior);
             if new_cost.is_finite() && new_cost < ne.cost {
-                *window = candidate;
+                std::mem::swap(window, &mut candidate);
                 lambda = (lambda * config.lambda_down).max(1e-12);
                 report.last_step_norm = delta.norm();
                 report.step_norms.push(report.last_step_norm);
@@ -170,14 +311,17 @@ pub fn solve_with(
     report
 }
 
-/// Marquardt damping: `A + λ·diag(A)` with a floor on the diagonal.
-fn damp(a: &archytas_math::DMat, lambda: f64) -> archytas_math::DMat {
-    let mut out = a.clone();
+/// Marquardt damping `A + λ·diag(A)` (with [`DAMP_FLOOR`]) written onto the
+/// diagonal of `out`, whose off-diagonal content already equals `a`'s.
+///
+/// Rewriting the diagonal from the undamped source each call makes re-damping
+/// at a new λ (after a rejected step) its own undo — no full-matrix clone per
+/// retry, same bits as the historical clone-based `damp()`.
+fn damp_in_place(out: &mut archytas_math::DMat, a: &archytas_math::DMat, lambda: f64) {
     for i in 0..a.rows() {
-        let d = a.get(i, i).max(1e-9);
-        out.add_at(i, i, lambda * d);
+        let d = a.get(i, i);
+        out.set(i, i, d + lambda * d.max(DAMP_FLOOR));
     }
-    out
 }
 
 /// The default linear solver: D-type Schur elimination when landmarks are

@@ -157,7 +157,7 @@ impl WindowWorkload {
 }
 
 /// The sliding window the MAP estimator optimizes over.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct SlidingWindow {
     /// Keyframe states, oldest first.
     pub keyframes: Vec<KeyframeState>,
@@ -167,6 +167,27 @@ pub struct SlidingWindow {
     pub observations: Vec<Observation>,
     /// IMU constraints between consecutive keyframes.
     pub imu: Vec<ImuConstraint>,
+}
+
+impl Clone for SlidingWindow {
+    fn clone(&self) -> Self {
+        Self {
+            keyframes: self.keyframes.clone(),
+            landmarks: self.landmarks.clone(),
+            observations: self.observations.clone(),
+            imu: self.imu.clone(),
+        }
+    }
+
+    /// Copies `source` into `self`, reusing each field's allocation — the
+    /// derived impl would reallocate every vector, which matters for the LM
+    /// loop's candidate window (one clone per damping retry).
+    fn clone_from(&mut self, source: &Self) {
+        self.keyframes.clone_from(&source.keyframes);
+        self.landmarks.clone_from(&source.landmarks);
+        self.observations.clone_from(&source.observations);
+        self.imu.clone_from(&source.imu);
+    }
 }
 
 impl SlidingWindow {

@@ -4,11 +4,18 @@
 # mode at ARCHYTAS_THREADS=1 and ARCHYTAS_THREADS=4, and collects the
 # BENCHJSON lines the vendored criterion harness emits into BENCH_par.json.
 #
-# Usage: scripts/bench_smoke.sh [output.json]
+# It additionally extracts the solver-path records (every `solver/*` case
+# plus the accelerator's `f32_functional_solve`) into BENCH_solver.json and
+# enforces the parallel-dispatch regression gate: the run fails (non-zero
+# exit) when any solver bench at 4 threads is more than 1.25x its 1-thread
+# mean — i.e. when adding threads makes the solver slower.
+#
+# Usage: scripts/bench_smoke.sh [output.json] [solver-output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_par.json}"
+SOLVER_OUT="${2:-BENCH_solver.json}"
 BENCHES=(synthesizer solver_iteration accel_sim)
 THREAD_COUNTS=(1 4)
 TMP="$(mktemp)"
@@ -17,8 +24,12 @@ trap 'rm -f "$TMP"' EXIT
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
 
-for threads in "${THREAD_COUNTS[@]}"; do
-    for bench in "${BENCHES[@]}"; do
+# Thread counts innermost so each bench's 1-thread and 4-thread runs are
+# adjacent in time: the gate below compares their means, and back-to-back
+# runs share machine state (load, thermals) far better than sweeps that are
+# minutes apart.
+for bench in "${BENCHES[@]}"; do
+    for threads in "${THREAD_COUNTS[@]}"; do
         echo "running $bench (ARCHYTAS_THREADS=$threads, --quick)..." >&2
         ARCHYTAS_THREADS="$threads" \
             cargo bench -q -p archytas-bench --bench "$bench" -- --quick \
@@ -36,3 +47,52 @@ done
 
 count="$(wc -l < "$TMP")"
 echo "wrote $OUT ($count records)" >&2
+
+# Solver extract + 4-thread regression gate.
+python3 - "$OUT" "$SOLVER_OUT" <<'PY'
+import json
+import sys
+
+src, dst = sys.argv[1], sys.argv[2]
+doc = json.load(open(src))
+
+def is_solver(rec):
+    name = rec["result"]["name"]
+    return name.startswith("solver/") or name.endswith("f32_functional_solve")
+
+records = [r for r in doc["records"] if is_solver(r)]
+json.dump(
+    {"schema": "archytas-bench-solver-v1", "records": records},
+    open(dst, "w"),
+    indent=1,
+)
+print(f"wrote {dst} ({len(records)} records)", file=sys.stderr)
+
+# Gate: every solver/* case at 4 threads must stay within 1.25x of its
+# 1-thread mean. A violation means parallel dispatch is mis-granulated
+# (fork/join overhead exceeding the work it distributes).
+LIMIT = 1.25
+means = {}
+for r in records:
+    means[(r["result"]["name"], r["threads"])] = r["result"]["mean_ns"]
+
+failures = []
+for (name, threads), mean in sorted(means.items()):
+    if threads != 4 or not name.startswith("solver/"):
+        continue
+    base = means.get((name, 1))
+    if base is None or base <= 0.0:
+        continue
+    ratio = mean / base
+    status = "FAIL" if ratio > LIMIT else "ok"
+    print(f"  {status}  {name}: 4t/1t = {ratio:.3f} "
+          f"({mean / 1e6:.3f} ms vs {base / 1e6:.3f} ms)", file=sys.stderr)
+    if ratio > LIMIT:
+        failures.append(name)
+
+if failures:
+    print(f"solver 4-thread regression gate FAILED: {', '.join(failures)}",
+          file=sys.stderr)
+    sys.exit(1)
+print("solver 4-thread regression gate passed", file=sys.stderr)
+PY
