@@ -58,14 +58,22 @@ impl IterPolicy {
                 .iter()
                 .map(|(_, _, e)| *e)
                 .fold(f64::INFINITY, f64::min);
-            let chosen = (1..=ITER_CAP)
-                .find(|it| {
-                    in_bucket
-                        .iter()
-                        .filter(|(_, i, _)| i == it)
-                        .any(|(_, _, e)| *e <= best * (1.0 + tolerance))
-                })
-                .unwrap_or(ITER_CAP);
+            // An empty bucket (or one with no finite RMSE) taught us
+            // nothing: provision the worst case. Without this guard,
+            // `best` stays INFINITY and `e <= ∞·(1+tol)` silently accepts
+            // iteration 1 for any bucket whose runs all diverged.
+            let chosen = if !best.is_finite() {
+                ITER_CAP
+            } else {
+                (1..=ITER_CAP)
+                    .find(|it| {
+                        in_bucket
+                            .iter()
+                            .filter(|(_, i, _)| i == it)
+                            .any(|(_, _, e)| *e <= best * (1.0 + tolerance))
+                    })
+                    .unwrap_or(ITER_CAP)
+            };
             thresholds.push((lo, chosen));
         }
         Self { thresholds }
@@ -104,6 +112,15 @@ impl IterCounter {
     /// Current iteration budget.
     pub fn current(&self) -> usize {
         self.current
+    }
+
+    /// Overrides the budget immediately, bypassing the debounce — used by
+    /// the safety watchdog when the estimator reports a degraded window.
+    /// Confidence resets to "weakly confident" so the ladder back down is
+    /// still debounced after the override lifts.
+    pub fn force(&mut self, budget: usize) {
+        self.current = budget.clamp(1, ITER_CAP);
+        self.state = 2;
     }
 
     /// Feeds one window's mapped target; returns the (possibly updated)
@@ -187,6 +204,62 @@ impl GatingTable {
     }
 }
 
+/// Safety watchdog over the run-time knob (the runtime half of the
+/// degradation ladder).
+///
+/// While the estimator reports degraded windows, power optimization is the
+/// wrong objective: the watchdog pins the iteration budget to [`ITER_CAP`]
+/// and ungates the full built configuration, and only releases control back
+/// to the policy after `hysteresis` consecutive healthy windows — so a
+/// fault flickering at the health threshold cannot thrash the gating
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeWatchdog {
+    hysteresis: usize,
+    healthy_streak: usize,
+    engaged: bool,
+}
+
+impl Default for RuntimeWatchdog {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl RuntimeWatchdog {
+    /// Creates a disengaged watchdog requiring `hysteresis` consecutive
+    /// healthy windows to release (values below 1 are treated as 1).
+    pub fn new(hysteresis: usize) -> Self {
+        Self {
+            hysteresis: hysteresis.max(1),
+            healthy_streak: 0,
+            engaged: false,
+        }
+    }
+
+    /// `true` while the watchdog holds the runtime pinned to full capacity.
+    pub fn engaged(&self) -> bool {
+        self.engaged
+    }
+
+    /// Feeds one window's health verdict; returns whether the watchdog is
+    /// engaged for this window. Engages immediately on an unhealthy window;
+    /// releases only after the configured streak of healthy ones.
+    pub fn observe(&mut self, healthy: bool) -> bool {
+        if !healthy {
+            self.engaged = true;
+            self.healthy_streak = 0;
+        } else if self.engaged {
+            self.healthy_streak += 1;
+            if self.healthy_streak >= self.hysteresis {
+                self.engaged = false;
+                self.healthy_streak = 0;
+            }
+        }
+        self.engaged
+    }
+}
+
 /// One per-window decision of the run-time system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeDecision {
@@ -205,6 +278,7 @@ pub struct RuntimeSystem {
     counter: IterCounter,
     gating: GatingTable,
     power: PowerModel,
+    watchdog: RuntimeWatchdog,
 }
 
 impl RuntimeSystem {
@@ -221,6 +295,7 @@ impl RuntimeSystem {
             gating: GatingTable::build(&built, shape, latency_bound_ms, platform),
             power: PowerModel::for_platform(platform),
             policy,
+            watchdog: RuntimeWatchdog::default(),
         }
     }
 
@@ -235,6 +310,32 @@ impl RuntimeSystem {
             active,
             gated_power_w: self.power.gated_power_w(&self.gating.built(), &active),
         }
+    }
+
+    /// Like [`RuntimeSystem::step`] but fed the estimator's per-window
+    /// health verdict. A healthy window behaves exactly like [`step`]
+    /// (bit-identical decisions); while the watchdog is engaged the budget
+    /// is pinned to [`ITER_CAP`] and the full built configuration is
+    /// ungated — a degraded estimator gets maximum compute, not a power
+    /// optimization tuned for clean data.
+    ///
+    /// [`step`]: RuntimeSystem::step
+    pub fn step_with_health(&mut self, features: usize, healthy: bool) -> RuntimeDecision {
+        if self.watchdog.observe(healthy) {
+            self.counter.force(ITER_CAP);
+            let active = self.gating.built();
+            return RuntimeDecision {
+                iterations: ITER_CAP,
+                active,
+                gated_power_w: self.power.gated_power_w(&self.gating.built(), &active),
+            };
+        }
+        self.step(features)
+    }
+
+    /// The safety watchdog (for reports).
+    pub fn watchdog(&self) -> &RuntimeWatchdog {
+        &self.watchdog
     }
 
     /// The gating table (for reports).
@@ -280,6 +381,31 @@ mod tests {
     }
 
     #[test]
+    fn profile_with_empty_bucket_provisions_the_cap() {
+        // Samples exist only for rich windows; every other bucket is empty
+        // and must fall back to the cap, not silently accept iteration 1.
+        let samples: Vec<(usize, usize, f64)> =
+            (1..=6usize).map(|it| (250usize, it, 1.0)).collect();
+        let p = IterPolicy::from_profile(&samples, 0.05);
+        assert_eq!(p.iterations_for(250), 1);
+        for f in [180, 120, 60, 10] {
+            assert_eq!(p.iterations_for(f), ITER_CAP, "features {f}");
+        }
+    }
+
+    #[test]
+    fn profile_with_diverged_bucket_provisions_the_cap() {
+        // A bucket whose profiling runs all diverged (infinite RMSE) taught
+        // us nothing about sufficiency.
+        let mut samples: Vec<(usize, usize, f64)> =
+            (1..=6usize).map(|it| (50usize, it, f64::INFINITY)).collect();
+        samples.extend((1..=6usize).map(|it| (250usize, it, 1.0)));
+        let p = IterPolicy::from_profile(&samples, 0.05);
+        assert_eq!(p.iterations_for(50), ITER_CAP);
+        assert_eq!(p.iterations_for(250), 1);
+    }
+
+    #[test]
     fn counter_needs_two_consecutive_disagreements() {
         let mut c = IterCounter::new(4);
         // One disagreement: no change (confidence drops 2→1).
@@ -310,6 +436,117 @@ mod tests {
         // No jump larger than one between consecutive windows.
         for w in steps.windows(2) {
             assert!(w[0].abs_diff(w[1]) <= 1);
+        }
+    }
+
+    #[test]
+    fn counter_debounces_flapping_feature_counts() {
+        // A feature count flapping across a policy threshold every window
+        // must not drag the budget (and hence the gating configuration)
+        // back and forth with it.
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let table = GatingTable::build(&HIGH_PERF, &shape, 2.5, &platform);
+        let p = IterPolicy::default_table();
+        let mut c = IterCounter::new(4);
+        let mut budgets = Vec::new();
+        for w in 0..40 {
+            let features = if w % 2 == 0 { 260 } else { 40 };
+            budgets.push(c.observe(p.iterations_for(features)));
+        }
+        // The budget moves at most one step per two windows…
+        for i in 0..budgets.len() - 2 {
+            assert!(
+                budgets[i].abs_diff(budgets[i + 2]) <= 1,
+                "window {i}: budget jumped {} → {}",
+                budgets[i],
+                budgets[i + 2]
+            );
+        }
+        // …and the gating configuration never thrashes: no two consecutive
+        // window-to-window configuration changes.
+        let configs: Vec<_> = budgets.iter().map(|&b| table.active_for(b)).collect();
+        for i in 0..configs.len() - 2 {
+            let flip1 = configs[i] != configs[i + 1];
+            let flip2 = configs[i + 1] != configs[i + 2];
+            assert!(!(flip1 && flip2), "gating config thrashed at window {i}");
+        }
+    }
+
+    #[test]
+    fn watchdog_engages_immediately_and_releases_with_hysteresis() {
+        let mut w = RuntimeWatchdog::new(2);
+        assert!(!w.engaged());
+        assert!(w.observe(false), "must engage on the first bad window");
+        // One healthy window is not enough to release.
+        assert!(w.observe(true));
+        // A relapse resets the streak.
+        assert!(w.observe(false));
+        assert!(w.observe(true));
+        assert!(w.observe(true) == false, "two clean windows must release");
+        assert!(!w.engaged());
+    }
+
+    #[test]
+    fn watchdog_pins_runtime_to_full_capacity() {
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let mut rt = RuntimeSystem::new(
+            HIGH_PERF,
+            &shape,
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        );
+        // Settle into the power-saving configuration on rich windows.
+        let mut nominal = rt.step_with_health(260, true);
+        for _ in 0..10 {
+            nominal = rt.step_with_health(260, true);
+        }
+        assert!(nominal.iterations <= 3);
+
+        // A degraded window pins budget and configuration regardless of the
+        // (still rich) feature count.
+        let pinned = rt.step_with_health(260, false);
+        assert_eq!(pinned.iterations, ITER_CAP);
+        assert_eq!(pinned.active, rt.gating().built());
+        assert!(pinned.gated_power_w >= nominal.gated_power_w);
+
+        // Still pinned through the first healthy window (hysteresis 2)…
+        assert_eq!(rt.step_with_health(260, true).iterations, ITER_CAP);
+        // …then control returns to the policy, debounced from the cap.
+        let released = rt.step_with_health(260, true);
+        assert!(released.iterations <= ITER_CAP);
+        assert!(!rt.watchdog().engaged());
+        let mut d = released;
+        for _ in 0..20 {
+            d = rt.step_with_health(260, true);
+        }
+        assert!(d.iterations <= 3, "budget never laddered back down");
+    }
+
+    #[test]
+    fn step_with_health_healthy_matches_step() {
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let mk = || {
+            RuntimeSystem::new(
+                HIGH_PERF,
+                &shape,
+                2.5,
+                &platform,
+                IterPolicy::default_table(),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let features = [260usize, 240, 40, 30, 150, 170, 260, 20, 90, 260];
+        for &f in &features {
+            let da = a.step(f);
+            let db = b.step_with_health(f, true);
+            assert_eq!(da.iterations, db.iterations);
+            assert_eq!(da.active, db.active);
+            assert_eq!(da.gated_power_w.to_bits(), db.gated_power_w.to_bits());
         }
     }
 

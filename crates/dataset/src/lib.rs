@@ -36,7 +36,9 @@ mod trajectory;
 mod world;
 
 pub use frontend::{generate_frames, Frame, FrontendConfig, TrackedFeature};
-pub use pipeline::{InitMode, PipelineConfig, VioPipeline, WindowResult};
+pub use pipeline::{
+    HealthConfig, HealthMonitor, HealthState, InitMode, PipelineConfig, VioPipeline, WindowResult,
+};
 pub use sequence::{
     euroc_sequences, kitti_sequences, DatasetFamily, SequenceData, SequenceSpec,
 };

@@ -1,0 +1,53 @@
+//! Runs the standard fault matrix and emits one JSON line per scenario.
+//!
+//! Usage: `fault_matrix [SEED] [SECONDS]` (defaults 7 and 8.0; the seed can
+//! also come from `ARCHYTAS_FAULT_SEED`). Exits nonzero when any scenario
+//! panics or exceeds the 3× nominal RMSE bound.
+
+use archytas_faults::{run_scenario, scenarios};
+
+const RMSE_BOUND: f64 = 3.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args
+        .get(1)
+        .cloned()
+        .or_else(|| std::env::var("ARCHYTAS_FAULT_SEED").ok())
+        .map(|s| s.parse().expect("seed must be an unsigned integer"))
+        .unwrap_or(7);
+    let seconds: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("seconds must be a number"))
+        .unwrap_or(8.0);
+
+    let mut failures = 0usize;
+    for sc in scenarios(seed) {
+        let r = run_scenario(&sc, seconds);
+        let ok = r.within_rmse_bound(RMSE_BOUND);
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "FAULTJSON {{\"scenario\":\"{}\",\"seed\":{},\"completed\":{},\"pass\":{},\
+             \"rmse_m\":{:.6},\"nominal_rmse_m\":{:.6},\"windows\":{},\
+             \"degraded_windows\":{},\"watchdog_windows\":{},\
+             \"recovery_latency_windows\":{}}}",
+            r.name,
+            seed,
+            r.completed,
+            ok,
+            r.rmse_m,
+            r.nominal_rmse_m,
+            r.windows,
+            r.degraded_windows,
+            r.watchdog_windows,
+            r.recovery_latency_windows
+                .map_or("null".to_string(), |w| w.to_string()),
+        );
+    }
+    if failures > 0 {
+        eprintln!("fault matrix: {failures} scenario(s) failed");
+        std::process::exit(1);
+    }
+}

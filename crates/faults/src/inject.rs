@@ -1,0 +1,277 @@
+//! Applies a [`FaultPlan`] to a frame stream.
+
+use crate::plan::{FaultKind, FaultPlan};
+use archytas_dataset::Frame;
+use archytas_slam::Vec3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives the RNG stream of one `(episode, frame)` pair. Each pair gets an
+/// independent stream keyed only by the plan seed and the two indices, so
+/// injection is bit-reproducible no matter how the frames are iterated.
+fn episode_rng(seed: u64, episode: usize, frame: usize) -> SmallRng {
+    SmallRng::seed_from_u64(
+        seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (episode as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+    )
+}
+
+/// Rewrites `frames` under `plan`. The input is untouched; the output is the
+/// corrupted stream (possibly shorter, when frames are dropped).
+///
+/// Episode intervals always refer to indices in the *original* stream:
+/// content faults (features, IMU) are applied first, then duplications, and
+/// frame drops last, so stacked episodes compose predictably.
+pub fn apply(plan: &FaultPlan, frames: &[Frame]) -> Vec<Frame> {
+    // Carry each frame's original index so structural faults applied after
+    // content faults still resolve episode coverage correctly.
+    let mut stream: Vec<(usize, Frame)> = frames.iter().cloned().enumerate().collect();
+
+    // Pass 1: content faults, frame-local.
+    for (ep_idx, ep) in plan.episodes.iter().enumerate() {
+        match ep.kind {
+            FaultKind::FrameDrop | FaultKind::FrameDuplicate => continue,
+            _ => {}
+        }
+        for (orig, frame) in stream.iter_mut() {
+            if !ep.covers(*orig) {
+                continue;
+            }
+            let mut rng = episode_rng(plan.seed, ep_idx, *orig);
+            match ep.kind {
+                FaultKind::FeatureDrought { keep_fraction } => {
+                    let p = keep_fraction.clamp(0.0, 1.0);
+                    frame.features.retain(|_| rng.gen_bool(p));
+                }
+                FaultKind::VisionDropout => frame.features.clear(),
+                FaultKind::ImuBiasSpike { gyro, accel } => {
+                    for s in &mut frame.imu {
+                        s.gyro = s.gyro + Vec3::new(gyro, -0.5 * gyro, 0.25 * gyro);
+                        s.accel = s.accel + Vec3::new(accel, 0.5 * accel, -0.25 * accel);
+                    }
+                }
+                FaultKind::ImuSaturation { limit } => {
+                    let l = limit.abs();
+                    for s in &mut frame.imu {
+                        s.gyro = clamp3(&s.gyro, l);
+                        s.accel = clamp3(&s.accel, l);
+                    }
+                }
+                FaultKind::ImuNan { probability } => {
+                    let p = probability.clamp(0.0, 1.0);
+                    for s in &mut frame.imu {
+                        if rng.gen_bool(p) {
+                            s.accel = Vec3::new(f64::NAN, s.accel.y(), s.accel.z());
+                            s.gyro = Vec3::new(s.gyro.x(), f64::NAN, s.gyro.z());
+                        }
+                    }
+                }
+                FaultKind::Outliers {
+                    fraction,
+                    magnitude,
+                } => {
+                    let p = fraction.clamp(0.0, 1.0);
+                    for feat in &mut frame.features {
+                        if rng.gen_bool(p) {
+                            feat.uv[0] += rng.gen_range(-magnitude..magnitude);
+                            feat.uv[1] += rng.gen_range(-magnitude..magnitude);
+                        }
+                    }
+                }
+                FaultKind::FrameDrop | FaultKind::FrameDuplicate => unreachable!(),
+            }
+        }
+    }
+
+    // Pass 2: stale duplicated frames — covered frames re-deliver the
+    // previous frame's features (timestamps and IMU stay real, so inertial
+    // time remains contiguous).
+    for ep in &plan.episodes {
+        if !matches!(ep.kind, FaultKind::FrameDuplicate) {
+            continue;
+        }
+        for i in 1..stream.len() {
+            if ep.covers(stream[i].0) {
+                let stale = stream[i - 1].1.features.clone();
+                stream[i].1.features = stale;
+            }
+        }
+    }
+
+    // Pass 3: dropped frames — removed from the stream, their IMU interval
+    // prepended to the successor so preintegration still spans real time.
+    for ep in &plan.episodes {
+        if !matches!(ep.kind, FaultKind::FrameDrop) {
+            continue;
+        }
+        let mut i = 0;
+        while i < stream.len() {
+            if stream.len() > 1 && ep.covers(stream[i].0) {
+                let removed = stream.remove(i);
+                if i < stream.len() {
+                    let mut imu = removed.1.imu;
+                    imu.append(&mut stream[i].1.imu);
+                    stream[i].1.imu = imu;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    stream.into_iter().map(|(_, f)| f).collect()
+}
+
+fn clamp3(v: &Vec3, limit: f64) -> Vec3 {
+    Vec3::new(
+        v.x().clamp(-limit, limit),
+        v.y().clamp(-limit, limit),
+        v.z().clamp(-limit, limit),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archytas_dataset::{generate_frames, FrontendConfig, RoadTrajectory, Trajectory, World};
+    use archytas_slam::PinholeCamera;
+
+    fn frames() -> Vec<Frame> {
+        let traj = RoadTrajectory::kitti_like(4.0);
+        let world = World::road_corridor(traj.sample(4.0).pose.trans.x() + 80.0, 5, |_| 1.0);
+        generate_frames(
+            &traj,
+            &world,
+            &PinholeCamera::kitti_like(),
+            &FrontendConfig::default(),
+        )
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let fs = frames();
+        let out = apply(&FaultPlan::new(11), &fs);
+        assert_eq!(out.len(), fs.len());
+        for (a, b) in fs.iter().zip(&out) {
+            assert_eq!(a.features, b.features);
+            assert_eq!(a.imu, b.imu);
+            assert_eq!(a.timestamp.to_bits(), b.timestamp.to_bits());
+        }
+    }
+
+    #[test]
+    fn injection_is_seed_deterministic() {
+        let fs = frames();
+        let plan = FaultPlan::new(42)
+            .with(FaultKind::FeatureDrought { keep_fraction: 0.3 }, 10, 20)
+            .with(
+                FaultKind::Outliers {
+                    fraction: 0.2,
+                    magnitude: 0.3,
+                },
+                12,
+                18,
+            )
+            .with(FaultKind::ImuNan { probability: 0.1 }, 14, 16);
+        let a = apply(&plan, &fs);
+        let b = apply(&plan, &fs);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.features.len(), y.features.len());
+            for (fx, fy) in x.features.iter().zip(&y.features) {
+                assert_eq!(fx.uv[0].to_bits(), fy.uv[0].to_bits());
+                assert_eq!(fx.uv[1].to_bits(), fy.uv[1].to_bits());
+            }
+            for (sx, sy) in x.imu.iter().zip(&y.imu) {
+                assert_eq!(sx.accel.x().to_bits(), sy.accel.x().to_bits());
+            }
+        }
+        // A different seed produces a different stream.
+        let c = apply(
+            &FaultPlan {
+                seed: 43,
+                ..plan.clone()
+            },
+            &fs,
+        );
+        let differs = a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.features.len() != y.features.len());
+        assert!(differs, "seed had no effect on the drought");
+    }
+
+    #[test]
+    fn dropout_clears_only_covered_frames() {
+        let fs = frames();
+        let out = apply(
+            &FaultPlan::new(1).with(FaultKind::VisionDropout, 5, 8),
+            &fs,
+        );
+        for (i, f) in out.iter().enumerate() {
+            if (5..8).contains(&i) {
+                assert!(f.features.is_empty(), "frame {i} kept features");
+            } else {
+                assert!(!f.features.is_empty(), "frame {i} lost features");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_drop_preserves_imu_time() {
+        let fs = frames();
+        let total_dt: f64 = fs.iter().flat_map(|f| &f.imu).map(|s| s.dt).sum();
+        let out = apply(&FaultPlan::new(1).with(FaultKind::FrameDrop, 6, 8), &fs);
+        assert_eq!(out.len(), fs.len() - 2);
+        let out_dt: f64 = out.iter().flat_map(|f| &f.imu).map(|s| s.dt).sum();
+        // The dropped frames' inertial intervals were carried forward, not
+        // lost (first frame has no successor constraint, so compare sums).
+        assert!((total_dt - out_dt).abs() < 1e-12, "{total_dt} vs {out_dt}");
+    }
+
+    #[test]
+    fn duplicate_delivers_stale_features() {
+        let fs = frames();
+        let out = apply(
+            &FaultPlan::new(1).with(FaultKind::FrameDuplicate, 7, 8),
+            &fs,
+        );
+        assert_eq!(out.len(), fs.len());
+        assert_eq!(out[7].features, out[6].features);
+        assert_eq!(out[7].timestamp.to_bits(), fs[7].timestamp.to_bits());
+    }
+
+    #[test]
+    fn saturation_clamps_components() {
+        let fs = frames();
+        let out = apply(
+            &FaultPlan::new(1).with(FaultKind::ImuSaturation { limit: 0.5 }, 3, 6),
+            &fs,
+        );
+        for f in &out[3..6] {
+            for s in &f.imu {
+                for c in s.gyro.0.iter().chain(s.accel.0.iter()) {
+                    assert!(c.abs() <= 0.5 + 1e-15);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_injection_hits_covered_interval() {
+        let fs = frames();
+        let out = apply(
+            &FaultPlan::new(3).with(FaultKind::ImuNan { probability: 0.5 }, 4, 8),
+            &fs,
+        );
+        let poisoned = out[4..8]
+            .iter()
+            .flat_map(|f| &f.imu)
+            .filter(|s| s.accel.x().is_nan())
+            .count();
+        assert!(poisoned > 0, "probability 0.5 over 4 frames never fired");
+        for f in out.iter().take(4).chain(out.iter().skip(8)) {
+            assert!(f.imu.iter().all(|s| s.accel.x().is_finite()));
+        }
+    }
+}

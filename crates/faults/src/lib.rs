@@ -1,0 +1,40 @@
+//! Seeded fault injection for the VIO pipeline and runtime layer.
+//!
+//! Localization accelerators ship on vehicles, where the sensor stream is
+//! not a curated dataset: cameras blank out in tunnels, IMUs saturate over
+//! potholes, drivers deliver NaN when a sensor resets mid-packet. This crate
+//! stress-tests the degradation ladder built into the rest of the workspace
+//! (`archytas-slam`'s fallible solver, `archytas-dataset`'s
+//! `HealthMonitor`, `archytas-core`'s `RuntimeWatchdog`) by corrupting
+//! synthetic sequences in precisely scheduled, bit-reproducible ways:
+//!
+//! * a [`FaultPlan`] schedules [`FaultEpisode`]s (frame intervals) of a
+//!   [`FaultKind`] — feature droughts, total vision dropout, dropped or
+//!   duplicated camera frames, IMU bias spikes, saturation, NaN samples,
+//!   and gross observation outliers;
+//! * [`inject::apply`] rewrites a frame stream under a plan, deterministic
+//!   for a given seed regardless of thread count;
+//! * [`matrix::scenarios`] is the standard fault matrix and
+//!   [`matrix::run_scenario`] drives the full pipeline + runtime stack
+//!   through one scenario, reporting accuracy against the fault-free run.
+//!
+//! # Example: a vision dropout survives
+//!
+//! ```
+//! use archytas_faults::{run_scenario, FaultKind, FaultPlan, Scenario};
+//!
+//! let plan = FaultPlan::new(7).with(FaultKind::VisionDropout, 24, 28);
+//! let result = run_scenario(&Scenario { name: "dropout".into(), plan }, 4.0);
+//! assert!(result.completed);
+//! assert!(result.rmse_m.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+
+mod inject;
+mod matrix;
+mod plan;
+
+pub use inject::apply;
+pub use matrix::{run_nominal, run_scenario, scenarios, NominalRun, Scenario, ScenarioResult};
+pub use plan::{FaultEpisode, FaultKind, FaultPlan};

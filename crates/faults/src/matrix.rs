@@ -1,0 +1,317 @@
+//! The standard fault matrix: scenarios × the full pipeline + runtime stack.
+
+use crate::inject::apply;
+use crate::plan::{FaultKind, FaultPlan};
+use archytas_core::{IterPolicy, RuntimeSystem};
+use archytas_dataset::{kitti_sequences, HealthState, PipelineConfig, VioPipeline};
+use archytas_hw::{FpgaPlatform, HIGH_PERF};
+use archytas_mdfg::ProblemShape;
+use archytas_slam::{rmse_translation, FactorWeights, Pose};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A named fault plan.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display name (stable across seeds; used as the JSON key).
+    pub name: String,
+    /// The injection schedule.
+    pub plan: FaultPlan,
+}
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Trajectory RMSE under injection (m); infinite when the run panicked
+    /// or produced no windows.
+    pub rmse_m: f64,
+    /// RMSE of the fault-free run of the same sequence/config (m).
+    pub nominal_rmse_m: f64,
+    /// Windows completed.
+    pub windows: usize,
+    /// Windows that closed in the `Degraded` health state.
+    pub degraded_windows: usize,
+    /// Windows for which the runtime watchdog held the full configuration.
+    pub watchdog_windows: usize,
+    /// Windows from the last `Degraded` window until health returned to
+    /// `Nominal` (`None` when never degraded or never recovered).
+    pub recovery_latency_windows: Option<usize>,
+    /// Whether the run completed without panicking.
+    pub completed: bool,
+    /// Newest-keyframe estimates, one per window (bit-comparable across
+    /// runs for determinism checks).
+    pub estimates: Vec<Pose>,
+}
+
+impl ScenarioResult {
+    /// The fault matrix's accuracy acceptance bound: RMSE within `factor` ×
+    /// the nominal run (degradation is allowed, divergence is not).
+    pub fn within_rmse_bound(&self, factor: f64) -> bool {
+        self.completed && self.rmse_m <= self.nominal_rmse_m * factor
+    }
+}
+
+/// The standard fault matrix. Episodes sit in frames 24–32, inside any run
+/// of ≥ 4 seconds (≥ 40 frames at 10 Hz) of the scenario sequence.
+pub fn scenarios(seed: u64) -> Vec<Scenario> {
+    let s = |name: &str, plan: FaultPlan| Scenario {
+        name: name.to_string(),
+        plan,
+    };
+    vec![
+        s(
+            "feature-drought",
+            FaultPlan::new(seed).with(FaultKind::FeatureDrought { keep_fraction: 0.25 }, 24, 30),
+        ),
+        s(
+            "vision-dropout",
+            FaultPlan::new(seed).with(FaultKind::VisionDropout, 24, 28),
+        ),
+        s(
+            "frame-drop",
+            FaultPlan::new(seed).with(FaultKind::FrameDrop, 25, 27),
+        ),
+        s(
+            "frame-duplicate",
+            FaultPlan::new(seed).with(FaultKind::FrameDuplicate, 25, 28),
+        ),
+        s(
+            "imu-bias-spike",
+            FaultPlan::new(seed).with(
+                FaultKind::ImuBiasSpike {
+                    gyro: 0.05,
+                    accel: 0.5,
+                },
+                24,
+                28,
+            ),
+        ),
+        s(
+            // Clips the gravity reaction (9.81 m/s²) for two frames — a
+            // curb-strike transient. Harder clips (e.g. 6 m/s²) held for
+            // many frames are indistinguishable from real acceleration and
+            // genuinely bias any inertial estimator.
+            "imu-saturation",
+            FaultPlan::new(seed).with(FaultKind::ImuSaturation { limit: 8.0 }, 24, 26),
+        ),
+        s(
+            "imu-nan",
+            FaultPlan::new(seed).with(FaultKind::ImuNan { probability: 0.3 }, 24, 28),
+        ),
+        s(
+            "outliers",
+            FaultPlan::new(seed).with(
+                FaultKind::Outliers {
+                    fraction: 0.15,
+                    magnitude: 0.4,
+                },
+                24,
+                30,
+            ),
+        ),
+        s(
+            "stacked",
+            // Milder per-fault magnitudes than the single-fault scenarios:
+            // the point is that overlapping episodes compose, and an
+            // undetectable bias spike is strictly harder to absorb when a
+            // simultaneous drought starves the vision correction.
+            FaultPlan::new(seed)
+                .with(FaultKind::FeatureDrought { keep_fraction: 0.5 }, 24, 29)
+                .with(
+                    FaultKind::ImuBiasSpike {
+                        gyro: 0.005,
+                        accel: 0.05,
+                    },
+                    25,
+                    28,
+                )
+                .with(
+                    FaultKind::Outliers {
+                        fraction: 0.1,
+                        magnitude: 0.3,
+                    },
+                    26,
+                    30,
+                ),
+        ),
+    ]
+}
+
+/// Pipeline configuration of every matrix run: the default pipeline with
+/// Huber robust weighting armed (a fault harness without a robust kernel
+/// would just measure the outlier magnitude).
+fn matrix_config() -> PipelineConfig {
+    PipelineConfig {
+        weights: FactorWeights::default().with_huber(0.004),
+        ..PipelineConfig::default()
+    }
+}
+
+fn matrix_runtime() -> RuntimeSystem {
+    RuntimeSystem::new(
+        HIGH_PERF,
+        &ProblemShape::typical(),
+        2.5,
+        &FpgaPlatform::zc706(),
+        IterPolicy::default_table(),
+    )
+}
+
+struct Drive {
+    estimates: Vec<Pose>,
+    ground_truths: Vec<Pose>,
+    healths: Vec<HealthState>,
+    watchdog_windows: usize,
+    degraded_windows: usize,
+}
+
+/// Runs the pipeline + runtime stack over a frame stream.
+fn drive(frames: &[archytas_dataset::Frame]) -> Drive {
+    let mut pipeline = VioPipeline::new(matrix_config());
+    let mut rt = matrix_runtime();
+    let mut d = Drive {
+        estimates: Vec::new(),
+        ground_truths: Vec::new(),
+        healths: Vec::new(),
+        watchdog_windows: 0,
+        degraded_windows: 0,
+    };
+    for frame in frames {
+        if !pipeline.push_frame(frame) {
+            continue;
+        }
+        let features = pipeline.window().num_landmarks();
+        // The pre-solve health verdict (which sees faults latched for the
+        // window about to be solved) feeds the runtime watchdog, so the
+        // very window a fault lands in already runs at full capacity.
+        let healthy = !pipeline.health().is_suspect();
+        let decision = rt.step_with_health(features, healthy);
+        if rt.watchdog().engaged() {
+            d.watchdog_windows += 1;
+        }
+        let result = pipeline.optimize_and_slide(decision.iterations);
+        if result.health == HealthState::Degraded {
+            d.degraded_windows += 1;
+        }
+        d.healths.push(result.health);
+        d.estimates.push(result.estimate);
+        d.ground_truths.push(result.ground_truth);
+    }
+    d
+}
+
+/// A fault-free reference run.
+#[derive(Debug, Clone)]
+pub struct NominalRun {
+    /// Newest-keyframe estimates, one per window.
+    pub estimates: Vec<Pose>,
+    /// Ground-truth poses aligned with `estimates`.
+    pub ground_truths: Vec<Pose>,
+    /// Trajectory RMSE (m).
+    pub rmse_m: f64,
+}
+
+/// Runs the scenario sequence for `seconds` with no faults injected.
+pub fn run_nominal(seconds: f64) -> NominalRun {
+    let data = kitti_sequences()[1].truncated(seconds).build();
+    let d = drive(&data.frames);
+    let rmse_m = if d.estimates.is_empty() {
+        f64::INFINITY
+    } else {
+        rmse_translation(&d.estimates, &d.ground_truths)
+    };
+    NominalRun {
+        estimates: d.estimates,
+        ground_truths: d.ground_truths,
+        rmse_m,
+    }
+}
+
+/// Runs one scenario over `seconds` of the standard sequence, comparing
+/// against the fault-free run of the same sequence and configuration. A
+/// panic anywhere in the faulted run is caught and reported as
+/// `completed: false` rather than propagated.
+pub fn run_scenario(scenario: &Scenario, seconds: f64) -> ScenarioResult {
+    let nominal = run_nominal(seconds);
+    let data = kitti_sequences()[1].truncated(seconds).build();
+    let frames = apply(&scenario.plan, &data.frames);
+
+    match catch_unwind(AssertUnwindSafe(|| drive(&frames))) {
+        Ok(d) => {
+            let rmse_m = if d.estimates.is_empty() {
+                f64::INFINITY
+            } else {
+                rmse_translation(&d.estimates, &d.ground_truths)
+            };
+            let last_degraded = d
+                .healths
+                .iter()
+                .rposition(|&h| h == HealthState::Degraded);
+            let recovery_latency_windows = last_degraded.and_then(|i| {
+                d.healths[i + 1..]
+                    .iter()
+                    .position(|&h| h == HealthState::Nominal)
+                    .map(|k| k + 1)
+            });
+            ScenarioResult {
+                name: scenario.name.clone(),
+                rmse_m,
+                nominal_rmse_m: nominal.rmse_m,
+                windows: d.estimates.len(),
+                degraded_windows: d.degraded_windows,
+                watchdog_windows: d.watchdog_windows,
+                recovery_latency_windows,
+                completed: true,
+                estimates: d.estimates,
+            }
+        }
+        Err(_) => ScenarioResult {
+            name: scenario.name.clone(),
+            rmse_m: f64::INFINITY,
+            nominal_rmse_m: nominal.rmse_m,
+            windows: 0,
+            degraded_windows: 0,
+            watchdog_windows: 0,
+            recovery_latency_windows: None,
+            completed: false,
+            estimates: Vec::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_names_are_unique() {
+        let m = scenarios(7);
+        let mut names: Vec<_> = m.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), m.len());
+    }
+
+    #[test]
+    fn nominal_run_is_clean() {
+        let n = run_nominal(4.0);
+        assert!(!n.estimates.is_empty());
+        assert!(n.rmse_m.is_finite());
+        assert!(n.rmse_m < 1.0, "nominal rmse {}", n.rmse_m);
+    }
+
+    #[test]
+    fn dropout_scenario_degrades_and_recovers() {
+        let sc = &scenarios(7)[1]; // vision-dropout
+        let r = run_scenario(sc, 4.0);
+        assert!(r.completed);
+        assert!(r.degraded_windows > 0, "dropout never degraded health");
+        assert!(
+            r.recovery_latency_windows.is_some(),
+            "never recovered to Nominal"
+        );
+        assert!(r.watchdog_windows > 0, "watchdog never engaged");
+        assert!(r.within_rmse_bound(3.0), "rmse {} vs nominal {}", r.rmse_m, r.nominal_rmse_m);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fault vocabulary and scheduling.
+
+/// One kind of sensor-stream corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Texture starvation: each tracked feature survives with probability
+    /// `keep_fraction` (seeded per frame).
+    FeatureDrought {
+        /// Survival probability in `[0, 1]`.
+        keep_fraction: f64,
+    },
+    /// Total camera blackout: every feature removed (tunnel, lens flare,
+    /// driver reset).
+    VisionDropout,
+    /// The camera frame never arrives. Its IMU interval is carried into the
+    /// following frame so inertial time stays contiguous.
+    FrameDrop,
+    /// The tracker re-delivers stale data: the frame's features are replaced
+    /// by the previous frame's (classic frame-grabber double-exposure).
+    FrameDuplicate,
+    /// A step change in the inertial biases (thermal shock, connector
+    /// glitch) added to every sample of covered frames.
+    ImuBiasSpike {
+        /// Gyroscope bias magnitude (rad/s).
+        gyro: f64,
+        /// Accelerometer bias magnitude (m/s²).
+        accel: f64,
+    },
+    /// Sensor range clipping: every gyro/accel component clamped to
+    /// `[-limit, limit]` (pothole / curb strike).
+    ImuSaturation {
+        /// Symmetric full-scale range.
+        limit: f64,
+    },
+    /// Transport corruption: each covered sample independently becomes NaN
+    /// with probability `probability` (seeded per frame).
+    ImuNan {
+        /// Per-sample corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Gross mismatches: each feature's measurement is displaced by up to
+    /// `magnitude` (normalized image coordinates) with probability
+    /// `fraction` (seeded per frame).
+    Outliers {
+        /// Per-feature corruption probability in `[0, 1]`.
+        fraction: f64,
+        /// Maximum displacement per axis (normalized coordinates).
+        magnitude: f64,
+    },
+}
+
+/// A [`FaultKind`] active over the half-open frame interval
+/// `[start, end)` (indices into the *original*, pre-injection stream).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEpisode {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First affected frame index (inclusive).
+    pub start: usize,
+    /// First unaffected frame index (exclusive).
+    pub end: usize,
+}
+
+impl FaultEpisode {
+    /// Whether `frame` (an original-stream index) falls inside the episode.
+    pub fn covers(&self, frame: usize) -> bool {
+        frame >= self.start && frame < self.end
+    }
+}
+
+/// A seeded schedule of fault episodes.
+///
+/// The seed fully determines every random draw the injector makes: each
+/// `(episode, frame)` pair derives its own RNG stream from
+/// `(seed, episode index, frame index)`, so injection is bit-reproducible
+/// and independent of iteration order or thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed of all stochastic faults.
+    pub seed: u64,
+    /// Scheduled episodes (applied in order; content faults compose).
+    pub episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injection is the identity).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            episodes: Vec::new(),
+        }
+    }
+
+    /// Appends an episode of `kind` over `[start, end)` (builder style).
+    pub fn with(mut self, kind: FaultKind, start: usize, end: usize) -> Self {
+        assert!(start < end, "FaultPlan::with: empty episode [{start}, {end})");
+        self.episodes.push(FaultEpisode { kind, start, end });
+        self
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_interval_is_half_open() {
+        let e = FaultEpisode {
+            kind: FaultKind::VisionDropout,
+            start: 3,
+            end: 5,
+        };
+        assert!(!e.covers(2));
+        assert!(e.covers(3));
+        assert!(e.covers(4));
+        assert!(!e.covers(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty episode")]
+    fn empty_episode_rejected() {
+        let _ = FaultPlan::new(1).with(FaultKind::VisionDropout, 5, 5);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::new(9)
+            .with(FaultKind::VisionDropout, 1, 2)
+            .with(FaultKind::FrameDrop, 4, 6);
+        assert_eq!(p.episodes.len(), 2);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::new(9).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! The acceptance gate of the fault harness: every scenario in the standard
+//! matrix completes without panicking and stays within the accuracy bound.
+
+use archytas_faults::{run_scenario, scenarios};
+
+#[test]
+fn every_scenario_completes_within_rmse_bound() {
+    for sc in scenarios(7) {
+        let r = run_scenario(&sc, 4.0);
+        assert!(r.completed, "{}: run panicked", r.name);
+        assert!(r.windows > 0, "{}: no windows completed", r.name);
+        assert!(r.rmse_m.is_finite(), "{}: non-finite RMSE", r.name);
+        assert!(
+            r.within_rmse_bound(3.0),
+            "{}: rmse {} vs nominal {} (> 3x)",
+            r.name,
+            r.rmse_m,
+            r.nominal_rmse_m
+        );
+    }
+}
+
+#[test]
+fn faults_are_actually_detected() {
+    // Scenarios that corrupt the stream inside the run must trip the
+    // degradation ladder at least once; the matrix would be vacuous if the
+    // pipeline never noticed. (Drought/outlier/duplicate scenarios degrade
+    // softly and may stay under the detection thresholds by design.)
+    for name in ["vision-dropout", "imu-nan"] {
+        let sc = scenarios(7)
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("scenario present");
+        let r = run_scenario(&sc, 4.0);
+        assert!(r.degraded_windows > 0, "{name}: ladder never engaged");
+        assert!(
+            r.recovery_latency_windows.is_some(),
+            "{name}: never recovered"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_change_stochastic_scenarios() {
+    let a = scenarios(7);
+    let b = scenarios(8);
+    let drought_a = run_scenario(&a[0], 4.0);
+    let drought_b = run_scenario(&b[0], 4.0);
+    assert!(drought_a.completed && drought_b.completed);
+    // Same sequence, different injected stream → different trajectories.
+    let same = drought_a
+        .estimates
+        .iter()
+        .zip(&drought_b.estimates)
+        .all(|(x, y)| x.trans.x().to_bits() == y.trans.x().to_bits());
+    assert!(!same, "seed had no effect on the faulted trajectory");
+}

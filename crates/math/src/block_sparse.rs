@@ -229,10 +229,9 @@ impl<T: Scalar> BlockSparseSystem<T> {
     /// Adds `val` to `W[r][lm]` (`r` relative to the pose region), creating
     /// the enclosing block on first touch.
     ///
-    /// # Panics
-    ///
-    /// Panics when `r` falls outside the leading `kb` rows of its
-    /// `stride`-aligned block.
+    /// `r` must fall inside the leading `kb` rows of its `stride`-aligned
+    /// block — an assembler invariant, checked in debug builds only (this
+    /// is the per-observation hot path).
     pub fn add_w(&mut self, lm: usize, r: usize, val: T) {
         *self.w_entry_mut(lm, r) += val;
     }
@@ -242,17 +241,16 @@ impl<T: Scalar> BlockSparseSystem<T> {
     /// [`BlockSparseSystem::add_w`], with the zero-skip semantics of
     /// [`BlockSparseSystem::add_v_row`]).
     ///
-    /// # Panics
-    ///
-    /// Panics when the run does not stay inside the leading `kb` rows of one
-    /// `stride`-aligned block.
+    /// The run must stay inside the leading `kb` rows of one
+    /// `stride`-aligned block — an assembler invariant, checked in debug
+    /// builds only (this is the per-observation hot path).
     pub fn add_w_run(&mut self, lm: usize, r0: usize, vals: &[T], scale: T) {
         if vals.is_empty() {
             return;
         }
         let b0 = r0 - r0 % self.stride;
         let local = r0 - b0;
-        assert!(
+        debug_assert!(
             local + vals.len() <= self.kb,
             "w run {r0}..{} leaves the {}-high block starting at {b0}",
             r0 + vals.len(),
@@ -282,7 +280,7 @@ impl<T: Scalar> BlockSparseSystem<T> {
     fn w_entry_mut(&mut self, lm: usize, r: usize) -> &mut T {
         let b0 = r - r % self.stride;
         let local = r - b0;
-        assert!(
+        debug_assert!(
             local < self.kb,
             "w row {r} falls outside the {}-high block starting at {b0}",
             self.kb

@@ -223,6 +223,12 @@ pub struct FactorWeights {
     pub imu_v: f64,
     /// Bias random-walk weight.
     pub imu_bias: f64,
+    /// Huber threshold for visual residuals, in normalized-plane units
+    /// (`None` disables robust weighting — the exact historical quadratic
+    /// path, bit for bit). Observations whose residual norm exceeds the
+    /// threshold are down-weighted by `δ/‖r‖` (IRLS), bounding the influence
+    /// of outlier tracks.
+    pub huber_delta: Option<f64>,
 }
 
 impl Default for FactorWeights {
@@ -238,6 +244,7 @@ impl Default for FactorWeights {
             imu_p: 1500.0,
             imu_v: 800.0,
             imu_bias: 700.0,
+            huber_delta: None,
         }
     }
 }
@@ -250,6 +257,36 @@ impl FactorWeights {
             3..=5 => self.imu_p,
             6..=8 => self.imu_v,
             _ => self.imu_bias,
+        }
+    }
+
+    /// This weight set with Huber robust weighting at threshold `delta`
+    /// (normalized-plane units; a few pixels over the focal length is
+    /// typical).
+    pub fn with_huber(self, delta: f64) -> Self {
+        Self {
+            huber_delta: Some(delta),
+            ..self
+        }
+    }
+
+    /// IRLS robust scale for a visual residual `(e0, e1)`: `1` inside the
+    /// Huber threshold, `δ/‖e‖` outside, `1` when robust weighting is off.
+    ///
+    /// The off case returns the constant `1.0` without touching the
+    /// residual, so multiplying by it preserves the historical bit pattern
+    /// of every weighted product.
+    pub fn visual_robust_scale(&self, e0: f64, e1: f64) -> f64 {
+        match self.huber_delta {
+            None => 1.0,
+            Some(delta) => {
+                let rn = (e0 * e0 + e1 * e1).sqrt();
+                if rn <= delta {
+                    1.0
+                } else {
+                    delta / rn
+                }
+            }
         }
     }
 }

@@ -56,7 +56,9 @@ pub use factors::{
 };
 pub use geometry::{Mat3, Pose, Quat, Vec3};
 pub use imu::{ImuSample, Preintegration, GRAVITY};
-pub use marginalization::{marginalize_oldest, MarginalizationResult};
+pub use marginalization::{
+    drop_oldest, marginalize_oldest, try_marginalize_oldest, MarginalizationResult,
+};
 pub use metrics::{mean_stdev, relative_error, rmse_translation, TrajectoryMetrics};
 pub use prior::Prior;
 pub use problem::{
@@ -64,8 +66,8 @@ pub use problem::{
     BlockNormalEqInfo, NormalEquations, POSE_TANGENT_DIM,
 };
 pub use solver::{
-    schur_linear_solver, solve, solve_in_workspace, solve_with, LinearSolver, LmConfig,
-    SolveReport, SolverWorkspace,
+    schur_linear_solver, solve, solve_in_workspace, solve_with, DegradeReason, LinearSolver,
+    LmConfig, SolveError, SolveOutcome, SolveReport, SolverWorkspace,
 };
 pub use window::{
     ImuConstraint, KeyframeState, Landmark, Observation, SlidingWindow, WindowWorkload, STATE_DIM,

@@ -11,6 +11,7 @@
 
 use crate::factors::{evaluate_imu, evaluate_visual, FactorWeights};
 use crate::prior::Prior;
+use crate::solver::SolveError;
 use crate::window::{SlidingWindow, STATE_DIM};
 use archytas_math::{BlockSpec, Blocked2x2, Cholesky, DMat, DVec};
 
@@ -35,12 +36,32 @@ pub struct MarginalizationResult {
 ///
 /// # Panics
 ///
-/// Panics when the window has fewer than two keyframes.
+/// Panics when the window has fewer than two keyframes, or when the
+/// marginalized block is numerically unusable (see
+/// [`try_marginalize_oldest`] for the fallible form).
 pub fn marginalize_oldest(
     window: &SlidingWindow,
     weights: &FactorWeights,
     prior: Option<&Prior>,
 ) -> MarginalizationResult {
+    try_marginalize_oldest(window, weights, prior)
+        .expect("marginalize_oldest: marginalized block not factorizable")
+}
+
+/// Fallible form of [`marginalize_oldest`]: a marginalized block that stays
+/// non-SPD (or non-finite) through regularization comes back as an `Err`
+/// instead of panicking, letting the pipeline drop the prior and continue
+/// (see [`drop_oldest`] for the prior-free window shrink).
+///
+/// # Panics
+///
+/// Still panics when the window has fewer than two keyframes — a programmer
+/// error, not a data condition.
+pub fn try_marginalize_oldest(
+    window: &SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+) -> Result<MarginalizationResult, SolveError> {
     let b = window.num_keyframes();
     assert!(b >= 2, "marginalize_oldest: need at least two keyframes");
 
@@ -88,6 +109,12 @@ pub fn marginalize_oldest(
         ) else {
             continue;
         };
+        // Same robust gate as the assembler (`None` reuses `wv2` bit for
+        // bit), so an outlier's information is bounded in the prior too.
+        let w2 = match weights.huber_delta {
+            None => wv2,
+            Some(_) => wv2 * weights.visual_robust_scale(ev.residual[0], ev.residual[1]),
+        };
         let col_rho = slot;
         let col_anchor = kf_off(0);
         let col_obs = kf_off(obs.keyframe);
@@ -106,7 +133,7 @@ pub fn marginalize_oldest(
                 cols[2 + 2 * c] = col_obs + c;
                 vals[2 + 2 * c] = ev.j_obs[r][c];
             }
-            accumulate(&mut h, &mut g, &cols, &vals, e, wv2);
+            accumulate(&mut h, &mut g, &cols, &vals, e, w2);
         }
     }
 
@@ -159,6 +186,9 @@ pub fn marginalize_oldest(
     }
 
     // --- Schur complement: keep the trailing (b−1)·15 block ---
+    // The `expect`s below are shape invariants of the local ordering built
+    // above (programmer errors); the data-dependent failures are the
+    // factorizations, which return `Err`.
     let spec = BlockSpec::new(marg_dim, dim).expect("valid split");
     let blocked = Blocked2x2::partition(&h, spec).expect("partition");
     let (bx, by) = archytas_math::split_vector(&g, spec).expect("split");
@@ -168,9 +198,7 @@ pub fn marginalize_oldest(
     // right-hand side — historically `dense_schur_complement` and the `rp`
     // computation each ran their own O(n³) factorization of the same matrix.
     let m = blocked.u.add_diagonal(1e-9);
-    let m_inv = Cholesky::factor(&m)
-        .expect("regularized M is SPD")
-        .inverse();
+    let m_inv = Cholesky::factor(&m)?.inverse();
     let lm_inv = blocked
         .w
         .try_mul(&m_inv)
@@ -182,16 +210,39 @@ pub fn marginalize_oldest(
     let rp = &by - &blocked.w.mat_vec(&m_inv.mat_vec(&bx));
 
     let lin_states = window.keyframes[1..].to_vec();
-    let new_prior = Prior::from_information(&hp, &rp, lin_states, 1e-9);
+    let new_prior = Prior::try_from_information(&hp, &rp, lin_states, 1e-9)?;
 
     // --- shrink the window ---
     let window_out = shrink_window(window, &marg_landmarks);
 
-    MarginalizationResult {
+    Ok(MarginalizationResult {
         window: window_out,
         prior: new_prior,
         marginalized_landmarks: am,
-    }
+    })
+}
+
+/// Shrinks the window without computing a prior: keyframe 0 and its anchored
+/// landmarks are simply discarded.
+///
+/// This is the degradation fallback when [`try_marginalize_oldest`] fails —
+/// the departed keyframe's information is lost (the next window re-fixes the
+/// gauge instead), but the estimator keeps running rather than carrying a
+/// poisoned prior into every subsequent window.
+///
+/// # Panics
+///
+/// Panics when the window has fewer than two keyframes.
+pub fn drop_oldest(window: &SlidingWindow) -> (SlidingWindow, usize) {
+    assert!(
+        window.num_keyframes() >= 2,
+        "drop_oldest: need at least two keyframes"
+    );
+    let marg_landmarks: Vec<usize> = (0..window.landmarks.len())
+        .filter(|&l| window.landmarks[l].anchor == 0)
+        .collect();
+    let am = marg_landmarks.len();
+    (shrink_window(window, &marg_landmarks), am)
 }
 
 /// Maps an index of the prior's ordering (`[kf0 | kf1..]`) into the local
@@ -364,6 +415,27 @@ mod tests {
             "gradient at the optimum should vanish, got {}",
             g.max_abs()
         );
+    }
+
+    #[test]
+    fn corrupted_window_errors_instead_of_panicking() {
+        let mut w = build_window();
+        for obs in &mut w.observations {
+            obs.uv = [f64::NAN, f64::NAN];
+        }
+        let r = try_marginalize_oldest(&w, &FactorWeights::default(), None);
+        assert!(r.is_err(), "NaN measurements must surface as SolveError");
+    }
+
+    #[test]
+    fn drop_oldest_matches_marginalize_shrink() {
+        let w = build_window();
+        let full = marginalize_oldest(&w, &FactorWeights::default(), None);
+        let (dropped, am) = drop_oldest(&w);
+        assert_eq!(am, full.marginalized_landmarks);
+        assert_eq!(dropped.num_keyframes(), full.window.num_keyframes());
+        assert_eq!(dropped.num_landmarks(), full.window.num_landmarks());
+        assert!(dropped.validate());
     }
 
     #[test]

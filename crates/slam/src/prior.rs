@@ -7,6 +7,7 @@
 //! linearization points and contributes `JᵀJ` / `−Jᵀr` to the normal
 //! equations.
 
+use crate::solver::SolveError;
 use crate::window::{KeyframeState, SlidingWindow, STATE_DIM};
 use archytas_math::{DMat, DVec};
 
@@ -32,42 +33,65 @@ impl Prior {
     /// # Panics
     ///
     /// Panics when the dimensions disagree or factorization fails even after
-    /// regularization.
+    /// regularization. Callers that must survive a corrupted information
+    /// matrix (the pipeline's degradation ladder) use
+    /// [`Prior::try_from_information`] instead.
     pub fn from_information(
         hp: &DMat,
         rp: &DVec,
         lin_states: Vec<KeyframeState>,
         epsilon: f64,
     ) -> Self {
+        Self::try_from_information(hp, rp, lin_states, epsilon)
+            .expect("prior: Hp not factorizable even after heavy regularization")
+    }
+
+    /// Fallible form of [`Prior::from_information`]: data-dependent
+    /// factorization failure (an `Hp` that stays non-SPD — or non-finite —
+    /// through the full regularization escalation) comes back as an `Err`
+    /// instead of a panic.
+    ///
+    /// Dimension mismatches remain programmer errors and still panic.
+    pub fn try_from_information(
+        hp: &DMat,
+        rp: &DVec,
+        lin_states: Vec<KeyframeState>,
+        epsilon: f64,
+    ) -> Result<Self, SolveError> {
         let dim = STATE_DIM * lin_states.len();
         assert_eq!(hp.rows(), dim, "prior: Hp dimension mismatch");
         assert_eq!(rp.len(), dim, "prior: rp dimension mismatch");
+        if !rp.all_finite() {
+            return Err(SolveError::NonFinite);
+        }
         // Far from convergence the Schur complement can be indefinite by
         // more than `epsilon`; escalate the regularization until the
         // factorization succeeds (each step only weakens the prior, which is
         // the conservative direction).
         let mut eps = epsilon.max(1e-12);
         let scale = hp.max_abs().max(1.0);
+        if !scale.is_finite() {
+            return Err(SolveError::NonFinite);
+        }
         let l = loop {
             match hp.add_diagonal(eps).cholesky() {
                 Ok(chol) => break chol.into_l(),
-                Err(_) => {
+                Err(e) => {
                     eps *= 100.0;
-                    assert!(
-                        eps <= scale * 10.0,
-                        "prior: Hp not factorizable even after heavy regularization"
-                    );
+                    if eps > scale * 10.0 {
+                        return Err(SolveError::Linear(e));
+                    }
                 }
             }
         };
         // J = Lᵀ, r0 chosen so that Jᵀ·r0 = −rp  ⇒  L·r0 = −rp.
         let jacobian = l.transpose();
         let residual0 = archytas_math::solve_lower(&l, &(-rp));
-        Self {
+        Ok(Self {
             jacobian,
             residual0,
             lin_states,
-        }
+        })
     }
 
     /// Number of keyframes this prior constrains.
@@ -225,5 +249,22 @@ mod tests {
         let rp = DVec::zeros(STATE_DIM);
         let prior = Prior::from_information(&hp, &rp, lin, 1e-8);
         assert_eq!(prior.dim(), STATE_DIM);
+    }
+
+    #[test]
+    fn non_finite_information_is_an_error_not_a_panic() {
+        let lin = states(1);
+        let mut hp = spd_info(STATE_DIM);
+        hp.set(0, 0, f64::NAN);
+        let rp = DVec::zeros(STATE_DIM);
+        assert!(Prior::try_from_information(&hp, &rp, lin.clone(), 1e-9).is_err());
+
+        let hp = spd_info(STATE_DIM);
+        let mut rp = DVec::zeros(STATE_DIM);
+        rp[0] = f64::INFINITY;
+        assert!(matches!(
+            Prior::try_from_information(&hp, &rp, lin, 1e-9),
+            Err(crate::SolveError::NonFinite)
+        ));
     }
 }

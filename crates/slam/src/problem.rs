@@ -283,13 +283,21 @@ fn assemble<S: NormalEqSink>(
         };
         used += 1;
 
+        // Robust (Huber/IRLS) re-weighting of outlier observations. With
+        // `huber_delta: None` the match arm reuses `wv2` itself, so the
+        // nominal path is bit-identical to the pre-robust assembler.
+        let w2 = match weights.huber_delta {
+            None => wv2,
+            Some(_) => wv2 * weights.visual_robust_scale(ev.residual[0], ev.residual[1]),
+        };
+
         let col_rho = obs.landmark;
         let col_anchor = window.kf_offset(lm.anchor);
         let col_obs = window.kf_offset(obs.keyframe);
 
         for r in 0..2 {
             let e = ev.residual[r];
-            cost += 0.5 * wv2 * e * e;
+            cost += 0.5 * w2 * e * e;
             // The sparse row: 1 rho column + two 6-wide pose-tangent runs,
             // ordered by column (re-anchoring can place the anchor after the
             // observer). Pose tangent occupies the first 6 slots of the
@@ -304,7 +312,7 @@ fn assemble<S: NormalEqSink>(
             } else {
                 (obs_run, anchor_run)
             };
-            scatter_runs(sink, &[(col_rho, &j_rho[..]), first, second], e, wv2);
+            scatter_runs(sink, &[(col_rho, &j_rho[..]), first, second], e, w2);
         }
     }
 
@@ -407,7 +415,13 @@ pub fn evaluate_cost(
             lm.inv_depth,
             obs.uv,
         ) {
-            cost += 0.5 * wv2 * (ev.residual[0].powi(2) + ev.residual[1].powi(2));
+            // Same robust gate as `assemble` so LM step acceptance compares
+            // like against like (and the `None` path keeps its exact bits).
+            let w2 = match weights.huber_delta {
+                None => wv2,
+                Some(_) => wv2 * weights.visual_robust_scale(ev.residual[0], ev.residual[1]),
+            };
+            cost += 0.5 * w2 * (ev.residual[0].powi(2) + ev.residual[1].powi(2));
         }
     }
     for cons in &window.imu {
@@ -542,6 +556,38 @@ mod tests {
         let ne = build_normal_equations(&w, &weights, None);
         let c = evaluate_cost(&w, &weights, None);
         assert!((ne.cost - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_downweights_gross_outliers() {
+        let mut w = toy_window(false);
+        w.observations[0].uv[0] += 5.0; // gross outlier on one track
+        let plain = FactorWeights::default();
+        let robust = plain.with_huber(0.01);
+        let ne_p = build_normal_equations(&w, &plain, None);
+        let ne_r = build_normal_equations(&w, &robust, None);
+        // The outlier dominates the quadratic cost; Huber bounds its pull.
+        assert!(ne_r.cost < ne_p.cost * 0.01, "{} vs {}", ne_r.cost, ne_p.cost);
+        assert!(ne_r.b.norm() < ne_p.b.norm());
+        // Step-acceptance consistency: evaluate_cost applies the same
+        // weighting as the assembler.
+        assert!((evaluate_cost(&w, &robust, None) - ne_r.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huber_inactive_below_threshold_is_bit_identical() {
+        let w = toy_window(true); // inliers only
+        let plain = FactorWeights::default();
+        let robust = plain.with_huber(1e9); // threshold above every residual
+        let ne_p = build_normal_equations(&w, &plain, None);
+        let ne_r = build_normal_equations(&w, &robust, None);
+        assert_eq!(ne_p.cost.to_bits(), ne_r.cost.to_bits());
+        for i in 0..ne_p.b.len() {
+            assert_eq!(ne_p.b[i].to_bits(), ne_r.b[i].to_bits(), "b[{i}]");
+            for j in 0..ne_p.b.len() {
+                assert_eq!(ne_p.a.get(i, j).to_bits(), ne_r.a.get(i, j).to_bits());
+            }
+        }
     }
 
     #[test]

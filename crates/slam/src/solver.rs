@@ -12,8 +12,11 @@ use crate::problem::{
     apply_increment, build_block_normal_equations, build_normal_equations, evaluate_cost,
 };
 use crate::window::SlidingWindow;
-use archytas_math::{BlockSparseSystem, BlockSpec, Cholesky, DVec, SchurScratch, SchurSystem};
+use archytas_math::{
+    BlockSparseSystem, BlockSpec, Cholesky, DVec, MathError, SchurScratch, SchurSystem,
+};
 use archytas_par::Pool;
+use std::fmt;
 
 /// Diagonal floor of the Marquardt damping `A + λ·max(diag(A), floor)`.
 const DAMP_FLOOR: f64 = 1e-9;
@@ -60,6 +63,84 @@ impl LmConfig {
     }
 }
 
+/// Typed failure of the solve/marginalization path.
+///
+/// Data-dependent numerical failures (a non-SPD Hessian, a diagonal entry
+/// driven to zero, non-finite residuals) surface as values of this type so
+/// callers can degrade gracefully instead of unwinding; see
+/// [`crate::try_marginalize_oldest`] and
+/// [`Prior::try_from_information`](crate::Prior::try_from_information).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The underlying linear algebra failed — typically
+    /// [`MathError::NotPositiveDefinite`] from a Cholesky pivot.
+    Linear(MathError),
+    /// A cost, residual or increment evaluated to a non-finite value.
+    NonFinite,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Linear(e) => write!(f, "linear solve failed: {e}"),
+            SolveError::NonFinite => write!(f, "non-finite value in the objective"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Linear(e) => Some(e),
+            SolveError::NonFinite => None,
+        }
+    }
+}
+
+impl From<MathError> for SolveError {
+    fn from(e: MathError) -> Self {
+        SolveError::Linear(e)
+    }
+}
+
+/// Why a solve ended [`Degraded`](SolveOutcome::Degraded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// Every damping retry failed to factorize: the normal equations stayed
+    /// non-positive-definite through the full λ escalation.
+    LinearSolveFailed,
+    /// The objective (or the solved increment) went non-finite — corrupted
+    /// measurements reached the residuals.
+    NonFiniteValues,
+}
+
+/// How one sliding-window optimization ended, for callers that react to
+/// solver health (the pipeline's degradation ladder, the runtime watchdog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveOutcome {
+    /// The relative cost decrease fell below tolerance (or the problem was
+    /// already at a minimum).
+    #[default]
+    Converged,
+    /// All budgeted iterations ran while the cost was still improving.
+    BudgetExhausted,
+    /// The solve could not make progress for a numerical reason; the window
+    /// estimate is whatever the last accepted step left behind.
+    Degraded {
+        /// The numerical condition that stopped progress.
+        reason: DegradeReason,
+    },
+}
+
+impl SolveOutcome {
+    /// `true` for [`SolveOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SolveOutcome::Degraded { .. })
+    }
+}
+
 /// Outcome of one sliding-window optimization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolveReport {
@@ -79,6 +160,63 @@ pub struct SolveReport {
     /// step was accepted). Run-time policies use the settle point of this
     /// trajectory to learn iteration requirements.
     pub step_norms: Vec<f64>,
+    /// How the solve ended — the signal the degradation ladder consumes.
+    pub outcome: SolveOutcome,
+}
+
+/// Per-iteration numerical observations, folded into a [`SolveOutcome`] when
+/// the LM loop exits. Pure bookkeeping: classification never alters the loop's
+/// control flow, so reports differ from the historical behavior only by the
+/// added field.
+#[derive(Default)]
+struct OutcomeTracker {
+    /// A damping retry's linear solve failed during the final iteration.
+    solve_failed: bool,
+    /// A non-finite increment or candidate cost appeared during the final
+    /// iteration.
+    non_finite: bool,
+    /// The final iteration accepted a step.
+    accepted: bool,
+}
+
+impl OutcomeTracker {
+    /// Resets at the top of each outer iteration so the flags describe the
+    /// iteration the loop actually exited from.
+    fn begin_iteration(&mut self) {
+        *self = Self::default();
+    }
+
+    fn classify(&self, report: &SolveReport, ran_iterations: bool) -> SolveOutcome {
+        if !ran_iterations {
+            // Zero-budget call: nothing attempted, nothing degraded.
+            return SolveOutcome::Converged;
+        }
+        if !report.final_cost.is_finite() {
+            return SolveOutcome::Degraded {
+                reason: DegradeReason::NonFiniteValues,
+            };
+        }
+        if report.converged {
+            return SolveOutcome::Converged;
+        }
+        if self.accepted {
+            // Exited by exhausting the budget while still improving.
+            return SolveOutcome::BudgetExhausted;
+        }
+        // Stalled: no step accepted in the final iteration. Numerical causes
+        // degrade; a plain stall at finite cost is a (local) minimum.
+        if self.non_finite {
+            SolveOutcome::Degraded {
+                reason: DegradeReason::NonFiniteValues,
+            }
+        } else if self.solve_failed {
+            SolveOutcome::Degraded {
+                reason: DegradeReason::LinearSolveFailed,
+            }
+        } else {
+            SolveOutcome::Converged
+        }
+    }
 }
 
 /// A pluggable linear solver for the damped normal equations.
@@ -172,9 +310,12 @@ pub fn solve_in_workspace(
         lambda,
         last_step_norm: 0.0,
         step_norms: Vec::new(),
+        outcome: SolveOutcome::Converged,
     };
+    let mut tracker = OutcomeTracker::default();
 
     for _ in 0..config.max_iterations {
+        tracker.begin_iteration();
         let info = build_block_normal_equations(window, weights, prior, &mut ws.sys);
         if report.initial_cost.is_nan() {
             report.initial_cost = info.cost;
@@ -189,16 +330,21 @@ pub fn solve_in_workspace(
                 .solve_into(&mut ws.scratch, &pool, &mut ws.delta)
                 .is_err()
             {
+                tracker.solve_failed = true;
                 lambda *= config.lambda_up;
                 continue;
             }
             if !ws.delta.all_finite() {
+                tracker.non_finite = true;
                 lambda *= config.lambda_up;
                 continue;
             }
             ws.candidate.clone_from(window);
             apply_increment(&mut ws.candidate, &ws.delta);
             let new_cost = evaluate_cost(&ws.candidate, weights, prior);
+            if !new_cost.is_finite() {
+                tracker.non_finite = true;
+            }
             if new_cost.is_finite() && new_cost < info.cost {
                 std::mem::swap(window, &mut ws.candidate);
                 lambda = (lambda * config.lambda_down).max(1e-12);
@@ -210,6 +356,7 @@ pub fn solve_in_workspace(
             }
             lambda *= config.lambda_up;
         }
+        tracker.accepted = accepted;
         report.iterations += 1;
         report.lambda = lambda;
         if !accepted {
@@ -228,6 +375,7 @@ pub fn solve_in_workspace(
         report.initial_cost = 0.0;
         report.final_cost = 0.0;
     }
+    report.outcome = tracker.classify(&report, report.iterations > 0);
     report
 }
 
@@ -249,7 +397,9 @@ pub fn solve_with(
         lambda,
         last_step_norm: 0.0,
         step_norms: Vec::new(),
+        outcome: SolveOutcome::Converged,
     };
+    let mut tracker = OutcomeTracker::default();
     // Reused across iterations and damping retries: `damped` is copied from
     // `ne.a` once per linearization and only its diagonal is rewritten per
     // retry (in-place damping with undo-by-rewrite, instead of a full-matrix
@@ -258,6 +408,7 @@ pub fn solve_with(
     let mut candidate = SlidingWindow::new();
 
     for _ in 0..config.max_iterations {
+        tracker.begin_iteration();
         let ne = build_normal_equations(window, weights, prior);
         if report.initial_cost.is_nan() {
             report.initial_cost = ne.cost;
@@ -269,16 +420,21 @@ pub fn solve_with(
         for _ in 0..=config.max_retries {
             damp_in_place(&mut damped, &ne.a, lambda);
             let Some(delta) = linear_solver(&damped, &ne.b, ne.num_landmarks) else {
+                tracker.solve_failed = true;
                 lambda *= config.lambda_up;
                 continue;
             };
             if !delta.all_finite() {
+                tracker.non_finite = true;
                 lambda *= config.lambda_up;
                 continue;
             }
             candidate.clone_from(window);
             apply_increment(&mut candidate, &delta);
             let new_cost = evaluate_cost(&candidate, weights, prior);
+            if !new_cost.is_finite() {
+                tracker.non_finite = true;
+            }
             if new_cost.is_finite() && new_cost < ne.cost {
                 std::mem::swap(window, &mut candidate);
                 lambda = (lambda * config.lambda_down).max(1e-12);
@@ -290,6 +446,7 @@ pub fn solve_with(
             }
             lambda *= config.lambda_up;
         }
+        tracker.accepted = accepted;
         report.iterations += 1;
         report.lambda = lambda;
         if !accepted {
@@ -308,6 +465,7 @@ pub fn solve_with(
         report.initial_cost = 0.0;
         report.final_cost = 0.0;
     }
+    report.outcome = tracker.classify(&report, report.iterations > 0);
     report
 }
 
@@ -460,6 +618,80 @@ mod tests {
         let mut w6 = perturb(&w0);
         let r6 = solve(&mut w6, &weights, None, &LmConfig::with_iterations(6));
         assert!(r6.final_cost <= r1.final_cost * 1.0001);
+    }
+
+    #[test]
+    fn outcome_converged_on_clean_window() {
+        let (mut w, _) = make_window(3, 15);
+        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        assert_eq!(report.outcome, SolveOutcome::Converged);
+        assert!(!report.outcome.is_degraded());
+    }
+
+    #[test]
+    fn outcome_zero_budget_is_converged() {
+        let (mut w, _) = make_window(3, 10);
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::with_iterations(0),
+        );
+        assert_eq!(report.outcome, SolveOutcome::Converged);
+    }
+
+    #[test]
+    fn outcome_degrades_on_nan_measurements() {
+        let (mut w, _) = make_window(3, 10);
+        for obs in &mut w.observations {
+            obs.uv = [f64::NAN, f64::NAN];
+        }
+        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        assert_eq!(
+            report.outcome,
+            SolveOutcome::Degraded {
+                reason: DegradeReason::NonFiniteValues
+            }
+        );
+        // The loop still exits in bounded time without panicking.
+        assert!(report.iterations <= LmConfig::default().max_iterations);
+    }
+
+    #[test]
+    fn outcome_budget_exhausted_when_still_improving() {
+        let (mut w, _) = make_window(4, 30);
+        for i in 1..w.keyframes.len() {
+            w.keyframes[i] = w.keyframes[i].boxplus(&[
+                0.02, -0.02, 0.01, 0.1, -0.06, 0.04, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ]);
+        }
+        for lm in &mut w.landmarks {
+            lm.inv_depth *= 1.4;
+        }
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::with_iterations(1),
+        );
+        // One iteration on a badly perturbed window: cost improved but the
+        // tolerance test never ran true.
+        if !report.converged {
+            assert_eq!(report.outcome, SolveOutcome::BudgetExhausted);
+        }
+    }
+
+    #[test]
+    fn solve_error_display_and_source() {
+        let e = SolveError::Linear(MathError::NotPositiveDefinite { pivot: 3 });
+        assert!(e.to_string().contains("linear solve failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let spec_err = MathError::InvalidBlockSpec { split: 3, dim: 2 };
+        assert_eq!(
+            SolveError::from(spec_err.clone()),
+            SolveError::Linear(spec_err)
+        );
+        assert!(std::error::Error::source(&SolveError::NonFinite).is_none());
     }
 
     #[test]

@@ -96,3 +96,7 @@ if failures:
     sys.exit(1)
 print("solver 4-thread regression gate passed", file=sys.stderr)
 PY
+
+# Fault-matrix robustness smoke rides along (writes BENCH_faults.json and
+# enforces the 3x-nominal RMSE and pool-size determinism gates).
+scripts/fault_smoke.sh

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Fault-matrix robustness smoke: runs the standard fault matrix
+# (crates/faults, `fault_matrix` binary) at ARCHYTAS_THREADS=1 and
+# ARCHYTAS_THREADS=4 and collects the FAULTJSON lines it emits into
+# BENCH_faults.json.
+#
+# Gates (non-zero exit on violation):
+#   - any scenario panicking or exceeding the 3x nominal RMSE bound, at
+#     either thread count (the binary's own exit status, surfaced through
+#     `set -o pipefail`);
+#   - any divergence between the 1-thread and 4-thread reports — the
+#     matrix must be reproducible regardless of pool size. (The bitwise
+#     version of this gate lives in crates/faults/tests/determinism.rs;
+#     this one catches it cheaply in CI without a test build.)
+#
+# Usage: scripts/fault_smoke.sh [output.json] [seed] [seconds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_faults.json}"
+SEED="${2:-7}"
+RUN_SECONDS="${3:-8.0}"
+THREAD_COUNTS=(1 4)
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "building fault_matrix (release)..." >&2
+cargo build -q --release -p archytas-faults --bin fault_matrix
+
+for threads in "${THREAD_COUNTS[@]}"; do
+    echo "running fault matrix (seed=$SEED, ${RUN_SECONDS}s, ARCHYTAS_THREADS=$threads)..." >&2
+    ARCHYTAS_THREADS="$threads" \
+        ./target/release/fault_matrix "$SEED" "$RUN_SECONDS" \
+        | sed -n 's/^FAULTJSON //p' > "$TMP_DIR/faults_$threads.txt"
+done
+
+if ! diff -q "$TMP_DIR/faults_1.txt" "$TMP_DIR/faults_4.txt" >/dev/null; then
+    echo "fault matrix determinism gate FAILED: 1-thread and 4-thread reports differ" >&2
+    diff "$TMP_DIR/faults_1.txt" "$TMP_DIR/faults_4.txt" >&2 || true
+    exit 1
+fi
+echo "fault matrix determinism gate passed (1-thread == 4-thread)" >&2
+
+# Assemble a single JSON document: one record per scenario.
+{
+    echo "{\"schema\":\"archytas-fault-smoke-v1\",\"seed\":$SEED,\"seconds\":$RUN_SECONDS,\"records\":["
+    paste -sd, - < "$TMP_DIR/faults_1.txt"
+    echo ']}'
+} > "$OUT"
+
+count="$(wc -l < "$TMP_DIR/faults_1.txt")"
+echo "wrote $OUT ($count scenarios)" >&2
