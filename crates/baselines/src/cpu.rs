@@ -90,6 +90,13 @@ pub struct CachedCpuPlatform {
     time: archytas_par::Memo<(ProblemShape, usize), f64>,
 }
 
+// Shared across fleet sessions and sweep workers exactly like
+// `CachedAcceleratorModel`; keep the compiler holding us to `Sync`.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<CachedCpuPlatform>();
+};
+
 impl CachedCpuPlatform {
     /// Wraps `cpu` with an empty cache.
     pub fn new(cpu: CpuPlatform) -> Self {
@@ -97,6 +104,13 @@ impl CachedCpuPlatform {
             cpu,
             time: archytas_par::Memo::new(),
         }
+    }
+
+    /// Wraps `cpu` for cross-thread sharing (mirror of
+    /// `archytas_hw::CachedAcceleratorModel::shared`): all holders of the
+    /// returned `Arc` fill each `(shape, iterations)` key exactly once.
+    pub fn shared(cpu: CpuPlatform) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::new(cpu))
     }
 
     /// The wrapped platform.
@@ -169,7 +183,10 @@ mod tests {
         let accel_mj = hp.window_energy_mj(&shape, 6);
         let intel_x = CpuPlatform::intel_comet_lake().window_energy_mj(&shape, 6) / accel_mj;
         let arm_x = CpuPlatform::arm_a57().window_energy_mj(&shape, 6) / accel_mj;
-        assert!((45.0..110.0).contains(&intel_x), "intel energy ratio {intel_x:.1}");
+        assert!(
+            (45.0..110.0).contains(&intel_x),
+            "intel energy ratio {intel_x:.1}"
+        );
         assert!((9.0..25.0).contains(&arm_x), "arm energy ratio {arm_x:.1}");
         assert!(
             intel_x > arm_x,
@@ -215,5 +232,24 @@ mod tests {
         }
         assert_eq!(cached.evaluations(), 1);
         assert_eq!(cached.cache_hits(), 7);
+    }
+
+    #[test]
+    fn shared_cpu_fills_exactly_once_under_concurrency() {
+        let cpu = CpuPlatform::arm_a57();
+        let cached = CachedCpuPlatform::shared(cpu.clone());
+        let shape = typical();
+        let jobs: Vec<usize> = (0..256).collect();
+        let pool = archytas_par::Pool::with_threads(8).with_serial_threshold(0);
+        let shared = std::sync::Arc::clone(&cached);
+        let got = pool.par_map(&jobs, |_| shared.window_time_ms(&shape, 6));
+        let want = cpu.window_time_ms(&shape, 6);
+        assert!(got.iter().all(|v| v.to_bits() == want.to_bits()));
+        assert_eq!(
+            cached.evaluations(),
+            1,
+            "one fill despite 256 racing lookups"
+        );
+        assert_eq!(cached.cache_hits(), 255);
     }
 }

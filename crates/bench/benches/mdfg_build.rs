@@ -1,9 +1,7 @@
 //! Criterion bench for the M-DFG layer (Sec. 3): graph construction,
 //! blocking-choice optimization, and the D-type-vs-direct ablation.
 
-use archytas_mdfg::{
-    build_mdfg, nls_schur_cost, optimal_nls_blocking, ProblemShape,
-};
+use archytas_mdfg::{build_mdfg, nls_schur_cost, optimal_nls_blocking, ProblemShape};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

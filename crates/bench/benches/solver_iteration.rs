@@ -72,12 +72,7 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("lm_full_window_6_iterations", |b| {
         b.iter(|| {
             let mut w = window.clone();
-            solve(
-                &mut w,
-                &weights,
-                None,
-                &LmConfig::with_iterations(6),
-            )
+            solve(&mut w, &weights, None, &LmConfig::with_iterations(6))
         })
     });
 
@@ -88,7 +83,13 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("lm_full_window_reused_workspace", |b| {
         b.iter(|| {
             let mut w = window.clone();
-            solve_in_workspace(&mut ws, &mut w, &weights, None, &LmConfig::with_iterations(6))
+            solve_in_workspace(
+                &mut ws,
+                &mut w,
+                &weights,
+                None,
+                &LmConfig::with_iterations(6),
+            )
         })
     });
 

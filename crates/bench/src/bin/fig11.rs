@@ -13,7 +13,10 @@ use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
 const LAG: usize = 10;
 
 fn main() {
-    banner("Fig. 11", "relative error vs feature-point count (KITTI snapshot)");
+    banner(
+        "Fig. 11",
+        "relative error vs feature-point count (KITTI snapshot)",
+    );
 
     // The full 100 s drive covers the deep feature droughts (down to ~20
     // features/window); the paper's snapshot shows windows 400–900 of the
@@ -81,6 +84,10 @@ fn main() {
     );
     println!(
         "paper's Fig. 11 shape {}: error is higher when features are scarce",
-        if mean(&poor) > mean(&rich) * 1.1 { "REPRODUCED" } else { "NOT reproduced" }
+        if mean(&poor) > mean(&rich) * 1.1 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

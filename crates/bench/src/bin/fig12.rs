@@ -48,6 +48,10 @@ fn main() {
     let mostly_monotone = series.windows(2).filter(|w| w[1] <= w[0] * 1.05).count() >= 4;
     println!(
         "paper's Fig. 12 shape {}: more iterations lower the error, with diminishing returns",
-        if last < first && mostly_monotone { "REPRODUCED" } else { "NOT reproduced" }
+        if last < first && mostly_monotone {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }

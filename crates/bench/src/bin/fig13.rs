@@ -4,9 +4,7 @@
 //! Run: `cargo run --release -p archytas-bench --bin fig13`
 
 use archytas_bench::{banner, print_table};
-use archytas_hw::{
-    window_cycles, AcceleratorConfig, FpgaPlatform, ResourceKind, ResourceModel,
-};
+use archytas_hw::{window_cycles, AcceleratorConfig, FpgaPlatform, ResourceKind, ResourceModel};
 use archytas_mdfg::ProblemShape;
 
 fn sweep(
@@ -28,10 +26,22 @@ fn sweep(
         times.push(ms);
         rows.push(vec![
             v.to_string(),
-            format!("{:.1}", platform.utilization(ResourceKind::Dsp, r.dsp) * 100.0),
-            format!("{:.1}", platform.utilization(ResourceKind::Lut, r.lut) * 100.0),
-            format!("{:.1}", platform.utilization(ResourceKind::Bram, r.bram) * 100.0),
-            format!("{:.1}", platform.utilization(ResourceKind::Ff, r.ff) * 100.0),
+            format!(
+                "{:.1}",
+                platform.utilization(ResourceKind::Dsp, r.dsp) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                platform.utilization(ResourceKind::Lut, r.lut) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                platform.utilization(ResourceKind::Bram, r.bram) * 100.0
+            ),
+            format!(
+                "{:.1}",
+                platform.utilization(ResourceKind::Ff, r.ff) * 100.0
+            ),
             format!("{ms:.2}"),
         ]);
     }

@@ -34,7 +34,12 @@ fn main() {
         })
         .collect();
     print_table(
-        &["constraint (ms)", "latency (ms)", "power (W)", "(nd, nm, s)"],
+        &[
+            "constraint (ms)",
+            "latency (ms)",
+            "power (W)",
+            "(nd, nm, s)",
+        ],
         &rows,
     );
 

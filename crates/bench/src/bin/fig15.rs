@@ -31,23 +31,51 @@ fn main() {
 
     // The CPU means are design-independent; hoist them out of the loop
     // (the caches would collapse the recomputation anyway).
-    let intel_ms = mean(&shapes.iter().map(|s| intel.window_time_ms(s, 6)).collect::<Vec<_>>());
-    let intel_mj = mean(&shapes.iter().map(|s| intel.window_energy_mj(s, 6)).collect::<Vec<_>>());
-    let arm_ms = mean(&shapes.iter().map(|s| arm.window_time_ms(s, 6)).collect::<Vec<_>>());
-    let arm_mj = mean(&shapes.iter().map(|s| arm.window_energy_mj(s, 6)).collect::<Vec<_>>());
+    let intel_ms = mean(
+        &shapes
+            .iter()
+            .map(|s| intel.window_time_ms(s, 6))
+            .collect::<Vec<_>>(),
+    );
+    let intel_mj = mean(
+        &shapes
+            .iter()
+            .map(|s| intel.window_energy_mj(s, 6))
+            .collect::<Vec<_>>(),
+    );
+    let arm_ms = mean(
+        &shapes
+            .iter()
+            .map(|s| arm.window_time_ms(s, 6))
+            .collect::<Vec<_>>(),
+    );
+    let arm_mj = mean(
+        &shapes
+            .iter()
+            .map(|s| arm.window_energy_mj(s, 6))
+            .collect::<Vec<_>>(),
+    );
 
     // One evaluation task per frontier design, fanned out over the pool.
-    let evals = Pool::global().with_serial_threshold(2).par_map(&frontier, |p| {
-        let model = AcceleratorModel::new(p.design.config, FpgaPlatform::zc706());
-        let accel_ms: Vec<f64> = shapes.iter().map(|s| model.window_latency_ms(s, 6)).collect();
-        let accel_mj: Vec<f64> = shapes.iter().map(|s| model.window_energy_mj(s, 6)).collect();
-        (
-            intel_ms / mean(&accel_ms),
-            intel_mj / mean(&accel_mj),
-            arm_ms / mean(&accel_ms),
-            arm_mj / mean(&accel_mj),
-        )
-    });
+    let evals = Pool::global()
+        .with_serial_threshold(2)
+        .par_map(&frontier, |p| {
+            let model = AcceleratorModel::new(p.design.config, FpgaPlatform::zc706());
+            let accel_ms: Vec<f64> = shapes
+                .iter()
+                .map(|s| model.window_latency_ms(s, 6))
+                .collect();
+            let accel_mj: Vec<f64> = shapes
+                .iter()
+                .map(|s| model.window_energy_mj(s, 6))
+                .collect();
+            (
+                intel_ms / mean(&accel_ms),
+                intel_mj / mean(&accel_mj),
+                arm_ms / mean(&accel_ms),
+                arm_mj / mean(&accel_mj),
+            )
+        });
 
     let mut rows = Vec::new();
     let mut best = (0.0f64, 0.0f64, 0.0f64, 0.0f64);

@@ -1,0 +1,116 @@
+//! Fleet serving bench: runs the standard 8-vehicle batch on the fleet
+//! scheduler and emits machine-readable lines for `scripts/fleet_smoke.sh`.
+//!
+//! Usage: `fleet [--threads N] [--seconds S]` (threads also via
+//! `ARCHYTAS_FLEET_THREADS`, default 1).
+//!
+//! Output:
+//! * one `FLEETDET {...}` line per session — the deterministic payload
+//!   (digests and bit patterns only, no timing), byte-identical across
+//!   pool sizes by the fleet contract;
+//! * one `FLEETJSON {...}` line — wall-clock throughput, pooled frame
+//!   latency percentiles, shared-cache and scheduler counters.
+
+use archytas_dataset::{euroc_sequences, kitti_sequences};
+use archytas_faults::{FaultKind, FaultPlan};
+use archytas_fleet::{run_fleet, FleetConfig, Priority, SessionOutcome, SessionSpec};
+
+fn specs(seconds: f64) -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    let fault_len = seconds.max(4.0);
+    vec![
+        SessionSpec::new("car-0", kitti[0].truncated(seconds), Priority::High),
+        SessionSpec::new("car-1", kitti[1].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-2", kitti[2].truncated(seconds), Priority::Low),
+        SessionSpec::new("drone-0", euroc[0].truncated(seconds), Priority::Normal),
+        SessionSpec::new("drone-1", euroc[1].truncated(seconds), Priority::Low),
+        SessionSpec::new("car-3", kitti[3].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-flaky", kitti[1].truncated(fault_len), Priority::High)
+            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
+        SessionSpec::new("drone-flaky", euroc[0].truncated(fault_len), Priority::Low)
+            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut threads: usize = std::env::var("ARCHYTAS_FLEET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut seconds = 4.0f64;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs an unsigned integer");
+            }
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds needs a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let config = FleetConfig {
+        threads,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&specs(seconds), &config);
+
+    for s in &report.sessions {
+        println!(
+            "FLEETDET {{\"session\":\"{}\",\"outcome\":\"{:?}\",\"windows\":{},\
+             \"digest\":\"{:016x}\",\"iterations_sum\":{},\"rmse_bits\":\"{:016x}\",\
+             \"latency_bits\":\"{:016x}\",\"energy_bits\":\"{:016x}\",\
+             \"degraded_windows\":{},\"watchdog_windows\":{}}}",
+            s.name,
+            s.outcome,
+            s.windows,
+            s.digest(),
+            s.iterations.iter().sum::<usize>(),
+            s.rmse_m.to_bits(),
+            s.modelled_latency_ms.to_bits(),
+            s.modelled_energy_mj.to_bits(),
+            s.degraded_windows,
+            s.watchdog_windows,
+        );
+    }
+    let completed = report
+        .sessions
+        .iter()
+        .filter(|s| s.outcome == SessionOutcome::Completed)
+        .count();
+    println!(
+        "FLEETJSON {{\"threads\":{},\"sessions\":{},\"completed\":{},\
+         \"frames\":{},\"windows\":{},\"serving_wall_s\":{:.6},\
+         \"throughput_fps\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
+         \"model_evaluations\":{},\"model_cache_hits\":{},\
+         \"gating_builds\":{},\"gating_hits\":{},\
+         \"steals\":{},\"deferrals\":{},\"quanta\":{}}}",
+        report.threads,
+        report.sessions.len(),
+        completed,
+        report.frames_processed,
+        report.windows_processed,
+        report.serving_wall_s,
+        report.throughput_fps,
+        report.latency.p50_ns as f64 / 1_000.0,
+        report.latency.p95_ns as f64 / 1_000.0,
+        report.latency.p99_ns as f64 / 1_000.0,
+        report.model_evaluations,
+        report.model_cache_hits,
+        report.gating_builds,
+        report.gating_hits,
+        report.scheduler.steals,
+        report.scheduler.deferrals,
+        report.scheduler.quanta,
+    );
+}

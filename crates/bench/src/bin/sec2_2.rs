@@ -17,7 +17,11 @@ fn main() {
         "Sec. 2.2",
         "MAP vs non-linear filtering: accuracy per unit of computing time",
     );
-    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() { 60.0 } else { 25.0 };
+    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() {
+        60.0
+    } else {
+        25.0
+    };
     let data = kitti_sequences()[0].truncated(duration).build();
 
     // --- MAP (sliding-window LM, the paper's target) ---
@@ -95,7 +99,11 @@ fn main() {
     println!("which is exactly the knob Archytas's run-time system exploits (Sec. 6).");
     println!(
         "paper's Sec. 2.2 claim (MAP more robust in long-term localization) {}",
-        if map_metrics.rmse() < ekf_metrics.rmse() { "REPRODUCED" } else { "NOT reproduced" }
+        if map_metrics.rmse() < ekf_metrics.rmse() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     let (applied, gated) = ekf.update_stats();
     println!(

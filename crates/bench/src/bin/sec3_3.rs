@@ -7,7 +7,10 @@ use archytas_bench::{banner, print_table};
 use archytas_mdfg::{saving_vs_dense, storage_words, LayoutScheme};
 
 fn main() {
-    banner("Sec. 3.3", "S-matrix storage: split compression vs alternatives");
+    banner(
+        "Sec. 3.3",
+        "S-matrix storage: split compression vs alternatives",
+    );
 
     let configs = [(15usize, 8usize), (15, 10), (15, 15), (15, 20)];
     let mut rows = Vec::new();
@@ -22,7 +25,10 @@ fn main() {
             sym.to_string(),
             csr.to_string(),
             split.to_string(),
-            format!("{:.1}%", saving_vs_dense(LayoutScheme::SplitCompressed, k, b) * 100.0),
+            format!(
+                "{:.1}%",
+                saving_vs_dense(LayoutScheme::SplitCompressed, k, b) * 100.0
+            ),
             format!("{:.1}%", (1.0 - split as f64 / csr as f64) * 100.0),
         ]);
     }

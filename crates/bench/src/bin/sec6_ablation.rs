@@ -12,9 +12,7 @@
 //! Run: `cargo run --release -p archytas-bench --bin sec6_ablation`
 
 use archytas_bench::{banner, print_table};
-use archytas_core::{
-    AdaptiveIterPolicy, GatingTable, IterCounter, IterPolicy, ITER_CAP,
-};
+use archytas_core::{AdaptiveIterPolicy, GatingTable, IterCounter, IterPolicy, ITER_CAP};
 use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
 use archytas_hw::{f32_linear_solver, AcceleratorModel, FpgaPlatform, PowerModel, HIGH_PERF};
 use archytas_mdfg::ProblemShape;
@@ -28,7 +26,11 @@ enum Policy {
 }
 
 fn run(policy: Policy) -> (f64, f64, f64) {
-    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() { 60.0 } else { 25.0 };
+    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() {
+        60.0
+    } else {
+        25.0
+    };
     let data = kitti_sequences()[0].truncated(duration).build();
     let platform = FpgaPlatform::zc706();
     let model = AcceleratorModel::new(HIGH_PERF, platform.clone());

@@ -12,7 +12,9 @@ fn main() {
     banner("Sec. 7.3", "hardware generator efficiency");
 
     let space = ND_MAX * NM_MAX * S_MAX;
-    println!("design space: nd ∈ 1..={ND_MAX}, nm ∈ 1..={NM_MAX}, s ∈ 1..={S_MAX} → {space} designs");
+    println!(
+        "design space: nd ∈ 1..={ND_MAX}, nm ∈ 1..={NM_MAX}, s ∈ 1..={S_MAX} → {space} designs"
+    );
 
     // Exhaustive search through the real FPGA flow: ~1.5 h synthesis+layout
     // per design (paper's figure on their machine).

@@ -4,17 +4,20 @@
 //!
 //! Run: `cargo run --release -p archytas-bench --bin sec7_5`
 
-use archytas_bench::{banner, print_table};
 use archytas_baselines::{
     all_prior_accelerators, HlsCholesky, HLS_REFERENCE_DIM, HLS_REFERENCE_LANES,
 };
+use archytas_bench::{banner, print_table};
 use archytas_hw::{
     cholesky_latency, nls_iteration_cycles, AcceleratorModel, FpgaPlatform, HIGH_PERF,
 };
 use archytas_mdfg::ProblemShape;
 
 fn main() {
-    banner("Sec. 7.5", "prior accelerator comparison (per-NLS-iteration normalization)");
+    banner(
+        "Sec. 7.5",
+        "prior accelerator comparison (per-NLS-iteration normalization)",
+    );
 
     let shape = ProblemShape::typical();
     let platform = FpgaPlatform::zc706();
@@ -22,9 +25,7 @@ fn main() {
     let iter_ms = nls_iteration_cycles(&shape, &HIGH_PERF) / (platform.clock_mhz * 1e3);
     let iter_mj = iter_ms * model.power_w();
 
-    println!(
-        "High-Perf per NLS iteration: {iter_ms:.3} ms, {iter_mj:.3} mJ (typical window)\n"
-    );
+    println!("High-Perf per NLS iteration: {iter_ms:.3} ms, {iter_mj:.3} mJ (typical window)\n");
 
     let mut rows = Vec::new();
     for p in all_prior_accelerators() {

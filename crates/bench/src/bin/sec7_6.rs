@@ -13,7 +13,11 @@ use archytas_dataset::{euroc_sequences, kitti_sequences, SequenceSpec};
 use archytas_hw::{AcceleratorModel, FpgaPlatform, HIGH_PERF, LOW_POWER};
 use archytas_mdfg::ProblemShape;
 
-fn run_pair(spec: &SequenceSpec, config: archytas_hw::AcceleratorConfig, bound_ms: f64) -> Vec<String> {
+fn run_pair(
+    spec: &SequenceSpec,
+    config: archytas_hw::AcceleratorConfig,
+    bound_ms: f64,
+) -> Vec<String> {
     let data = spec.build();
     let platform = FpgaPlatform::zc706();
 
@@ -54,7 +58,11 @@ fn main() {
         "dynamic optimization: energy saving and accuracy impact (estimator actually runs)",
     );
 
-    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() { 40.0 } else { 12.0 };
+    let duration = if std::env::var("ARCHYTAS_FULL").is_ok() {
+        40.0
+    } else {
+        12.0
+    };
     let sequences = [
         kitti_sequences()[0].truncated(duration),
         kitti_sequences()[4].truncated(duration),

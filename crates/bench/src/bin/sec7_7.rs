@@ -3,8 +3,8 @@
 //!
 //! Run: `cargo run --release -p archytas-bench --bin sec7_7`
 
-use archytas_bench::{banner, mean, print_table, sequence_shapes};
 use archytas_baselines::CpuPlatform;
+use archytas_bench::{banner, mean, print_table, sequence_shapes};
 use archytas_core::{AlgorithmDescription, Archytas, DesignSpec, Objective};
 use archytas_dataset::euroc_sequences;
 use archytas_hw::{AcceleratorModel, FpgaPlatform};
@@ -34,21 +34,59 @@ fn main() {
         };
         let acc = Archytas::generate(&slam, &spec).expect("feasible");
         let model = AcceleratorModel::new(acc.design.config, platform.clone());
-        let a_ms = mean(&shapes.iter().map(|s| model.window_latency_ms(s, 6)).collect::<Vec<_>>());
-        let a_mj = mean(&shapes.iter().map(|s| model.window_energy_mj(s, 6)).collect::<Vec<_>>());
-        let i_ms = mean(&shapes.iter().map(|s| intel.window_time_ms(s, 6)).collect::<Vec<_>>());
-        let i_mj = mean(&shapes.iter().map(|s| intel.window_energy_mj(s, 6)).collect::<Vec<_>>());
-        let r_ms = mean(&shapes.iter().map(|s| arm.window_time_ms(s, 6)).collect::<Vec<_>>());
-        let r_mj = mean(&shapes.iter().map(|s| arm.window_energy_mj(s, 6)).collect::<Vec<_>>());
+        let a_ms = mean(
+            &shapes
+                .iter()
+                .map(|s| model.window_latency_ms(s, 6))
+                .collect::<Vec<_>>(),
+        );
+        let a_mj = mean(
+            &shapes
+                .iter()
+                .map(|s| model.window_energy_mj(s, 6))
+                .collect::<Vec<_>>(),
+        );
+        let i_ms = mean(
+            &shapes
+                .iter()
+                .map(|s| intel.window_time_ms(s, 6))
+                .collect::<Vec<_>>(),
+        );
+        let i_mj = mean(
+            &shapes
+                .iter()
+                .map(|s| intel.window_energy_mj(s, 6))
+                .collect::<Vec<_>>(),
+        );
+        let r_ms = mean(
+            &shapes
+                .iter()
+                .map(|s| arm.window_time_ms(s, 6))
+                .collect::<Vec<_>>(),
+        );
+        let r_mj = mean(
+            &shapes
+                .iter()
+                .map(|s| arm.window_energy_mj(s, 6))
+                .collect::<Vec<_>>(),
+        );
         rows.push(vec![
             platform.name.to_string(),
-            format!("({}, {}, {})", acc.design.config.nd, acc.design.config.nm, acc.design.config.s),
+            format!(
+                "({}, {}, {})",
+                acc.design.config.nd, acc.design.config.nm, acc.design.config.s
+            ),
             format!("{:.1}x / {:.1}x", i_ms / a_ms, i_mj / a_mj),
             format!("{:.1}x / {:.1}x", r_ms / a_ms, r_mj / a_mj),
         ]);
     }
     print_table(
-        &["board", "(nd, nm, s)", "vs Intel (speed/energy)", "vs Arm (speed/energy)"],
+        &[
+            "board",
+            "(nd, nm, s)",
+            "vs Intel (speed/energy)",
+            "vs Arm (speed/energy)",
+        ],
         &rows,
     );
     println!("paper: Kintex-7 6.6x/105.1x and Virtex-7 10.2x/114.6x vs Intel;");
@@ -75,14 +113,23 @@ fn main() {
         let i_mj = intel.window_energy_mj(&shape, 6);
         rows.push(vec![
             format!("{:?}", desc.kind),
-            format!("({}, {}, {})", acc.design.config.nd, acc.design.config.nm, acc.design.config.s),
+            format!(
+                "({}, {}, {})",
+                acc.design.config.nd, acc.design.config.nm, acc.design.config.s
+            ),
             format!("{:.1}x", i_ms / a_ms),
             format!("{:.1}x", i_mj / a_mj),
             paper.to_string(),
         ]);
     }
     print_table(
-        &["algorithm", "(nd, nm, s)", "speedup vs Intel", "energy red. vs Intel", "paper"],
+        &[
+            "algorithm",
+            "(nd, nm, s)",
+            "speedup vs Intel",
+            "energy red. vs Intel",
+            "paper",
+        ],
         &rows,
     );
     println!("shape check: order-of-magnitude speedups and 2-orders energy reductions carry over");

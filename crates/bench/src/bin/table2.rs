@@ -67,5 +67,8 @@ fn main() {
             ]);
         }
     }
-    print_table(&["design", "latency", "power", "(nd, nm, s)", "DSPs"], &rows);
+    print_table(
+        &["design", "latency", "power", "(nd, nm, s)", "DSPs"],
+        &rows,
+    );
 }

@@ -85,10 +85,12 @@ pub fn build_suite_shapes(
 ) -> Vec<(String, Vec<ProblemShape>)> {
     // Sequence generation dominates the sweep binaries; each build is
     // hundreds of frames of work, so parallelize per sequence.
-    Pool::global().with_serial_threshold(2).par_map(specs, |spec| {
-        let data = spec.build();
-        (spec.name.clone(), sequence_shapes(&data, window_size))
-    })
+    Pool::global()
+        .with_serial_threshold(2)
+        .par_map(specs, |spec| {
+            let data = spec.build();
+            (spec.name.clone(), sequence_shapes(&data, window_size))
+        })
 }
 
 /// One row of the Fig. 16 table: a design compared against a CPU baseline
@@ -284,7 +286,11 @@ mod tests {
                 "{}: {} evaluations for {} distinct keys",
                 stats.name, stats.evaluations, result.distinct_keys
             );
-            assert!(stats.hits > stats.evaluations, "{}: caching is doing work", stats.name);
+            assert!(
+                stats.hits > stats.evaluations,
+                "{}: caching is doing work",
+                stats.name
+            );
         }
         // Sanity on the numbers themselves: accelerator wins on speed,
         // Intel burns more energy than it saves.

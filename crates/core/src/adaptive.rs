@@ -117,7 +117,13 @@ mod tests {
     fn report(iterations: usize, converged: bool) -> SolveReport {
         // Steps shrink to the settle tolerance exactly at `iterations`.
         let step_norms: Vec<f64> = (0..iterations)
-            .map(|i| if i + 1 >= iterations && converged { 0.01 } else { 0.5 })
+            .map(|i| {
+                if i + 1 >= iterations && converged {
+                    0.01
+                } else {
+                    0.5
+                }
+            })
             .collect();
         SolveReport {
             iterations,
@@ -146,7 +152,11 @@ mod tests {
         for _ in 0..30 {
             p.observe(260, &report(2, true));
         }
-        assert!(p.iterations_for(260) <= 3, "learned {}", p.iterations_for(260));
+        assert!(
+            p.iterations_for(260) <= 3,
+            "learned {}",
+            p.iterations_for(260)
+        );
         // Poor windows were never observed: still at the cap.
         assert_eq!(p.iterations_for(30), ITER_CAP);
     }

@@ -238,7 +238,8 @@ fn strip_port_prefix(line: &str) -> Option<(PortDir, &str)> {
     if let Some(rest) = line.strip_prefix("input ") {
         Some((PortDir::Input, rest))
     } else {
-        line.strip_prefix("output ").map(|rest| (PortDir::Output, rest))
+        line.strip_prefix("output ")
+            .map(|rest| (PortDir::Output, rest))
     }
 }
 
@@ -286,10 +287,8 @@ pub fn elaborate(design: &VerilogDesign) -> Elaboration {
             // Unconnected child ports are warnings (Vivado: floating pins).
             for p in &child.ports {
                 if !inst.connections.iter().any(|(port, _)| port == &p.name) {
-                    elab.warnings.push(format!(
-                        "{child_path}: port '{}' left unconnected",
-                        p.name
-                    ));
+                    elab.warnings
+                        .push(format!("{child_path}: port '{}' left unconnected", p.name));
                 }
             }
             stack.push((child_path, child));
@@ -328,7 +327,13 @@ mod tests {
         assert!(e.modules.len() >= 8);
         // Hierarchy covers the template's units.
         let h = e.hierarchy.join("\n");
-        for unit in ["u_jacobian", "u_dschur", "u_cholesky", "u_mschur", "u_fbsub"] {
+        for unit in [
+            "u_jacobian",
+            "u_dschur",
+            "u_cholesky",
+            "u_mschur",
+            "u_fbsub",
+        ] {
             assert!(h.contains(unit), "{unit} missing from hierarchy:\n{h}");
         }
     }

@@ -14,6 +14,8 @@
 
 use archytas_hw::{window_cycles, AcceleratorConfig, FpgaPlatform, PowerModel};
 use archytas_mdfg::ProblemShape;
+use archytas_par::Memo;
+use std::sync::Arc;
 
 /// The paper caps the iteration knob at 6: beyond that accuracy stops
 /// improving (Sec. 6.2).
@@ -49,7 +51,11 @@ impl IterPolicy {
         let buckets = [220usize, 180, 140, 100, 0];
         let mut thresholds = Vec::new();
         for (idx, &lo) in buckets.iter().enumerate() {
-            let hi = if idx == 0 { usize::MAX } else { buckets[idx - 1] };
+            let hi = if idx == 0 {
+                usize::MAX
+            } else {
+                buckets[idx - 1]
+            };
             let in_bucket: Vec<&(usize, usize, f64)> = samples
                 .iter()
                 .filter(|(f, _, _)| *f >= lo && *f < hi)
@@ -204,6 +210,83 @@ impl GatingTable {
     }
 }
 
+/// Exactly-once cache of [`GatingTable`]s, shared across sessions.
+///
+/// Building a gating table enumerates the whole `(nd, nm, s) × Iter`
+/// sub-lattice of the deployed design (Eq. 18) — a per-deployment cost the
+/// single-robot runtime pays once, but a fleet would pay once *per session*
+/// despite most sessions deploying the identical design on the identical
+/// platform. This cache keys tables by
+/// `(built, shape, latency bound, platform)` and builds each exactly once
+/// (an `archytas_par::Memo`, safe under concurrent session admission); the
+/// tables come out `Arc`-shared, so M same-design sessions hold one table.
+///
+/// Sharing cannot change behaviour: `GatingTable::build` is a pure function
+/// of the key, so a shared table is bitwise the table each session would
+/// have built alone.
+#[derive(Debug, Default)]
+pub struct GatingCache {
+    tables: Memo<GatingKey, Arc<GatingTable>>,
+}
+
+/// Cache key: the full input of [`GatingTable::build`]. Platforms are
+/// identified by name + clock bits; every built-in constructor gives a
+/// distinct name, and the latency bound is keyed by bit pattern so no
+/// float rounding can alias two different bounds.
+type GatingKey = (AcceleratorConfig, ProblemShape, u64, &'static str, u64);
+
+impl GatingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared gating table for a deployment, built on first request.
+    pub fn table_for(
+        &self,
+        built: &AcceleratorConfig,
+        shape: &ProblemShape,
+        latency_bound_ms: f64,
+        platform: &FpgaPlatform,
+    ) -> Arc<GatingTable> {
+        let key = (
+            *built,
+            *shape,
+            latency_bound_ms.to_bits(),
+            platform.name,
+            platform.clock_mhz.to_bits(),
+        );
+        self.tables.get_or_compute(key, || {
+            Arc::new(GatingTable::build(built, shape, latency_bound_ms, platform))
+        })
+    }
+
+    /// A [`RuntimeSystem`] whose gating table comes from this cache:
+    /// bit-identical decisions to [`RuntimeSystem::new`] with the same
+    /// arguments, at one table build per distinct deployment fleet-wide.
+    pub fn runtime(
+        &self,
+        built: AcceleratorConfig,
+        shape: &ProblemShape,
+        latency_bound_ms: f64,
+        platform: &FpgaPlatform,
+        policy: impl Into<Arc<IterPolicy>>,
+    ) -> RuntimeSystem {
+        let gating = self.table_for(&built, shape, latency_bound_ms, platform);
+        RuntimeSystem::with_shared_gating(gating, platform, policy)
+    }
+
+    /// Tables actually built (== distinct deployments requested).
+    pub fn builds(&self) -> usize {
+        self.tables.misses()
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> usize {
+        self.tables.hits()
+    }
+}
+
 /// Safety watchdog over the run-time knob (the runtime half of the
 /// degradation ladder).
 ///
@@ -272,29 +355,57 @@ pub struct RuntimeDecision {
 }
 
 /// The assembled run-time system.
+///
+/// Mutable per-session state (the debounce counter and the watchdog) lives
+/// inline; the immutable lookup structures (iteration policy and gating
+/// table) are `Arc`-shared so a fleet of same-design sessions holds one
+/// copy — see [`GatingCache`].
 #[derive(Debug, Clone)]
 pub struct RuntimeSystem {
-    policy: IterPolicy,
+    policy: Arc<IterPolicy>,
     counter: IterCounter,
-    gating: GatingTable,
+    gating: Arc<GatingTable>,
     power: PowerModel,
     watchdog: RuntimeWatchdog,
 }
 
 impl RuntimeSystem {
-    /// Builds the run-time system for a deployed design.
+    /// Builds the run-time system for a deployed design. Accepts the policy
+    /// by value or pre-shared (`IterPolicy` or `Arc<IterPolicy>`).
     pub fn new(
         built: AcceleratorConfig,
         shape: &ProblemShape,
         latency_bound_ms: f64,
         platform: &FpgaPlatform,
-        policy: IterPolicy,
+        policy: impl Into<Arc<IterPolicy>>,
+    ) -> Self {
+        Self::with_shared_gating(
+            Arc::new(GatingTable::build(
+                &built,
+                shape,
+                latency_bound_ms,
+                platform,
+            )),
+            platform,
+            policy,
+        )
+    }
+
+    /// Assembles a run-time system around an existing (shared) gating
+    /// table — the fleet path: M same-design sessions share one table and
+    /// one policy, and still make bitwise the decisions of
+    /// [`RuntimeSystem::new`] because both structures are immutable pure
+    /// functions of the deployment.
+    pub fn with_shared_gating(
+        gating: Arc<GatingTable>,
+        platform: &FpgaPlatform,
+        policy: impl Into<Arc<IterPolicy>>,
     ) -> Self {
         Self {
             counter: IterCounter::new(ITER_CAP),
-            gating: GatingTable::build(&built, shape, latency_bound_ms, platform),
+            gating,
             power: PowerModel::for_platform(platform),
-            policy,
+            policy: policy.into(),
             watchdog: RuntimeWatchdog::default(),
         }
     }
@@ -341,6 +452,75 @@ impl RuntimeSystem {
     /// The gating table (for reports).
     pub fn gating(&self) -> &GatingTable {
         &self.gating
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use archytas_hw::{HIGH_PERF, LOW_POWER};
+
+    #[test]
+    fn gating_cache_builds_each_deployment_once() {
+        let cache = GatingCache::new();
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let a = cache.table_for(&HIGH_PERF, &shape, 2.5, &platform);
+        let b = cache.table_for(&HIGH_PERF, &shape, 2.5, &platform);
+        assert!(Arc::ptr_eq(&a, &b), "same deployment must share one table");
+        assert_eq!(cache.builds(), 1);
+        // Any key component change is a new deployment.
+        cache.table_for(&LOW_POWER, &shape, 2.5, &platform);
+        cache.table_for(&HIGH_PERF, &shape, 3.5, &platform);
+        cache.table_for(&HIGH_PERF, &shape, 2.5, &FpgaPlatform::virtex7_690t());
+        assert_eq!(cache.builds(), 4);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn gating_cache_fills_exactly_once_under_concurrent_admission() {
+        let cache = GatingCache::new();
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let sessions: Vec<usize> = (0..64).collect();
+        let pool = archytas_par::Pool::with_threads(8).with_serial_threshold(0);
+        let tables = pool.par_map(&sessions, |_| {
+            cache.table_for(&HIGH_PERF, &shape, 2.5, &platform)
+        });
+        assert_eq!(cache.builds(), 1, "64 racing admissions, one build");
+        assert!(tables.iter().all(|t| Arc::ptr_eq(t, &tables[0])));
+    }
+
+    #[test]
+    fn shared_runtime_matches_owned_runtime_bitwise() {
+        let shape = ProblemShape::typical();
+        let platform = FpgaPlatform::zc706();
+        let cache = GatingCache::new();
+        let mut owned = RuntimeSystem::new(
+            HIGH_PERF,
+            &shape,
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        );
+        let mut shared = cache.runtime(
+            HIGH_PERF,
+            &shape,
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        );
+        let features = [260usize, 40, 40, 40, 260, 260, 150, 20, 20, 260, 90, 260];
+        let healthy = [
+            true, true, false, true, true, true, false, false, true, true, true, true,
+        ];
+        for (&f, &h) in features.iter().zip(&healthy) {
+            let a = owned.step_with_health(f, h);
+            let b = shared.step_with_health(f, h);
+            assert_eq!(a.iterations, b.iterations);
+            assert_eq!(a.active, b.active);
+            assert_eq!(a.gated_power_w.to_bits(), b.gated_power_w.to_bits());
+        }
     }
 }
 
@@ -397,8 +577,9 @@ mod tests {
     fn profile_with_diverged_bucket_provisions_the_cap() {
         // A bucket whose profiling runs all diverged (infinite RMSE) taught
         // us nothing about sufficiency.
-        let mut samples: Vec<(usize, usize, f64)> =
-            (1..=6usize).map(|it| (50usize, it, f64::INFINITY)).collect();
+        let mut samples: Vec<(usize, usize, f64)> = (1..=6usize)
+            .map(|it| (50usize, it, f64::INFINITY))
+            .collect();
         samples.extend((1..=6usize).map(|it| (250usize, it, 1.0)));
         let p = IterPolicy::from_profile(&samples, 0.05);
         assert_eq!(p.iterations_for(50), ITER_CAP);

@@ -320,8 +320,7 @@ pub fn pareto_frontier_with(
         });
         if !dominated {
             out.retain(|p| {
-                !(design.latency_ms <= p.design.latency_ms
-                    && design.power_w <= p.design.power_w)
+                !(design.latency_ms <= p.design.latency_ms && design.power_w <= p.design.power_w)
             });
             out.push(ParetoPoint {
                 design,
@@ -381,9 +380,10 @@ pub fn validate_by_perturbation(
                 let pw = power.power_w(&pc);
                 perturbed.push((lat, pw));
                 // Does this perturbation dominate any frontier point?
-                if frontier.iter().any(|f| {
-                    lat < f.design.latency_ms - 1e-9 && pw < f.design.power_w - 1e-9
-                }) {
+                if frontier
+                    .iter()
+                    .any(|f| lat < f.design.latency_ms - 1e-9 && pw < f.design.power_w - 1e-9)
+                {
                     violations += 1;
                 }
             }
@@ -486,7 +486,11 @@ mod tests {
     fn frontier_is_monotone() {
         let base = DesignSpec::zc706_power_optimal(20.0);
         let frontier = pareto_frontier(&base, (2.2, 8.0), 10);
-        assert!(frontier.len() >= 3, "frontier has {} points", frontier.len());
+        assert!(
+            frontier.len() >= 3,
+            "frontier has {} points",
+            frontier.len()
+        );
         for w in frontier.windows(2) {
             assert!(w[0].design.latency_ms <= w[1].design.latency_ms);
             assert!(
@@ -506,7 +510,10 @@ mod tests {
             let serial = synthesize_with(&spec, &Pool::with_threads(1)).expect("feasible");
             for threads in [2, 8] {
                 let par = synthesize_with(&spec, &Pool::with_threads(threads)).expect("feasible");
-                assert_eq!(par.config, serial.config, "{objective:?} @ {threads} threads");
+                assert_eq!(
+                    par.config, serial.config,
+                    "{objective:?} @ {threads} threads"
+                );
                 assert_eq!(par.latency_ms.to_bits(), serial.latency_ms.to_bits());
                 assert_eq!(par.power_w.to_bits(), serial.power_w.to_bits());
                 assert_eq!(par.candidates_examined, serial.candidates_examined);
@@ -537,6 +544,9 @@ mod tests {
         let frontier = pareto_frontier(&base, (2.2, 8.0), 8);
         let (points, violations) = validate_by_perturbation(&base, &frontier);
         assert!(!points.is_empty());
-        assert_eq!(violations, 0, "no perturbed design may dominate the frontier");
+        assert_eq!(
+            violations, 0,
+            "no perturbed design may dominate the frontier"
+        );
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::runtime::{RuntimeSystem, ITER_CAP};
 use archytas_baselines::CpuPlatform;
-use archytas_dataset::{PipelineConfig, SequenceData, VioPipeline};
+use archytas_dataset::{HealthState, PipelineConfig, SequenceData, VioPipeline};
 use archytas_hw::{f32_linear_solver, AcceleratorModel};
 use archytas_mdfg::ProblemShape;
 use archytas_slam::{relative_error, schur_linear_solver, Pose, TrajectoryMetrics};
@@ -53,6 +53,11 @@ pub struct WindowRecord {
     pub translation_error_m: f64,
     /// Per-window relative error (Fig. 11's metric).
     pub relative_error: f64,
+    /// Degradation-ladder state after this window closed.
+    pub health: HealthState,
+    /// Whether the runtime watchdog held the full configuration for this
+    /// window (always `false` on the CPU path and static accelerator runs).
+    pub watchdog_engaged: bool,
 }
 
 /// Aggregate result of one sequence run.
@@ -90,6 +95,19 @@ impl RunSummary {
             self.total_energy_mj / self.total_time_ms
         }
     }
+
+    /// Windows that closed in the `Degraded` ladder state.
+    pub fn degraded_windows(&self) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.health == HealthState::Degraded)
+            .count()
+    }
+
+    /// Windows for which the runtime watchdog held the full configuration.
+    pub fn watchdog_windows(&self) -> usize {
+        self.windows.iter().filter(|w| w.watchdog_engaged).count()
+    }
 }
 
 /// Runs one sequence end-to-end under the given executor.
@@ -106,20 +124,26 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
             continue;
         }
         let features = pipeline.window().num_landmarks();
+        // The pre-solve health verdict feeds the runtime watchdog (the
+        // degradation ladder's runtime half): on a clean stream
+        // `step_with_health` is bit-identical to `step`, so nominal runs
+        // are unchanged, while a faulted window already runs at full
+        // capacity.
+        let healthy = !pipeline.health().is_suspect();
 
         // Decide iterations / power / solver per executor.
-        let (iterations, power_w, is_accel) = match executor {
+        let (iterations, power_w, is_accel, watchdog_engaged) = match executor {
             Executor::Accelerator { model, runtime } => match runtime {
                 Some(rt) => {
-                    let d = rt.step(features);
-                    (d.iterations, d.gated_power_w, true)
+                    let d = rt.step_with_health(features, healthy);
+                    (d.iterations, d.gated_power_w, true, rt.watchdog().engaged())
                 }
-                None => (ITER_CAP, model.power_w(), true),
+                None => (ITER_CAP, model.power_w(), true, false),
             },
             Executor::Cpu {
                 platform,
                 iterations,
-            } => (*iterations, platform.power_w, false),
+            } => (*iterations, platform.power_w, false, false),
         };
 
         let result = if is_accel {
@@ -149,10 +173,10 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
             iterations,
             latency_ms,
             energy_mj,
-            translation_error_m: result
-                .estimate
-                .translation_distance(&result.ground_truth),
+            translation_error_m: result.estimate.translation_distance(&result.ground_truth),
             relative_error: rel,
+            health: result.health,
+            watchdog_engaged,
         });
     }
 
@@ -230,6 +254,21 @@ mod tests {
         assert!(cpu.total_energy_mj > accel.total_energy_mj * 10.0);
         // f32 accelerator datapath tracks the f64 software estimate.
         assert!((accel.rmse_m - cpu.rmse_m).abs() < 0.05);
+    }
+
+    #[test]
+    fn nominal_run_health_is_clean() {
+        // On a clean stream the health-fed runtime must behave exactly like
+        // the plain one: no degraded windows, watchdog never engaged, every
+        // dynamic decision at or below the cap.
+        let data = short_sequence();
+        let summary = run_sequence(&data, &mut accel_executor(true));
+        assert_eq!(summary.degraded_windows(), 0);
+        assert_eq!(summary.watchdog_windows(), 0);
+        assert!(summary
+            .windows
+            .iter()
+            .all(|w| w.health == HealthState::Nominal && w.iterations <= ITER_CAP));
     }
 
     #[test]

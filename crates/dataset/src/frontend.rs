@@ -9,7 +9,7 @@
 
 use crate::trajectory::Trajectory;
 use crate::world::World;
-use archytas_slam::{GRAVITY, ImuSample, KeyframeState, PinholeCamera, Vec3};
+use archytas_slam::{ImuSample, KeyframeState, PinholeCamera, Vec3, GRAVITY};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -124,8 +124,8 @@ pub fn generate_frames(
             if camera.project(&p_cam).is_none() {
                 continue;
             }
-            let n = PinholeCamera::project_normalized(&p_cam)
-                .expect("project() accepted the point");
+            let n =
+                PinholeCamera::project_normalized(&p_cam).expect("project() accepted the point");
             candidates.push(TrackedFeature {
                 id: wp.id,
                 uv: [
@@ -153,11 +153,7 @@ pub fn generate_frames(
                 .map(|k| {
                     let ts = t_prev + k as f64 * imu_dt;
                     let s = trajectory.sample(ts);
-                    let accel_body = s
-                        .pose
-                        .rot
-                        .inverse()
-                        .rotate(&(s.acceleration - GRAVITY));
+                    let accel_body = s.pose.rot.inverse().rotate(&(s.acceleration - GRAVITY));
                     bg = bg + noise_vec(&mut rng, config.gyro_bias_walk * imu_dt.sqrt());
                     ba = ba + noise_vec(&mut rng, config.accel_bias_walk * imu_dt.sqrt());
                     ImuSample {
@@ -242,10 +238,8 @@ mod tests {
         let (traj, world, cam, cfg) = small_setup();
         let frames = generate_frames(&traj, &world, &cam, &cfg);
         // Consecutive frames at 10 Hz share most of their features.
-        let a: std::collections::HashSet<u64> =
-            frames[10].features.iter().map(|f| f.id).collect();
-        let b: std::collections::HashSet<u64> =
-            frames[11].features.iter().map(|f| f.id).collect();
+        let a: std::collections::HashSet<u64> = frames[10].features.iter().map(|f| f.id).collect();
+        let b: std::collections::HashSet<u64> = frames[11].features.iter().map(|f| f.id).collect();
         let shared = a.intersection(&b).count();
         assert!(
             shared * 2 > a.len(),

@@ -334,10 +334,7 @@ impl VioPipeline {
                 InitMode::ConstantVelocity => {
                     let dt = frame.timestamp - last.timestamp;
                     KeyframeState {
-                        pose: Pose::new(
-                            last.pose.rot,
-                            last.pose.trans + last.velocity * dt,
-                        ),
+                        pose: Pose::new(last.pose.rot, last.pose.trans + last.velocity * dt),
                         ..last
                     }
                 }
@@ -435,7 +432,8 @@ impl VioPipeline {
 
     /// Like [`VioPipeline::optimize_and_slide`] but with a caller-provided
     /// linear solver — the hook through which the accelerator's
-    /// single-precision functional model executes the window.
+    /// single-precision functional model executes the window. Reuses this
+    /// pipeline's [`SolverWorkspace`] across windows like the default path.
     ///
     /// # Panics
     ///
@@ -454,7 +452,8 @@ impl VioPipeline {
         } else {
             None
         };
-        let report = archytas_slam::solve_with(
+        let report = archytas_slam::solve_with_in_workspace(
+            &mut self.workspace,
             &mut self.window,
             &self.config.weights,
             prior,
@@ -624,7 +623,11 @@ fn sanitize_imu(samples: &[ImuSample], prev: Option<&ImuSample>) -> Option<Vec<I
     for s in &mut out {
         let fixed = ImuSample {
             gyro: if finite3(&s.gyro) { s.gyro } else { hold.gyro },
-            accel: if finite3(&s.accel) { s.accel } else { hold.accel },
+            accel: if finite3(&s.accel) {
+                s.accel
+            } else {
+                hold.accel
+            },
             dt: if s.dt.is_finite() { s.dt } else { 0.0 },
         };
         *s = fixed;

@@ -106,8 +106,7 @@ impl SequenceSpec {
             DatasetFamily::Kitti => {
                 let traj = RoadTrajectory::kitti_like(self.duration);
                 let length = traj.sample(self.duration).pose.trans.x() + 100.0;
-                let world =
-                    World::road_corridor(length, seed, move |s| drought_profile(s, seed));
+                let world = World::road_corridor(length, seed, move |s| drought_profile(s, seed));
                 generate_frames(&traj, &world, &camera, &frontend)
             }
             DatasetFamily::Euroc => {

@@ -208,8 +208,8 @@ impl Trajectory for HallTrajectory {
         let eps = 1e-4;
         let p = self.position(t);
         let velocity = (self.position(t + eps) - self.position(t - eps)) * (1.0 / (2.0 * eps));
-        let acceleration = (self.position(t + eps) + self.position(t - eps) - p - p)
-            * (1.0 / (eps * eps));
+        let acceleration =
+            (self.position(t + eps) + self.position(t - eps) - p - p) * (1.0 / (eps * eps));
 
         // Yaw follows travel; add gentle roll/pitch like an actual quad.
         let speed_xy = (velocity.x() * velocity.x() + velocity.y() * velocity.y()).sqrt();

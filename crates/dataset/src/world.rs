@@ -154,14 +154,24 @@ mod tests {
     #[test]
     fn corridor_density_profile_is_respected() {
         // Zero density in [100, 200) must leave that stretch empty.
-        let w = World::road_corridor(300.0, 7, |s| if (100.0..200.0).contains(&s) { 0.0 } else { 1.0 });
+        let w = World::road_corridor(300.0, 7, |s| {
+            if (100.0..200.0).contains(&s) {
+                0.0
+            } else {
+                1.0
+            }
+        });
         let in_gap = w
             .points()
             .iter()
             .filter(|p| p.position.x() >= 101.0 && p.position.x() < 200.0)
             .count();
         assert_eq!(in_gap, 0);
-        assert!(w.len() > 1000, "populated stretches have landmarks: {}", w.len());
+        assert!(
+            w.len() > 1000,
+            "populated stretches have landmarks: {}",
+            w.len()
+        );
     }
 
     #[test]

@@ -204,10 +204,7 @@ mod tests {
     #[test]
     fn dropout_clears_only_covered_frames() {
         let fs = frames();
-        let out = apply(
-            &FaultPlan::new(1).with(FaultKind::VisionDropout, 5, 8),
-            &fs,
-        );
+        let out = apply(&FaultPlan::new(1).with(FaultKind::VisionDropout, 5, 8), &fs);
         for (i, f) in out.iter().enumerate() {
             if (5..8).contains(&i) {
                 assert!(f.features.is_empty(), "frame {i} kept features");

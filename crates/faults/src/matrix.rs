@@ -62,7 +62,13 @@ pub fn scenarios(seed: u64) -> Vec<Scenario> {
     vec![
         s(
             "feature-drought",
-            FaultPlan::new(seed).with(FaultKind::FeatureDrought { keep_fraction: 0.25 }, 24, 30),
+            FaultPlan::new(seed).with(
+                FaultKind::FeatureDrought {
+                    keep_fraction: 0.25,
+                },
+                24,
+                30,
+            ),
         ),
         s(
             "vision-dropout",
@@ -244,10 +250,7 @@ pub fn run_scenario(scenario: &Scenario, seconds: f64) -> ScenarioResult {
             } else {
                 rmse_translation(&d.estimates, &d.ground_truths)
             };
-            let last_degraded = d
-                .healths
-                .iter()
-                .rposition(|&h| h == HealthState::Degraded);
+            let last_degraded = d.healths.iter().rposition(|&h| h == HealthState::Degraded);
             let recovery_latency_windows = last_degraded.and_then(|i| {
                 d.healths[i + 1..]
                     .iter()
@@ -312,6 +315,11 @@ mod tests {
             "never recovered to Nominal"
         );
         assert!(r.watchdog_windows > 0, "watchdog never engaged");
-        assert!(r.within_rmse_bound(3.0), "rmse {} vs nominal {}", r.rmse_m, r.nominal_rmse_m);
+        assert!(
+            r.within_rmse_bound(3.0),
+            "rmse {} vs nominal {}",
+            r.rmse_m,
+            r.nominal_rmse_m
+        );
     }
 }

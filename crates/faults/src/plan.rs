@@ -93,7 +93,10 @@ impl FaultPlan {
 
     /// Appends an episode of `kind` over `[start, end)` (builder style).
     pub fn with(mut self, kind: FaultKind, start: usize, end: usize) -> Self {
-        assert!(start < end, "FaultPlan::with: empty episode [{start}, {end})");
+        assert!(
+            start < end,
+            "FaultPlan::with: empty episode [{start}, {end})"
+        );
         self.episodes.push(FaultEpisode { kind, start, end });
         self
     }
@@ -129,9 +132,10 @@ mod tests {
 
     #[test]
     fn builder_accumulates() {
-        let p = FaultPlan::new(9)
-            .with(FaultKind::VisionDropout, 1, 2)
-            .with(FaultKind::FrameDrop, 4, 6);
+        let p =
+            FaultPlan::new(9)
+                .with(FaultKind::VisionDropout, 1, 2)
+                .with(FaultKind::FrameDrop, 4, 6);
         assert_eq!(p.episodes.len(), 2);
         assert!(!p.is_empty());
         assert!(FaultPlan::new(9).is_empty());

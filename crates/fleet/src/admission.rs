@@ -1,0 +1,143 @@
+//! Admission control: decided entirely from information available at
+//! arrival time, so the same submission batch always sheds the same
+//! sessions no matter how fast the pool happens to drain.
+//!
+//! Shedding from *runtime* queue depths would make the shed set depend on
+//! execution timing — two runs of the same fleet could then serve
+//! different vehicles, which breaks the determinism contract. Instead the
+//! controller prices each session's worst-case arrival backlog (everyone
+//! submitted ahead of it that exceeds the active-set capacity) and sheds a
+//! `Low`-priority session whose backlog crosses the watermark. Runtime
+//! backpressure (deferral) is handled separately by the scheduler and only
+//! ever *reorders* work, never drops it.
+
+use crate::session::{Priority, SessionSpec};
+
+/// What admission control decided for one submitted session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The session will run to completion.
+    Admit,
+    /// The session is rejected up front (only `Priority::Low` is eligible).
+    Shed,
+}
+
+/// Plans admission for one submission batch, in arrival order.
+///
+/// Session `i` is shed iff it is `Low` priority and its arrival backlog —
+/// the number of sessions admitted ahead of it beyond the `max_active`
+/// capacity — is at least `shed_watermark`. With
+/// `shed_watermark == usize::MAX` (the default) nothing is ever shed.
+pub fn plan(
+    specs: &[SessionSpec],
+    max_active: usize,
+    shed_watermark: usize,
+) -> Vec<AdmissionDecision> {
+    let mut admitted_ahead = 0usize;
+    specs
+        .iter()
+        .map(|spec| {
+            let backlog = admitted_ahead.saturating_sub(max_active);
+            let shed = spec.priority == Priority::Low && backlog >= shed_watermark;
+            if shed {
+                AdmissionDecision::Shed
+            } else {
+                admitted_ahead += 1;
+                AdmissionDecision::Admit
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archytas_dataset::kitti_sequences;
+
+    fn batch(priorities: &[Priority]) -> Vec<SessionSpec> {
+        let seq = kitti_sequences()[0].truncated(1.0);
+        priorities
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| SessionSpec::new(format!("s{i}"), seq.clone(), p))
+            .collect()
+    }
+
+    #[test]
+    fn disabled_watermark_admits_everything() {
+        let specs = batch(&[Priority::Low; 16]);
+        let decisions = plan(&specs, 2, usize::MAX);
+        assert!(decisions.iter().all(|d| *d == AdmissionDecision::Admit));
+    }
+
+    #[test]
+    fn high_and_normal_are_never_shed() {
+        let specs = batch(&[
+            Priority::High,
+            Priority::Normal,
+            Priority::High,
+            Priority::Normal,
+        ]);
+        let decisions = plan(&specs, 1, 0);
+        assert!(decisions.iter().all(|d| *d == AdmissionDecision::Admit));
+    }
+
+    #[test]
+    fn low_sessions_shed_once_backlog_crosses_watermark() {
+        // Capacity 2, watermark 1: the first Low whose backlog reaches 1
+        // (i.e. arriving behind 3 admitted sessions) is shed.
+        let specs = batch(&[
+            Priority::Normal, // admitted, backlog 0
+            Priority::Low,    // admitted, backlog 0
+            Priority::Low,    // admitted, backlog 0 (2 ahead, capacity 2)
+            Priority::Low,    // shed: backlog 1 >= watermark 1
+            Priority::Normal, // admitted regardless
+            Priority::Low,    // shed: backlog 2
+        ]);
+        let decisions = plan(&specs, 2, 1);
+        assert_eq!(
+            decisions,
+            vec![
+                AdmissionDecision::Admit,
+                AdmissionDecision::Admit,
+                AdmissionDecision::Admit,
+                AdmissionDecision::Shed,
+                AdmissionDecision::Admit,
+                AdmissionDecision::Shed,
+            ]
+        );
+    }
+
+    #[test]
+    fn shed_sessions_do_not_consume_capacity() {
+        // After a shed, the next Low at the same backlog is shed too —
+        // shed sessions never increment the admitted count.
+        let specs = batch(&[Priority::Low; 6]);
+        let decisions = plan(&specs, 3, 1);
+        // Backlogs: 0,0,0,0,1(shed),1(shed) — the admitted count stalls at
+        // 4, so the sixth session sees the same backlog as the fifth.
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| **d == AdmissionDecision::Admit)
+                .count(),
+            4
+        );
+        assert_eq!(decisions[4], AdmissionDecision::Shed);
+        assert_eq!(decisions[5], AdmissionDecision::Shed);
+    }
+
+    #[test]
+    fn decisions_depend_only_on_arrival_order() {
+        let specs = batch(&[
+            Priority::Low,
+            Priority::Normal,
+            Priority::Low,
+            Priority::Low,
+            Priority::High,
+        ]);
+        let a = plan(&specs, 2, 1);
+        let b = plan(&specs, 2, 1);
+        assert_eq!(a, b);
+    }
+}

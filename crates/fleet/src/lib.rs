@@ -1,0 +1,238 @@
+//! Fleet serving layer: multiplex many VIO sessions onto a shared
+//! accelerator pool.
+//!
+//! The paper generates one accelerator per vehicle; this crate serves a
+//! *fleet*. `N` independent vehicle sessions — each a full
+//! [`archytas_dataset::VioPipeline`] plus a private
+//! [`archytas_core::RuntimeSystem`] (iteration counter + watchdog) driving
+//! a simulated accelerator instance — are admitted, scheduled onto a
+//! work-stealing worker pool, and throttled by bounded backpressure.
+//! Read-only derived state is shared fleet-wide with exactly-once fill
+//! semantics: the accelerator latency/energy model
+//! ([`archytas_hw::CachedAcceleratorModel`]) and the gating-LUT cache
+//! ([`archytas_core::GatingCache`]).
+//!
+//! **The hard contract:** every session's output is bitwise identical to
+//! running that session alone, serially, at any pool size and any
+//! admission order. See [`scheduler`](self) module docs for why the
+//! schedule is unobservable and [`admission`](self) for why shedding is
+//! arrival-time deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use archytas_dataset::kitti_sequences;
+//! use archytas_fleet::{run_fleet, run_session_alone, FleetConfig, Priority, SessionSpec};
+//!
+//! let specs: Vec<_> = (0..3)
+//!     .map(|i| {
+//!         SessionSpec::new(
+//!             format!("car-{i}"),
+//!             kitti_sequences()[i].truncated(2.0),
+//!             Priority::Normal,
+//!         )
+//!     })
+//!     .collect();
+//! let report = run_fleet(&specs, &FleetConfig { threads: 2, ..FleetConfig::default() });
+//! let alone = run_session_alone(&specs[1], &FleetConfig::default());
+//! report.sessions[1].assert_bitwise_eq(&alone);
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod scheduler;
+mod session;
+
+pub use admission::{plan as plan_admission, AdmissionDecision};
+pub use scheduler::SchedulerStats;
+pub use session::{
+    fleet_pipeline_config, FleetServices, Priority, SessionOutcome, SessionReport, SessionSpec,
+};
+
+use archytas_hw::{AcceleratorConfig, FpgaPlatform, HIGH_PERF};
+use session::SessionState;
+use std::time::Instant;
+
+/// Deployment-wide configuration of the serving layer.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker threads (0 ⇒ all available cores).
+    pub threads: usize,
+    /// The accelerator design every vehicle in the fleet deploys.
+    pub design: AcceleratorConfig,
+    /// The FPGA platform hosting the accelerator instances.
+    pub platform: FpgaPlatform,
+    /// Per-window latency bound handed to the runtime optimizer (ms).
+    pub latency_bound_ms: f64,
+    /// Maximum concurrently active sessions (admission cap).
+    pub max_active: usize,
+    /// Arrival-backlog watermark beyond which `Low` sessions are shed
+    /// (`usize::MAX` disables shedding).
+    pub shed_watermark: usize,
+    /// Runnable-session watermark at which `Low` sessions are deferred
+    /// (`usize::MAX` disables deferral).
+    pub defer_watermark: usize,
+    /// Frames one scheduler quantum processes before requeueing.
+    pub frames_per_quantum: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            design: HIGH_PERF,
+            platform: FpgaPlatform::zc706(),
+            latency_bound_ms: 2.5,
+            max_active: 8,
+            shed_watermark: usize::MAX,
+            defer_watermark: usize::MAX,
+            frames_per_quantum: 4,
+        }
+    }
+}
+
+/// Latency percentiles over every frame served by the fleet (host
+/// wall-clock; timing-only, not part of the determinism contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyPercentiles {
+    /// Median frame service time (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+}
+
+/// Result of serving one fleet submission batch.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-session reports, in submission order (shed sessions included).
+    pub sessions: Vec<SessionReport>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock serving time (s), excluding sequence construction.
+    pub serving_wall_s: f64,
+    /// Frames processed across all sessions.
+    pub frames_processed: usize,
+    /// Windows optimized across all sessions.
+    pub windows_processed: usize,
+    /// Frames per second of wall-clock serving time.
+    pub throughput_fps: f64,
+    /// Pooled frame-latency percentiles.
+    pub latency: LatencyPercentiles,
+    /// Distinct problem shapes the shared accelerator model evaluated.
+    pub model_evaluations: usize,
+    /// Shared-model lookups served from cache.
+    pub model_cache_hits: usize,
+    /// Gating tables built (== distinct deployments, so 1 for a
+    /// single-design fleet no matter how many sessions).
+    pub gating_builds: usize,
+    /// Gating-table requests served from the shared cache.
+    pub gating_hits: usize,
+    /// Work-stealing / backpressure counters.
+    pub scheduler: SchedulerStats,
+}
+
+/// Serves a submission batch: plans admission, builds the admitted
+/// sessions against shared services, runs them on the worker pool, and
+/// gathers per-session reports plus fleet-level metrics.
+pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    };
+    let decisions = admission::plan(specs, config.max_active, config.shed_watermark);
+    let services = FleetServices::new(config);
+    let states: Vec<Option<SessionState>> = specs
+        .iter()
+        .zip(&decisions)
+        .map(|(spec, d)| {
+            (*d == AdmissionDecision::Admit).then(|| SessionState::new(spec, &services))
+        })
+        .collect();
+
+    let started = Instant::now();
+    let (reports, stats) = scheduler::run(
+        states,
+        &scheduler::SchedulerConfig {
+            threads,
+            max_active: config.max_active,
+            frames_per_quantum: config.frames_per_quantum,
+            defer_watermark: config.defer_watermark,
+        },
+    );
+    let serving_wall_s = started.elapsed().as_secs_f64();
+
+    let sessions: Vec<SessionReport> = reports
+        .into_iter()
+        .zip(specs)
+        .map(|(r, spec)| r.unwrap_or_else(|| SessionReport::shed(spec)))
+        .collect();
+
+    let mut all_ns: Vec<u64> = sessions
+        .iter()
+        .flat_map(|s| s.frame_wall_ns.iter().copied())
+        .collect();
+    all_ns.sort_unstable();
+    let frames_processed = all_ns.len();
+    let windows_processed = sessions.iter().map(|s| s.windows).sum();
+    FleetReport {
+        threads,
+        serving_wall_s,
+        frames_processed,
+        windows_processed,
+        throughput_fps: if serving_wall_s > 0.0 {
+            frames_processed as f64 / serving_wall_s
+        } else {
+            0.0
+        },
+        latency: LatencyPercentiles {
+            p50_ns: percentile_ns(&all_ns, 50.0),
+            p95_ns: percentile_ns(&all_ns, 95.0),
+            p99_ns: percentile_ns(&all_ns, 99.0),
+        },
+        model_evaluations: services.model.evaluations(),
+        model_cache_hits: services.model.cache_hits(),
+        gating_builds: services.gating.builds(),
+        gating_hits: services.gating.hits(),
+        scheduler: stats,
+        sessions,
+    }
+}
+
+/// The serial reference: runs one session to completion on the calling
+/// thread with private (unshared) services. Fleet output must match this
+/// bitwise, session by session.
+pub fn run_session_alone(spec: &SessionSpec, config: &FleetConfig) -> SessionReport {
+    let services = FleetServices::new(config);
+    let mut state = SessionState::new(spec, &services);
+    while !state.step_frame() {}
+    state.finish()
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (ns).
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&s, 50.0), 50);
+        assert_eq!(percentile_ns(&s, 95.0), 95);
+        assert_eq!(percentile_ns(&s, 99.0), 99);
+        assert_eq!(percentile_ns(&s, 100.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+}

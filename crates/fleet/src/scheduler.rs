@@ -1,0 +1,221 @@
+//! The fleet scheduler: a work-stealing pool that time-slices many
+//! sessions over a few worker threads.
+//!
+//! # Why any schedule produces the same bits
+//!
+//! A session index lives in **exactly one** place at a time — one worker's
+//! local deque, the global injector, the deferred queue, or held by the
+//! worker currently executing a quantum. Workers therefore never run two
+//! quanta of the same session concurrently, and a session's frames are
+//! processed strictly in order. Since a quantum is a pure function of the
+//! session's own state (sessions share only immutable caches), the stream
+//! of per-session results is independent of which worker ran which
+//! quantum, of steal order, and of the pool size. Scheduling decides only
+//! *interleaving*, and interleaving is unobservable to a session.
+//!
+//! # Backpressure
+//!
+//! When the count of runnable sessions reaches `defer_watermark`, workers
+//! park `Low`-priority sessions on a deferred queue instead of requeueing
+//! them; they resume (FIFO) as soon as the runnable count drops below the
+//! resume watermark. Deferral changes completion *order*, never outputs,
+//! and a deferred session can only wait while other work exists — the pool
+//! never idles with a non-empty deferred queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::session::{Priority, SessionReport, SessionState};
+
+/// Knobs the scheduler needs (a subset of [`crate::FleetConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SchedulerConfig {
+    pub threads: usize,
+    pub max_active: usize,
+    pub frames_per_quantum: usize,
+    pub defer_watermark: usize,
+}
+
+/// Counters describing how the run was scheduled (timing-dependent;
+/// excluded from the determinism contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Quanta a worker stole from another worker's deque.
+    pub steals: usize,
+    /// Times a `Low` session was parked on the deferred queue.
+    pub deferrals: usize,
+    /// Quanta executed in total.
+    pub quanta: usize,
+}
+
+struct Shared {
+    /// Session slots, indexed like the input; `None` once finished.
+    slots: Vec<Mutex<Option<SessionState>>>,
+    reports: Vec<Mutex<Option<SessionReport>>>,
+    /// Admitted sessions not yet activated (admission queue, FIFO).
+    waiting: Mutex<VecDeque<usize>>,
+    /// Per-worker local deques.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Overflow / activation queue shared by all workers.
+    injector: Mutex<VecDeque<usize>>,
+    /// Backpressured `Low` sessions.
+    deferred: Mutex<VecDeque<usize>>,
+    /// Sessions currently activated and unfinished.
+    active: AtomicUsize,
+    /// Admitted sessions not yet finished (workers exit at zero).
+    live: AtomicUsize,
+    /// Runnable sessions: enqueued in a local deque or the injector.
+    runnable: AtomicUsize,
+    steals: AtomicUsize,
+    deferrals: AtomicUsize,
+    quanta: AtomicUsize,
+}
+
+/// Runs every session in `sessions` to completion and returns the reports
+/// in slot order plus scheduling counters.
+pub(crate) fn run(
+    sessions: Vec<Option<SessionState>>,
+    cfg: &SchedulerConfig,
+) -> (Vec<Option<SessionReport>>, SchedulerStats) {
+    let threads = cfg.threads.max(1);
+    let order: VecDeque<usize> = sessions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_some().then_some(i))
+        .collect();
+    let live = order.len();
+    let slot_count = sessions.len();
+    let shared = Shared {
+        slots: sessions.into_iter().map(Mutex::new).collect(),
+        reports: (0..slot_count).map(|_| Mutex::new(None)).collect(),
+        waiting: Mutex::new(order),
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        injector: Mutex::new(VecDeque::new()),
+        deferred: Mutex::new(VecDeque::new()),
+        active: AtomicUsize::new(0),
+        live: AtomicUsize::new(live),
+        runnable: AtomicUsize::new(0),
+        steals: AtomicUsize::new(0),
+        deferrals: AtomicUsize::new(0),
+        quanta: AtomicUsize::new(0),
+    };
+
+    if threads == 1 {
+        // Serial fast path: same code, no thread spawn.
+        worker(&shared, 0, cfg);
+    } else {
+        std::thread::scope(|scope| {
+            for w in 0..threads {
+                let shared = &shared;
+                scope.spawn(move || archytas_par::run_as_worker(|| worker(shared, w, cfg)));
+            }
+        });
+    }
+
+    let stats = SchedulerStats {
+        steals: shared.steals.load(Ordering::Relaxed),
+        deferrals: shared.deferrals.load(Ordering::Relaxed),
+        quanta: shared.quanta.load(Ordering::Relaxed),
+    };
+    let reports = shared
+        .reports
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
+    (reports, stats)
+}
+
+fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
+    while sh.live.load(Ordering::SeqCst) != 0 {
+        admit_up_to_capacity(sh, cfg);
+        let Some(i) = acquire(sh, w, cfg) else {
+            std::thread::yield_now();
+            continue;
+        };
+        sh.quanta.fetch_add(1, Ordering::Relaxed);
+        let mut slot = sh.slots[i].lock().unwrap();
+        let state = slot
+            .as_mut()
+            .expect("a queued session index always has live state");
+        let mut done = false;
+        for _ in 0..cfg.frames_per_quantum.max(1) {
+            if state.step_frame() {
+                done = true;
+                break;
+            }
+        }
+        if done {
+            let state = slot.take().unwrap();
+            drop(slot);
+            *sh.reports[i].lock().unwrap() = Some(state.finish());
+            sh.active.fetch_sub(1, Ordering::SeqCst);
+            sh.live.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            let low = state.priority() == Priority::Low;
+            drop(slot);
+            release(sh, w, i, low, cfg);
+        }
+    }
+}
+
+/// Activates waiting sessions while the active set has capacity. `active`
+/// is only incremented under the `waiting` lock, so the cap holds.
+fn admit_up_to_capacity(sh: &Shared, cfg: &SchedulerConfig) {
+    let mut waiting = sh.waiting.lock().unwrap();
+    while !waiting.is_empty() && sh.active.load(Ordering::SeqCst) < cfg.max_active.max(1) {
+        let i = waiting.pop_front().unwrap();
+        sh.active.fetch_add(1, Ordering::SeqCst);
+        sh.injector.lock().unwrap().push_back(i);
+        sh.runnable.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Takes the next session to run: own deque first, then a steal from a
+/// sibling (oldest end), then the injector, then — only when the runnable
+/// backlog has drained below the resume watermark — a deferred session.
+fn acquire(sh: &Shared, w: usize, cfg: &SchedulerConfig) -> Option<usize> {
+    if let Some(i) = sh.locals[w].lock().unwrap().pop_front() {
+        sh.runnable.fetch_sub(1, Ordering::SeqCst);
+        return Some(i);
+    }
+    let n = sh.locals.len();
+    for k in 1..n {
+        let victim = (w + k) % n;
+        if let Some(i) = sh.locals[victim].lock().unwrap().pop_back() {
+            sh.runnable.fetch_sub(1, Ordering::SeqCst);
+            sh.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(i);
+        }
+    }
+    if let Some(i) = sh.injector.lock().unwrap().pop_front() {
+        sh.runnable.fetch_sub(1, Ordering::SeqCst);
+        return Some(i);
+    }
+    if sh.runnable.load(Ordering::SeqCst) < resume_watermark(cfg) {
+        if let Some(i) = sh.deferred.lock().unwrap().pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Requeues an unfinished session: `Low` sessions park on the deferred
+/// queue while the runnable backlog is at or above the watermark;
+/// everything else goes back on the worker's own deque.
+fn release(sh: &Shared, w: usize, i: usize, low: bool, cfg: &SchedulerConfig) {
+    if low && sh.runnable.load(Ordering::SeqCst) >= cfg.defer_watermark {
+        sh.deferred.lock().unwrap().push_back(i);
+        sh.deferrals.fetch_add(1, Ordering::Relaxed);
+    } else {
+        sh.locals[w].lock().unwrap().push_back(i);
+        sh.runnable.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Deferred sessions resume once fewer runnable sessions remain than half
+/// the defer watermark (at least one, so a deferred-only fleet always
+/// makes progress).
+fn resume_watermark(cfg: &SchedulerConfig) -> usize {
+    (cfg.defer_watermark / 2).max(1)
+}

@@ -1,0 +1,428 @@
+//! A vehicle session: one VIO pipeline plus its runtime instance, stepped
+//! frame-by-frame by the fleet scheduler.
+//!
+//! A session owns *all* of its mutable state — pipeline, sliding window,
+//! iteration counter, watchdog — so the scheduler can migrate it freely
+//! between workers: whichever worker holds the session's lock sees exactly
+//! the state the previous quantum left behind. The only things a session
+//! shares with its neighbours are immutable, pure-function caches
+//! ([`CachedAcceleratorModel`], [`archytas_core::GatingCache`]), which is
+//! why fleet execution is bitwise identical to running each session alone.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use archytas_core::{GatingCache, IterPolicy, RuntimeSystem};
+use archytas_dataset::{Frame, HealthState, PipelineConfig, SequenceSpec, VioPipeline};
+use archytas_faults::FaultPlan;
+use archytas_hw::{
+    f32_linear_solver, AcceleratorConfig, AcceleratorModel, CachedAcceleratorModel, FpgaPlatform,
+};
+use archytas_mdfg::ProblemShape;
+use archytas_slam::{FactorWeights, Pose, TrajectoryMetrics};
+
+use crate::FleetConfig;
+
+/// Scheduling priority of a session.
+///
+/// Priority only affects *when* a session's frames are processed (admission,
+/// shedding, backpressure deferral) — never *what* they compute. A `Low`
+/// session that completes produces the same bits as a `High` one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// First to be deferred under backpressure, only class that can be shed.
+    Low,
+    /// Default class: admitted in arrival order, never shed.
+    Normal,
+    /// Safety-critical vehicle: never shed, never deferred.
+    High,
+}
+
+/// Description of one vehicle joining the fleet.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Display name (unique per fleet run).
+    pub name: String,
+    /// The sensor sequence this vehicle replays.
+    pub sequence: SequenceSpec,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Optional seeded fault plan applied to the sensor stream.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl SessionSpec {
+    /// A fault-free session.
+    pub fn new(name: impl Into<String>, sequence: SequenceSpec, priority: Priority) -> Self {
+        Self {
+            name: name.into(),
+            sequence,
+            priority,
+            fault_plan: None,
+        }
+    }
+
+    /// Attaches a seeded fault plan to the sensor stream.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// How a session left the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// Every frame was processed.
+    Completed,
+    /// Rejected by admission control before processing any frame.
+    Shed,
+}
+
+/// Final per-session record, sufficient for a bitwise comparison against a
+/// serial run of the same session alone.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Session name from the spec.
+    pub name: String,
+    /// Scheduling class from the spec.
+    pub priority: Priority,
+    /// Completion status.
+    pub outcome: SessionOutcome,
+    /// Frames pushed through the front-end.
+    pub frames: usize,
+    /// Windows optimized.
+    pub windows: usize,
+    /// Newest-keyframe estimate after each window (the deterministic
+    /// output contract: compared bit-for-bit against a serial-alone run).
+    pub estimates: Vec<Pose>,
+    /// Iteration budget the runtime granted for each window.
+    pub iterations: Vec<usize>,
+    /// Total modelled accelerator latency (ms).
+    pub modelled_latency_ms: f64,
+    /// Total modelled energy at the gated power (mJ).
+    pub modelled_energy_mj: f64,
+    /// Trajectory RMSE (m).
+    pub rmse_m: f64,
+    /// Windows that closed in the `Degraded` ladder state.
+    pub degraded_windows: usize,
+    /// Windows for which the runtime watchdog held the full configuration.
+    pub watchdog_windows: usize,
+    /// Host wall-clock time per frame (ns). Timing-only: excluded from the
+    /// determinism contract, pooled fleet-wide for latency percentiles.
+    pub frame_wall_ns: Vec<u64>,
+}
+
+impl SessionReport {
+    /// The empty report of a shed session.
+    pub(crate) fn shed(spec: &SessionSpec) -> Self {
+        Self {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            outcome: SessionOutcome::Shed,
+            frames: 0,
+            windows: 0,
+            estimates: Vec::new(),
+            iterations: Vec::new(),
+            modelled_latency_ms: 0.0,
+            modelled_energy_mj: 0.0,
+            rmse_m: 0.0,
+            degraded_windows: 0,
+            watchdog_windows: 0,
+            frame_wall_ns: Vec::new(),
+        }
+    }
+
+    /// The deterministic payload as raw bits, one `[u64; 7]` per window
+    /// (quaternion w,x,y,z then translation x,y,z).
+    pub fn estimate_bits(&self) -> Vec<[u64; 7]> {
+        self.estimates
+            .iter()
+            .map(|p| {
+                [
+                    p.rot.w.to_bits(),
+                    p.rot.v.x().to_bits(),
+                    p.rot.v.y().to_bits(),
+                    p.rot.v.z().to_bits(),
+                    p.trans.x().to_bits(),
+                    p.trans.y().to_bits(),
+                    p.trans.z().to_bits(),
+                ]
+            })
+            .collect()
+    }
+
+    /// FNV-1a digest over every deterministic field — two runs of the same
+    /// session agree on the digest iff they agree on every estimate bit,
+    /// every iteration decision, and every modelled cost.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.windows as u64);
+        for bits in self.estimate_bits() {
+            bits.into_iter().for_each(&mut eat);
+        }
+        for &it in &self.iterations {
+            eat(it as u64);
+        }
+        eat(self.modelled_latency_ms.to_bits());
+        eat(self.modelled_energy_mj.to_bits());
+        eat(self.rmse_m.to_bits());
+        eat(self.degraded_windows as u64);
+        eat(self.watchdog_windows as u64);
+        h
+    }
+
+    /// Asserts bitwise equality of the deterministic payload with `other`,
+    /// panicking with a window-level diagnostic on the first divergence.
+    pub fn assert_bitwise_eq(&self, other: &Self) {
+        assert_eq!(self.name, other.name);
+        assert_eq!(self.outcome, other.outcome, "{}: outcome", self.name);
+        assert_eq!(self.windows, other.windows, "{}: window count", self.name);
+        assert_eq!(
+            self.iterations, other.iterations,
+            "{}: iteration schedule",
+            self.name
+        );
+        for (w, (a, b)) in self
+            .estimate_bits()
+            .iter()
+            .zip(other.estimate_bits().iter())
+            .enumerate()
+        {
+            assert_eq!(a, b, "{}: estimate bits diverge at window {w}", self.name);
+        }
+        assert_eq!(
+            self.modelled_latency_ms.to_bits(),
+            other.modelled_latency_ms.to_bits(),
+            "{}: modelled latency",
+            self.name
+        );
+        assert_eq!(
+            self.modelled_energy_mj.to_bits(),
+            other.modelled_energy_mj.to_bits(),
+            "{}: modelled energy",
+            self.name
+        );
+        assert_eq!(
+            self.rmse_m.to_bits(),
+            other.rmse_m.to_bits(),
+            "{}: rmse",
+            self.name
+        );
+        assert_eq!(
+            self.degraded_windows, other.degraded_windows,
+            "{}: degraded windows",
+            self.name
+        );
+        assert_eq!(
+            self.watchdog_windows, other.watchdog_windows,
+            "{}: watchdog windows",
+            self.name
+        );
+    }
+}
+
+/// The immutable services every session shares: the accelerator latency
+/// model, the gating-table cache, and the iteration policy. All values are
+/// pure functions of their keys, so sharing them cannot change any
+/// session's numerics — it only removes redundant work.
+#[derive(Debug)]
+pub struct FleetServices {
+    /// Fleet-wide shared latency/energy model (exactly-once per shape).
+    pub model: Arc<CachedAcceleratorModel>,
+    /// Fleet-wide gating-LUT cache (exactly-once per deployment).
+    pub gating: Arc<GatingCache>,
+    /// Shared iteration policy (immutable lookup table).
+    pub policy: Arc<IterPolicy>,
+    design: AcceleratorConfig,
+    platform: FpgaPlatform,
+    latency_bound_ms: f64,
+}
+
+impl FleetServices {
+    /// Builds the shared services for one fleet deployment.
+    pub fn new(config: &FleetConfig) -> Self {
+        Self {
+            model: CachedAcceleratorModel::shared(AcceleratorModel::new(
+                config.design,
+                config.platform.clone(),
+            )),
+            gating: Arc::new(GatingCache::new()),
+            policy: Arc::new(IterPolicy::default_table()),
+            design: config.design,
+            platform: config.platform.clone(),
+            latency_bound_ms: config.latency_bound_ms,
+        }
+    }
+
+    /// A per-session runtime instance drawing its gating table from the
+    /// shared cache. The `IterCounter` and `RuntimeWatchdog` inside are
+    /// private per-session state.
+    pub fn runtime(&self) -> RuntimeSystem {
+        self.gating.runtime(
+            self.design,
+            &ProblemShape::typical(),
+            self.latency_bound_ms,
+            &self.platform,
+            Arc::clone(&self.policy),
+        )
+    }
+}
+
+/// The pipeline configuration every fleet session runs: the default VIO
+/// stack with a Huber robust kernel, matching the fault-injection matrix so
+/// faulted sessions stay well-conditioned.
+pub fn fleet_pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        weights: FactorWeights::default().with_huber(0.004),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Live state of one admitted session.
+pub(crate) struct SessionState {
+    name: String,
+    priority: Priority,
+    frames: Vec<Frame>,
+    cursor: usize,
+    pipeline: VioPipeline,
+    runtime: RuntimeSystem,
+    model: Arc<CachedAcceleratorModel>,
+    metrics: TrajectoryMetrics,
+    estimates: Vec<Pose>,
+    iterations: Vec<usize>,
+    modelled_latency_ms: f64,
+    modelled_energy_mj: f64,
+    degraded_windows: usize,
+    watchdog_windows: usize,
+    frame_wall_ns: Vec<u64>,
+}
+
+impl SessionState {
+    /// Builds the session: replays the sequence spec into frames, applies
+    /// the fault plan, and wires a fresh pipeline to a runtime drawing from
+    /// the shared caches.
+    pub(crate) fn new(spec: &SessionSpec, services: &FleetServices) -> Self {
+        let mut frames = spec.sequence.build().frames;
+        if let Some(plan) = &spec.fault_plan {
+            frames = archytas_faults::apply(plan, &frames);
+        }
+        Self {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            frames,
+            cursor: 0,
+            pipeline: VioPipeline::new(fleet_pipeline_config()),
+            runtime: services.runtime(),
+            model: Arc::clone(&services.model),
+            metrics: TrajectoryMetrics::new(),
+            estimates: Vec::new(),
+            iterations: Vec::new(),
+            modelled_latency_ms: 0.0,
+            modelled_energy_mj: 0.0,
+            degraded_windows: 0,
+            watchdog_windows: 0,
+            frame_wall_ns: Vec::new(),
+        }
+    }
+
+    pub(crate) fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Processes the next frame (front-end, health-fed runtime decision,
+    /// f32 accelerator solve). Returns `true` once the sequence is
+    /// exhausted. Purely a function of the session's own state — no
+    /// observable dependence on what other sessions are doing.
+    pub(crate) fn step_frame(&mut self) -> bool {
+        let t0 = Instant::now();
+        let produced = self.pipeline.push_frame(&self.frames[self.cursor]);
+        self.cursor += 1;
+        if produced {
+            let features = self.pipeline.window().num_landmarks();
+            let healthy = !self.pipeline.health().is_suspect();
+            let decision = self.runtime.step_with_health(features, healthy);
+            if self.runtime.watchdog().engaged() {
+                self.watchdog_windows += 1;
+            }
+            let result = self
+                .pipeline
+                .optimize_and_slide_with(decision.iterations, &f32_linear_solver);
+            let shape = ProblemShape::from_workload(&result.workload);
+            let latency_ms = self.model.window_latency_ms(&shape, decision.iterations);
+            self.modelled_latency_ms += latency_ms;
+            self.modelled_energy_mj += latency_ms * decision.gated_power_w;
+            if result.health == HealthState::Degraded {
+                self.degraded_windows += 1;
+            }
+            self.metrics
+                .record(&result.estimate, &result.ground_truth, 0.0);
+            self.estimates.push(result.estimate);
+            self.iterations.push(decision.iterations);
+        }
+        self.frame_wall_ns
+            .push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.cursor >= self.frames.len()
+    }
+
+    /// Consumes the session into its final report.
+    pub(crate) fn finish(self) -> SessionReport {
+        SessionReport {
+            name: self.name,
+            priority: self.priority,
+            outcome: SessionOutcome::Completed,
+            frames: self.cursor,
+            windows: self.estimates.len(),
+            estimates: self.estimates,
+            iterations: self.iterations,
+            modelled_latency_ms: self.modelled_latency_ms,
+            modelled_energy_mj: self.modelled_energy_mj,
+            rmse_m: self.metrics.rmse(),
+            degraded_windows: self.degraded_windows,
+            watchdog_windows: self.watchdog_windows,
+            frame_wall_ns: self.frame_wall_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archytas_dataset::kitti_sequences;
+
+    #[test]
+    fn digest_is_sensitive_to_every_deterministic_field() {
+        let spec = SessionSpec::new("t", kitti_sequences()[0].truncated(2.0), Priority::Normal);
+        let base = SessionReport::shed(&spec);
+        let mut other = base.clone();
+        assert_eq!(base.digest(), other.digest());
+        other.rmse_m = 1.0e-300; // one bit of payload
+        assert_ne!(base.digest(), other.digest());
+        let mut third = base.clone();
+        third.iterations.push(7);
+        assert_ne!(base.digest(), third.digest());
+        // Wall-clock timing must NOT feed the digest.
+        let mut timed = base.clone();
+        timed.frame_wall_ns.push(123);
+        assert_eq!(base.digest(), timed.digest());
+    }
+
+    #[test]
+    fn session_alone_produces_windows() {
+        let spec = SessionSpec::new("alone", kitti_sequences()[3].truncated(2.5), Priority::High);
+        let services = FleetServices::new(&FleetConfig::default());
+        let mut st = SessionState::new(&spec, &services);
+        while !st.step_frame() {}
+        let report = st.finish();
+        assert!(report.windows > 0);
+        assert_eq!(report.frames, report.frame_wall_ns.len());
+        assert_eq!(report.windows, report.estimates.len());
+        assert!(report.rmse_m.is_finite());
+        assert!(report.modelled_latency_ms > 0.0);
+    }
+}

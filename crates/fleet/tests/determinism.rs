@@ -1,0 +1,168 @@
+//! The fleet's hard contract: every session's output is bitwise identical
+//! to running that session alone, serially — at any pool size, any
+//! admission order, and under backpressure.
+
+use archytas_dataset::{euroc_sequences, kitti_sequences};
+use archytas_faults::{FaultKind, FaultPlan};
+use archytas_fleet::{
+    run_fleet, run_session_alone, FleetConfig, Priority, SessionOutcome, SessionReport, SessionSpec,
+};
+use std::collections::HashMap;
+
+/// The standard 8-vehicle batch: cars and drones, mixed priorities, two
+/// vehicles hitting sensor faults mid-sequence.
+fn fleet_specs() -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    vec![
+        SessionSpec::new("car-0", kitti[0].truncated(2.5), Priority::High),
+        SessionSpec::new("car-1", kitti[1].truncated(2.5), Priority::Normal),
+        SessionSpec::new("car-2", kitti[2].truncated(2.5), Priority::Low),
+        SessionSpec::new("drone-0", euroc[0].truncated(2.5), Priority::Normal),
+        SessionSpec::new("drone-1", euroc[1].truncated(2.5), Priority::Low),
+        SessionSpec::new("car-3", kitti[3].truncated(2.5), Priority::Normal),
+        // Faults land at frames 24–28, so these need ≥ 4 s (10 Hz).
+        SessionSpec::new("car-flaky", kitti[1].truncated(4.0), Priority::High)
+            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
+        SessionSpec::new("drone-flaky", euroc[0].truncated(4.0), Priority::Low)
+            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
+    ]
+}
+
+fn base_config() -> FleetConfig {
+    FleetConfig::default()
+}
+
+fn alone_reports(specs: &[SessionSpec]) -> HashMap<String, SessionReport> {
+    specs
+        .iter()
+        .map(|s| (s.name.clone(), run_session_alone(s, &base_config())))
+        .collect()
+}
+
+#[test]
+fn fleet_matches_serial_alone_at_any_pool_size_and_admission_order() {
+    let specs = fleet_specs();
+    let alone = alone_reports(&specs);
+
+    let mut reversed = specs.clone();
+    reversed.reverse();
+
+    for threads in [1usize, 2, 8] {
+        for (order_name, order) in [("forward", &specs), ("reversed", &reversed)] {
+            let config = FleetConfig {
+                threads,
+                ..base_config()
+            };
+            let report = run_fleet(order, &config);
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.sessions.len(), order.len());
+            for (spec, session) in order.iter().zip(&report.sessions) {
+                assert_eq!(
+                    session.outcome,
+                    SessionOutcome::Completed,
+                    "{} ({order_name}, {threads}t)",
+                    spec.name
+                );
+                session.assert_bitwise_eq(&alone[&spec.name]);
+            }
+            // Faulted sessions really exercised the degradation ladder and
+            // the runtime watchdog — identically in fleet and alone runs.
+            let flaky = report
+                .sessions
+                .iter()
+                .find(|s| s.name == "car-flaky")
+                .unwrap();
+            assert!(flaky.degraded_windows > 0, "fault plan had no effect");
+            assert!(flaky.watchdog_windows > 0, "watchdog never engaged");
+        }
+    }
+}
+
+#[test]
+fn shared_caches_are_filled_once_for_the_whole_fleet() {
+    let specs = fleet_specs();
+    let report = run_fleet(
+        &specs,
+        &FleetConfig {
+            threads: 4,
+            ..base_config()
+        },
+    );
+    // One design fleet-wide ⇒ exactly one gating-LUT build, every other
+    // session is a cache hit.
+    assert_eq!(report.gating_builds, 1);
+    assert_eq!(report.gating_hits, specs.len() - 1);
+    // Every optimized window performs exactly one model lookup; the shared
+    // model evaluates each distinct problem shape once and serves the rest
+    // from cache.
+    assert_eq!(
+        report.model_evaluations + report.model_cache_hits,
+        report.windows_processed
+    );
+    assert!(
+        report.model_evaluations < report.windows_processed,
+        "no cross-session model sharing happened ({} evaluations for {} windows)",
+        report.model_evaluations,
+        report.windows_processed
+    );
+    assert!(report.model_cache_hits > 0);
+}
+
+#[test]
+fn backpressure_defers_low_priority_without_changing_outputs() {
+    let kitti = kitti_sequences();
+    let specs = vec![
+        SessionSpec::new("hi-0", kitti[0].truncated(2.0), Priority::High),
+        SessionSpec::new("lo-0", kitti[1].truncated(2.0), Priority::Low),
+        SessionSpec::new("no-0", kitti[2].truncated(2.0), Priority::Normal),
+        SessionSpec::new("lo-1", kitti[3].truncated(2.0), Priority::Low),
+    ];
+    let alone = alone_reports(&specs);
+    let config = FleetConfig {
+        threads: 2,
+        defer_watermark: 1, // aggressive: park Low whenever anything else is runnable
+        frames_per_quantum: 2,
+        ..base_config()
+    };
+    let report = run_fleet(&specs, &config);
+    assert!(
+        report.scheduler.deferrals > 0,
+        "watermark 1 with 4 sessions must actually defer"
+    );
+    for (spec, session) in specs.iter().zip(&report.sessions) {
+        assert_eq!(session.outcome, SessionOutcome::Completed);
+        session.assert_bitwise_eq(&alone[&spec.name]);
+    }
+}
+
+#[test]
+fn admission_sheds_low_priority_and_leaves_the_rest_bit_identical() {
+    let kitti = kitti_sequences();
+    let specs = vec![
+        SessionSpec::new("keep-0", kitti[0].truncated(2.0), Priority::Normal),
+        SessionSpec::new("keep-1", kitti[1].truncated(2.0), Priority::Normal),
+        SessionSpec::new("keep-2", kitti[2].truncated(2.0), Priority::Low),
+        SessionSpec::new("shed-0", kitti[3].truncated(2.0), Priority::Low),
+        SessionSpec::new("keep-3", kitti[0].truncated(2.0), Priority::High),
+    ];
+    let config = FleetConfig {
+        threads: 2,
+        max_active: 2,
+        shed_watermark: 1,
+        ..base_config()
+    };
+    let report = run_fleet(&specs, &config);
+    let by_name: HashMap<_, _> = report
+        .sessions
+        .iter()
+        .map(|s| (s.name.as_str(), s))
+        .collect();
+    assert_eq!(by_name["shed-0"].outcome, SessionOutcome::Shed);
+    assert!(by_name["shed-0"].estimates.is_empty());
+    for name in ["keep-0", "keep-1", "keep-2", "keep-3"] {
+        assert_eq!(by_name[name].outcome, SessionOutcome::Completed);
+        let spec = specs.iter().find(|s| s.name == name).unwrap();
+        by_name[name].assert_bitwise_eq(&run_session_alone(spec, &base_config()));
+    }
+}

@@ -1,0 +1,183 @@
+//! No cross-session leakage through the runtime layer: `IterCounter`,
+//! `RuntimeWatchdog`, and full `RuntimeSystem` instances produce the same
+//! decision streams whether sessions step alone or interleaved in any
+//! order — including when every session draws its gating table and policy
+//! from one shared `GatingCache`.
+
+use archytas_core::{GatingCache, IterCounter, IterPolicy, RuntimeDecision, RuntimeSystem};
+use archytas_hw::{FpgaPlatform, HIGH_PERF};
+use archytas_mdfg::ProblemShape;
+
+/// Per-session synthetic workload: (feature count, healthy?) per window.
+/// Each session has a distinct rhythm so leakage would be visible; session
+/// 1 goes unhealthy mid-stream to exercise the watchdog.
+fn streams() -> Vec<Vec<(usize, bool)>> {
+    (0..4)
+        .map(|s| {
+            (0..40)
+                .map(|w| {
+                    let features = 40 + 37 * s + (w * (7 + s)) % 211;
+                    let healthy = !(s == 1 && (12..18).contains(&w));
+                    (features, healthy)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_runtime(cache: Option<&GatingCache>) -> RuntimeSystem {
+    let shape = ProblemShape::typical();
+    let platform = FpgaPlatform::zc706();
+    match cache {
+        Some(c) => c.runtime(
+            HIGH_PERF,
+            &shape,
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        ),
+        None => RuntimeSystem::new(
+            HIGH_PERF,
+            &shape,
+            2.5,
+            &platform,
+            IterPolicy::default_table(),
+        ),
+    }
+}
+
+/// Decision stream of one session stepping alone, plus per-window watchdog
+/// engagement.
+fn alone_stream(stream: &[(usize, bool)]) -> Vec<(RuntimeDecision, bool)> {
+    let mut rt = fresh_runtime(None);
+    stream
+        .iter()
+        .map(|&(f, h)| {
+            let d = rt.step_with_health(f, h);
+            (d, rt.watchdog().engaged())
+        })
+        .collect()
+}
+
+/// Steps all sessions under an arbitrary interleave order given by
+/// `schedule` (a sequence of session indices; each session consumes its
+/// own stream in order).
+fn interleaved(
+    streams: &[Vec<(usize, bool)>],
+    schedule: impl Iterator<Item = usize>,
+    cache: Option<&GatingCache>,
+) -> Vec<Vec<(RuntimeDecision, bool)>> {
+    let mut runtimes: Vec<RuntimeSystem> = streams.iter().map(|_| fresh_runtime(cache)).collect();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out: Vec<Vec<(RuntimeDecision, bool)>> = streams
+        .iter()
+        .map(|s| Vec::with_capacity(s.len()))
+        .collect();
+    for s in schedule {
+        if cursors[s] >= streams[s].len() {
+            continue;
+        }
+        let (f, h) = streams[s][cursors[s]];
+        cursors[s] += 1;
+        let d = runtimes[s].step_with_health(f, h);
+        out[s].push((d, runtimes[s].watchdog().engaged()));
+    }
+    assert!(
+        cursors.iter().zip(streams).all(|(c, s)| *c == s.len()),
+        "schedule must drain every stream"
+    );
+    out
+}
+
+#[test]
+fn round_robin_interleaving_matches_alone() {
+    let streams = streams();
+    let expected: Vec<_> = streams.iter().map(|s| alone_stream(s)).collect();
+    let n = streams.len();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let schedule = (0..total * n).map(move |i| i % n);
+    let got = interleaved(&streams, schedule, None);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn bursty_and_skewed_interleavings_match_alone() {
+    let streams = streams();
+    let expected: Vec<_> = streams.iter().map(|s| alone_stream(s)).collect();
+    // Bursty: drain session 3 fully, then 5-window bursts of the rest in a
+    // rotating pattern.
+    let mut schedule = vec![3usize; streams[3].len()];
+    for round in 0..streams.iter().map(Vec::len).max().unwrap() {
+        for s in [1usize, 0, 2] {
+            for _ in 0..5 {
+                let _ = round;
+                schedule.push(s);
+            }
+        }
+    }
+    let got = interleaved(&streams, schedule.into_iter(), None);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn shared_gating_cache_interleaving_matches_owned_alone() {
+    // All sessions draw from ONE GatingCache (the fleet configuration);
+    // decisions must still be bitwise those of private runtimes.
+    let streams = streams();
+    let expected: Vec<_> = streams.iter().map(|s| alone_stream(s)).collect();
+    let cache = GatingCache::new();
+    let n = streams.len();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let schedule = (0..total * n).map(move |i| i % n);
+    let got = interleaved(&streams, schedule, Some(&cache));
+    assert_eq!(got, expected);
+    assert_eq!(cache.builds(), 1, "one deployment, one table");
+    assert_eq!(cache.hits(), streams.len() - 1);
+}
+
+#[test]
+fn watchdog_engagement_never_leaks_between_sessions() {
+    let streams = streams();
+    let n = streams.len();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let schedule = (0..total * n).map(move |i| i % n);
+    let got = interleaved(&streams, schedule, None);
+    // Session 1 is the only unhealthy stream: it must engage its watchdog,
+    // and no other session may ever see an engaged watchdog.
+    assert!(got[1].iter().any(|(_, engaged)| *engaged));
+    for (s, decisions) in got.iter().enumerate() {
+        if s != 1 {
+            assert!(
+                decisions.iter().all(|(_, engaged)| !*engaged),
+                "session {s} caught session 1's watchdog"
+            );
+        }
+    }
+}
+
+#[test]
+fn iter_counters_debounce_independently_under_interleaving() {
+    // Two counters fed different target streams, stepped interleaved; each
+    // must match a privately-stepped twin exactly.
+    let targets_a = [10usize, 4, 4, 4, 4, 9, 9, 2, 2, 2, 2, 2, 10, 10];
+    let targets_b = [3usize, 3, 8, 8, 8, 1, 1, 1, 6, 6, 6, 6, 10, 2];
+    let alone = |targets: &[usize]| {
+        let mut c = IterCounter::new(10);
+        targets.iter().map(|&t| c.observe(t)).collect::<Vec<_>>()
+    };
+    let (ea, eb) = (alone(&targets_a), alone(&targets_b));
+    let (mut ca, mut cb) = (IterCounter::new(10), IterCounter::new(10));
+    let (mut ga, mut gb) = (Vec::new(), Vec::new());
+    for i in 0..targets_a.len() {
+        // Deliberately uneven order: b twice every third step.
+        ga.push(ca.observe(targets_a[i]));
+        gb.push(cb.observe(targets_b[i]));
+        if i % 3 == 0 {
+            // Re-reading state must not advance the other counter.
+            let _ = ca.current();
+            let _ = cb.current();
+        }
+    }
+    assert_eq!(ga, ea);
+    assert_eq!(gb, eb);
+}

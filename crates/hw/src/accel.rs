@@ -10,11 +10,19 @@ use archytas_mdfg::ProblemShape;
 
 /// The paper's High-Perf design point (Tbl. 2): optimized under a 20 ms
 /// latency constraint.
-pub const HIGH_PERF: AcceleratorConfig = AcceleratorConfig { nd: 28, nm: 19, s: 97 };
+pub const HIGH_PERF: AcceleratorConfig = AcceleratorConfig {
+    nd: 28,
+    nm: 19,
+    s: 97,
+};
 
 /// The paper's Low-Power design point (Tbl. 2): optimized under a 33 ms
 /// latency constraint.
-pub const LOW_POWER: AcceleratorConfig = AcceleratorConfig { nd: 21, nm: 8, s: 34 };
+pub const LOW_POWER: AcceleratorConfig = AcceleratorConfig {
+    nd: 21,
+    nm: 8,
+    s: 34,
+};
 
 /// A concrete accelerator instance on a concrete platform.
 #[derive(Debug, Clone)]
@@ -84,6 +92,13 @@ pub struct CachedAcceleratorModel {
     latency: archytas_par::Memo<(ProblemShape, usize), f64>,
 }
 
+// The fleet serving layer hands one cached model to every session of the
+// same deployed design; losing `Sync` here would silently serialize it.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<CachedAcceleratorModel>();
+};
+
 impl CachedAcceleratorModel {
     /// Wraps `model` with an empty cache.
     pub fn new(model: AcceleratorModel) -> Self {
@@ -91,6 +106,14 @@ impl CachedAcceleratorModel {
             model,
             latency: archytas_par::Memo::new(),
         }
+    }
+
+    /// Wraps `model` for cross-thread sharing: hand clones of the returned
+    /// `Arc` to every consumer of the same deployed design (fleet sessions,
+    /// sweep workers) and the latency model fills exactly once per distinct
+    /// `(shape, iterations)` key fleet-wide.
+    pub fn shared(model: AcceleratorModel) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(Self::new(model))
     }
 
     /// The wrapped model.
@@ -199,5 +222,38 @@ mod tests {
         // A new iteration count is a new key.
         cached.window_latency_ms(&shapes[0], 4);
         assert_eq!(cached.evaluations(), 3);
+    }
+
+    #[test]
+    fn shared_model_fills_exactly_once_under_concurrency() {
+        // Many threads race to fill the same keys through one Arc-shared
+        // model: every key must still be evaluated exactly once, and every
+        // lookup must return the bitwise value of an unshared evaluation.
+        let reference = AcceleratorModel::new(HIGH_PERF, FpgaPlatform::zc706());
+        let cached = CachedAcceleratorModel::shared(reference.clone());
+        let shapes: Vec<ProblemShape> = (0..8)
+            .map(|i| ProblemShape {
+                features: 40 + 20 * i,
+                ..ProblemShape::typical()
+            })
+            .collect();
+        // 512 lookups over 8 distinct shapes, forced onto 8 workers.
+        let jobs: Vec<usize> = (0..512).collect();
+        let pool = archytas_par::Pool::with_threads(8).with_serial_threshold(0);
+        let model = std::sync::Arc::clone(&cached);
+        let got = pool.par_map(&jobs, |&j| {
+            let s = &shapes[j % shapes.len()];
+            model.window_latency_ms(s, 6)
+        });
+        for (j, v) in got.iter().enumerate() {
+            let want = reference.window_latency_ms(&shapes[j % shapes.len()], 6);
+            assert_eq!(v.to_bits(), want.to_bits(), "lookup {j}");
+        }
+        assert_eq!(
+            cached.evaluations(),
+            shapes.len(),
+            "exactly one fill per key"
+        );
+        assert_eq!(cached.cache_hits(), 512 - shapes.len());
     }
 }

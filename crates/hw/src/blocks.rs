@@ -24,7 +24,10 @@ impl AcceleratorConfig {
     ///
     /// Panics when any parameter is zero.
     pub fn new(nd: usize, nm: usize, s: usize) -> Self {
-        assert!(nd >= 1 && nm >= 1 && s >= 1, "config parameters must be ≥ 1");
+        assert!(
+            nd >= 1 && nm >= 1 && s >= 1,
+            "config parameters must be ≥ 1"
+        );
         Self { nd, nm, s }
     }
 
@@ -188,7 +191,10 @@ mod tests {
         let m = 30;
         let at_m = cholesky_latency(m, m);
         let beyond = cholesky_latency(m, 4 * m);
-        assert!(beyond > at_m, "4m lanes ({beyond}) must cost more than m lanes ({at_m})");
+        assert!(
+            beyond > at_m,
+            "4m lanes ({beyond}) must cost more than m lanes ({at_m})"
+        );
         // And the floor is the Evaluate serialization m·E.
         assert!(at_m >= m as f64 * CHOLESKY_EVALUATE_LATENCY);
     }

@@ -13,8 +13,8 @@
 //!   consumes.
 
 use crate::blocks::{
-    back_substitution_latency, cholesky_latency, dschur_feature_latency,
-    jacobian_feature_latency, mschur_latency, AcceleratorConfig, CHOLESKY_EVALUATE_LATENCY,
+    back_substitution_latency, cholesky_latency, dschur_feature_latency, jacobian_feature_latency,
+    mschur_latency, AcceleratorConfig, CHOLESKY_EVALUATE_LATENCY,
 };
 use archytas_mdfg::{HwBlockClass, ProblemShape};
 
@@ -100,7 +100,10 @@ pub fn simulate_window(
     let dschur_f = dschur_feature_latency(no, config.nd);
     let chol_nls = cholesky_latency(reduced, config.s);
     let sub = back_substitution_latency(reduced);
-    let chol_marg = cholesky_latency(shape.marginalized_features + shape.states_per_keyframe, config.s);
+    let chol_marg = cholesky_latency(
+        shape.marginalized_features + shape.states_per_keyframe,
+        config.s,
+    );
     let mschur = mschur_latency(shape.marginalized_features, shape.keyframes, config.nm);
 
     let mut busy_jac = 0.0;
@@ -134,11 +137,26 @@ pub fn simulate_window(
     WindowSimResult {
         total_cycles: t,
         activity: vec![
-            BlockActivity { block: HwBlockClass::VisualJacobian, busy_cycles: busy_jac },
-            BlockActivity { block: HwBlockClass::DTypeSchur, busy_cycles: busy_dschur },
-            BlockActivity { block: HwBlockClass::Cholesky, busy_cycles: busy_chol },
-            BlockActivity { block: HwBlockClass::BackSubstitution, busy_cycles: busy_sub },
-            BlockActivity { block: HwBlockClass::MTypeSchur, busy_cycles: busy_mschur },
+            BlockActivity {
+                block: HwBlockClass::VisualJacobian,
+                busy_cycles: busy_jac,
+            },
+            BlockActivity {
+                block: HwBlockClass::DTypeSchur,
+                busy_cycles: busy_dschur,
+            },
+            BlockActivity {
+                block: HwBlockClass::Cholesky,
+                busy_cycles: busy_chol,
+            },
+            BlockActivity {
+                block: HwBlockClass::BackSubstitution,
+                busy_cycles: busy_sub,
+            },
+            BlockActivity {
+                block: HwBlockClass::MTypeSchur,
+                busy_cycles: busy_mschur,
+            },
         ],
     }
 }
@@ -168,7 +186,10 @@ mod tests {
                 // event sim may finish early by overlapping rounds, never
                 // late. In the work-dominated regime (s ≪ m, where the
                 // synthesizer operates) the two agree tightly.
-                assert!(sim <= model + 1e-9, "m={m} s={s}: sim {sim} beyond model {model}");
+                assert!(
+                    sim <= model + 1e-9,
+                    "m={m} s={s}: sim {sim} beyond model {model}"
+                );
                 if s * 4 <= m {
                     assert!(
                         rel < 0.20,
@@ -222,7 +243,10 @@ mod tests {
         // system can gate.
         let shape = ProblemShape::typical();
         let sim = simulate_window(&shape, &AcceleratorConfig::new(1, 8, 16), 4);
-        assert!(sim.utilization(HwBlockClass::DTypeSchur) > sim.utilization(HwBlockClass::VisualJacobian));
+        assert!(
+            sim.utilization(HwBlockClass::DTypeSchur)
+                > sim.utilization(HwBlockClass::VisualJacobian)
+        );
     }
 
     #[test]

@@ -28,12 +28,7 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy (mJ).
     pub fn total_mj(&self) -> f64 {
-        self.base_mj
-            + self
-                .per_block
-                .iter()
-                .map(|(_, a, i)| a + i)
-                .sum::<f64>()
+        self.base_mj + self.per_block.iter().map(|(_, a, i)| a + i).sum::<f64>()
     }
 
     /// Energy attributable to idle-but-unclocked-gated cycles (mJ) — the
@@ -126,7 +121,10 @@ mod tests {
         let ceiling = coarse_w * b.window_ms;
         let floor = PowerModel::zc706().base_w * b.window_ms * 0.5;
         let total = b.total_mj();
-        assert!(total <= ceiling * 1.01, "total {total} vs ceiling {ceiling}");
+        assert!(
+            total <= ceiling * 1.01,
+            "total {total} vs ceiling {ceiling}"
+        );
         assert!(total >= floor, "total {total} vs floor {floor}");
     }
 

@@ -9,9 +9,7 @@
 //! dynamic-optimization accuracy claims (Sec. 7.6) are checked.
 
 use archytas_math::{BlockSpec, Cholesky, DMat, DVec, FMat, FVec, SchurSystem};
-use archytas_slam::{
-    solve_with, FactorWeights, LmConfig, Prior, SlidingWindow, SolveReport,
-};
+use archytas_slam::{solve_with, FactorWeights, LmConfig, Prior, SlidingWindow, SolveReport};
 
 /// Solves the damped normal equations in the accelerator's single-precision
 /// datapath. Returns `None` when the f32 factorization fails (the LM loop
@@ -63,7 +61,12 @@ mod tests {
             }
         }
         let max_off = (0..n)
-            .map(|i| (0..n).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum::<f64>())
+            .map(|i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| a.get(i, j).abs())
+                    .sum::<f64>()
+            })
             .fold(0.0f64, f64::max);
         let a = a.add_diagonal(max_off + 1.0);
         let rhs: DVec = (0..n).map(|i| (i as f64) * 0.2 - 1.0).collect();
@@ -104,19 +107,29 @@ mod tests {
             let mut w = SlidingWindow::new();
             let kf0 = KeyframeState::at_pose(Pose::IDENTITY, 0.0);
             let kf1 = KeyframeState::at_pose(
-                Pose::new(Quat::exp(&Vec3::new(0.0, 0.01, 0.0)), Vec3::new(0.4, 0.0, 0.0)),
+                Pose::new(
+                    Quat::exp(&Vec3::new(0.0, 0.01, 0.0)),
+                    Vec3::new(0.4, 0.0, 0.0),
+                ),
                 0.1,
             );
-            let kf2 = KeyframeState::at_pose(
-                Pose::new(Quat::IDENTITY, Vec3::new(0.8, 0.05, 0.0)),
-                0.2,
-            );
+            let kf2 =
+                KeyframeState::at_pose(Pose::new(Quat::IDENTITY, Vec3::new(0.8, 0.05, 0.0)), 0.2);
             w.keyframes = vec![kf0, kf1, kf2];
             for l in 0..20 {
-                let bearing = Vec3::new((l as f64 / 20.0 - 0.5) * 0.6, ((l * 3 % 20) as f64 / 20.0 - 0.5) * 0.4, 1.0);
+                let bearing = Vec3::new(
+                    (l as f64 / 20.0 - 0.5) * 0.6,
+                    ((l * 3 % 20) as f64 / 20.0 - 0.5) * 0.4,
+                    1.0,
+                );
                 let depth = 4.0 + (l % 6) as f64;
                 let p_w = kf0.pose.transform(&(bearing * depth));
-                w.landmarks.push(Landmark { id: l as u64, anchor: 0, bearing, inv_depth: 1.0 / depth * 1.1 });
+                w.landmarks.push(Landmark {
+                    id: l as u64,
+                    anchor: 0,
+                    bearing,
+                    inv_depth: 1.0 / depth * 1.1,
+                });
                 for kf in 1..3usize {
                     let p_c = w.keyframes[kf].pose.inverse_transform(&p_w);
                     if p_c.z() > 0.1 {

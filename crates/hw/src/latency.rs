@@ -1,8 +1,8 @@
 //! End-to-end latency model of one sliding window (paper Eqs. 13–15).
 
 use crate::blocks::{
-    back_substitution_latency, cholesky_latency, dschur_feature_latency,
-    jacobian_feature_latency, mschur_latency, AcceleratorConfig,
+    back_substitution_latency, cholesky_latency, dschur_feature_latency, jacobian_feature_latency,
+    mschur_latency, AcceleratorConfig,
 };
 use archytas_mdfg::ProblemShape;
 

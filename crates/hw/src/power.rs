@@ -84,8 +84,16 @@ impl PowerModel {
 mod tests {
     use super::*;
 
-    const HIGH_PERF: AcceleratorConfig = AcceleratorConfig { nd: 28, nm: 19, s: 97 };
-    const LOW_POWER: AcceleratorConfig = AcceleratorConfig { nd: 21, nm: 8, s: 34 };
+    const HIGH_PERF: AcceleratorConfig = AcceleratorConfig {
+        nd: 28,
+        nm: 19,
+        s: 97,
+    };
+    const LOW_POWER: AcceleratorConfig = AcceleratorConfig {
+        nd: 21,
+        nm: 8,
+        s: 34,
+    };
 
     #[test]
     fn named_designs_match_paper_band() {
@@ -121,7 +129,10 @@ mod tests {
         let full = m.power_w(&HIGH_PERF);
         let rebuilt = m.power_w(&LOW_POWER);
         assert!(gated < full, "gating must save power");
-        assert!(gated > rebuilt, "gated design still leaks above a re-synthesized one");
+        assert!(
+            gated > rebuilt,
+            "gated design still leaks above a re-synthesized one"
+        );
     }
 
     #[test]

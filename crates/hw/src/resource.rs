@@ -74,8 +74,16 @@ impl ResourceModel {
 mod tests {
     use super::*;
 
-    const HIGH_PERF: AcceleratorConfig = AcceleratorConfig { nd: 28, nm: 19, s: 97 };
-    const LOW_POWER: AcceleratorConfig = AcceleratorConfig { nd: 21, nm: 8, s: 34 };
+    const HIGH_PERF: AcceleratorConfig = AcceleratorConfig {
+        nd: 28,
+        nm: 19,
+        s: 97,
+    };
+    const LOW_POWER: AcceleratorConfig = AcceleratorConfig {
+        nd: 21,
+        nm: 8,
+        s: 34,
+    };
 
     #[test]
     fn table2_high_perf_reproduced() {
@@ -102,9 +110,7 @@ mod tests {
         let m = ResourceModel::calibrated();
         let p = FpgaPlatform::zc706();
         let util = m.utilization(&HIGH_PERF, &p);
-        let frac = |kind: ResourceKind| {
-            util.iter().find(|(k, _, _)| *k == kind).unwrap().2
-        };
+        let frac = |kind: ResourceKind| util.iter().find(|(k, _, _)| *k == kind).unwrap().2;
         assert!((frac(ResourceKind::Lut) - 0.6241).abs() < 0.002);
         assert!((frac(ResourceKind::Ff) - 0.3728).abs() < 0.002);
         assert!((frac(ResourceKind::Bram) - 0.4688).abs() < 0.005);

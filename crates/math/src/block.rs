@@ -108,10 +108,7 @@ impl<T: Scalar> Blocked2x2<T> {
 /// # Errors
 ///
 /// Returns [`MathError::DimensionMismatch`] when `b.len() != spec.dim()`.
-pub fn split_vector<T: Scalar>(
-    b: &Vector<T>,
-    spec: BlockSpec,
-) -> Result<(Vector<T>, Vector<T>)> {
+pub fn split_vector<T: Scalar>(b: &Vector<T>, spec: BlockSpec) -> Result<(Vector<T>, Vector<T>)> {
     if b.len() != spec.dim() {
         return Err(MathError::DimensionMismatch {
             op: "split_vector",

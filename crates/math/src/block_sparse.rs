@@ -631,8 +631,12 @@ mod tests {
             .unwrap();
         let mut scratch = SchurScratch::default();
         let mut out = Vector::zeros(0);
-        s.solve_into(&mut scratch, &Pool::with_threads(4).with_serial_threshold(0), &mut out)
-            .unwrap();
+        s.solve_into(
+            &mut scratch,
+            &Pool::with_threads(4).with_serial_threshold(0),
+            &mut out,
+        )
+        .unwrap();
         assert_eq!(out.as_slice(), reference.as_slice());
     }
 

@@ -14,7 +14,6 @@ use crate::triangular::{solve_lower, solve_upper};
 use crate::vector::Vector;
 use archytas_par::Pool;
 
-
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Cholesky<T: Scalar> {
@@ -98,10 +97,7 @@ impl<T: Scalar> Cholesky<T> {
     /// # Errors
     ///
     /// Same conditions as [`Cholesky::factor`].
-    pub fn factor_counting_with(
-        a: &Matrix<T>,
-        pool: &Pool,
-    ) -> Result<(Self, CholeskyOpCounts)> {
+    pub fn factor_counting_with(a: &Matrix<T>, pool: &Pool) -> Result<(Self, CholeskyOpCounts)> {
         let mut fact = Self {
             l: Matrix::zeros(0, 0),
             lt: Matrix::zeros(0, 0),

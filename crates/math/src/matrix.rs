@@ -167,7 +167,10 @@ impl<T: Scalar> Matrix<T> {
     /// Adds `v` to element `(i, j)`.
     #[inline]
     pub fn add_at(&mut self, i: usize, j: usize, v: T) {
-        assert!(i < self.rows && j < self.cols, "add_at: index out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "add_at: index out of bounds"
+        );
         self.data[i * self.cols + j] += v;
     }
 
@@ -430,11 +433,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> T {
-        self.data
-            .iter()
-            .map(|&v| v * v)
-            .sum::<T>()
-            .sqrt()
+        self.data.iter().map(|&v| v * v).sum::<T>().sqrt()
     }
 
     /// `true` when every element is finite.
@@ -555,7 +554,8 @@ impl<T: Scalar> Mul for &Matrix<T> {
     /// Panics on inner-dimension mismatch; use [`Matrix::try_mul`] for a
     /// fallible variant.
     fn mul(self, rhs: Self) -> Matrix<T> {
-        self.try_mul(rhs).expect("matrix product dimension mismatch")
+        self.try_mul(rhs)
+            .expect("matrix product dimension mismatch")
     }
 }
 

@@ -105,8 +105,8 @@ pub fn nls_schur_cost(shape: &ProblemShape, p: usize) -> u64 {
     };
     let schur_mul = node_cost(NodeKind::MatMul, Dims::product(q, p, q));
     let sub = node_cost(NodeKind::MatSub, Dims::square(q));
-    let reduced_solve = node_cost(NodeKind::CD, Dims::square(q))
-        + node_cost(NodeKind::FBSub, Dims::square(q));
+    let reduced_solve =
+        node_cost(NodeKind::CD, Dims::square(q)) + node_cost(NodeKind::FBSub, Dims::square(q));
     // Back substitution for the eliminated block.
     let back = if p <= a {
         (p + p * q) as u64
@@ -236,13 +236,21 @@ pub fn build_mdfg(shape: &ProblemShape) -> BuiltMdfg {
     nls.add_edge(vjac, prep_a);
     nls.add_edge(ijac, prep_a);
     // D-type Schur sub-graph (Fig. 3b): DMatInv → DMatMul → MatTp/MatMul → MatSub
-    let dinv = nls.add_node(NodeKind::DMatInv, Dims::square(nls_blocking.p), "nls.dschur.Uinv");
+    let dinv = nls.add_node(
+        NodeKind::DMatInv,
+        Dims::square(nls_blocking.p),
+        "nls.dschur.Uinv",
+    );
     let dmul = nls.add_node(
         NodeKind::DMatMul,
         Dims::rect(q, nls_blocking.p),
         "nls.dschur.WUinv",
     );
-    let wt = nls.add_node(NodeKind::MatTp, Dims::rect(q, nls_blocking.p), "nls.dschur.Wt");
+    let wt = nls.add_node(
+        NodeKind::MatTp,
+        Dims::rect(q, nls_blocking.p),
+        "nls.dschur.Wt",
+    );
     let mul = nls.add_node(
         NodeKind::MatMul,
         Dims::product(q, nls_blocking.p, q),
@@ -260,7 +268,11 @@ pub fn build_mdfg(shape: &ProblemShape) -> BuiltMdfg {
     let fbsub = nls.add_node(NodeKind::FBSub, Dims::square(q), "nls.fbsub");
     nls.add_edge(sub, cd);
     nls.add_edge(cd, fbsub);
-    let back = nls.add_node(NodeKind::DMatMul, Dims::rect(nls_blocking.p, 1), "nls.back_subst");
+    let back = nls.add_node(
+        NodeKind::DMatMul,
+        Dims::rect(nls_blocking.p, 1),
+        "nls.back_subst",
+    );
     nls.add_edge(fbsub, back);
     nls.add_edge(dinv, back);
 
@@ -374,8 +386,8 @@ mod tests {
     fn schur_beats_direct_solve() {
         let shape = ProblemShape::typical();
         let n = shape.state_dim();
-        let direct = node_cost(NodeKind::CD, Dims::square(n))
-            + node_cost(NodeKind::FBSub, Dims::square(n));
+        let direct =
+            node_cost(NodeKind::CD, Dims::square(n)) + node_cost(NodeKind::FBSub, Dims::square(n));
         let choice = optimal_nls_blocking(&shape);
         assert!(
             choice.cost * 3 < direct * 2,

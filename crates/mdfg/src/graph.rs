@@ -125,10 +125,7 @@ impl MDfg {
 
     /// Total arithmetic cost of the whole graph.
     pub fn total_cost(&self) -> u64 {
-        self.nodes
-            .iter()
-            .map(|n| node_cost(n.kind, n.dims))
-            .sum()
+        self.nodes.iter().map(|n| node_cost(n.kind, n.dims)).sum()
     }
 
     /// Critical-path cost: the most expensive dependency chain, assuming
@@ -167,7 +164,9 @@ impl MDfg {
     /// its dimensions and cost, for inspection of the generated
     /// implementation (the paper presents these graphs as Fig. 3b).
     pub fn to_dot(&self, name: &str) -> String {
-        let mut out = format!("digraph {name} {{\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = format!(
+            "digraph {name} {{\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n"
+        );
         for (i, n) in self.nodes.iter().enumerate() {
             let cost = node_cost(n.kind, n.dims);
             out.push_str(&format!(

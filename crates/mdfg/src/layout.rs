@@ -55,8 +55,8 @@ fn union_pattern_nnz_lower(k: usize, b: usize) -> usize {
     // Sc: 6×6 sub-block of every (i ≥ j) block pair; the diagonal-block ones
     // are half, and those inside the Si tridiagonal band are already counted.
     let sc_all = b * (POSE_DOF * (POSE_DOF + 1) / 2) + (b * (b - 1) / 2) * POSE_DOF * POSE_DOF;
-    let sc_in_band = b * (POSE_DOF * (POSE_DOF + 1) / 2)
-        + b.saturating_sub(1) * POSE_DOF * POSE_DOF;
+    let sc_in_band =
+        b * (POSE_DOF * (POSE_DOF + 1) / 2) + b.saturating_sub(1) * POSE_DOF * POSE_DOF;
     si + sc_all - sc_in_band
 }
 
@@ -96,7 +96,9 @@ impl<T: Scalar> SplitS<T> {
             k,
             b,
             si_diag: (0..b).map(|_| DMatWrap::zeros(k, k)).collect(),
-            si_sub: (0..b.saturating_sub(1)).map(|_| DMatWrap::zeros(k, k)).collect(),
+            si_sub: (0..b.saturating_sub(1))
+                .map(|_| DMatWrap::zeros(k, k))
+                .collect(),
             sc: DMatWrap::zeros(POSE_DOF * b, POSE_DOF * b),
         }
     }
@@ -132,8 +134,7 @@ impl<T: Scalar> SplitS<T> {
             (POSE_DOF, POSE_DOF),
             "camera block must be 6×6"
         );
-        self.sc
-            .add_submatrix(bi * POSE_DOF, bj * POSE_DOF, block);
+        self.sc.add_submatrix(bi * POSE_DOF, bj * POSE_DOF, block);
     }
 
     /// Reconstructs the full dense `kb × kb` matrix.

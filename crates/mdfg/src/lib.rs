@@ -36,8 +36,6 @@ pub use builder::{
     optimal_nls_blocking, BlockingChoice, BuiltMdfg, ProblemShape,
 };
 pub use graph::{MDfg, Node, NodeId};
-pub use layout::{
-    saving_vs_dense, storage_words, LayoutScheme, SplitS, POSE_DOF,
-};
+pub use layout::{saving_vs_dense, storage_words, LayoutScheme, SplitS, POSE_DOF};
 pub use node::{node_cost, Dims, NodeKind};
 pub use schedule::{schedule, Assignment, HwBlockClass, Phase, Schedule};

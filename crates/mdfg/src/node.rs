@@ -163,7 +163,14 @@ mod tests {
 
     #[test]
     fn dims_constructors() {
-        assert_eq!(Dims::square(5), Dims { rows: 5, cols: 5, inner: 0 });
+        assert_eq!(
+            Dims::square(5),
+            Dims {
+                rows: 5,
+                cols: 5,
+                inner: 0
+            }
+        );
         assert_eq!(Dims::product(2, 3, 4).inner, 3);
     }
 }

@@ -97,7 +97,9 @@ fn classify(kind: NodeKind, label: &str) -> HwBlockClass {
                 // The paper maps S′ (a D-type Schur inside the M-type
                 // computation) onto the *same* D-type hardware (Sec. 3.2.3);
                 // the remaining M-type assembly keeps its own unit.
-                if label.contains("Sprime") || label.contains("M11inv") || label.contains("M21M11inv")
+                if label.contains("Sprime")
+                    || label.contains("M11inv")
+                    || label.contains("M21M11inv")
                 {
                     HwBlockClass::DTypeSchur
                 } else {

@@ -49,7 +49,7 @@ mod memo;
 mod pool;
 
 pub use memo::Memo;
-pub use pool::{Pool, DEFAULT_MIN_PARALLEL_WORK, DEFAULT_SERIAL_THRESHOLD};
+pub use pool::{run_as_worker, Pool, DEFAULT_MIN_PARALLEL_WORK, DEFAULT_SERIAL_THRESHOLD};
 
 /// [`Pool::par_map`] on the [`Pool::global`] pool.
 pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {

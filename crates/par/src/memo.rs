@@ -69,6 +69,19 @@ impl<K, V> Memo<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Memo<K, V> {
+    /// Returns the cached value for `key` without computing anything:
+    /// `None` when the key was never requested or its first computation has
+    /// not finished yet. Touches neither counter, so exactly-once
+    /// assertions over [`Memo::hits`]/[`Memo::misses`] stay exact across
+    /// probe-heavy readers (fleet statistics, debug dumps).
+    pub fn probe(&self, key: &K) -> Option<V> {
+        let slot = {
+            let slots = self.slots.lock().expect("memo poisoned");
+            slots.get(key).cloned()
+        };
+        slot.and_then(|s| s.get().cloned())
+    }
+
     /// Returns the cached value for `key`, computing it with `compute` on
     /// first use. `compute` runs at most once per key across all threads.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
@@ -130,5 +143,18 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 16, "one compute per key");
         assert_eq!(memo.misses(), 16);
         assert_eq!(memo.hits() + memo.misses(), 512);
+    }
+
+    #[test]
+    fn probe_never_computes_and_never_counts() {
+        let memo: Memo<u32, u32> = Memo::new();
+        assert_eq!(memo.probe(&1), None);
+        memo.get_or_compute(1, || 10);
+        assert_eq!(memo.probe(&1), Some(10));
+        assert_eq!(memo.probe(&2), None);
+        // Probes left the counters exactly where get_or_compute put them.
+        assert_eq!(memo.misses(), 1);
+        assert_eq!(memo.hits(), 0);
+        assert_eq!(memo.len(), 1);
     }
 }

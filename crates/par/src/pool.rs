@@ -57,6 +57,20 @@ impl Drop for WorkerGuard {
     }
 }
 
+/// Runs `f` with this thread marked as a pool worker, so any nested `par_*`
+/// call inside `f` degrades to serial.
+///
+/// This is for *embedding* schedulers (e.g. the fleet serving layer) that
+/// spawn their own threads outside this crate: each of their workers already
+/// occupies a core, so letting a solver kernel fork another scope inside one
+/// would oversubscribe the machine. Marking the thread costs one
+/// thread-local write and changes no results — every combinator is
+/// bit-identical serial vs parallel by contract.
+pub fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = WorkerGuard::enter();
+    f()
+}
+
 fn env_usize(name: &str) -> Option<usize> {
     std::env::var(name).ok()?.trim().parse().ok()
 }

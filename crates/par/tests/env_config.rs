@@ -14,7 +14,10 @@ fn global_pool_reads_environment() {
     std::env::set_var("ARCHYTAS_THREADS", "1");
     let one = Pool::global();
     assert_eq!(one.threads(), 1);
-    assert!(!one.should_parallelize(1_000_000), "1 thread is always serial");
+    assert!(
+        !one.should_parallelize(1_000_000),
+        "1 thread is always serial"
+    );
 
     // 0 and garbage fall back to hardware parallelism (≥ 1).
     std::env::set_var("ARCHYTAS_THREADS", "0");

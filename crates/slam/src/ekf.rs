@@ -72,10 +72,10 @@ impl EkfVio {
         let mut cov = DMat::zeros(STATE_DIM, STATE_DIM);
         for i in 0..STATE_DIM {
             let sigma = match i {
-                i if i < 3 => 1e-4,  // attitude
-                i if i < 6 => 1e-4,  // position
-                i if i < 9 => 1e-2,  // velocity
-                _ => 1e-3,           // biases
+                i if i < 3 => 1e-4, // attitude
+                i if i < 6 => 1e-4, // position
+                i if i < 9 => 1e-2, // velocity
+                _ => 1e-3,          // biases
             };
             cov.set(i, i, sigma);
         }
@@ -152,10 +152,14 @@ impl EkfVio {
         self.cov = fp.try_mul(&f.transpose()).expect("15x15");
         let c = &self.config;
         for i in 0..3 {
-            self.cov.add_at(THETA + i, THETA + i, (c.gyro_noise * c.gyro_noise) * dt);
-            self.cov.add_at(VEL + i, VEL + i, (c.accel_noise * c.accel_noise) * dt);
-            self.cov.add_at(BG + i, BG + i, (c.gyro_bias_walk * c.gyro_bias_walk) * dt);
-            self.cov.add_at(BA + i, BA + i, (c.accel_bias_walk * c.accel_bias_walk) * dt);
+            self.cov
+                .add_at(THETA + i, THETA + i, (c.gyro_noise * c.gyro_noise) * dt);
+            self.cov
+                .add_at(VEL + i, VEL + i, (c.accel_noise * c.accel_noise) * dt);
+            self.cov
+                .add_at(BG + i, BG + i, (c.gyro_bias_walk * c.gyro_bias_walk) * dt);
+            self.cov
+                .add_at(BA + i, BA + i, (c.accel_bias_walk * c.accel_bias_walk) * dt);
         }
         // 2 × (15³) products + additions.
         self.ops += 2 * 15 * 15 * 15 + 15 * 15;
@@ -293,7 +297,10 @@ mod tests {
 
     #[test]
     fn stationary_propagation_stays_put() {
-        let mut ekf = EkfVio::new(KeyframeState::at_pose(Pose::IDENTITY, 0.0), EkfConfig::default());
+        let mut ekf = EkfVio::new(
+            KeyframeState::at_pose(Pose::IDENTITY, 0.0),
+            EkfConfig::default(),
+        );
         ekf.propagate(&stationary_samples(200));
         assert!(ekf.pose().trans.norm() < 1e-9);
         assert!(ekf.pose().rot.angle_to(&Quat::IDENTITY) < 1e-12);
@@ -303,7 +310,10 @@ mod tests {
 
     #[test]
     fn covariance_grows_during_dead_reckoning() {
-        let mut ekf = EkfVio::new(KeyframeState::at_pose(Pose::IDENTITY, 0.0), EkfConfig::default());
+        let mut ekf = EkfVio::new(
+            KeyframeState::at_pose(Pose::IDENTITY, 0.0),
+            EkfConfig::default(),
+        );
         let s0 = ekf.position_sigma();
         ekf.propagate(&stationary_samples(100));
         let s1 = ekf.position_sigma();
@@ -314,7 +324,10 @@ mod tests {
 
     #[test]
     fn visual_updates_shrink_uncertainty() {
-        let mut ekf = EkfVio::new(KeyframeState::at_pose(Pose::IDENTITY, 0.0), EkfConfig::default());
+        let mut ekf = EkfVio::new(
+            KeyframeState::at_pose(Pose::IDENTITY, 0.0),
+            EkfConfig::default(),
+        );
         // Initialize a grid of landmarks straight ahead.
         for (i, (x, y)) in [(0.2, 0.1), (-0.3, 0.05), (0.0, -0.2), (0.4, 0.3)]
             .iter()
@@ -344,7 +357,10 @@ mod tests {
         // Map ten landmarks from the truth pose.
         let landmarks: Vec<(u64, [f64; 2], f64)> = (0..10)
             .map(|i| {
-                let uv = [(i as f64 / 10.0 - 0.5) * 0.6, ((i * 3 % 10) as f64 / 10.0 - 0.5) * 0.4];
+                let uv = [
+                    (i as f64 / 10.0 - 0.5) * 0.6,
+                    ((i * 3 % 10) as f64 / 10.0 - 0.5) * 0.4,
+                ];
                 (i as u64, uv, 4.0 + (i % 4) as f64)
             })
             .collect();
@@ -372,7 +388,10 @@ mod tests {
 
     #[test]
     fn gating_rejects_outliers() {
-        let mut ekf = EkfVio::new(KeyframeState::at_pose(Pose::IDENTITY, 0.0), EkfConfig::default());
+        let mut ekf = EkfVio::new(
+            KeyframeState::at_pose(Pose::IDENTITY, 0.0),
+            EkfConfig::default(),
+        );
         ekf.visual_update(7, [0.1, 0.1], Some(5.0));
         let pose_before = ekf.pose();
         // A wildly inconsistent re-observation must be gated out.
@@ -383,7 +402,10 @@ mod tests {
 
     #[test]
     fn ops_counter_accumulates() {
-        let mut ekf = EkfVio::new(KeyframeState::at_pose(Pose::IDENTITY, 0.0), EkfConfig::default());
+        let mut ekf = EkfVio::new(
+            KeyframeState::at_pose(Pose::IDENTITY, 0.0),
+            EkfConfig::default(),
+        );
         let o0 = ekf.ops();
         ekf.propagate(&stationary_samples(10));
         let o1 = ekf.ops();

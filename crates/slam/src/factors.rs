@@ -142,8 +142,7 @@ pub fn evaluate_imu(si: &KeyframeState, sj: &KeyframeState, pre: &Preintegration
     let g = GRAVITY;
 
     // Position / velocity residuals in keyframe i's body frame.
-    let p_term =
-        sj.pose.trans - si.pose.trans - si.velocity * dt - g * (0.5 * dt * dt);
+    let p_term = sj.pose.trans - si.pose.trans - si.velocity * dt - g * (0.5 * dt * dt);
     let v_term = sj.velocity - si.velocity - g * dt;
     let rp_body = r_i_t.mul_vec(&p_term);
     let rp = rp_body - dp_hat;
@@ -406,7 +405,10 @@ mod tests {
             .collect();
         let pre = Preintegration::integrate(&samples, Vec3::ZERO, Vec3::ZERO);
         let si = KeyframeState {
-            pose: Pose::new(Quat::exp(&Vec3::new(0.02, 0.01, -0.03)), Vec3::new(1.0, 2.0, 3.0)),
+            pose: Pose::new(
+                Quat::exp(&Vec3::new(0.02, 0.01, -0.03)),
+                Vec3::new(1.0, 2.0, 3.0),
+            ),
             velocity: Vec3::new(0.5, -0.2, 0.1),
             bg: Vec3::new(0.002, -0.001, 0.0015),
             ba: Vec3::new(0.01, 0.02, -0.01),

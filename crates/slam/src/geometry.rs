@@ -489,9 +489,18 @@ mod tests {
 
     #[test]
     fn pose_compose_associates() {
-        let a = Pose::new(Quat::exp(&Vec3::new(0.1, 0.0, 0.2)), Vec3::new(1.0, 0.0, 0.0));
-        let b = Pose::new(Quat::exp(&Vec3::new(0.0, 0.3, 0.0)), Vec3::new(0.0, 2.0, 0.0));
-        let c = Pose::new(Quat::exp(&Vec3::new(0.2, 0.1, 0.0)), Vec3::new(0.0, 0.0, 3.0));
+        let a = Pose::new(
+            Quat::exp(&Vec3::new(0.1, 0.0, 0.2)),
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        let b = Pose::new(
+            Quat::exp(&Vec3::new(0.0, 0.3, 0.0)),
+            Vec3::new(0.0, 2.0, 0.0),
+        );
+        let c = Pose::new(
+            Quat::exp(&Vec3::new(0.2, 0.1, 0.0)),
+            Vec3::new(0.0, 0.0, 3.0),
+        );
         let p = Vec3::new(0.5, 0.5, 0.5);
         let lhs = a.compose(&b).compose(&c).transform(&p);
         let rhs = a.compose(&b.compose(&c)).transform(&p);
@@ -500,7 +509,10 @@ mod tests {
 
     #[test]
     fn boxplus_zero_is_identity() {
-        let pose = Pose::new(Quat::exp(&Vec3::new(0.3, 0.2, 0.1)), Vec3::new(1.0, 2.0, 3.0));
+        let pose = Pose::new(
+            Quat::exp(&Vec3::new(0.3, 0.2, 0.1)),
+            Vec3::new(1.0, 2.0, 3.0),
+        );
         let same = pose.boxplus(&Vec3::ZERO, &Vec3::ZERO);
         assert!(pose.rot.angle_to(&same.rot) < 1e-12);
         assert!((pose.trans - same.trans).norm() < 1e-12);

@@ -317,8 +317,8 @@ fn shrink_window(window: &SlidingWindow, marg_landmarks: &[usize]) -> SlidingWin
 mod tests {
     use super::*;
     use crate::geometry::{Pose, Quat, Vec3};
-    use crate::window::{ImuConstraint, KeyframeState, Landmark, Observation};
     use crate::imu::{ImuSample, Preintegration};
+    use crate::window::{ImuConstraint, KeyframeState, Landmark, Observation};
 
     /// Three keyframes moving along +x, landmarks anchored at kf0 and kf1.
     fn build_window() -> SlidingWindow {
@@ -330,7 +330,11 @@ mod tests {
             ));
         }
         // Two landmarks anchored at kf0, one at kf1; all observed downstream.
-        let specs = [(0usize, 0.1, 0.05, 5.0), (0, -0.2, 0.1, 7.0), (1, 0.15, -0.1, 6.0)];
+        let specs = [
+            (0usize, 0.1, 0.05, 5.0),
+            (0, -0.2, 0.1, 7.0),
+            (1, 0.15, -0.1, 6.0),
+        ];
         for (idx, (anchor, x, y, d)) in specs.iter().enumerate() {
             let bearing = Vec3::new(*x, *y, 1.0);
             let p_w = w.keyframes[*anchor].pose.transform(&(bearing * *d));

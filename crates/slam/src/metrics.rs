@@ -35,12 +35,7 @@ pub fn rmse_translation(estimate: &[Pose], ground_truth: &[Pose]) -> f64 {
 /// (Fig. 11's left y-axis).
 ///
 /// Returns 0 when the ground truth barely moved (displacement < 1 mm).
-pub fn relative_error(
-    est_prev: &Pose,
-    est_cur: &Pose,
-    gt_prev: &Pose,
-    gt_cur: &Pose,
-) -> f64 {
+pub fn relative_error(est_prev: &Pose, est_cur: &Pose, gt_prev: &Pose, gt_cur: &Pose) -> f64 {
     let est_disp = est_cur.trans - est_prev.trans;
     let gt_disp = gt_cur.trans - gt_prev.trans;
     let gt_norm = gt_disp.norm();

@@ -151,7 +151,12 @@ impl Prior {
     /// Adds the prior's Gauss–Newton contribution to `(a, b)` and returns its
     /// cost. The prior occupies the keyframe block of the window ordering
     /// (columns `num_landmarks()..`).
-    pub fn add_to_normal_equations(&self, window: &SlidingWindow, a: &mut DMat, b: &mut DVec) -> f64 {
+    pub fn add_to_normal_equations(
+        &self,
+        window: &SlidingWindow,
+        a: &mut DMat,
+        b: &mut DVec,
+    ) -> f64 {
         self.add_to_sink(window, &mut crate::problem::DenseSink { a, b })
     }
 
@@ -211,7 +216,11 @@ mod tests {
     fn gradient_at_linearization_matches_rp() {
         let lin = states(1);
         let hp = spd_info(STATE_DIM);
-        let rp = DVec::from((0..STATE_DIM).map(|i| (i as f64) * 0.1 - 0.5).collect::<Vec<_>>());
+        let rp = DVec::from(
+            (0..STATE_DIM)
+                .map(|i| (i as f64) * 0.1 - 0.5)
+                .collect::<Vec<_>>(),
+        );
         let prior = Prior::from_information(&hp, &rp, lin.clone(), 0.0);
 
         let mut w = SlidingWindow::new();
@@ -222,7 +231,12 @@ mod tests {
         let mut b = DVec::zeros(dim);
         prior.add_to_normal_equations(&w, &mut a, &mut b);
         for i in 0..STATE_DIM {
-            assert!((b[i] - rp[i]).abs() < 1e-9, "b[{i}] = {} vs rp {}", b[i], rp[i]);
+            assert!(
+                (b[i] - rp[i]).abs() < 1e-9,
+                "b[{i}] = {} vs rp {}",
+                b[i],
+                rp[i]
+            );
         }
     }
 

@@ -200,7 +200,15 @@ pub fn build_normal_equations(
     let a_dim = window.state_dim();
     let mut a = DMat::zeros(a_dim, a_dim);
     let mut b = DVec::zeros(a_dim);
-    let (cost, used) = assemble(window, weights, prior, &mut DenseSink { a: &mut a, b: &mut b });
+    let (cost, used) = assemble(
+        window,
+        weights,
+        prior,
+        &mut DenseSink {
+            a: &mut a,
+            b: &mut b,
+        },
+    );
     NormalEquations {
         a,
         b,
@@ -468,7 +476,10 @@ mod tests {
         let mut w = SlidingWindow::new();
         let kf0 = KeyframeState::at_pose(Pose::IDENTITY, 0.0);
         let kf1 = KeyframeState::at_pose(
-            Pose::new(Quat::exp(&Vec3::new(0.0, 0.02, 0.0)), Vec3::new(0.5, 0.0, 0.0)),
+            Pose::new(
+                Quat::exp(&Vec3::new(0.0, 0.02, 0.0)),
+                Vec3::new(0.5, 0.0, 0.0),
+            ),
             0.1,
         );
         w.keyframes = vec![kf0, kf1];
@@ -567,7 +578,12 @@ mod tests {
         let ne_p = build_normal_equations(&w, &plain, None);
         let ne_r = build_normal_equations(&w, &robust, None);
         // The outlier dominates the quadratic cost; Huber bounds its pull.
-        assert!(ne_r.cost < ne_p.cost * 0.01, "{} vs {}", ne_r.cost, ne_p.cost);
+        assert!(
+            ne_r.cost < ne_p.cost * 0.01,
+            "{} vs {}",
+            ne_r.cost,
+            ne_p.cost
+        );
         assert!(ne_r.b.norm() < ne_p.b.norm());
         // Step-acceptance consistency: evaluate_cost applies the same
         // weighting as the assembler.

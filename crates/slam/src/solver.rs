@@ -241,6 +241,9 @@ pub struct SolverWorkspace {
     scratch: SchurScratch<f64>,
     delta: DVec,
     candidate: SlidingWindow,
+    /// Damped dense normal matrix of the custom-linear-solver path
+    /// ([`solve_with_in_workspace`]); unused by the block-sparse path.
+    dense_damped: archytas_math::DMat,
 }
 
 impl Default for SolverWorkspace {
@@ -257,6 +260,7 @@ impl SolverWorkspace {
             scratch: SchurScratch::default(),
             delta: DVec::zeros(0),
             candidate: SlidingWindow::new(),
+            dense_damped: archytas_math::DMat::zeros(0, 0),
         }
     }
 }
@@ -381,7 +385,28 @@ pub fn solve_in_workspace(
 
 /// Solves the sliding-window MAP problem with a caller-provided linear
 /// solver (see [`LinearSolver`]).
+///
+/// Allocates a transient [`SolverWorkspace`]; callers solving many windows
+/// (the VIO pipeline, the fleet serving layer) should hold a workspace and
+/// call [`solve_with_in_workspace`] to reuse its buffers.
 pub fn solve_with(
+    window: &mut SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+    config: &LmConfig,
+    linear_solver: LinearSolver<'_>,
+) -> SolveReport {
+    let mut ws = SolverWorkspace::new();
+    solve_with_in_workspace(&mut ws, window, weights, prior, config, linear_solver)
+}
+
+/// [`solve_with`] reusing `ws` for the damped normal matrix and the
+/// acceptance-test candidate window — the custom-linear-solver twin of
+/// [`solve_in_workspace`]. Bit-identical to [`solve_with`]: the buffers are
+/// fully overwritten (`clone_from`) before every use, so their previous
+/// contents never reach an arithmetic instruction.
+pub fn solve_with_in_workspace(
+    ws: &mut SolverWorkspace,
     window: &mut SlidingWindow,
     weights: &FactorWeights,
     prior: Option<&Prior>,
@@ -400,12 +425,13 @@ pub fn solve_with(
         outcome: SolveOutcome::Converged,
     };
     let mut tracker = OutcomeTracker::default();
-    // Reused across iterations and damping retries: `damped` is copied from
-    // `ne.a` once per linearization and only its diagonal is rewritten per
-    // retry (in-place damping with undo-by-rewrite, instead of a full-matrix
-    // clone per retry); `candidate` is the acceptance-test window buffer.
-    let mut damped = archytas_math::DMat::zeros(0, 0);
-    let mut candidate = SlidingWindow::new();
+    // Reused across iterations, damping retries and (through `ws`) whole
+    // windows: `damped` is copied from `ne.a` once per linearization and
+    // only its diagonal is rewritten per retry (in-place damping with
+    // undo-by-rewrite, instead of a full-matrix clone per retry);
+    // `candidate` is the acceptance-test window buffer.
+    let damped = &mut ws.dense_damped;
+    let candidate = &mut ws.candidate;
 
     for _ in 0..config.max_iterations {
         tracker.begin_iteration();
@@ -418,7 +444,7 @@ pub fn solve_with(
 
         let mut accepted = false;
         for _ in 0..=config.max_retries {
-            damp_in_place(&mut damped, &ne.a, lambda);
+            damp_in_place(damped, &ne.a, lambda);
             let Some(delta) = linear_solver(&damped, &ne.b, ne.num_landmarks) else {
                 tracker.solve_failed = true;
                 lambda *= config.lambda_up;
@@ -430,13 +456,13 @@ pub fn solve_with(
                 continue;
             }
             candidate.clone_from(window);
-            apply_increment(&mut candidate, &delta);
+            apply_increment(candidate, &delta);
             let new_cost = evaluate_cost(&candidate, weights, prior);
             if !new_cost.is_finite() {
                 tracker.non_finite = true;
             }
             if new_cost.is_finite() && new_cost < ne.cost {
-                std::mem::swap(window, &mut candidate);
+                std::mem::swap(window, candidate);
                 lambda = (lambda * config.lambda_down).max(1e-12);
                 report.last_step_norm = delta.norm();
                 report.step_norms.push(report.last_step_norm);
@@ -485,7 +511,11 @@ fn damp_in_place(out: &mut archytas_math::DMat, a: &archytas_math::DMat, lambda:
 /// The default linear solver: D-type Schur elimination when landmarks are
 /// present, dense Cholesky otherwise. Returns `None` when the system is not
 /// positive definite at this damping level.
-pub fn schur_linear_solver(a: &archytas_math::DMat, b: &DVec, num_landmarks: usize) -> Option<DVec> {
+pub fn schur_linear_solver(
+    a: &archytas_math::DMat,
+    b: &DVec,
+    num_landmarks: usize,
+) -> Option<DVec> {
     if num_landmarks == 0 {
         return Cholesky::factor(a).ok().map(|ch| ch.solve(b));
     }
@@ -510,7 +540,8 @@ mod tests {
                 Vec3::new(0.3 * i as f64, 0.02 * i as f64, 0.0),
             );
             gt_poses.push(pose);
-            w.keyframes.push(KeyframeState::at_pose(pose, i as f64 * 0.1));
+            w.keyframes
+                .push(KeyframeState::at_pose(pose, i as f64 * 0.1));
         }
         for l in 0..num_lm {
             let fx = (l as f64 / num_lm as f64 - 0.5) * 0.8;
@@ -556,8 +587,12 @@ mod tests {
             None,
             &LmConfig::default(),
         );
-        assert!(report.final_cost < report.initial_cost * 1e-4,
-            "cost {} -> {}", report.initial_cost, report.final_cost);
+        assert!(
+            report.final_cost < report.initial_cost * 1e-4,
+            "cost {} -> {}",
+            report.initial_cost,
+            report.final_cost
+        );
         // Monocular, visual-only BA recovers the trajectory only up to a
         // global scale (the IMU would pin it); compare after normalizing by
         // the scale implied by the second keyframe.
@@ -623,7 +658,12 @@ mod tests {
     #[test]
     fn outcome_converged_on_clean_window() {
         let (mut w, _) = make_window(3, 15);
-        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::default(),
+        );
         assert_eq!(report.outcome, SolveOutcome::Converged);
         assert!(!report.outcome.is_degraded());
     }
@@ -646,7 +686,12 @@ mod tests {
         for obs in &mut w.observations {
             obs.uv = [f64::NAN, f64::NAN];
         }
-        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::default(),
+        );
         assert_eq!(
             report.outcome,
             SolveOutcome::Degraded {
@@ -700,7 +745,12 @@ mod tests {
         for lm in &mut w.landmarks {
             lm.inv_depth *= 1.3;
         }
-        let report = solve(&mut w, &FactorWeights::default(), None, &LmConfig::default());
+        let report = solve(
+            &mut w,
+            &FactorWeights::default(),
+            None,
+            &LmConfig::default(),
+        );
         assert!(report.iterations >= 1);
         assert!(report.final_cost <= report.initial_cost);
         assert!(report.lambda > 0.0);

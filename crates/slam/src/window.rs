@@ -247,7 +247,9 @@ impl SlidingWindow {
     pub fn validate(&self) -> bool {
         let b = self.keyframes.len();
         let a = self.landmarks.len();
-        self.landmarks.iter().all(|l| l.anchor < b && l.inv_depth > 0.0)
+        self.landmarks
+            .iter()
+            .all(|l| l.anchor < b && l.inv_depth > 0.0)
             && self
                 .observations
                 .iter()
@@ -262,18 +264,15 @@ mod tests {
     use crate::geometry::Quat;
 
     fn kf(x: f64) -> KeyframeState {
-        KeyframeState::at_pose(
-            Pose::new(Quat::IDENTITY, Vec3::new(x, 0.0, 0.0)),
-            x,
-        )
+        KeyframeState::at_pose(Pose::new(Quat::IDENTITY, Vec3::new(x, 0.0, 0.0)), x)
     }
 
     #[test]
     fn boxplus_boxminus_roundtrip() {
         let a = kf(1.0);
         let delta = [
-            0.01, -0.02, 0.03, 0.5, -0.5, 0.2, 0.1, 0.0, -0.1, 0.001, 0.002, -0.001, 0.01,
-            -0.01, 0.0,
+            0.01, -0.02, 0.03, 0.5, -0.5, 0.2, 0.1, 0.0, -0.1, 0.001, 0.002, -0.001, 0.01, -0.01,
+            0.0,
         ];
         let b = a.boxplus(&delta);
         let back = b.boxminus(&a);
@@ -305,13 +304,35 @@ mod tests {
         let mut w = SlidingWindow::new();
         w.keyframes = vec![kf(0.0), kf(1.0), kf(2.0)];
         w.landmarks = vec![
-            Landmark { id: 0, anchor: 0, bearing: Vec3::new(0.0, 0.0, 1.0), inv_depth: 0.5 },
-            Landmark { id: 1, anchor: 1, bearing: Vec3::new(0.1, 0.0, 1.0), inv_depth: 0.2 },
+            Landmark {
+                id: 0,
+                anchor: 0,
+                bearing: Vec3::new(0.0, 0.0, 1.0),
+                inv_depth: 0.5,
+            },
+            Landmark {
+                id: 1,
+                anchor: 1,
+                bearing: Vec3::new(0.1, 0.0, 1.0),
+                inv_depth: 0.2,
+            },
         ];
         w.observations = vec![
-            Observation { landmark: 0, keyframe: 1, uv: [0.0, 0.0] },
-            Observation { landmark: 0, keyframe: 2, uv: [0.0, 0.0] },
-            Observation { landmark: 1, keyframe: 2, uv: [0.0, 0.0] },
+            Observation {
+                landmark: 0,
+                keyframe: 1,
+                uv: [0.0, 0.0],
+            },
+            Observation {
+                landmark: 0,
+                keyframe: 2,
+                uv: [0.0, 0.0],
+            },
+            Observation {
+                landmark: 1,
+                keyframe: 2,
+                uv: [0.0, 0.0],
+            },
         ];
         assert_eq!(w.num_keyframes(), 3);
         assert_eq!(w.num_landmarks(), 2);
@@ -325,7 +346,11 @@ mod tests {
     fn validate_catches_bad_indices() {
         let mut w = SlidingWindow::new();
         w.keyframes = vec![kf(0.0)];
-        w.observations = vec![Observation { landmark: 5, keyframe: 0, uv: [0.0, 0.0] }];
+        w.observations = vec![Observation {
+            landmark: 5,
+            keyframe: 0,
+            uv: [0.0, 0.0],
+        }];
         assert!(!w.validate());
     }
 }

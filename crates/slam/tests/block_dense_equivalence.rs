@@ -53,7 +53,8 @@ fn make_window(num_kf: usize, num_lm: usize, seed: u64) -> SlidingWindow {
             ),
         );
         poses.push(pose);
-        w.keyframes.push(KeyframeState::at_pose(pose, i as f64 * 0.1));
+        w.keyframes
+            .push(KeyframeState::at_pose(pose, i as f64 * 0.1));
     }
     for l in 0..num_lm {
         let anchor = l % (num_kf - 1);
@@ -292,8 +293,7 @@ fn workspace_reuse_across_window_shapes() {
         let template = make_window(num_kf, num_lm, seed);
 
         let mut dense_w = template.clone();
-        let dense_report =
-            solve_with(&mut dense_w, &weights, None, &config, &schur_linear_solver);
+        let dense_report = solve_with(&mut dense_w, &weights, None, &config, &schur_linear_solver);
 
         let mut block_w = template.clone();
         let block_report = solve_in_workspace(&mut ws, &mut block_w, &weights, None, &config);

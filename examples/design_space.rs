@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (fastest.latency_ms * 1.02, fastest.latency_ms * 4.0),
             8,
         );
-        println!("{:>12} {:>9} {:>15}", "latency(ms)", "power(W)", "(nd, nm, s)");
+        println!(
+            "{:>12} {:>9} {:>15}",
+            "latency(ms)", "power(W)", "(nd, nm, s)"
+        );
         for p in &frontier {
             println!(
                 "{:>12.2} {:>9.2} {:>15}",
@@ -67,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         design.config.nd,
         design.config.nm,
         design.config.s,
-        if verilog.structural_check().is_clean() { "clean" } else { "PROBLEMS" }
+        if verilog.structural_check().is_clean() {
+            "clean"
+        } else {
+            "PROBLEMS"
+        }
     );
     Ok(())
 }

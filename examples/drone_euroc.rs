@@ -2,6 +2,11 @@
 //! design, static vs dynamically optimized — the run-time system's
 //! clock-gating energy story (paper Sec. 6/7.6).
 //!
+//! Both runs solve every window through a reused `SolverWorkspace`, and
+//! the dynamic run feeds the estimator's health verdict to the runtime
+//! (`step_with_health`): its energy savings come with a safety interlock
+//! that pins full compute whenever the estimator reports trouble.
+//!
 //! Run: `cargo run --release --example drone_euroc`
 
 use archytas_core::{run_sequence, Executor, IterPolicy, RuntimeSystem};
@@ -55,6 +60,12 @@ fn main() {
         (1.0 - dynamic_run.total_energy_mj / static_run.total_energy_mj) * 100.0,
         (dynamic_run.rmse_m - static_run.rmse_m) * 100.0
     );
+    println!(
+        "safety interlock: {} degraded window(s), watchdog engaged on {} window(s) \
+         (clean flight: both zero, so every saving above came from healthy windows)",
+        dynamic_run.degraded_windows(),
+        dynamic_run.watchdog_windows()
+    );
 
     // Where the energy goes inside one window (per-block accounting from
     // the cycle-level simulator).
@@ -65,8 +76,11 @@ fn main() {
         &PowerModel::for_platform(&platform),
         platform.clock_mhz,
     );
-    println!("
-per-block energy of one full window ({:.2} ms):", breakdown.window_ms);
+    println!(
+        "
+per-block energy of one full window ({:.2} ms):",
+        breakdown.window_ms
+    );
     for (block, active, idle) in &breakdown.per_block {
         println!("  {block:<18?} active {active:.3} mJ, idle {idle:.3} mJ");
     }

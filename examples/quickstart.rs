@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "emitted Verilog: {} files, {} bytes, structural check: {}",
         accelerator.verilog.files.len(),
         accelerator.verilog.total_bytes(),
-        if check.is_clean() { "clean" } else { "PROBLEMS" }
+        if check.is_clean() {
+            "clean"
+        } else {
+            "PROBLEMS"
+        }
     );
     let elab = accelerator.elaborate();
     println!(

@@ -21,6 +21,11 @@ THREAD_COUNTS=(1 4)
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
+# Formatting gate: the whole workspace must be rustfmt-clean before any
+# benchmark time is spent.
+echo "checking formatting (cargo fmt --check)..." >&2
+cargo fmt --check
+
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
 
@@ -100,3 +105,8 @@ PY
 # Fault-matrix robustness smoke rides along (writes BENCH_faults.json and
 # enforces the 3x-nominal RMSE and pool-size determinism gates).
 scripts/fault_smoke.sh
+
+# Fleet serving smoke (writes BENCH_fleet.json and enforces the 1-vs-4
+# worker determinism gate plus, on >=4-CPU machines, the 2x throughput
+# scaling gate).
+scripts/fleet_smoke.sh

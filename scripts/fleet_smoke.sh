@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Fleet serving smoke: runs the standard 8-vehicle batch (crates/fleet,
+# `fleet` binary) on a 1-worker and a 4-worker pool and collects the
+# emitted lines into BENCH_fleet.json (fleet throughput, pooled p50/p95/p99
+# frame latency, shared-cache and scheduler counters).
+#
+# Gates (non-zero exit on violation):
+#   - determinism: the per-session FLEETDET lines (estimate digests,
+#     iteration schedules, modelled-cost bit patterns) must be byte-
+#     identical between the 1-thread and 4-thread runs. The bitwise
+#     session-vs-alone version lives in crates/fleet/tests/determinism.rs;
+#     this catches schedule-dependent divergence cheaply in CI.
+#   - throughput: the 8-session batch on 4 workers must reach at least
+#     MIN_SPEEDUP (default 2.0) x the serial 1-worker throughput. The gate
+#     needs real hardware parallelism, so it is SKIPPED (loudly) when the
+#     machine exposes fewer than 4 CPUs — a 1-core container cannot run 4
+#     workers faster than 1 no matter how good the scheduler is.
+#
+# Usage: scripts/fleet_smoke.sh [output.json] [seconds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_fleet.json}"
+RUN_SECONDS="${2:-4.0}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+THREAD_COUNTS=(1 4)
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "building fleet bench (release)..." >&2
+cargo build -q --release -p archytas-bench --bin fleet
+
+for threads in "${THREAD_COUNTS[@]}"; do
+    echo "serving fleet (8 sessions, ${RUN_SECONDS}s, $threads worker(s))..." >&2
+    ./target/release/fleet --threads "$threads" --seconds "$RUN_SECONDS" \
+        > "$TMP_DIR/fleet_$threads.txt"
+    sed -n 's/^FLEETDET //p' "$TMP_DIR/fleet_$threads.txt" > "$TMP_DIR/det_$threads.txt"
+    sed -n 's/^FLEETJSON //p' "$TMP_DIR/fleet_$threads.txt" > "$TMP_DIR/sum_$threads.txt"
+done
+
+if ! diff -q "$TMP_DIR/det_1.txt" "$TMP_DIR/det_4.txt" >/dev/null; then
+    echo "fleet determinism gate FAILED: 1-worker and 4-worker session reports differ" >&2
+    diff "$TMP_DIR/det_1.txt" "$TMP_DIR/det_4.txt" >&2 || true
+    exit 1
+fi
+echo "fleet determinism gate passed (1-worker == 4-worker, per-session bits)" >&2
+
+# Assemble a single JSON document: the per-session deterministic records
+# plus one wall-clock summary per pool size.
+{
+    echo "{\"schema\":\"archytas-fleet-smoke-v1\",\"seconds\":$RUN_SECONDS,\"sessions\":["
+    paste -sd, - < "$TMP_DIR/det_1.txt"
+    echo '],"runs":['
+    cat "$TMP_DIR/sum_1.txt" "$TMP_DIR/sum_4.txt" | paste -sd, -
+    echo ']}'
+} > "$OUT"
+echo "wrote $OUT ($(wc -l < "$TMP_DIR/det_1.txt") sessions, ${#THREAD_COUNTS[@]} pool sizes)" >&2
+
+# Throughput scaling gate.
+CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+python3 - "$OUT" "$MIN_SPEEDUP" "$CPUS" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+min_speedup = float(sys.argv[2])
+cpus = int(sys.argv[3])
+runs = {r["threads"]: r for r in doc["runs"]}
+serial, pooled = runs[1], runs[4]
+speedup = pooled["throughput_fps"] / serial["throughput_fps"]
+print(f"  fleet throughput: 1 worker {serial['throughput_fps']:.1f} fps, "
+      f"4 workers {pooled['throughput_fps']:.1f} fps "
+      f"(speedup {speedup:.2f}x, {cpus} CPU(s))", file=sys.stderr)
+
+if cpus < 4:
+    print(f"fleet throughput gate SKIPPED: need >=4 CPUs for the "
+          f">={min_speedup:.1f}x gate, machine has {cpus} "
+          f"(determinism gate above still enforced)", file=sys.stderr)
+    sys.exit(0)
+
+if speedup < min_speedup:
+    print(f"fleet throughput gate FAILED: 4-worker speedup {speedup:.2f}x "
+          f"< required {min_speedup:.1f}x", file=sys.stderr)
+    sys.exit(1)
+print(f"fleet throughput gate passed ({speedup:.2f}x >= {min_speedup:.1f}x)",
+      file=sys.stderr)
+PY

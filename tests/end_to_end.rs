@@ -4,8 +4,8 @@
 
 use archytas_baselines::CpuPlatform;
 use archytas_core::{
-    run_sequence, AlgorithmDescription, Archytas, DesignSpec, Executor, IterPolicy,
-    RuntimeSystem, ITER_CAP,
+    run_sequence, AlgorithmDescription, Archytas, DesignSpec, Executor, IterPolicy, RuntimeSystem,
+    ITER_CAP,
 };
 use archytas_dataset::{euroc_sequences, kitti_sequences};
 use archytas_hw::{AcceleratorModel, FpgaPlatform, HIGH_PERF};
@@ -15,8 +15,8 @@ use archytas_mdfg::ProblemShape;
 fn generate_then_drive_kitti() {
     // Generate an accelerator for the SLAM description.
     let spec = DesignSpec::zc706_power_optimal(4.0);
-    let acc = Archytas::generate(&AlgorithmDescription::slam_typical(), &spec)
-        .expect("feasible design");
+    let acc =
+        Archytas::generate(&AlgorithmDescription::slam_typical(), &spec).expect("feasible design");
     assert!(acc.verilog.structural_check().is_clean());
 
     // Drive a short KITTI-like sequence through it.

@@ -8,9 +8,7 @@ use archytas_hw::{
     window_cycles, AcceleratorConfig, AcceleratorModel, FpgaPlatform, ResourceModel, HIGH_PERF,
     LOW_POWER,
 };
-use archytas_mdfg::{
-    optimal_nls_blocking, saving_vs_dense, LayoutScheme, ProblemShape,
-};
+use archytas_mdfg::{optimal_nls_blocking, saving_vs_dense, LayoutScheme, ProblemShape};
 
 #[test]
 fn design_space_is_90000_points() {
@@ -97,7 +95,11 @@ fn virtex_outruns_zc706_outruns_kintex() {
             platform: platform.clone(),
             objective: archytas_core::Objective::MinLatency,
         };
-        latencies.push(archytas_core::synthesize(&spec).expect("feasible").latency_ms);
+        latencies.push(
+            archytas_core::synthesize(&spec)
+                .expect("feasible")
+                .latency_ms,
+        );
     }
     assert!(latencies[0] > latencies[1], "Kintex slower than ZC706");
     assert!(latencies[1] > latencies[2], "ZC706 slower than Virtex");

@@ -14,7 +14,10 @@ fn paper_profiling_ratios_hold() {
     // typically 10× more than that of feature points" (within a window the
     // observation count is No ≈ 3–10 per feature; the 10× figure describes
     // dense stretches). Check the generated suites sit in those regimes.
-    for spec in [kitti_sequences()[1].truncated(6.0), euroc_sequences()[0].truncated(6.0)] {
+    for spec in [
+        kitti_sequences()[1].truncated(6.0),
+        euroc_sequences()[0].truncated(6.0),
+    ] {
         let data = spec.build();
         let workloads = data.window_workloads(10);
         let mean_features: f64 =

@@ -214,7 +214,10 @@ mod tests {
         let mut a = SmallRng::seed_from_u64(42);
         let mut b = SmallRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.gen_range(0.0..1.0f64).to_bits(), b.gen_range(0.0..1.0f64).to_bits());
+            assert_eq!(
+                a.gen_range(0.0..1.0f64).to_bits(),
+                b.gen_range(0.0..1.0f64).to_bits()
+            );
         }
     }
 
