@@ -4,7 +4,7 @@
 
 use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
 use archytas_math::{BlockSparseSystem, SchurScratch};
-use archytas_par::Pool;
+use archytas_par::{counters, Pool};
 use archytas_slam::{
     build_block_normal_equations, build_normal_equations, schur_linear_solver, solve,
     solve_in_workspace, FactorWeights, LmConfig, SlidingWindow, SolverWorkspace,
@@ -69,6 +69,13 @@ fn bench_solver(c: &mut Criterion) {
         })
     });
 
+    // Per-phase attribution of the full LM windows below: the counters are
+    // live for exactly the two end-to-end benches, and their totals are
+    // printed as a PERFJSON line that bench_smoke.sh folds into
+    // BENCH_solver.json.
+    counters::reset();
+    counters::enable();
+
     group.bench_function("lm_full_window_6_iterations", |b| {
         b.iter(|| {
             let mut w = window.clone();
@@ -94,6 +101,8 @@ fn bench_solver(c: &mut Criterion) {
     });
 
     group.finish();
+    counters::disable();
+    println!("PERFJSON {}", counters::perfjson());
 }
 
 criterion_group!(benches, bench_solver);

@@ -10,18 +10,35 @@
 
 use archytas_math::{BlockSpec, Cholesky, DMat, DVec, FMat, FVec, SchurSystem};
 use archytas_slam::{solve_with, FactorWeights, LmConfig, Prior, SlidingWindow, SolveReport};
+use std::cell::RefCell;
+
+thread_local! {
+    // Reused f64→f32 staging buffers: the LM loop calls the linear solver
+    // once per damping retry, and the (q+p)² matrix cast dominated its
+    // allocation traffic. The `LinearSolver` signature is a plain fn, so the
+    // reuse lives in thread-local storage rather than a workspace argument.
+    static F32_STAGE: RefCell<(FMat, FVec)> =
+        RefCell::new((FMat::zeros(0, 0), FVec::zeros(0)));
+}
 
 /// Solves the damped normal equations in the accelerator's single-precision
 /// datapath. Returns `None` when the f32 factorization fails (the LM loop
 /// raises λ, exactly as on the FPGA).
 pub fn f32_linear_solver(a: &DMat, b: &DVec, num_landmarks: usize) -> Option<DVec> {
-    let a32: FMat = a.cast();
-    let b32: FVec = b.cast();
+    F32_STAGE.with(|stage| {
+        let (a32, b32) = &mut *stage.borrow_mut();
+        a.cast_into(a32);
+        b.cast_into(b32);
+        f32_solve_staged(a32, b32, num_landmarks)
+    })
+}
+
+fn f32_solve_staged(a32: &FMat, b32: &FVec, num_landmarks: usize) -> Option<DVec> {
     let x32 = if num_landmarks == 0 {
-        Cholesky::factor(&a32).ok()?.solve(&b32)
+        Cholesky::factor(a32).ok()?.solve(b32)
     } else {
         let spec = BlockSpec::new(num_landmarks, a32.rows()).ok()?;
-        let sys = SchurSystem::new(&a32, &b32, spec).ok()?;
+        let sys = SchurSystem::new(a32, b32, spec).ok()?;
         sys.solve().ok()?
     };
     if !x32.all_finite() {

@@ -40,9 +40,11 @@
 
 use crate::cholesky::Cholesky;
 use crate::error::{MathError, Result};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::vector::Vector;
+use archytas_par::counters::{self, Phase};
 use archytas_par::Pool;
 
 /// Normal equations `[U Wᵀ; W V]·δp = [bx; by]` in block-sparse form.
@@ -203,12 +205,43 @@ impl<T: Scalar> BlockSparseSystem<T> {
     /// terms, hence never `-0.0`, and adding `±0.0` to anything that is not
     /// `-0.0` leaves its bit pattern alone.
     pub fn add_v_row(&mut self, r: usize, c0: usize, vals: &[T], scale: T) {
-        let row = &mut self.v.row_mut(r)[c0..c0 + vals.len()];
-        for (slot, &v) in row.iter_mut().zip(vals) {
-            if v != T::ZERO {
-                *slot += scale * v;
-            }
-        }
+        kernels::add_scaled_skip(&mut self.v.row_mut(r)[c0..c0 + vals.len()], vals, scale);
+    }
+
+    /// Fused pair form of [`BlockSparseSystem::add_v_row`]: applies
+    /// `scale0·vals0` then `scale1·vals1` at the same `(r, c0)` run in one
+    /// traversal. Per cell the contribution order matches two sequential
+    /// `add_v_row` calls bit for bit (see [`kernels::add_scaled_skip2`]).
+    pub fn add_v_row2(
+        &mut self,
+        r: usize,
+        c0: usize,
+        vals0: &[T],
+        scale0: T,
+        vals1: &[T],
+        scale1: T,
+    ) {
+        debug_assert_eq!(vals0.len(), vals1.len());
+        kernels::add_scaled_skip2(
+            &mut self.v.row_mut(r)[c0..c0 + vals0.len()],
+            vals0,
+            scale0,
+            vals1,
+            scale1,
+        );
+    }
+
+    /// Fused many-row form of [`BlockSparseSystem::add_v_row`]: applies every
+    /// `(vals, scale)` source, in slice order, at the same `(r, c0)` run in
+    /// one traversal — bit-identical to the equivalent sequence of
+    /// `add_v_row` calls (see [`kernels::add_scaled_skip_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the sources do not all share `len`.
+    pub fn add_v_row_fused(&mut self, r: usize, c0: usize, len: usize, rows: &[(&[T], T)]) {
+        debug_assert!(rows.iter().all(|(v, _)| v.len() >= len));
+        kernels::add_scaled_skip_rows(&mut self.v.row_mut(r)[c0..c0 + len], rows);
     }
 
     /// Copies `V`'s strict upper triangle onto its lower one.
@@ -258,12 +291,42 @@ impl<T: Scalar> BlockSparseSystem<T> {
         );
         let pos = self.w_block_pos(lm, b0);
         let at = pos * self.kb + local;
-        let slots = &mut self.w_vals[lm][at..at + vals.len()];
-        for (slot, &v) in slots.iter_mut().zip(vals) {
-            if v != T::ZERO {
-                *slot += scale * v;
-            }
+        kernels::add_scaled_skip(&mut self.w_vals[lm][at..at + vals.len()], vals, scale);
+    }
+
+    /// Fused pair form of [`BlockSparseSystem::add_w_run`]: one block lookup
+    /// and one traversal for two scaled source rows at the same `(lm, r0)`
+    /// run, bit-identical to two sequential `add_w_run` calls.
+    pub fn add_w_run2(
+        &mut self,
+        lm: usize,
+        r0: usize,
+        vals0: &[T],
+        scale0: T,
+        vals1: &[T],
+        scale1: T,
+    ) {
+        debug_assert_eq!(vals0.len(), vals1.len());
+        if vals0.is_empty() {
+            return;
         }
+        let b0 = r0 - r0 % self.stride;
+        let local = r0 - b0;
+        debug_assert!(
+            local + vals0.len() <= self.kb,
+            "w run {r0}..{} leaves the {}-high block starting at {b0}",
+            r0 + vals0.len(),
+            self.kb
+        );
+        let pos = self.w_block_pos(lm, b0);
+        let at = pos * self.kb + local;
+        kernels::add_scaled_skip2(
+            &mut self.w_vals[lm][at..at + vals0.len()],
+            vals0,
+            scale0,
+            vals1,
+            scale1,
+        );
     }
 
     /// Subtracts `val` from the landmark right-hand side `bx[j]` (the scatter
@@ -369,6 +432,60 @@ impl<T: Scalar> BlockSparseSystem<T> {
         out: &mut Vector<T>,
     ) -> Result<()> {
         let (p, q, kb) = (self.p, self.q, self.kb);
+        counters::time(Phase::SchurProduct, || self.schur_reduce(scratch, pool))?;
+        counters::time(Phase::Factorization, || {
+            scratch.chol.refactor_with(&scratch.schur, pool)
+        })?;
+        counters::time(Phase::BackSubstitution, || {
+            let SchurScratch {
+                chol,
+                rhs,
+                ytmp,
+                dy,
+                uinv,
+                ..
+            } = scratch;
+            chol.solve_into(rhs, ytmp, dy);
+            let dy = &*dy;
+            // Back-substitute: U·δpx = bx − Wᵀ·δpy, then concatenate.
+            out.resize_fill(p + q, T::ZERO);
+            let o = out.as_mut_slice();
+            for lm in 0..p {
+                let mut acc = T::ZERO;
+                let vals = &self.w_vals[lm];
+                for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
+                    for t in 0..kb {
+                        let vi = dy[r0 as usize + t];
+                        // transpose_mat_vec's zero-row skip.
+                        if vi == T::ZERO {
+                            continue;
+                        }
+                        acc += vals[bi * kb + t] * vi;
+                    }
+                }
+                o[lm] = uinv[lm] * (self.bx[lm] - acc);
+            }
+            o[p..].copy_from_slice(dy.as_slice());
+        });
+        Ok(())
+    }
+
+    /// The Schur-reduction half of [`BlockSparseSystem::solve_into`]: fills
+    /// `scratch` with `U⁻¹`, the reduced system `S = V − W·U⁻¹·Wᵀ` and its
+    /// right-hand side.
+    ///
+    /// Two equivalent elimination kernels share this function. The serial
+    /// one sweeps landmark-major — for each landmark, one rank-1 update of
+    /// the block pattern with fused `kb`-wide row writes — and needs no
+    /// auxiliary index at all. The row-parallel one (taken when the
+    /// FLOP-weighted gate fires) partitions `prod` by pose row and gathers
+    /// through a flat CSR transpose index built on demand. Per output cell
+    /// both orders are the same: contributions arrive in ascending landmark
+    /// order — the dense kernel's `i-k-j` order restricted to the nonzero
+    /// pattern — with identical operands, so the two kernels (and the dense
+    /// path) agree bit for bit.
+    fn schur_reduce(&self, scratch: &mut SchurScratch<T>, pool: &Pool) -> Result<()> {
+        let (p, q, kb) = (self.p, self.q, self.kb);
         // U⁻¹, with DiagMat::inverse's exact singularity test.
         scratch.uinv.clear();
         for (i, &d) in self.u[..p].iter().enumerate() {
@@ -377,37 +494,42 @@ impl<T: Scalar> BlockSparseSystem<T> {
             }
             scratch.uinv.push(T::ONE / d);
         }
-        // Transpose index: landmarks (ascending) intersecting each pose row,
-        // with the offset of their W value for that row. Rebuilt per solve —
-        // O(nnz), negligible next to the O(q²·p̂) elimination below.
-        if scratch.row_lms.len() < q {
-            scratch.row_lms.resize_with(q, Vec::new);
-        }
-        for row in scratch.row_lms.iter_mut().take(q) {
-            row.clear();
-        }
+        // Exact multiply-accumulate count of the elimination — landmark `lm`
+        // contributes (nnz_lm·kb)² — which the dispatch decision weighs.
         let mut mac_ops = 0usize;
         for lm in 0..p {
             let nnz = self.w_rows[lm].len() * kb;
-            for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
-                for t in 0..kb {
-                    scratch.row_lms[r0 as usize + t].push((lm as u32, (bi * kb + t) as u32));
-                    mac_ops += nnz;
-                }
-            }
+            mac_ops += nnz * nnz;
         }
-        // S = V − W·U⁻¹·Wᵀ. Each output row accumulates over its landmarks in
-        // ascending order — the dense kernel's i-k-j order restricted to the
-        // nonzero pattern — and rows are independent, so the prod buffer is
-        // row-parallel. `mac_ops` is the exact multiply-accumulate count.
+        // Reduced RHS scaling: s2 = U⁻¹·bx.
+        scratch.s2.clear();
+        scratch
+            .s2
+            .extend(scratch.uinv.iter().zip(&self.bx).map(|(&ui, &b)| ui * b));
+
         scratch.prod.reset_zeros(q, q);
-        {
-            let uinv = &scratch.uinv;
-            let row_lms = &scratch.row_lms;
+        scratch.rhs.resize_fill(q, T::ZERO);
+        if pool.should_parallelize_work(q * q, mac_ops) {
+            // Row-parallel path: the same gate par_chunks_mut_weighted
+            // applies to the prod buffer below, pre-checked here so the
+            // transpose index is only built when it will actually be used.
+            self.build_row_index(scratch);
+            let SchurScratch {
+                uinv,
+                s2,
+                row_ptr,
+                row_ent,
+                prod,
+                rhs,
+                ..
+            } = scratch;
+            let uinv: &[T] = uinv;
+            let row_ptr: &[u32] = row_ptr;
+            let row_ent: &[(u32, u32)] = row_ent;
             let w_rows = &self.w_rows;
             let w_vals = &self.w_vals;
-            pool.par_chunks_mut_weighted(scratch.prod.as_mut_slice(), q, mac_ops, |r, prow| {
-                for &(lm, off) in &row_lms[r] {
+            pool.par_chunks_mut_weighted(prod.as_mut_slice(), q, mac_ops, |r, prow| {
+                for &(lm, off) in &row_ent[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
                     let lm = lm as usize;
                     // Same operand order as the dense path: (w·u⁻¹) first,
                     // and the same skip as try_mul's zero-multiplicand test.
@@ -418,12 +540,86 @@ impl<T: Scalar> BlockSparseSystem<T> {
                     let vals = &w_vals[lm];
                     for (bi, &c0) in w_rows[lm].iter().enumerate() {
                         let c0 = c0 as usize;
-                        for (t, &wv) in vals[bi * kb..(bi + 1) * kb].iter().enumerate() {
-                            prow[c0 + t] += s * wv;
-                        }
+                        kernels::add_scaled(
+                            &mut prow[c0..c0 + kb],
+                            &vals[bi * kb..(bi + 1) * kb],
+                            s,
+                        );
                     }
                 }
             });
+            // Reduced RHS: by − W·s2, row-major through the same index.
+            let rhs = rhs.as_mut_slice();
+            for r in 0..q {
+                let mut acc = T::ZERO;
+                for &(lm, off) in &row_ent[row_ptr[r] as usize..row_ptr[r + 1] as usize] {
+                    acc += w_vals[lm as usize][off as usize] * s2[lm as usize];
+                }
+                rhs[r] = self.by[r] - acc;
+            }
+        } else {
+            // Landmark-major blocked SYRK. `s` is computed once per W row
+            // instead of once per (pose row, landmark) gather, and every
+            // inner write is a fused kb-wide row run.
+            let prod = &mut scratch.prod;
+            for lm in 0..p {
+                let rows = &self.w_rows[lm];
+                let vals = &self.w_vals[lm];
+                let ui = scratch.uinv[lm];
+                for (bi, &r0) in rows.iter().enumerate() {
+                    let r0 = r0 as usize;
+                    for t in 0..kb {
+                        // Same operand order as the dense path: (w·u⁻¹)
+                        // first, and the same skip as try_mul's
+                        // zero-multiplicand test.
+                        let s = vals[bi * kb + t] * ui;
+                        if s == T::ZERO {
+                            continue;
+                        }
+                        let prow = prod.row_mut(r0 + t);
+                        if kb == 6 {
+                            // The sliding window's block height, unrolled.
+                            for (bj, &c0) in rows.iter().enumerate() {
+                                kernels::add_scaled_fixed::<T, 6>(
+                                    &mut prow[c0 as usize..],
+                                    &vals[bj * 6..],
+                                    s,
+                                );
+                            }
+                        } else {
+                            for (bj, &c0) in rows.iter().enumerate() {
+                                let c0 = c0 as usize;
+                                kernels::add_scaled(
+                                    &mut prow[c0..c0 + kb],
+                                    &vals[bj * kb..(bj + 1) * kb],
+                                    s,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            // Reduced RHS by the same landmark-major sweep: racc[r] gathers
+            // its terms in ascending-lm order — exactly the order the
+            // row-major loop above adds them into its scalar accumulator —
+            // and the single closing subtraction lands on by, so the bits
+            // match the indexed path.
+            scratch.racc.clear();
+            scratch.racc.resize(q, T::ZERO);
+            for lm in 0..p {
+                let s2 = scratch.s2[lm];
+                let vals = &self.w_vals[lm];
+                for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
+                    let r0 = r0 as usize;
+                    for t in 0..kb {
+                        scratch.racc[r0 + t] += vals[bi * kb + t] * s2;
+                    }
+                }
+            }
+            let rhs = scratch.rhs.as_mut_slice();
+            for ((rh, &b), &acc) in rhs.iter_mut().zip(&self.by).zip(&scratch.racc) {
+                *rh = b - acc;
+            }
         }
         scratch.schur.reset_zeros(q, q);
         for ((s, &vv), &pp) in scratch
@@ -435,45 +631,42 @@ impl<T: Scalar> BlockSparseSystem<T> {
         {
             *s = vv - pp;
         }
-        // Reduced RHS: by − W·(U⁻¹·bx).
-        scratch.s2.clear();
-        scratch
-            .s2
-            .extend(scratch.uinv.iter().zip(&self.bx).map(|(&ui, &b)| ui * b));
-        scratch.rhs.resize_fill(q, T::ZERO);
-        {
-            let rhs = scratch.rhs.as_mut_slice();
-            for (r, row) in scratch.row_lms[..q].iter().enumerate() {
-                let mut acc = T::ZERO;
-                for &(lm, off) in row {
-                    let lm = lm as usize;
-                    acc += self.w_vals[lm][off as usize] * scratch.s2[lm];
+        Ok(())
+    }
+
+    /// Builds the flat (CSR) transpose index of the `W` pattern into
+    /// `scratch`: for each pose row, the landmarks whose blocks cover it —
+    /// in ascending order — with the offset of their value for that row.
+    /// Counting sort over the block lists: O(nnz), no per-row vectors.
+    fn build_row_index(&self, scratch: &mut SchurScratch<T>) {
+        let (p, q, kb) = (self.p, self.q, self.kb);
+        let cur = &mut scratch.row_cur;
+        cur.clear();
+        cur.resize(q + 1, 0u32);
+        for lm in 0..p {
+            for &r0 in &self.w_rows[lm] {
+                for t in 0..kb {
+                    cur[r0 as usize + t + 1] += 1;
                 }
-                rhs[r] = self.by[r] - acc;
             }
         }
-        scratch.chol.refactor_with(&scratch.schur, pool)?;
-        let dy = scratch.chol.solve(&scratch.rhs);
-        // Back-substitute: U·δpx = bx − Wᵀ·δpy, then concatenate.
-        out.resize_fill(p + q, T::ZERO);
-        let o = out.as_mut_slice();
+        for r in 0..q {
+            cur[r + 1] += cur[r];
+        }
+        scratch.row_ptr.clear();
+        scratch.row_ptr.extend_from_slice(cur);
+        let total = cur[q] as usize;
+        scratch.row_ent.clear();
+        scratch.row_ent.resize(total, (0, 0));
         for lm in 0..p {
-            let mut acc = T::ZERO;
-            let vals = &self.w_vals[lm];
             for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
                 for t in 0..kb {
-                    let vi = dy[r0 as usize + t];
-                    // transpose_mat_vec's zero-row skip.
-                    if vi == T::ZERO {
-                        continue;
-                    }
-                    acc += vals[bi * kb + t] * vi;
+                    let r = r0 as usize + t;
+                    scratch.row_ent[cur[r] as usize] = (lm as u32, (bi * kb + t) as u32);
+                    cur[r] += 1;
                 }
             }
-            o[lm] = scratch.uinv[lm] * (self.bx[lm] - acc);
         }
-        o[p..].copy_from_slice(dy.as_slice());
-        Ok(())
     }
 
     /// Materializes the dense `(A, b)` this system represents (symmetric,
@@ -517,11 +710,22 @@ impl<T: Scalar> BlockSparseSystem<T> {
 pub struct SchurScratch<T: Scalar> {
     uinv: Vec<T>,
     s2: Vec<T>,
-    row_lms: Vec<Vec<(u32, u32)>>,
+    /// RHS gather buffer of the landmark-major (serial) elimination kernel.
+    racc: Vec<T>,
+    /// Flat (CSR) transpose index of the `W` pattern — row pointers, fill
+    /// cursors and `(landmark, value-offset)` entries — built only when the
+    /// row-parallel elimination path runs.
+    row_ptr: Vec<u32>,
+    row_cur: Vec<u32>,
+    row_ent: Vec<(u32, u32)>,
     prod: Matrix<T>,
     schur: Matrix<T>,
     rhs: Vector<T>,
     chol: Cholesky<T>,
+    /// Forward-substitution intermediate and pose solution of the reduced
+    /// system — reused so the triangular solves never allocate.
+    ytmp: Vector<T>,
+    dy: Vector<T>,
 }
 
 impl<T: Scalar> Default for SchurScratch<T> {
@@ -529,11 +733,16 @@ impl<T: Scalar> Default for SchurScratch<T> {
         Self {
             uinv: Vec::new(),
             s2: Vec::new(),
-            row_lms: Vec::new(),
+            racc: Vec::new(),
+            row_ptr: Vec::new(),
+            row_cur: Vec::new(),
+            row_ent: Vec::new(),
             prod: Matrix::zeros(0, 0),
             schur: Matrix::zeros(0, 0),
             rhs: Vector::zeros(0),
             chol: Cholesky::default(),
+            ytmp: Vector::zeros(0),
+            dy: Vector::zeros(0),
         }
     }
 }

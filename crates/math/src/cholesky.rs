@@ -8,11 +8,19 @@
 //! model cannot drift apart.
 
 use crate::error::{MathError, Result};
+use crate::kernels;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
 use crate::triangular::{solve_lower, solve_upper};
 use crate::vector::Vector;
 use archytas_par::Pool;
+
+/// Column-panel width of the blocked trailing update in
+/// [`Cholesky::refactor_with`]. Four columns per sweep lets the update kernel
+/// apply a rank-4 modification per trailing-row traversal — a 4× reduction in
+/// trailing-matrix memory traffic — while [`kernels::sub_scaled4`] keeps the
+/// per-element subtraction sequence of the unblocked loop.
+const PANEL: usize = 4;
 
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -135,48 +143,94 @@ impl<T: Scalar> Cholesky<T> {
             iterations: n,
             ..Default::default()
         };
-        for k in 0..n {
-            // --- Evaluate phase: column k of L ---
-            let pivot = work.get(k, k);
-            if pivot <= T::ZERO || !pivot.is_finite() {
-                return Err(MathError::NotPositiveDefinite { pivot: k });
-            }
-            let d = pivot.sqrt();
-            counts.evaluate_ops += n - k;
-            {
-                let wrow = work.row(k);
-                let col = self.lt.row_mut(k);
-                col[k] = d;
-                for i in (k + 1)..n {
-                    col[i] = wrow[i] / d;
+        // The factorization proceeds in column panels of width PANEL: each
+        // panel is evaluated column by column (applying the panel's earlier
+        // columns to each pivot row as it is reached), then the whole panel
+        // is applied to the trailing rows in one fused rank-PANEL sweep.
+        //
+        // Bit-identity with the unblocked column-at-a-time loop: every
+        // trailing element (i, j) receives its multiply-subtracts in the same
+        // ascending-k order — columns before the panel via earlier trailing
+        // sweeps, panel columns in sequence inside `sub_scaled4` / the
+        // remainder loop — each as a separately-rounded `w − l_ki·l_kj` with
+        // the exact operands of the serial formulation. The blocking only
+        // changes *when* a subtraction happens, never its inputs or its
+        // position in the element's subtraction sequence, so the factor is
+        // identical bit for bit (and so is the parallel row distribution, as
+        // before).
+        let mut k0 = 0;
+        while k0 < n {
+            let kend = (k0 + PANEL).min(n);
+            for k in k0..kend {
+                // Bring row k of the trailing block up to date with the
+                // panel columns evaluated before it (ascending, as always).
+                for kk in k0..k {
+                    let ljk = self.lt.get(kk, k);
+                    let lrow = self.lt.row(kk);
+                    kernels::sub_scaled(&mut work.row_mut(k)[k..], &lrow[k..], ljk);
                 }
-            }
-            // --- Update phase: S_{k+1} = S_k − l_k·l_kᵀ on the trailing block ---
-            // Transposed row j of the trailing block only reads column k of L
-            // (fully written above) and writes elements (i, j) for i ≥ j, so
-            // rows update in parallel; chunks of one row keep the borrow
-            // regions disjoint. Each element receives exactly the one
-            // multiply-subtract of the textbook serial loop, with the same
-            // operands, so the factor is bit-identical to it. The phase
-            // performs (n−k−1)(n−k)/2 such operations in total — which is
-            // what the weighted dispatch gates on: small trailing blocks
-            // (every iteration of a window-sized Schur complement) never pay
-            // a fork/join.
-            let update_ops = (n - 1 - k) * (n - k) / 2;
-            let lcol = &*self.lt.row(k);
-            pool.par_chunks_mut_weighted(
-                &mut work.as_mut_slice()[(k + 1) * n..],
-                n,
-                update_ops,
-                |c, wr| {
-                    let j = k + 1 + c;
-                    let ljk = lcol[j];
-                    for (w, &li) in wr[j..].iter_mut().zip(&lcol[j..]) {
-                        *w = *w - li * ljk;
+                // --- Evaluate phase: column k of L ---
+                let pivot = work.get(k, k);
+                if pivot <= T::ZERO || !pivot.is_finite() {
+                    return Err(MathError::NotPositiveDefinite { pivot: k });
+                }
+                let d = pivot.sqrt();
+                counts.evaluate_ops += n - k;
+                {
+                    let wrow = work.row(k);
+                    let col = self.lt.row_mut(k);
+                    col[k] = d;
+                    for i in (k + 1)..n {
+                        col[i] = wrow[i] / d;
                     }
-                },
-            );
-            counts.update_ops += update_ops;
+                }
+                // The per-iteration Update cost of the hardware model
+                // (paper Eq. 7) — the closed form the fused sweeps below
+                // sum to, kept per column so the counts cannot drift from
+                // the unblocked formulation.
+                counts.update_ops += (n - 1 - k) * (n - k) / 2;
+            }
+            // --- Update phase: S ← S − L_panel·L_panelᵀ on rows kend..n ---
+            // Transposed row j of the trailing block only reads rows
+            // k0..kend of Lᵀ (fully written above) and writes elements
+            // (i, j) for i ≥ j, so rows update in parallel; chunks of one
+            // row keep the borrow regions disjoint. The weight is the
+            // panel's share of multiply-subtracts on those rows — small
+            // trailing blocks (every iteration of a window-sized Schur
+            // complement) never pay a fork/join.
+            if kend < n {
+                let nb = kend - k0;
+                let rows_below = n - kend;
+                let sweep_ops = nb * rows_below * (rows_below + 1) / 2;
+                let lt = &self.lt;
+                pool.par_chunks_mut_weighted(
+                    &mut work.as_mut_slice()[kend * n..],
+                    n,
+                    sweep_ops,
+                    |c, wr| {
+                        let j = kend + c;
+                        let w = &mut wr[j..];
+                        if nb == PANEL {
+                            kernels::sub_scaled4(
+                                w,
+                                &lt.row(k0)[j..],
+                                lt.get(k0, j),
+                                &lt.row(k0 + 1)[j..],
+                                lt.get(k0 + 1, j),
+                                &lt.row(k0 + 2)[j..],
+                                lt.get(k0 + 2, j),
+                                &lt.row(k0 + 3)[j..],
+                                lt.get(k0 + 3, j),
+                            );
+                        } else {
+                            for kk in k0..kend {
+                                kernels::sub_scaled(w, &lt.row(kk)[j..], lt.get(kk, j));
+                            }
+                        }
+                    },
+                );
+            }
+            k0 = kend;
         }
         self.lt.transpose_into(&mut self.l);
         Ok(counts)
@@ -205,6 +259,19 @@ impl<T: Scalar> Cholesky<T> {
     pub fn solve(&self, b: &Vector<T>) -> Vector<T> {
         let y = solve_lower(&self.l, b);
         solve_upper(&self.lt, &y)
+    }
+
+    /// [`Cholesky::solve`] into caller-owned buffers: `y` holds the forward
+    /// substitution intermediate, `x` the solution (both resized to fit).
+    /// With reused buffers the whole triangular solve performs no heap
+    /// allocation; the arithmetic is identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` differs from the matrix dimension.
+    pub fn solve_into(&self, b: &Vector<T>, y: &mut Vector<T>, x: &mut Vector<T>) {
+        crate::triangular::solve_lower_into(&self.l, b, y);
+        crate::triangular::solve_upper_into(&self.lt, y, x);
     }
 
     /// Dense inverse `A⁻¹`, computed by solving against the identity columns.

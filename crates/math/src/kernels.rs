@@ -1,0 +1,273 @@
+//! Slice micro-kernels for the solver hot path.
+//!
+//! Every routine here is a flat loop over contiguous slices with the bounds
+//! checks hoisted, shaped so LLVM's autovectorizer can emit SIMD for the
+//! independent-element cases. They exist to give the block-sparse assembler,
+//! the Schur elimination and the Cholesky update *one* shared, auditable set
+//! of inner loops instead of N slightly-different open-coded variants.
+//!
+//! # Bit-identity rules
+//!
+//! The callers of these kernels promise bit-identical results across code
+//! paths (dense vs. block-sparse, serial vs. parallel — see the
+//! `block_sparse` module docs), so each kernel documents its floating-point
+//! contract precisely:
+//!
+//! - Elementwise-independent updates (`add_scaled*`, `sub_scaled*`) perform
+//!   exactly one rounding per element per source row, with a fixed operand
+//!   order (`dst[i] op scale * src[i]`). Fusing several source rows into one
+//!   traversal keeps the per-element operation *sequence* of the unfused
+//!   calls, so the stored bits cannot change.
+//! - No kernel reassociates a reduction; anything that sums across elements
+//!   stays with its caller.
+//!
+//! The zero-skip variants replicate the assembler's `v != 0` guard: skipped
+//! contributions are exact no-ops on the destination (see
+//! [`NormalEqSink::add_a_row`](../../archytas_slam) docs for why `±0.0`
+//! additions are bit-safe there), but the guard is part of the replayed
+//! operation sequence, so the kernels keep it rather than reason about it
+//! per call site.
+
+use crate::scalar::Scalar;
+
+/// `dst[i] += s * src[i]` for every element — no zero skip.
+///
+/// The Schur-product inner loop: one multiply-add per element, operand order
+/// `s * src[i]` first, then the add. `src` must be at least as long as `dst`.
+#[inline]
+pub fn add_scaled<T: Scalar>(dst: &mut [T], src: &[T], s: T) {
+    let n = dst.len();
+    let src = &src[..n];
+    for i in 0..n {
+        dst[i] += s * src[i];
+    }
+}
+
+/// [`add_scaled`] with a compile-time length, for fully unrolled fixed-size
+/// block runs (`N = 6` is the `W` block height of the sliding window).
+///
+/// # Panics
+///
+/// Panics when either slice is shorter than `N`.
+#[inline]
+pub fn add_scaled_fixed<T: Scalar, const N: usize>(dst: &mut [T], src: &[T], s: T) {
+    let dst: &mut [T; N] = (&mut dst[..N]).try_into().unwrap();
+    let src: &[T; N] = (&src[..N]).try_into().unwrap();
+    for i in 0..N {
+        dst[i] += s * src[i];
+    }
+}
+
+/// `dst[i] += s * src[i]` for every element with `src[i] != 0` — the
+/// contiguous-run scatter write of the normal-equation assemblers.
+#[inline]
+pub fn add_scaled_skip<T: Scalar>(dst: &mut [T], src: &[T], s: T) {
+    let n = dst.len();
+    let src = &src[..n];
+    for i in 0..n {
+        if src[i] != T::ZERO {
+            dst[i] += s * src[i];
+        }
+    }
+}
+
+/// Fused pair form of [`add_scaled_skip`]: applies source row 0 then source
+/// row 1 to each element in one traversal.
+///
+/// Per element the operation sequence — row 0's guarded multiply-add, then
+/// row 1's — is exactly that of two sequential [`add_scaled_skip`] calls, so
+/// the result is bit-identical while the destination is walked (and its
+/// bounds checked) once instead of twice.
+#[inline]
+pub fn add_scaled_skip2<T: Scalar>(dst: &mut [T], src0: &[T], s0: T, src1: &[T], s1: T) {
+    let n = dst.len();
+    let src0 = &src0[..n];
+    let src1 = &src1[..n];
+    for i in 0..n {
+        if src0[i] != T::ZERO {
+            dst[i] += s0 * src0[i];
+        }
+        if src1[i] != T::ZERO {
+            dst[i] += s1 * src1[i];
+        }
+    }
+}
+
+/// Fused many-row form of [`add_scaled_skip`]: applies every `(src, s)`
+/// source row, in slice order, to each element in one traversal.
+///
+/// Bit-identical to calling [`add_scaled_skip`] once per row in the same
+/// order (each destination element receives the same guarded multiply-adds
+/// in the same sequence); the destination cache line is loaded once per
+/// element instead of once per row.
+#[inline]
+pub fn add_scaled_skip_rows<T: Scalar>(dst: &mut [T], rows: &[(&[T], T)]) {
+    let n = dst.len();
+    for i in 0..n {
+        let mut acc = dst[i];
+        for &(src, s) in rows {
+            let v = src[i];
+            if v != T::ZERO {
+                acc += s * v;
+            }
+        }
+        dst[i] = acc;
+    }
+}
+
+/// `dst[i] = dst[i] - src[i] * a` for every element — the Cholesky Update
+/// phase's rank-1 row operation (`S_j ← S_j − l_k·l_jk`), operand order
+/// `src[i] * a` then the subtract, matching the textbook serial loop.
+#[inline]
+pub fn sub_scaled<T: Scalar>(dst: &mut [T], src: &[T], a: T) {
+    let n = dst.len();
+    let src = &src[..n];
+    for i in 0..n {
+        dst[i] = dst[i] - src[i] * a;
+    }
+}
+
+/// Fused rank-4 form of [`sub_scaled`]: subtracts four scaled source rows
+/// from `dst` in one traversal, in argument order.
+///
+/// Per element the four subtractions happen sequentially (`w −= src0·a0`,
+/// then `src1·a1`, …) — each with its own rounding, exactly as four
+/// [`sub_scaled`] calls would — so a blocked Cholesky trailing update built
+/// on this kernel is bit-identical to the unblocked column-at-a-time loop
+/// while touching the trailing row once per four columns.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn sub_scaled4<T: Scalar>(
+    dst: &mut [T],
+    src0: &[T],
+    a0: T,
+    src1: &[T],
+    a1: T,
+    src2: &[T],
+    a2: T,
+    src3: &[T],
+    a3: T,
+) {
+    let n = dst.len();
+    let src0 = &src0[..n];
+    let src1 = &src1[..n];
+    let src2 = &src2[..n];
+    let src3 = &src3[..n];
+    for i in 0..n {
+        let mut w = dst[i];
+        w = w - src0[i] * a0;
+        w = w - src1[i] * a1;
+        w = w - src2[i] * a2;
+        w = w - src3[i] * a3;
+        dst[i] = w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic, scale-diverse values with a sprinkling of zeros.
+        (0..n)
+            .map(|i| {
+                let x = ((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33) as f64
+                    / 4.0e9
+                    - 0.25;
+                if i % 7 == 3 {
+                    0.0
+                } else {
+                    x * (10.0f64).powi((i % 5) as i32 - 2)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_scaled_matches_scalar_loop() {
+        let src = vals(33, 7);
+        let mut dst = vals(33, 11);
+        let mut reference = dst.clone();
+        add_scaled(&mut dst, &src, 1.7);
+        for (r, &v) in reference.iter_mut().zip(&src) {
+            *r += 1.7 * v;
+        }
+        assert_eq!(dst, reference);
+    }
+
+    #[test]
+    fn add_scaled_fixed_matches_generic() {
+        let src = vals(6, 3);
+        let mut a = vals(6, 5);
+        let mut b = a.clone();
+        add_scaled(&mut a, &src, -0.3);
+        add_scaled_fixed::<f64, 6>(&mut b, &src, -0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip2_matches_two_sequential_calls() {
+        let s0 = vals(29, 1);
+        let s1 = vals(29, 2);
+        let mut fused = vals(29, 9);
+        let mut seq = fused.clone();
+        add_scaled_skip2(&mut fused, &s0, 0.9, &s1, -1.1);
+        add_scaled_skip(&mut seq, &s0, 0.9);
+        add_scaled_skip(&mut seq, &s1, -1.1);
+        for (f, s) in fused.iter().zip(&seq) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn skip_rows_matches_sequential_calls() {
+        let srcs: Vec<Vec<f64>> = (0..15).map(|k| vals(15, 100 + k)).collect();
+        let scales: Vec<f64> = (0..15).map(|k| 0.1 * k as f64 - 0.7).collect();
+        let rows: Vec<(&[f64], f64)> = srcs
+            .iter()
+            .zip(&scales)
+            .map(|(s, &a)| (s.as_slice(), a))
+            .collect();
+        let mut fused = vals(15, 999);
+        let mut seq = fused.clone();
+        add_scaled_skip_rows(&mut fused, &rows);
+        for &(src, a) in &rows {
+            add_scaled_skip(&mut seq, src, a);
+        }
+        for (f, s) in fused.iter().zip(&seq) {
+            assert_eq!(f.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn sub_scaled4_matches_four_sequential_calls() {
+        let s: Vec<Vec<f64>> = (0..4).map(|k| vals(41, 50 + k)).collect();
+        let a = [0.3, -2.5, 1e-3, 7.0];
+        let mut fused = vals(41, 77);
+        let mut seq = fused.clone();
+        sub_scaled4(
+            &mut fused, &s[0], a[0], &s[1], a[1], &s[2], a[2], &s[3], a[3],
+        );
+        for k in 0..4 {
+            sub_scaled(&mut seq, &s[k], a[k]);
+        }
+        for (f, q) in fused.iter().zip(&seq) {
+            assert_eq!(f.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let src: Vec<f32> = vals(12, 4).iter().map(|&v| v as f32).collect();
+        let mut dst: Vec<f32> = vals(12, 6).iter().map(|&v| v as f32).collect();
+        let mut reference = dst.clone();
+        sub_scaled(&mut dst, &src, 0.5f32);
+        for (r, &v) in reference.iter_mut().zip(&src) {
+            *r -= v * 0.5;
+        }
+        assert_eq!(dst, reference);
+    }
+}

@@ -37,6 +37,7 @@ mod block_sparse;
 mod cholesky;
 mod diag;
 mod error;
+pub mod kernels;
 mod matrix;
 mod scalar;
 mod schur;
@@ -53,7 +54,7 @@ pub use matrix::Matrix;
 pub use scalar::Scalar;
 pub use schur::{dense_schur_complement, diag_schur_complement, SchurSystem};
 pub use sym::SymMat;
-pub use triangular::{solve_lower, solve_upper};
+pub use triangular::{solve_lower, solve_lower_into, solve_upper, solve_upper_into};
 pub use vector::Vector;
 
 /// Double-precision dense matrix, the workhorse of the software solver.

@@ -458,11 +458,20 @@ impl<T: Scalar> Matrix<T> {
 
     /// Element-wise cast to another scalar width.
     pub fn cast<U: Scalar>(&self) -> Matrix<U> {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
-        }
+        let mut out = Matrix::zeros(0, 0);
+        self.cast_into(&mut out);
+        out
+    }
+
+    /// [`Matrix::cast`] into a caller-owned matrix — allocation-free once
+    /// `out`'s buffer has grown to this shape (the f32 functional-model
+    /// solver casts every damping retry through one reused buffer).
+    pub fn cast_into<U: Scalar>(&self, out: &mut Matrix<U>) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().map(|v| U::from_f64(v.to_f64())));
     }
 
     /// Cholesky factorization of `self` (must be symmetric positive definite).

@@ -14,10 +14,24 @@ use crate::vector::Vector;
 /// Panics when `l` is not square, when `b.len() != l.rows()`, or when a
 /// diagonal element is zero.
 pub fn solve_lower<T: Scalar>(l: &Matrix<T>, b: &Vector<T>) -> Vector<T> {
+    let mut x = Vector::zeros(l.rows());
+    solve_lower_into(l, b, &mut x);
+    x
+}
+
+/// [`solve_lower`] writing into a caller-owned vector (resized to fit), so a
+/// reused buffer makes the substitution allocation-free. Every element of
+/// `x` is assigned before it is read, so the buffer's previous contents never
+/// reach an arithmetic instruction — same bits as the allocating form.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_lower_into<T: Scalar>(l: &Matrix<T>, b: &Vector<T>, x: &mut Vector<T>) {
     assert!(l.is_square(), "solve_lower: matrix must be square");
     let n = l.rows();
     assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
-    let mut x = Vector::zeros(n);
+    x.resize_fill(n, T::ZERO);
     for i in 0..n {
         let mut acc = b[i];
         for j in 0..i {
@@ -27,7 +41,6 @@ pub fn solve_lower<T: Scalar>(l: &Matrix<T>, b: &Vector<T>) -> Vector<T> {
         assert!(d != T::ZERO, "solve_lower: zero diagonal at {i}");
         x[i] = acc / d;
     }
-    x
 }
 
 /// Solves `U · x = b` for upper-triangular `U` by backward substitution.
@@ -39,10 +52,23 @@ pub fn solve_lower<T: Scalar>(l: &Matrix<T>, b: &Vector<T>) -> Vector<T> {
 /// Panics when `u` is not square, when `b.len() != u.rows()`, or when a
 /// diagonal element is zero.
 pub fn solve_upper<T: Scalar>(u: &Matrix<T>, b: &Vector<T>) -> Vector<T> {
+    let mut x = Vector::zeros(u.rows());
+    solve_upper_into(u, b, &mut x);
+    x
+}
+
+/// [`solve_upper`] writing into a caller-owned vector (resized to fit) — the
+/// backward-substitution twin of [`solve_lower_into`], with the same
+/// buffer-reuse and bit-identity properties.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_upper`].
+pub fn solve_upper_into<T: Scalar>(u: &Matrix<T>, b: &Vector<T>, x: &mut Vector<T>) {
     assert!(u.is_square(), "solve_upper: matrix must be square");
     let n = u.rows();
     assert_eq!(b.len(), n, "solve_upper: rhs length mismatch");
-    let mut x = Vector::zeros(n);
+    x.resize_fill(n, T::ZERO);
     for i in (0..n).rev() {
         let mut acc = b[i];
         for j in (i + 1)..n {
@@ -52,7 +78,6 @@ pub fn solve_upper<T: Scalar>(u: &Matrix<T>, b: &Vector<T>) -> Vector<T> {
         assert!(d != T::ZERO, "solve_upper: zero diagonal at {i}");
         x[i] = acc / d;
     }
-    x
 }
 
 #[cfg(test)]

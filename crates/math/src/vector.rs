@@ -165,9 +165,17 @@ impl<T: Scalar> Vector<T> {
     /// Converts element-wise to another scalar width (e.g. `f64` → `f32` when
     /// handing data to the hardware functional model).
     pub fn cast<U: Scalar>(&self) -> Vector<U> {
-        Vector {
-            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
-        }
+        let mut out = Vector::zeros(0);
+        self.cast_into(&mut out);
+        out
+    }
+
+    /// [`Vector::cast`] into a caller-owned vector — allocation-free once
+    /// `out`'s buffer has grown to this length.
+    pub fn cast_into<U: Scalar>(&self, out: &mut Vector<U>) {
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().map(|v| U::from_f64(v.to_f64())));
     }
 
     /// Iterator over the elements.

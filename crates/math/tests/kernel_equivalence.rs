@@ -1,0 +1,336 @@
+//! Property-based bitwise-equivalence suite for the solver micro-kernels.
+//!
+//! The hot-path rewrite replaced open-coded inner loops with the fused /
+//! blocked kernels in [`archytas_math::kernels`], promising *bit-identical*
+//! results to the paths they replaced. These properties stress that promise
+//! over random shapes (including empty and sub-`PANEL` edge cases), operand
+//! sets with a deliberate mass of exact zeros (so every zero-skip guard
+//! fires), and overlapping scatter destinations — at pool shapes {1, 2, 8}
+//! with the serial threshold forced to zero, so the parallel code paths run
+//! even on tiny inputs.
+
+use archytas_math::kernels::{
+    add_scaled, add_scaled_fixed, add_scaled_skip, add_scaled_skip2, add_scaled_skip_rows,
+    sub_scaled, sub_scaled4,
+};
+use archytas_math::{
+    BlockSparseSystem, BlockSpec, Cholesky, DMat, DVec, SchurScratch, SchurSystem,
+};
+use archytas_par::Pool;
+use proptest::prelude::*;
+
+/// The three pool shapes of the determinism contract: serial, small
+/// parallel, oversubscribed parallel. Threshold 0 forces the parallel path
+/// regardless of problem size.
+fn pools() -> [Pool; 3] {
+    [
+        Pool::with_threads(1),
+        Pool::with_threads(2).with_serial_threshold(0),
+        Pool::with_threads(8).with_serial_threshold(0),
+    ]
+}
+
+/// Kernel operand values: signed, scale-diverse, with a deliberate mass of
+/// exact zeros so the zero-skip guards actually take both branches.
+fn val() -> impl Strategy<Value = f64> {
+    (0u8..6, -10.0..10.0f64).prop_map(|(sel, v)| match sel {
+        0 => 0.0,
+        5 => v * 1e-7,
+        _ => v,
+    })
+}
+
+fn vals(n: impl Into<proptest::collection::SizeRange>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(val(), n)
+}
+
+fn assert_bits_eq(actual: &[f64], expected: &[f64]) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(actual.len(), expected.len());
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        prop_assert!(
+            a.to_bits() == e.to_bits(),
+            "element {} differs: {} vs {}",
+            i,
+            a,
+            e
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The unrolled fixed-width kernel is the generic one at N = 6.
+    #[test]
+    fn fixed6_matches_generic_bitwise(
+        (dst, src, s) in (6usize..=16).prop_flat_map(|n| (vals(n), vals(n), val()))
+    ) {
+        let mut fixed = dst.clone();
+        let mut generic = dst;
+        add_scaled_fixed::<f64, 6>(&mut fixed, &src, s);
+        add_scaled(&mut generic[..6], &src[..6], s);
+        assert_bits_eq(&fixed, &generic)?;
+    }
+
+    /// Fused two-row scatter == two sequential guarded scatters.
+    #[test]
+    fn skip2_matches_sequential_bitwise(
+        (dst, s0, s1, a0, a1) in (0usize..=40).prop_flat_map(|n| {
+            (vals(n), vals(n), vals(n), val(), val())
+        })
+    ) {
+        let mut fused = dst.clone();
+        let mut seq = dst;
+        add_scaled_skip2(&mut fused, &s0, a0, &s1, a1);
+        add_scaled_skip(&mut seq, &s0, a0);
+        add_scaled_skip(&mut seq, &s1, a1);
+        assert_bits_eq(&fused, &seq)?;
+    }
+
+    /// Fused many-row scatter == sequential guarded scatters, in row order —
+    /// every source row aliases the same destination element.
+    #[test]
+    fn skip_rows_matches_sequential_bitwise(
+        (dst, srcs, scales) in (0usize..=24, 0usize..=8).prop_flat_map(|(n, rows)| {
+            (vals(n), proptest::collection::vec(vals(n), rows), vals(rows))
+        })
+    ) {
+        let rows: Vec<(&[f64], f64)> = srcs
+            .iter()
+            .zip(&scales)
+            .map(|(s, &a)| (s.as_slice(), a))
+            .collect();
+        let mut fused = dst.clone();
+        let mut seq = dst;
+        add_scaled_skip_rows(&mut fused, &rows);
+        for &(src, a) in &rows {
+            add_scaled_skip(&mut seq, src, a);
+        }
+        assert_bits_eq(&fused, &seq)?;
+    }
+
+    /// Fused rank-4 trailing update == four sequential rank-1 updates.
+    #[test]
+    fn sub_scaled4_matches_sequential_bitwise(
+        (dst, srcs, a) in (0usize..=40).prop_flat_map(|n| {
+            (vals(n), proptest::collection::vec(vals(n), 4), vals(4usize))
+        })
+    ) {
+        let mut fused = dst.clone();
+        let mut seq = dst;
+        sub_scaled4(
+            &mut fused, &srcs[0], a[0], &srcs[1], a[1], &srcs[2], a[2], &srcs[3], a[3],
+        );
+        for k in 0..4 {
+            sub_scaled(&mut seq, &srcs[k], a[k]);
+        }
+        assert_bits_eq(&fused, &seq)?;
+    }
+}
+
+/// Any B yields an SPD matrix B·Bᵀ + (n+1)·I.
+fn spd_strategy(n: usize) -> impl Strategy<Value = DMat> {
+    proptest::collection::vec(-5.0..5.0f64, n * n).prop_map(move |data| {
+        let b = DMat::from_vec(n, n, data);
+        b.transpose().gram().add_diagonal(n as f64 + 1.0)
+    })
+}
+
+/// Textbook unblocked column-at-a-time Cholesky in the same transposed
+/// formulation as [`Cholesky::refactor_with`]: evaluate column `k`, then
+/// immediately apply it to every trailing row. Returns `Lᵀ`. This is the
+/// pre-blocking reference the `PANEL`-wide fused sweeps must reproduce bit
+/// for bit.
+fn unblocked_cholesky_lt(a: &DMat) -> DMat {
+    let n = a.rows();
+    let mut lt = DMat::zeros(n, n);
+    let mut work = a.clone();
+    for k in 0..n {
+        let d = work.get(k, k).sqrt();
+        lt.set(k, k, d);
+        for i in (k + 1)..n {
+            lt.set(k, i, work.get(k, i) / d);
+        }
+        for j in (k + 1)..n {
+            let ljk = lt.get(k, j);
+            for i in j..n {
+                work.set(j, i, work.get(j, i) - lt.get(k, i) * ljk);
+            }
+        }
+    }
+    lt
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The panel-blocked, kernel-fused, row-parallel factorization equals the
+    /// unblocked serial loop bitwise — for sizes straddling the panel width
+    /// and at every pool shape.
+    #[test]
+    fn blocked_cholesky_matches_unblocked_bitwise(a in (1usize..=12).prop_flat_map(spd_strategy)) {
+        let reference = unblocked_cholesky_lt(&a).transpose();
+        for pool in pools() {
+            let (ch, _) = Cholesky::factor_counting_with(&a, &pool).unwrap();
+            assert_bits_eq(ch.l().as_slice(), reference.as_slice())?;
+        }
+    }
+
+    /// The buffer-reusing triangular solve equals the allocating one bitwise,
+    /// including when the reused buffers arrive with a stale shape.
+    #[test]
+    fn solve_into_matches_solve_bitwise(
+        (a, b) in (1usize..=10).prop_flat_map(|n| (spd_strategy(n), vals(n)))
+    ) {
+        let b = DVec::from(b);
+        let ch = Cholesky::factor(&a).unwrap();
+        let reference = ch.solve(&b);
+        let mut y = DVec::zeros(3);
+        let mut x = DVec::zeros(17);
+        ch.solve_into(&b, &mut y, &mut x);
+        assert_bits_eq(x.as_slice(), reference.as_slice())?;
+    }
+}
+
+/// A randomly shaped D-type block system: `p` landmarks, `nblocks` pose
+/// blocks of `stride` rows with `kb`-row observation blocks, a random `W`
+/// sparsity pattern (possibly empty rows), and diagonals boosted to strict
+/// dominance so the assembled matrix is SPD.
+#[derive(Debug, Clone)]
+struct BlockProblem {
+    p: usize,
+    kb: usize,
+    stride: usize,
+    nblocks: usize,
+    u: Vec<f64>,
+    v_upper: Vec<f64>,
+    pattern: Vec<Vec<u8>>,
+    w: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    lambda: Option<f64>,
+}
+
+fn block_problem_strategy() -> impl Strategy<Value = BlockProblem> {
+    (1usize..=5, 1usize..=3, 1usize..=4)
+        .prop_flat_map(|(p, nblocks, kb)| (Just(p), Just(nblocks), Just(kb), kb..=kb + 2))
+        .prop_flat_map(|(p, nblocks, kb, stride)| {
+            let q = nblocks * stride;
+            (
+                Just((p, nblocks, kb, stride)),
+                (
+                    vals(p),
+                    vals(q * q),
+                    proptest::collection::vec(proptest::collection::vec(0u8..2, nblocks), p),
+                ),
+                (
+                    vals(p * nblocks * kb),
+                    vals(p),
+                    vals(q),
+                    (0u8..3, 0.01..10.0f64).prop_map(|(sel, l)| (sel == 0).then_some(l)),
+                ),
+            )
+        })
+        .prop_map(
+            |((p, nblocks, kb, stride), (u, v_upper, pattern), (w, bx, by, lambda))| BlockProblem {
+                p,
+                kb,
+                stride,
+                nblocks,
+                u,
+                v_upper,
+                pattern,
+                w,
+                bx,
+                by,
+                lambda,
+            },
+        )
+}
+
+/// Assembles the problem through the sparse build API, with the diagonal
+/// boosted to strict dominance (row sums of `|W|` and `|V|` plus a margin).
+fn build_system(pb: &BlockProblem) -> BlockSparseSystem<f64> {
+    let q = pb.nblocks * pb.stride;
+    let widx = |lm: usize, b: usize, t: usize| (lm * pb.nblocks + b) * pb.kb + t;
+    let vsym = |r: usize, c: usize| {
+        let (lo, hi) = if r <= c { (r, c) } else { (c, r) };
+        pb.v_upper[lo * q + hi]
+    };
+
+    // Row sums for dominance: landmark rows see their W entries; pose rows
+    // see their V off-diagonals plus every W entry landing on them.
+    let mut lm_row = vec![0.0f64; pb.p];
+    let mut pose_row = vec![0.0f64; q];
+    for lm in 0..pb.p {
+        for b in 0..pb.nblocks {
+            if pb.pattern[lm][b] != 0 {
+                for t in 0..pb.kb {
+                    let v = pb.w[widx(lm, b, t)];
+                    lm_row[lm] += v.abs();
+                    pose_row[b * pb.stride + t] += v.abs();
+                }
+            }
+        }
+    }
+    for r in 0..q {
+        for c in 0..q {
+            if r != c {
+                pose_row[r] += vsym(r, c).abs();
+            }
+        }
+    }
+
+    let mut s = BlockSparseSystem::new();
+    s.reset(pb.p, q, pb.kb, pb.stride);
+    for j in 0..pb.p {
+        s.add_u(j, pb.u[j].abs() + lm_row[j] + 1.0);
+        s.sub_bx(j, -pb.bx[j]);
+    }
+    for r in 0..q {
+        for c in 0..q {
+            if r == c {
+                s.add_v(r, r, vsym(r, r).abs() + pose_row[r] + 1.0);
+            } else {
+                s.add_v(r, c, vsym(r, c));
+            }
+        }
+        s.sub_by(r, -pb.by[r]);
+    }
+    for lm in 0..pb.p {
+        for b in 0..pb.nblocks {
+            if pb.pattern[lm][b] != 0 {
+                for t in 0..pb.kb {
+                    s.add_w(lm, b * pb.stride + t, pb.w[widx(lm, b, t)]);
+                }
+            }
+        }
+    }
+    if let Some(lambda) = pb.lambda {
+        s.damp(lambda, 1e-9);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The block-sparse Schur solve — assembled through the kernel-backed
+    /// elimination and triangular paths — equals the dense `SchurSystem`
+    /// reference bitwise for random shapes, sparsity patterns (including
+    /// empty `W` rows and partial edge blocks) and damping, at every pool.
+    #[test]
+    fn block_solve_matches_dense_schur_bitwise(pb in block_problem_strategy()) {
+        let s = build_system(&pb);
+        let (a, b) = s.to_dense();
+        let spec = BlockSpec::new(s.p(), s.dim()).unwrap();
+        let reference = SchurSystem::new(&a, &b, spec).unwrap().solve().unwrap();
+        let mut scratch = SchurScratch::default();
+        let mut out = DVec::zeros(0);
+        for pool in pools() {
+            s.solve_into(&mut scratch, &pool, &mut out).unwrap();
+            assert_bits_eq(out.as_slice(), reference.as_slice())?;
+        }
+    }
+}

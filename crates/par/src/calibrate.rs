@@ -1,0 +1,162 @@
+//! Measured (rather than guessed) work floor for weighted dispatch.
+//!
+//! [`DEFAULT_MIN_PARALLEL_WORK`] is a hand-tuned constant; whether a given
+//! job actually wins from forking depends on two machine-specific rates —
+//! what one scoped spawn/join costs and how fast a core retires scalar
+//! arithmetic. This module measures both **once per process**, on first use,
+//! and derives the break-even floor from them:
+//!
+//! ```text
+//! parallel wins  ⇔  serial_ns · (1 − 1/threads)  >  dispatch_ns
+//!                ⇔  ops  >  dispatch_ns · rate · threads/(threads − 1)
+//! ```
+//!
+//! with a safety multiplier on top (a marginal win is still a loss once
+//! cache effects and scheduling jitter are priced in). The result replaces
+//! the static floor in [`Pool::calibrated`] unless `ARCHYTAS_PAR_MIN_WORK`
+//! is set — an explicit environment knob always wins, and the calibration
+//! itself never runs in that case.
+//!
+//! The dispatch *decision* is the only thing that changes: every combinator
+//! is bit-identical serial vs. parallel by contract, so calibration can never
+//! alter a numerical result — only how fast it arrives.
+
+use crate::pool::Pool;
+use std::hint::black_box;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Break-even multiplier: the measured break-even point is scaled by this
+/// factor before use, so jobs near the boundary — where the win would be
+/// marginal at best — stay serial.
+const SAFETY_FACTOR: u64 = 4;
+
+/// Floor/ceiling clamp on the calibrated work floor, guarding against a
+/// degenerate measurement on a noisy machine (a floor of zero would fork for
+/// every small block; an absurdly high one would disable the synthesizer's
+/// sweep-scale parallelism).
+const MIN_FLOOR: usize = 500_000;
+const MAX_FLOOR: usize = 512_000_000;
+
+/// Machine rates measured by [`calibration`].
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Cost of one scoped fork/join at the calibrated thread count (ns).
+    pub dispatch_overhead_ns: u64,
+    /// Scalar multiply-add throughput of one core (operations per µs).
+    pub ops_per_us: u64,
+    /// Derived break-even work floor (scalar operations), after the safety
+    /// factor and clamping.
+    pub min_work: usize,
+    /// Thread count the overhead was measured at.
+    pub threads: usize,
+}
+
+static CALIBRATION: OnceLock<Calibration> = OnceLock::new();
+
+/// The process-wide dispatch calibration, measured on first call (a few
+/// hundred microseconds) and cached for every later one.
+pub fn calibration() -> Calibration {
+    *CALIBRATION.get_or_init(measure)
+}
+
+fn measure() -> Calibration {
+    let threads = Pool::global().threads().max(2);
+    let dispatch_overhead_ns = measure_dispatch_ns(threads);
+    let ops_per_us = measure_ops_per_us();
+
+    // ops > dispatch_ns · (ops/ns) · t/(t−1), then the safety margin.
+    let t = threads as u64;
+    let break_even = dispatch_overhead_ns * ops_per_us * t / (t - 1) / 1_000;
+    let min_work = (break_even * SAFETY_FACTOR) as usize;
+    Calibration {
+        dispatch_overhead_ns,
+        ops_per_us,
+        min_work: min_work.clamp(MIN_FLOOR, MAX_FLOOR),
+        threads,
+    }
+}
+
+/// Minimum observed cost of one empty scoped fork/join of `threads` workers.
+/// The minimum (not the mean) is the right statistic: overhead only ever
+/// gains noise, never loses it.
+fn measure_dispatch_ns(threads: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..12 {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| black_box(0u64));
+            }
+        });
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    best.max(1)
+}
+
+/// Scalar multiply-add throughput of the current core, in operations per µs,
+/// from a dependent-chain f64 loop long enough to amortize timer overhead.
+fn measure_ops_per_us() -> u64 {
+    const OPS: u64 = 2_000_000;
+    let mut acc = 0.37f64;
+    let start = Instant::now();
+    for i in 0..OPS {
+        // One multiply-add per iteration; the dependence chain stops the
+        // compiler from collapsing the loop.
+        acc = acc * 0.999_999 + (i & 7) as f64 * 1e-12;
+    }
+    black_box(acc);
+    let us = start.elapsed().as_micros().max(1) as u64;
+    (2 * OPS / us).max(1)
+}
+
+impl Pool {
+    /// [`Pool::global`] with the work floor replaced by the measured
+    /// break-even point of this machine — unless `ARCHYTAS_PAR_MIN_WORK` is
+    /// set, in which case the explicit value wins and no measurement runs.
+    ///
+    /// This is the pool the steady-state solver path uses: on machines where
+    /// fork/join is expensive relative to arithmetic, window-sized kernels
+    /// (a few hundred kiloflops) stay serial instead of paying a 4-thread
+    /// slowdown; on machines with cheap dispatch, the floor drops and mid-size
+    /// jobs start to fan out. Results are unaffected either way — dispatch
+    /// changes timing, never bits.
+    pub fn calibrated() -> Pool {
+        let pool = Pool::global();
+        if std::env::var_os("ARCHYTAS_PAR_MIN_WORK").is_some() {
+            return pool;
+        }
+        pool.with_min_work(calibration().min_work)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_sane_and_cached() {
+        let c1 = calibration();
+        assert!(c1.dispatch_overhead_ns > 0);
+        assert!(c1.ops_per_us > 0);
+        assert!((MIN_FLOOR..=MAX_FLOOR).contains(&c1.min_work));
+        assert!(c1.threads >= 2);
+        // Second call must serve the cached measurement.
+        let c2 = calibration();
+        assert_eq!(c1.min_work, c2.min_work);
+        assert_eq!(c1.dispatch_overhead_ns, c2.dispatch_overhead_ns);
+    }
+
+    #[test]
+    fn calibrated_pool_keeps_window_kernels_serial() {
+        // The benchmark sliding window's Schur elimination is ~0.25 Mflop
+        // and its dense products ≤ ~7 Mflop; a calibrated floor that lets
+        // those fork would reintroduce the measured 4-thread regression.
+        // With the safety factor and the clamp this cannot happen unless
+        // dispatch is measured at well under a microsecond.
+        let pool = Pool::calibrated().with_serial_threshold(1);
+        if pool.threads() > 1 && pool.min_work() >= 500_000 {
+            assert!(!pool.should_parallelize_work(150 * 150, 250_000));
+        }
+    }
+}

@@ -41,13 +41,19 @@
 //! [`Pool::par_chunks_mut_weighted`]; jobs below the work floor
 //! ([`Pool::with_min_work`], default [`DEFAULT_MIN_PARALLEL_WORK`], env
 //! `ARCHYTAS_PAR_MIN_WORK`) stay serial regardless of their element count.
+//! [`Pool::calibrated`] replaces the static floor with a once-per-process
+//! *measured* break-even point (see [`calibrate`]) so the decision tracks the
+//! machine's actual fork/join cost instead of a hand-tuned guess.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calibrate;
+pub mod counters;
 mod memo;
 mod pool;
 
+pub use calibrate::{calibration, Calibration};
 pub use memo::Memo;
 pub use pool::{run_as_worker, Pool, DEFAULT_MIN_PARALLEL_WORK, DEFAULT_SERIAL_THRESHOLD};
 

@@ -118,6 +118,31 @@ pub fn evaluate_visual(
     })
 }
 
+/// Residual-only form of [`evaluate_visual`], for cost evaluation.
+///
+/// Computes exactly the residual prefix of [`evaluate_visual`] — the same
+/// transform chain, the same `z` gate, the same operation order — and skips
+/// the Jacobian chain rule entirely, so LM step acceptance (which only needs
+/// the cost) pays about a third of a full linearization. Bit-identical to
+/// `evaluate_visual(..).map(|ev| ev.residual)`.
+pub fn evaluate_visual_residual(
+    anchor: &Pose,
+    obs: &Pose,
+    bearing: &Vec3,
+    rho: f64,
+    uv: [f64; 2],
+) -> Option<[f64; 2]> {
+    let p_a = *bearing * (1.0 / rho);
+    let p_w = anchor.transform(&p_a);
+    let p_c = obs.inverse_transform(&p_w);
+    let z = p_c.z();
+    if z <= 1e-6 {
+        return None;
+    }
+    let inv_z = 1.0 / z;
+    Some([p_c.x() * inv_z - uv[0], p_c.y() * inv_z - uv[1]])
+}
+
 /// Evaluated IMU factor: 15-dim residual and Jacobians with respect to both
 /// keyframe error states.
 #[derive(Debug, Clone)]
@@ -336,6 +361,39 @@ mod tests {
         let eval = evaluate_visual(&anchor, &obs, &bearing, rho, uv).unwrap();
         assert!(eval.residual[0].abs() < 1e-12);
         assert!(eval.residual[1].abs() < 1e-12);
+    }
+
+    /// The residual-only evaluator must match the full one bit for bit,
+    /// including the behind-camera `None` gate — LM step acceptance depends
+    /// on this equivalence.
+    #[test]
+    fn visual_residual_only_matches_full_eval_bitwise() {
+        let (anchor, obs) = test_poses();
+        for l in 0..40 {
+            let bearing = Vec3::new(0.05 * l as f64 - 1.0, 0.03 * (l % 7) as f64 - 0.1, 1.0);
+            let rho = 0.1 + 0.07 * (l % 9) as f64;
+            let uv = [0.02 * l as f64 - 0.4, -0.015 * l as f64 + 0.3];
+            let full = evaluate_visual(&anchor, &obs, &bearing, rho, uv);
+            let ronly = evaluate_visual_residual(&anchor, &obs, &bearing, rho, uv);
+            match (full, ronly) {
+                (None, None) => {}
+                (Some(ev), Some(r)) => {
+                    assert_eq!(ev.residual[0].to_bits(), r[0].to_bits(), "lm {l}");
+                    assert_eq!(ev.residual[1].to_bits(), r[1].to_bits(), "lm {l}");
+                }
+                (f, r) => panic!("gate mismatch at lm {l}: {:?} vs {:?}", f.is_some(), r),
+            }
+        }
+        // And at least one case must actually hit the behind-camera gate.
+        let behind = Pose::new(Quat::IDENTITY, Vec3::new(0.0, 0.0, 10.0));
+        assert!(evaluate_visual_residual(
+            &Pose::IDENTITY,
+            &behind,
+            &Vec3::new(0.0, 0.0, 1.0),
+            0.25,
+            [0.0, 0.0]
+        )
+        .is_none());
     }
 
     #[test]

@@ -52,7 +52,8 @@ mod window;
 pub use camera::PinholeCamera;
 pub use ekf::{EkfConfig, EkfVio};
 pub use factors::{
-    evaluate_imu, evaluate_visual, FactorWeights, ImuEval, VisualEval, BA, BG, THETA, TRANS, VEL,
+    evaluate_imu, evaluate_visual, evaluate_visual_residual, FactorWeights, ImuEval, VisualEval,
+    BA, BG, THETA, TRANS, VEL,
 };
 pub use geometry::{Mat3, Pose, Quat, Vec3};
 pub use imu::{ImuSample, Preintegration, GRAVITY};

@@ -14,6 +14,7 @@ use crate::prior::Prior;
 use crate::solver::SolveError;
 use crate::window::{SlidingWindow, STATE_DIM};
 use archytas_math::{BlockSpec, Blocked2x2, Cholesky, DMat, DVec};
+use archytas_par::counters::{self, Phase};
 
 /// Outcome of marginalizing the oldest keyframe out of a window.
 #[derive(Debug, Clone)]
@@ -58,6 +59,16 @@ pub fn marginalize_oldest(
 /// Still panics when the window has fewer than two keyframes — a programmer
 /// error, not a data condition.
 pub fn try_marginalize_oldest(
+    window: &SlidingWindow,
+    weights: &FactorWeights,
+    prior: Option<&Prior>,
+) -> Result<MarginalizationResult, SolveError> {
+    counters::time(Phase::Marginalization, || {
+        try_marginalize_oldest_impl(window, weights, prior)
+    })
+}
+
+fn try_marginalize_oldest_impl(
     window: &SlidingWindow,
     weights: &FactorWeights,
     prior: Option<&Prior>,

@@ -10,10 +10,10 @@
 //! do) rather than materializing the global Jacobian; the per-factor flop
 //! counts still match the M-DFG cost model in `archytas-mdfg`.
 
-use crate::factors::{evaluate_imu, evaluate_visual, FactorWeights};
+use crate::factors::{evaluate_imu, evaluate_visual, evaluate_visual_residual, FactorWeights};
 use crate::prior::Prior;
 use crate::window::{SlidingWindow, STATE_DIM};
-use archytas_math::{BlockSparseSystem, DMat, DVec};
+use archytas_math::{kernels, BlockSparseSystem, DMat, DVec};
 
 /// Height of the `W` blocks a visual factor writes: the pose-tangent slots of
 /// a keyframe state (rotation + translation, the first 6 of the 15).
@@ -70,6 +70,49 @@ pub(crate) trait NormalEqSink {
     /// triangles). Sinks that ignored [`NormalEqSink::mirror_a_col`] writes
     /// reconstruct the lower triangle here by copying the upper.
     fn reflect_upper(&mut self) {}
+
+    /// Fused pair form of [`NormalEqSink::add_a_row`]: row 0's contribution
+    /// then row 1's at the same `(i, j0)` run. The default is the two
+    /// sequential calls; sinks override it with a single-traversal kernel
+    /// that applies both guarded multiply-adds per cell in the same order —
+    /// bit-identical by construction, half the row walks.
+    fn add_a_row2(&mut self, i: usize, j0: usize, vals0: &[f64], s0: f64, vals1: &[f64], s1: f64) {
+        self.add_a_row(i, j0, vals0, s0);
+        self.add_a_row(i, j0, vals1, s1);
+    }
+
+    /// Fused pair form of [`NormalEqSink::mirror_a_col`], with the same
+    /// contract as [`NormalEqSink::add_a_row2`].
+    fn mirror_a_col2(
+        &mut self,
+        i0: usize,
+        j: usize,
+        vals0: &[f64],
+        s0: f64,
+        vals1: &[f64],
+        s1: f64,
+    ) {
+        self.mirror_a_col(i0, j, vals0, s0);
+        self.mirror_a_col(i0, j, vals1, s1);
+    }
+
+    /// Fused many-row form of [`NormalEqSink::add_a_row`]: every `(vals,
+    /// scale)` source row — `len` leading entries of each — applied at the
+    /// same `(i, j0)` run, in slice order. Default is the sequential calls;
+    /// overrides keep the per-cell contribution order and bits.
+    fn add_a_row_fused(&mut self, i: usize, j0: usize, len: usize, rows: &[(&[f64], f64)]) {
+        for &(vals, s) in rows {
+            self.add_a_row(i, j0, &vals[..len], s);
+        }
+    }
+
+    /// Fused many-row form of [`NormalEqSink::mirror_a_col`], with the same
+    /// contract as [`NormalEqSink::add_a_row_fused`].
+    fn mirror_a_col_fused(&mut self, i0: usize, j: usize, len: usize, rows: &[(&[f64], f64)]) {
+        for &(vals, s) in rows {
+            self.mirror_a_col(i0, j, &vals[..len], s);
+        }
+    }
 }
 
 pub(crate) struct DenseSink<'a> {
@@ -85,15 +128,36 @@ impl NormalEqSink for DenseSink<'_> {
         self.b[i] -= v;
     }
     fn add_a_row(&mut self, i: usize, j0: usize, vals: &[f64], scale: f64) {
-        let row = &mut self.a.row_mut(i)[j0..j0 + vals.len()];
-        for (slot, &v) in row.iter_mut().zip(vals) {
-            if v != 0.0 {
-                *slot += scale * v;
-            }
-        }
+        kernels::add_scaled_skip(&mut self.a.row_mut(i)[j0..j0 + vals.len()], vals, scale);
     }
     fn mirror_a_col(&mut self, _i0: usize, _j: usize, _vals: &[f64], _scale: f64) {
         // Deferred: the whole lower triangle is copied in `reflect_upper`.
+    }
+    fn add_a_row2(&mut self, i: usize, j0: usize, vals0: &[f64], s0: f64, vals1: &[f64], s1: f64) {
+        kernels::add_scaled_skip2(
+            &mut self.a.row_mut(i)[j0..j0 + vals0.len()],
+            vals0,
+            s0,
+            vals1,
+            s1,
+        );
+    }
+    fn mirror_a_col2(
+        &mut self,
+        _i0: usize,
+        _j: usize,
+        _vals0: &[f64],
+        _s0: f64,
+        _vals1: &[f64],
+        _s1: f64,
+    ) {
+        // Deferred, like the single-row mirror.
+    }
+    fn add_a_row_fused(&mut self, i: usize, j0: usize, len: usize, rows: &[(&[f64], f64)]) {
+        kernels::add_scaled_skip_rows(&mut self.a.row_mut(i)[j0..j0 + len], rows);
+    }
+    fn mirror_a_col_fused(&mut self, _i0: usize, _j: usize, _len: usize, _rows: &[(&[f64], f64)]) {
+        // Deferred, like the single-row mirror.
     }
     fn reflect_upper(&mut self) {
         let n = self.a.rows();
@@ -164,6 +228,51 @@ impl NormalEqSink for BlockSink<'_> {
                 if v != 0.0 {
                     self.add_a(i0 + t, j, scale * v);
                 }
+            }
+        }
+    }
+    fn add_a_row2(&mut self, i: usize, j0: usize, vals0: &[f64], s0: f64, vals1: &[f64], s1: f64) {
+        let p = self.p;
+        if i >= p && j0 >= p {
+            self.sys.add_v_row2(i - p, j0 - p, vals0, s0, vals1, s1);
+        } else if i < p && j0 >= p {
+            // X block: implied by symmetry, never stored.
+        } else {
+            // Landmark-region runs are single-entry; the sequential calls
+            // keep the per-cell row-0-then-row-1 order.
+            self.add_a_row(i, j0, vals0, s0);
+            self.add_a_row(i, j0, vals1, s1);
+        }
+    }
+    fn mirror_a_col2(
+        &mut self,
+        i0: usize,
+        j: usize,
+        vals0: &[f64],
+        s0: f64,
+        vals1: &[f64],
+        s1: f64,
+    ) {
+        let p = self.p;
+        if i0 >= p && j < p {
+            // One block lookup for both rows of the W run.
+            self.sys.add_w_run2(j, i0 - p, vals0, s0, vals1, s1);
+        } else if i0 >= p {
+            // Pose–pose mirror: deferred.
+        } else {
+            self.mirror_a_col(i0, j, vals0, s0);
+            self.mirror_a_col(i0, j, vals1, s1);
+        }
+    }
+    fn add_a_row_fused(&mut self, i: usize, j0: usize, len: usize, rows: &[(&[f64], f64)]) {
+        let p = self.p;
+        if i >= p && j0 >= p {
+            self.sys.add_v_row_fused(i - p, j0 - p, len, rows);
+        } else if i < p && j0 >= p {
+            // X block: implied by symmetry, never stored.
+        } else {
+            for &(vals, s) in rows {
+                self.add_a_row(i, j0, &vals[..len], s);
             }
         }
     }
@@ -306,22 +415,30 @@ fn assemble<S: NormalEqSink>(
         for r in 0..2 {
             let e = ev.residual[r];
             cost += 0.5 * w2 * e * e;
-            // The sparse row: 1 rho column + two 6-wide pose-tangent runs,
-            // ordered by column (re-anchoring can place the anchor after the
-            // observer). Pose tangent occupies the first 6 slots of the
-            // 15-dim state. Guard against the anchor and observer being the
-            // same state (excluded above, but keep the invariant explicit).
-            debug_assert_ne!(col_anchor, col_obs);
-            let j_rho = [ev.j_rho[r]];
-            let anchor_run = (col_anchor, &ev.j_anchor[r][..]);
-            let obs_run = (col_obs, &ev.j_obs[r][..]);
-            let (first, second) = if col_anchor < col_obs {
-                (anchor_run, obs_run)
-            } else {
-                (obs_run, anchor_run)
-            };
-            scatter_runs(sink, &[(col_rho, &j_rho[..]), first, second], e, w2);
         }
+        // The sparse rows: 1 rho column + two 6-wide pose-tangent runs,
+        // ordered by column (re-anchoring can place the anchor after the
+        // observer). Pose tangent occupies the first 6 slots of the
+        // 15-dim state. Guard against the anchor and observer being the
+        // same state (excluded above, but keep the invariant explicit).
+        // Both residual rows share the column structure, so they scatter
+        // in one fused pass.
+        debug_assert_ne!(col_anchor, col_obs);
+        let j_rho0 = [ev.j_rho[0]];
+        let j_rho1 = [ev.j_rho[1]];
+        let anchor_run = (col_anchor, &ev.j_anchor[0][..], &ev.j_anchor[1][..]);
+        let obs_run = (col_obs, &ev.j_obs[0][..], &ev.j_obs[1][..]);
+        let (first, second) = if col_anchor < col_obs {
+            (anchor_run, obs_run)
+        } else {
+            (obs_run, anchor_run)
+        };
+        scatter_runs2(
+            sink,
+            &[(col_rho, &j_rho0[..], &j_rho1[..]), first, second],
+            ev.residual,
+            w2,
+        );
     }
 
     // --- IMU factors ---
@@ -331,19 +448,16 @@ fn assemble<S: NormalEqSink>(
         let ev = evaluate_imu(si, sj, &cons.preintegration);
         let off_i = window.kf_offset(cons.first);
         let off_j = window.kf_offset(cons.first + 1);
-        for r in 0..15 {
+        let mut w2s = [0.0; STATE_DIM];
+        for (r, w2) in w2s.iter_mut().enumerate() {
             let w = weights.imu_row(r);
-            let w2 = w * w;
+            *w2 = w * w;
             let e = ev.residual[r];
-            cost += 0.5 * w2 * e * e;
-            // Two 15-wide runs: the full states of the bracketing keyframes.
-            scatter_runs(
-                sink,
-                &[(off_i, &ev.j_i[r][..]), (off_j, &ev.j_j[r][..])],
-                e,
-                w2,
-            );
+            cost += 0.5 * *w2 * e * e;
         }
+        // All 15 residual rows share the two state-wide runs, so they
+        // scatter in one fused pass over the destination rows.
+        scatter_imu_runs(sink, off_i, off_j, &ev, &w2s);
     }
 
     // Factor scatter done: materialize the (bitwise-symmetric) lower
@@ -366,38 +480,157 @@ fn assemble<S: NormalEqSink>(
     (cost, used)
 }
 
-/// Rank-1 update of `A` and `b` from one sparse residual row whose nonzero
-/// columns form contiguous runs.
+/// Rank-2 update of `A` and `b` from the two residual rows of one visual
+/// factor, which share the same sparse column structure.
 ///
-/// `runs` lists the row's `(first_column, jacobian_values)` segments — they
-/// must be disjoint and in ascending column order, so that `add_a_row`
-/// primaries land in the upper triangle and `mirror_a_col` writes below the
-/// diagonal. `e` is the row's residual and `w2` its squared weight. Every
-/// cell of `A` receives at most one contribution per call (each unordered
-/// column pair appears exactly once), so the write order within the call is
-/// free; the run shape turns the historical per-pair scatter into contiguous
-/// row writes while producing the exact same per-cell values `(w2·vi)·vj`,
-/// with the same zero-Jacobian skips.
-fn scatter_runs<S: NormalEqSink>(sink: &mut S, runs: &[(usize, &[f64])], e: f64, w2: f64) {
-    for (ri, &(c0i, vals_i)) in runs.iter().enumerate() {
-        for (ti, &vi) in vals_i.iter().enumerate() {
-            if vi == 0.0 {
+/// `runs` lists `(first_column, row-0 values, row-1 values)` segments — they
+/// must be disjoint and in ascending column order, so that `add_a_row*`
+/// primaries land in the upper triangle and `mirror_a_col*` writes below the
+/// diagonal. `e` holds the two residuals and `w2` the shared squared weight.
+///
+/// Equivalent to the historical per-row scatter (row 0's full rank-1 update,
+/// then row 1's): each unordered column pair appears exactly once per row,
+/// and the fused sink writes apply row 0's guarded multiply-add before
+/// row 1's at every cell — the same per-destination operation sequence, so
+/// the assembled bits are unchanged. The destination rows of `A` are walked
+/// once instead of twice; sources where only one row is nonzero fall back to
+/// that row's single-row writes, exactly the calls the per-row scatter would
+/// have made.
+fn scatter_runs2<S: NormalEqSink>(
+    sink: &mut S,
+    runs: &[(usize, &[f64], &[f64])],
+    e: [f64; 2],
+    w2: f64,
+) {
+    for (ri, &(c0i, v0s, v1s)) in runs.iter().enumerate() {
+        for ti in 0..v0s.len() {
+            let (v0, v1) = (v0s[ti], v1s[ti]);
+            let (nz0, nz1) = (v0 != 0.0, v1 != 0.0);
+            if !nz0 && !nz1 {
                 continue;
             }
             let ci = c0i + ti;
-            let wvi = w2 * vi;
-            sink.sub_b(ci, wvi * e);
-            // Diagonal plus the rest of this run, then the mirror of the
-            // off-diagonal part.
-            let tail = &vals_i[ti..];
-            sink.add_a_row(ci, ci, tail, wvi);
-            if tail.len() > 1 {
-                sink.mirror_a_col(ci + 1, ci, &tail[1..], wvi);
+            let wv0 = w2 * v0;
+            let wv1 = w2 * v1;
+            if nz0 {
+                sink.sub_b(ci, wv0 * e[0]);
             }
-            for &(c0j, vals_j) in &runs[ri + 1..] {
-                sink.add_a_row(ci, c0j, vals_j, wvi);
-                sink.mirror_a_col(c0j, ci, vals_j, wvi);
+            if nz1 {
+                sink.sub_b(ci, wv1 * e[1]);
             }
+            let t0 = &v0s[ti..];
+            let t1 = &v1s[ti..];
+            if nz0 && nz1 {
+                // Diagonal plus the rest of this run, then the mirror of
+                // the off-diagonal part, then the cross runs — all fused.
+                sink.add_a_row2(ci, ci, t0, wv0, t1, wv1);
+                if t0.len() > 1 {
+                    sink.mirror_a_col2(ci + 1, ci, &t0[1..], wv0, &t1[1..], wv1);
+                }
+                for &(c0j, vj0, vj1) in &runs[ri + 1..] {
+                    sink.add_a_row2(ci, c0j, vj0, wv0, vj1, wv1);
+                    sink.mirror_a_col2(c0j, ci, vj0, wv0, vj1, wv1);
+                }
+            } else {
+                // Only one residual row is nonzero at this source column:
+                // replay exactly its single-row writes.
+                let (tail, wv, pick0) = if nz0 {
+                    (t0, wv0, true)
+                } else {
+                    (t1, wv1, false)
+                };
+                sink.add_a_row(ci, ci, tail, wv);
+                if tail.len() > 1 {
+                    sink.mirror_a_col(ci + 1, ci, &tail[1..], wv);
+                }
+                for &(c0j, vj0, vj1) in &runs[ri + 1..] {
+                    let vj = if pick0 { vj0 } else { vj1 };
+                    sink.add_a_row(ci, c0j, vj, wv);
+                    sink.mirror_a_col(c0j, ci, vj, wv);
+                }
+            }
+        }
+    }
+}
+
+/// Rank-15 update of `A` and `b` from all residual rows of one IMU factor,
+/// whose rows all share the same two state-wide runs `(off_i, off_j)`.
+///
+/// Equivalent to 15 sequential single-row scatters in ascending row order:
+/// for every cell of `A` (and entry of `b`) the active rows' guarded
+/// multiply-adds are applied in that same order by the fused sink writes, so
+/// the assembled bits are unchanged, while each destination row of `A` is
+/// walked once per source column instead of once per (source column,
+/// residual row) pair. `w2s` holds the per-row squared weights; rows whose
+/// Jacobian is zero at a source column contribute nothing there, exactly as
+/// their single-row scatter would have skipped that source.
+fn scatter_imu_runs<S: NormalEqSink>(
+    sink: &mut S,
+    off_i: usize,
+    off_j: usize,
+    ev: &crate::factors::ImuEval,
+    w2s: &[f64; STATE_DIM],
+) {
+    const EMPTY: (&[f64], f64) = (&[], 0.0);
+    // Sources in run i: diagonal tail within run i, its mirror, and the
+    // cross block against the full run j.
+    for ti in 0..STATE_DIM {
+        let ci = off_i + ti;
+        let mut tails = [EMPTY; STATE_DIM];
+        let mut crosses = [EMPTY; STATE_DIM];
+        let mut n = 0;
+        for r in 0..STATE_DIM {
+            let v = ev.j_i[r][ti];
+            if v == 0.0 {
+                continue;
+            }
+            let wv = w2s[r] * v;
+            sink.sub_b(ci, wv * ev.residual[r]);
+            tails[n] = (&ev.j_i[r][ti..], wv);
+            crosses[n] = (&ev.j_j[r][..], wv);
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        let tail_len = STATE_DIM - ti;
+        sink.add_a_row_fused(ci, ci, tail_len, &tails[..n]);
+        if tail_len > 1 {
+            let mut mirrors = [EMPTY; STATE_DIM];
+            for (m, t) in mirrors.iter_mut().zip(&tails[..n]) {
+                *m = (&t.0[1..], t.1);
+            }
+            sink.mirror_a_col_fused(ci + 1, ci, tail_len - 1, &mirrors[..n]);
+        }
+        sink.add_a_row_fused(ci, off_j, STATE_DIM, &crosses[..n]);
+        sink.mirror_a_col_fused(off_j, ci, STATE_DIM, &crosses[..n]);
+    }
+    // Sources in run j: only the diagonal tail within run j remains.
+    for tj in 0..STATE_DIM {
+        let ci = off_j + tj;
+        let mut tails = [EMPTY; STATE_DIM];
+        let mut n = 0;
+        for r in 0..STATE_DIM {
+            let v = ev.j_j[r][tj];
+            if v == 0.0 {
+                continue;
+            }
+            let wv = w2s[r] * v;
+            sink.sub_b(ci, wv * ev.residual[r]);
+            tails[n] = (&ev.j_j[r][tj..], wv);
+            n += 1;
+        }
+        if n == 0 {
+            continue;
+        }
+        let tail_len = STATE_DIM - tj;
+        sink.add_a_row_fused(ci, ci, tail_len, &tails[..n]);
+        if tail_len > 1 {
+            let mut mirrors = [EMPTY; STATE_DIM];
+            for (m, t) in mirrors.iter_mut().zip(&tails[..n]) {
+                *m = (&t.0[1..], t.1);
+            }
+            sink.mirror_a_col_fused(ci + 1, ci, tail_len - 1, &mirrors[..n]);
         }
     }
 }
@@ -416,7 +649,7 @@ pub fn evaluate_cost(
         if lm.anchor == obs.keyframe {
             continue;
         }
-        if let Some(ev) = evaluate_visual(
+        if let Some(e) = evaluate_visual_residual(
             &window.keyframes[lm.anchor].pose,
             &window.keyframes[obs.keyframe].pose,
             &lm.bearing,
@@ -425,11 +658,13 @@ pub fn evaluate_cost(
         ) {
             // Same robust gate as `assemble` so LM step acceptance compares
             // like against like (and the `None` path keeps its exact bits).
+            // The residual-only evaluator skips the Jacobian chain rule but
+            // is bit-identical on the residual itself.
             let w2 = match weights.huber_delta {
                 None => wv2,
-                Some(_) => wv2 * weights.visual_robust_scale(ev.residual[0], ev.residual[1]),
+                Some(_) => wv2 * weights.visual_robust_scale(e[0], e[1]),
             };
-            cost += 0.5 * w2 * (ev.residual[0].powi(2) + ev.residual[1].powi(2));
+            cost += 0.5 * w2 * (e[0].powi(2) + e[1].powi(2));
         }
     }
     for cons in &window.imu {

@@ -15,6 +15,7 @@ use crate::window::SlidingWindow;
 use archytas_math::{
     BlockSparseSystem, BlockSpec, Cholesky, DVec, MathError, SchurScratch, SchurSystem,
 };
+use archytas_par::counters::{self, Phase};
 use archytas_par::Pool;
 use std::fmt;
 
@@ -271,19 +272,24 @@ impl SolverWorkspace {
 /// Returns a [`SolveReport`]; the window's keyframes and landmarks are left
 /// at the optimized estimate.
 ///
-/// This goes through the block-sparse pipeline with a transient
-/// [`SolverWorkspace`]; callers solving many windows should hold a workspace
-/// and call [`solve_in_workspace`] to reuse its buffers. Either way the
-/// result is bit-identical to the dense reference path
-/// ([`solve_with`] + [`schur_linear_solver`]).
+/// This goes through the block-sparse pipeline with a thread-local
+/// [`SolverWorkspace`], so repeated calls on one thread reuse the grown
+/// buffers instead of re-faulting ~1 MB of fresh pages per solve; callers
+/// who want explicit control of the buffers' lifetime should hold a
+/// workspace and call [`solve_in_workspace`]. Either way the result is
+/// bit-identical to the dense reference path ([`solve_with`] +
+/// [`schur_linear_solver`]): every buffer is fully overwritten before use.
 pub fn solve(
     window: &mut SlidingWindow,
     weights: &FactorWeights,
     prior: Option<&Prior>,
     config: &LmConfig,
 ) -> SolveReport {
-    let mut ws = SolverWorkspace::new();
-    solve_in_workspace(&mut ws, window, weights, prior, config)
+    thread_local! {
+        static WS: std::cell::RefCell<SolverWorkspace> =
+            std::cell::RefCell::new(SolverWorkspace::new());
+    }
+    WS.with(|ws| solve_in_workspace(&mut ws.borrow_mut(), window, weights, prior, config))
 }
 
 /// Solves the sliding-window MAP problem through the block-sparse normal
@@ -304,7 +310,11 @@ pub fn solve_in_workspace(
     prior: Option<&Prior>,
     config: &LmConfig,
 ) -> SolveReport {
-    let pool = Pool::global();
+    // Calibrated dispatch: the work floor is this machine's measured
+    // fork/join break-even (ARCHYTAS_PAR_MIN_WORK still overrides), so
+    // window-sized kernels never fork into a slowdown. Dispatch changes
+    // timing only — every kernel is bit-identical serial vs. parallel.
+    let pool = Pool::calibrated();
     let mut lambda = config.initial_lambda;
     let mut report = SolveReport {
         iterations: 0,
@@ -313,14 +323,18 @@ pub fn solve_in_workspace(
         converged: false,
         lambda,
         last_step_norm: 0.0,
-        step_norms: Vec::new(),
+        // One accepted step per iteration at most: sized up front so pushes
+        // never reallocate mid-solve.
+        step_norms: Vec::with_capacity(config.max_iterations),
         outcome: SolveOutcome::Converged,
     };
     let mut tracker = OutcomeTracker::default();
 
     for _ in 0..config.max_iterations {
         tracker.begin_iteration();
-        let info = build_block_normal_equations(window, weights, prior, &mut ws.sys);
+        let info = counters::time(Phase::Assembly, || {
+            build_block_normal_equations(window, weights, prior, &mut ws.sys)
+        });
         if report.initial_cost.is_nan() {
             report.initial_cost = info.cost;
         }
@@ -328,7 +342,7 @@ pub fn solve_in_workspace(
 
         let mut accepted = false;
         for _ in 0..=config.max_retries {
-            ws.sys.damp(lambda, DAMP_FLOOR);
+            counters::time(Phase::Damp, || ws.sys.damp(lambda, DAMP_FLOOR));
             if ws
                 .sys
                 .solve_into(&mut ws.scratch, &pool, &mut ws.delta)
@@ -343,9 +357,11 @@ pub fn solve_in_workspace(
                 lambda *= config.lambda_up;
                 continue;
             }
-            ws.candidate.clone_from(window);
-            apply_increment(&mut ws.candidate, &ws.delta);
-            let new_cost = evaluate_cost(&ws.candidate, weights, prior);
+            let new_cost = counters::time(Phase::CostEvaluation, || {
+                ws.candidate.clone_from(window);
+                apply_increment(&mut ws.candidate, &ws.delta);
+                evaluate_cost(&ws.candidate, weights, prior)
+            });
             if !new_cost.is_finite() {
                 tracker.non_finite = true;
             }
@@ -421,7 +437,7 @@ pub fn solve_with_in_workspace(
         converged: false,
         lambda,
         last_step_norm: 0.0,
-        step_norms: Vec::new(),
+        step_norms: Vec::with_capacity(config.max_iterations),
         outcome: SolveOutcome::Converged,
     };
     let mut tracker = OutcomeTracker::default();

@@ -6,9 +6,15 @@
 #
 # It additionally extracts the solver-path records (every `solver/*` case
 # plus the accelerator's `f32_functional_solve`) into BENCH_solver.json and
-# enforces the parallel-dispatch regression gate: the run fails (non-zero
-# exit) when any solver bench at 4 threads is more than 1.25x its 1-thread
-# mean — i.e. when adding threads makes the solver slower.
+# enforces two gates:
+#   - parallel-dispatch regression: any solver bench at 4 threads more than
+#     1.25x its 1-thread mean fails the run (1.05x for the full LM window,
+#     which calibrated dispatch must keep essentially thread-neutral). The
+#     comparison needs real hardware parallelism, so it self-skips (loudly)
+#     below 4 CPUs.
+#   - absolute regression (scripts/perf_gate.sh): the fresh 1-thread solver
+#     means must stay within 1.15x of the checked-in BENCH_solver.json
+#     baseline.
 #
 # Usage: scripts/bench_smoke.sh [output.json] [solver-output.json]
 set -euo pipefail
@@ -19,7 +25,8 @@ SOLVER_OUT="${2:-BENCH_solver.json}"
 BENCHES=(synthesizer solver_iteration accel_sim)
 THREAD_COUNTS=(1 4)
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+PERF_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PERF_TMP"' EXIT
 
 # Formatting gate: the whole workspace must be rustfmt-clean before any
 # benchmark time is spent.
@@ -36,29 +43,41 @@ cargo build -q --release -p archytas-bench --benches
 for bench in "${BENCHES[@]}"; do
     for threads in "${THREAD_COUNTS[@]}"; do
         echo "running $bench (ARCHYTAS_THREADS=$threads, --quick)..." >&2
-        ARCHYTAS_THREADS="$threads" \
-            cargo bench -q -p archytas-bench --bench "$bench" -- --quick \
-            | sed -n "s/^BENCHJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"result\":/p" \
-            | sed 's/$/}/' >> "$TMP"
+        RAW="$(ARCHYTAS_THREADS="$threads" \
+            cargo bench -q -p archytas-bench --bench "$bench" -- --quick)"
+        sed -n "s/^BENCHJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"result\":/p" \
+            <<<"$RAW" | sed 's/$/}/' >> "$TMP"
+        # Per-phase perf-counter attribution (assembly vs factorization vs
+        # back-substitution ...), emitted by bench bins that enable the
+        # archytas-par counters.
+        sed -n "s/^PERFJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"counters\":/p" \
+            <<<"$RAW" | sed 's/$/}/' >> "$PERF_TMP"
     done
 done
 
-# Assemble a single JSON document: one record per (threads, bench, case).
+# Assemble a single JSON document: one record per (threads, bench, case),
+# plus the per-phase counter attribution for benches that report it.
 {
     echo '{"schema":"archytas-bench-smoke-v1","records":['
     paste -sd, - < "$TMP"
+    echo '],"perf_phases":['
+    paste -sd, - < "$PERF_TMP"
     echo ']}'
 } > "$OUT"
 
 count="$(wc -l < "$TMP")"
 echo "wrote $OUT ($count records)" >&2
 
-# Solver extract + 4-thread regression gate.
-python3 - "$OUT" "$SOLVER_OUT" <<'PY'
+# Solver extract + 4-thread regression gate. Like the fleet throughput
+# gate, the thread-scaling comparison needs real hardware parallelism to be
+# meaningful, so it self-skips (loudly) below 4 CPUs; the solver extract is
+# still written either way.
+CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+python3 - "$OUT" "$SOLVER_OUT" "$CPUS" <<'PY'
 import json
 import sys
 
-src, dst = sys.argv[1], sys.argv[2]
+src, dst, cpus = sys.argv[1], sys.argv[2], int(sys.argv[3])
 doc = json.load(open(src))
 
 def is_solver(rec):
@@ -73,10 +92,20 @@ json.dump(
 )
 print(f"wrote {dst} ({len(records)} records)", file=sys.stderr)
 
+if cpus < 4:
+    print(f"solver 4-thread regression gate SKIPPED: need >=4 CPUs for a "
+          f"meaningful 4t/1t comparison, machine has {cpus}", file=sys.stderr)
+    sys.exit(0)
+
 # Gate: every solver/* case at 4 threads must stay within 1.25x of its
 # 1-thread mean. A violation means parallel dispatch is mis-granulated
-# (fork/join overhead exceeding the work it distributes).
+# (fork/join overhead exceeding the work it distributes). The full LM
+# window gets a much tighter limit: calibrated dispatch keeps window-sized
+# kernels serial, so adding threads must leave it essentially unchanged —
+# the old 1.25x limit let a 7.6 ms-vs-6.7 ms (1.14x) regression through.
 LIMIT = 1.25
+LM_LIMIT = 1.05
+LM_CASE = "solver/lm_full_window_6_iterations"
 means = {}
 for r in records:
     means[(r["result"]["name"], r["threads"])] = r["result"]["mean_ns"]
@@ -88,11 +117,12 @@ for (name, threads), mean in sorted(means.items()):
     base = means.get((name, 1))
     if base is None or base <= 0.0:
         continue
+    limit = LM_LIMIT if name == LM_CASE else LIMIT
     ratio = mean / base
-    status = "FAIL" if ratio > LIMIT else "ok"
-    print(f"  {status}  {name}: 4t/1t = {ratio:.3f} "
-          f"({mean / 1e6:.3f} ms vs {base / 1e6:.3f} ms)", file=sys.stderr)
-    if ratio > LIMIT:
+    status = "FAIL" if ratio > limit else "ok"
+    print(f"  {status}  {name}: 4t/1t = {ratio:.3f} (limit {limit:.2f}, "
+          f"{mean / 1e6:.3f} ms vs {base / 1e6:.3f} ms)", file=sys.stderr)
+    if ratio > limit:
         failures.append(name)
 
 if failures:
@@ -101,6 +131,10 @@ if failures:
     sys.exit(1)
 print("solver 4-thread regression gate passed", file=sys.stderr)
 PY
+
+# Absolute regression gate: the fresh solver means must stay within
+# tolerance of the committed BENCH_solver.json baseline.
+scripts/perf_gate.sh "$SOLVER_OUT"
 
 # Fault-matrix robustness smoke rides along (writes BENCH_faults.json and
 # enforces the 3x-nominal RMSE and pool-size determinism gates).

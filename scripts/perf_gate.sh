@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Absolute solver-performance gate: compares a freshly generated
+# BENCH_solver.json against the checked-in baseline and fails (non-zero
+# exit) when any bench case regressed beyond the tolerance (default 1.15x
+# per bench mean, override with PERF_GATE_TOLERANCE).
+#
+# The baseline defaults to the committed copy of BENCH_solver.json (git
+# HEAD) — bench_smoke.sh overwrites the working-tree file in place, so the
+# committed copy is the only durable reference point. Pass an explicit
+# baseline path to compare against something else.
+#
+# Thread handling: 1-thread records are always gated (they are meaningful
+# on any machine); 4-thread records are gated only on >=4-CPU machines,
+# where their scheduling is real rather than timeslicing noise.
+#
+# Usage: scripts/perf_gate.sh [fresh.json] [baseline.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FRESH="${1:-BENCH_solver.json}"
+BASELINE="${2:-}"
+TOLERANCE="${PERF_GATE_TOLERANCE:-1.15}"
+CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+if [ -z "$BASELINE" ]; then
+    TMP="$(mktemp)"
+    trap 'rm -f "$TMP"' EXIT
+    if ! git show HEAD:BENCH_solver.json > "$TMP" 2>/dev/null; then
+        echo "perf gate SKIPPED: no committed BENCH_solver.json to baseline against" >&2
+        exit 0
+    fi
+    BASELINE="$TMP"
+fi
+
+python3 - "$FRESH" "$BASELINE" "$TOLERANCE" "$CPUS" <<'PY'
+import json
+import sys
+
+fresh_path, base_path, tol, cpus = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), int(sys.argv[4]))
+
+def index(path):
+    doc = json.load(open(path))
+    return {
+        (r["result"]["name"], r["threads"]): r["result"]["mean_ns"]
+        for r in doc["records"]
+    }
+
+fresh = index(fresh_path)
+base = index(base_path)
+
+failures = []
+compared = 0
+for (name, threads), mean in sorted(fresh.items()):
+    ref = base.get((name, threads))
+    if ref is None or ref <= 0.0:
+        print(f"  new   {name} ({threads}t): {mean / 1e6:.3f} ms "
+              f"(no baseline record)", file=sys.stderr)
+        continue
+    ratio = mean / ref
+    gated = threads == 1 or cpus >= 4
+    compared += gated
+    status = "FAIL" if (gated and ratio > tol) else ("info" if not gated else "ok")
+    print(f"  {status:<4}  {name} ({threads}t): fresh/baseline = {ratio:.3f} "
+          f"({mean / 1e6:.3f} ms vs {ref / 1e6:.3f} ms)", file=sys.stderr)
+    if gated and ratio > tol:
+        failures.append(f"{name} ({threads}t)")
+
+if compared == 0:
+    print("perf gate SKIPPED: no comparable records between fresh and "
+          "baseline", file=sys.stderr)
+    sys.exit(0)
+if failures:
+    print(f"perf gate FAILED (tolerance {tol:.2f}x): {', '.join(failures)}",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"perf gate passed ({compared} record(s) within {tol:.2f}x of the "
+      f"committed baseline)", file=sys.stderr)
+PY

@@ -4,17 +4,30 @@
 //! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
 //! `bench_with_input`, `sample_size` and [`Bencher::iter`].
 //!
-//! Measurement model: every benchmark is warmed up once, then timed for
-//! `sample_size` samples; each sample batches enough iterations to be
-//! clock-resolvable. Besides the human-readable line, each benchmark emits a
-//! machine-readable `BENCHJSON {...}` line that `scripts/bench_smoke.sh`
-//! collects into `BENCH_par.json`.
+//! Measurement model: every benchmark runs untimed warm-up batches (so
+//! caches, branch predictors and lazily-grown workspace buffers reach steady
+//! state), then is timed for `sample_size` samples; each sample batches
+//! enough iterations to be clock-resolvable. The mean *and* the per-sample
+//! standard deviation are reported — a mean without spread cannot be gated
+//! on. Besides the human-readable line, each benchmark emits a
+//! machine-readable `BENCHJSON {...}` line (`mean_ns`, `stddev_ns`,
+//! `samples`) that `scripts/bench_smoke.sh` collects into `BENCH_par.json`.
 //!
-//! CLI: `--quick` (or env `ARCHYTAS_BENCH_QUICK=1`) cuts samples to a
-//! minimum for smoke runs; all other flags cargo passes are ignored.
+//! CLI: `--quick` (or env `ARCHYTAS_BENCH_QUICK=1`) caps samples at
+//! [`QUICK_SAMPLES`] (never below 10 — two-sample smoke means proved too
+//! noisy to compare against baselines); all other flags cargo passes are
+//! ignored.
 
 use std::fmt::Display;
 use std::time::Instant;
+
+/// Samples per benchmark in `--quick` (smoke) mode. Ten is the floor at
+/// which a mean/stddev pair is stable enough for the 1.15–1.25x regression
+/// gates in `scripts/`; the previous quick mode's two samples were not.
+pub const QUICK_SAMPLES: usize = 10;
+
+/// Untimed warm-up batches executed before the first timed sample.
+const WARMUP_BATCHES: u64 = 3;
 
 /// Benchmark identifier (`function_name/parameter`).
 #[derive(Debug, Clone)]
@@ -91,20 +104,26 @@ impl BenchmarkGroup<'_> {
 
     fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
         let samples = if self.criterion.quick {
-            2
+            QUICK_SAMPLES
         } else {
-            self.sample_size
+            // A configured size below the quick floor would be noisier than
+            // the smoke runs it is compared against; clamp up.
+            self.sample_size.max(QUICK_SAMPLES)
         };
         let mut bencher = Bencher {
             samples,
             mean_ns: 0.0,
+            stddev_ns: 0.0,
         };
         f(&mut bencher);
         let full = format!("{}/{}", self.name, id);
-        println!("{full:<50} time: {:>12.1} ns/iter", bencher.mean_ns);
         println!(
-            "BENCHJSON {{\"name\":\"{full}\",\"mean_ns\":{:.1},\"samples\":{samples}}}",
-            bencher.mean_ns
+            "{full:<50} time: {:>12.1} ns/iter (+/- {:.1})",
+            bencher.mean_ns, bencher.stddev_ns
+        );
+        println!(
+            "BENCHJSON {{\"name\":\"{full}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"samples\":{samples}}}",
+            bencher.mean_ns, bencher.stddev_ns
         );
     }
 }
@@ -114,29 +133,50 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: usize,
     mean_ns: f64,
+    stddev_ns: f64,
 }
 
 impl Bencher {
     /// Times `routine`, batching iterations so each sample is
-    /// clock-resolvable.
+    /// clock-resolvable. Runs [`WARMUP_BATCHES`] untimed batches first, then
+    /// records one ns/iter value per sample; the reported mean and standard
+    /// deviation are taken over those per-sample values.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
-        // Warm-up + batch sizing: target ≥ ~1 ms per sample.
+        // Batch sizing from one untimed call: target ≥ ~1 ms per sample.
         let start = Instant::now();
         std::hint::black_box(routine());
         let once_ns = start.elapsed().as_nanos().max(1) as f64;
         let batch = ((1_000_000.0 / once_ns).ceil() as u64).clamp(1, 1_000_000);
 
-        let mut total_ns = 0.0;
-        let mut iters = 0u64;
+        // Warm-up proper: untimed batches so caches, branch predictors and
+        // lazily-grown workspace buffers reach steady state before the
+        // first timed sample (the first call above already paid any
+        // one-time setup, but not the steady-state warmup).
+        for _ in 0..WARMUP_BATCHES * batch {
+            std::hint::black_box(routine());
+        }
+
+        let mut sample_means = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let t = Instant::now();
             for _ in 0..batch {
                 std::hint::black_box(routine());
             }
-            total_ns += t.elapsed().as_nanos() as f64;
-            iters += batch;
+            sample_means.push(t.elapsed().as_nanos() as f64 / batch as f64);
         }
-        self.mean_ns = total_ns / iters as f64;
+        let n = sample_means.len() as f64;
+        self.mean_ns = sample_means.iter().sum::<f64>() / n;
+        // Sample (n−1) standard deviation of the per-sample means.
+        self.stddev_ns = if sample_means.len() > 1 {
+            let var = sample_means
+                .iter()
+                .map(|m| (m - self.mean_ns).powi(2))
+                .sum::<f64>()
+                / (n - 1.0);
+            var.sqrt()
+        } else {
+            0.0
+        };
     }
 }
 
