@@ -3,7 +3,9 @@
 //! a full LM pass.
 
 use archytas_dataset::{kitti_sequences, PipelineConfig, VioPipeline};
-use archytas_math::{BlockSparseSystem, SchurScratch};
+use archytas_math::fixed::{self, sub_scaled_panel, syrk_scatter};
+use archytas_math::kernels::sub_scaled;
+use archytas_math::{BlockSparseSystem, Cholesky, DMat, SchurScratch};
 use archytas_par::{counters, Pool};
 use archytas_slam::{
     build_block_normal_equations, build_normal_equations, schur_linear_solver, solve,
@@ -66,6 +68,156 @@ fn bench_solver(c: &mut Criterion) {
             sys.solve_into(&mut scratch, &pool, &mut delta)
                 .expect("solvable");
             black_box(&delta);
+        })
+    });
+
+    // Per-kernel microbenches: each deployed fixed-width form against an
+    // open-coded replay of the slice predecessor on identical operands, so
+    // BENCH_solver.json records the two means side by side and the perf gate
+    // tracks the kernels independently of the end-to-end phases.
+    let n_blk6 = 64;
+    let mut dst6 = vec![0.25f64; 6 * n_blk6];
+    let src6a: Vec<f64> = (0..6 * n_blk6)
+        .map(|i| (i % 7) as f64 * 0.25 - 0.5)
+        .collect();
+    let src6b: Vec<f64> = (0..6 * n_blk6)
+        .map(|i| (i % 5) as f64 * 0.5 - 1.0)
+        .collect();
+    group.bench_function("kernel_mac6_fixed", |b| {
+        b.iter(|| {
+            for blk in 0..n_blk6 {
+                let at = blk * 6;
+                fixed::Vec::<f64, 6>::from_mut_slice(&mut dst6[at..]).axpy_skip2(
+                    fixed::Vec::from_slice(&src6a[at..]),
+                    0.75,
+                    fixed::Vec::from_slice(&src6b[at..]),
+                    -0.25,
+                );
+            }
+            black_box(&mut dst6);
+        })
+    });
+    group.bench_function("kernel_mac6_slice", |b| {
+        b.iter(|| {
+            for blk in 0..n_blk6 {
+                let at = blk * 6;
+                for (src, s) in [(&src6a, 0.75), (&src6b, -0.25)] {
+                    for t in 0..6 {
+                        let v = src[at + t];
+                        if v != 0.0 {
+                            dst6[at + t] += s * v;
+                        }
+                    }
+                }
+            }
+            black_box(&mut dst6);
+        })
+    });
+
+    let n_blk15 = 32;
+    let mut dst15 = vec![0.25f64; 15 * n_blk15];
+    let src15: Vec<f64> = (0..15 * n_blk15)
+        .map(|i| (i % 11) as f64 * 0.125 - 0.5)
+        .collect();
+    group.bench_function("kernel_mac15_fixed", |b| {
+        b.iter(|| {
+            for blk in 0..n_blk15 {
+                let at = blk * 15;
+                fixed::Vec::<f64, 15>::from_mut_slice(&mut dst15[at..])
+                    .axpy_skip(fixed::Vec::from_slice(&src15[at..]), 0.375);
+            }
+            black_box(&mut dst15);
+        })
+    });
+    group.bench_function("kernel_mac15_slice", |b| {
+        b.iter(|| {
+            for blk in 0..n_blk15 {
+                let at = blk * 15;
+                for t in 0..15 {
+                    let v = src15[at + t];
+                    if v != 0.0 {
+                        dst15[at + t] += 0.375 * v;
+                    }
+                }
+            }
+            black_box(&mut dst15);
+        })
+    });
+
+    // Rank-6 SYRK block scatter (the Schur elimination inner kernel): one
+    // 6-high W block row applied at four block columns of a 6 x 128 panel.
+    let pitch = 128;
+    let mut syrk_rows = vec![0.5f64; 6 * pitch];
+    let syrk_cols: Vec<u32> = vec![0, 30, 60, 90];
+    let syrk_vals: Vec<f64> = (0..6 * 4).map(|i| (i % 9) as f64 * 0.25 - 1.0).collect();
+    let syrk_s = [0.5, -0.25, 0.0, 1.5, 0.125, -1.0];
+    group.bench_function("kernel_syrk6_fixed", |b| {
+        b.iter(|| {
+            syrk_scatter::<f64, 6>(&mut syrk_rows, pitch, &syrk_s, &syrk_cols, &syrk_vals);
+            black_box(&mut syrk_rows);
+        })
+    });
+    group.bench_function("kernel_syrk6_slice", |b| {
+        b.iter(|| {
+            for t in 0..6 {
+                if syrk_s[t] == 0.0 {
+                    continue;
+                }
+                for (bj, &c0) in syrk_cols.iter().enumerate() {
+                    for i in 0..6 {
+                        syrk_rows[t * pitch + c0 as usize + i] += syrk_s[t] * syrk_vals[bj * 6 + i];
+                    }
+                }
+            }
+            black_box(&mut syrk_rows);
+        })
+    });
+
+    // PANEL-wide fused trailing update vs eight sequential rank-1 sweeps.
+    let mut panel_dst = vec![1.0f64; 256];
+    let panel_srcs: Vec<Vec<f64>> = (0..8)
+        .map(|k| {
+            (0..256)
+                .map(|i| ((i + k) % 13) as f64 * 0.0625 - 0.375)
+                .collect()
+        })
+        .collect();
+    let panel_a = [0.5, -0.25, 0.125, 0.75, -0.5, 0.25, -0.125, 0.0625];
+    group.bench_function("kernel_panel8_fixed", |b| {
+        b.iter(|| {
+            let refs: [&[f64]; 8] = std::array::from_fn(|k| panel_srcs[k].as_slice());
+            sub_scaled_panel::<f64, 8>(&mut panel_dst, &refs, &panel_a);
+            black_box(&mut panel_dst);
+        })
+    });
+    group.bench_function("kernel_panel8_slice", |b| {
+        b.iter(|| {
+            for k in 0..8 {
+                sub_scaled(&mut panel_dst, &panel_srcs[k], panel_a[k]);
+            }
+            black_box(&mut panel_dst);
+        })
+    });
+
+    // The blocked in-place refactorization the LM loop runs every iteration
+    // (panel sweeps + fused trailing updates) on a Schur-complement-sized
+    // SPD matrix.
+    let nq = 64;
+    let spd = {
+        let mut m = DMat::zeros(nq, nq);
+        for r in 0..nq {
+            for c in 0..nq {
+                let v = 0.02 / (1.0 + (r as f64 - c as f64).abs());
+                m.set(r, c, if r == c { 2.0 + v } else { v });
+            }
+        }
+        m
+    };
+    let mut chol = Cholesky::factor(&spd).expect("SPD");
+    group.bench_function("kernel_panel_factor", |b| {
+        b.iter(|| {
+            chol.refactor_with(black_box(&spd), &pool).expect("SPD");
+            black_box(&mut chol);
         })
     });
 

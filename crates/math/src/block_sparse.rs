@@ -40,6 +40,7 @@
 
 use crate::cholesky::Cholesky;
 use crate::error::{MathError, Result};
+use crate::fixed;
 use crate::kernels;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -134,7 +135,7 @@ impl<T: Scalar> BlockSparseSystem<T> {
             "block height {kb} must be in 1..={stride}"
         );
         assert!(
-            q % stride == 0,
+            q.is_multiple_of(stride),
             "pose dimension {q} is not a multiple of the stride {stride}"
         );
         self.p = p;
@@ -329,6 +330,162 @@ impl<T: Scalar> BlockSparseSystem<T> {
         );
     }
 
+    /// Fused whole-observation scatter of one visual factor in the SLAM
+    /// layout: landmark `lm`'s rank-2 contribution through its two residual
+    /// rows, touching the `U` diagonal, `bx`, two 6-high `W` runs (pose rows
+    /// `rf` and `rs`, `rf < rs`), `by`, and the upper-triangle `V` blocks.
+    ///
+    /// `jr` holds the two rows' inverse-depth Jacobians, `f`/`s` their
+    /// 6-wide pose-tangent runs, `e` the residuals and `w2` the shared
+    /// squared weight. Bit-identical to the generic per-source-column
+    /// scatter (the `scatter_runs2` replay through the single-entry sink
+    /// methods): every destination cell receives the same guarded
+    /// multiply-adds in the same row-0-then-row-1 order, including the
+    /// single-row fallbacks where one residual row's Jacobian is zero at a
+    /// source column. What changes is only the plumbing — the `V` row is
+    /// resolved once per source column instead of once per sink call, and
+    /// the always-6-wide cross runs go straight to the unrolled kernels.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics unless `kb == 6` (callers dispatch on the layout).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_visual_obs6(
+        &mut self,
+        lm: usize,
+        rf: usize,
+        rs: usize,
+        jr: [T; 2],
+        f: [&[T; 6]; 2],
+        s: [&[T; 6]; 2],
+        e: [T; 2],
+        w2: T,
+    ) {
+        debug_assert_eq!(self.kb, 6, "fused visual scatter requires kb = 6");
+        debug_assert!(rf < rs, "pose runs must arrive in ascending order");
+        // Source column 1: the inverse depth. Primaries land on U and bx;
+        // the mirrors of the pose cross terms are the W runs' only storage.
+        let (v0, v1) = (jr[0], jr[1]);
+        if v0 != T::ZERO || v1 != T::ZERO {
+            let wv0 = w2 * v0;
+            let wv1 = w2 * v1;
+            if v0 != T::ZERO {
+                self.bx[lm] -= wv0 * e[0];
+            }
+            if v1 != T::ZERO {
+                self.bx[lm] -= wv1 * e[1];
+            }
+            // Pose runs start at keyframe offsets, i.e. block starts — no
+            // `% stride` round-down needed. Resolving `rf` before `rs`
+            // matches the sequential `add_w_run*` lookups (and `rs > rf`
+            // keeps the first position valid across a second-block insert).
+            debug_assert_eq!(rf % self.stride, 0);
+            debug_assert_eq!(rs % self.stride, 0);
+            let pf = 6 * self.w_block_pos(lm, rf);
+            let ps = 6 * self.w_block_pos(lm, rs);
+            let wv = &mut self.w_vals[lm];
+            if v0 != T::ZERO && v1 != T::ZERO {
+                self.u[lm] += wv0 * v0;
+                self.u[lm] += wv1 * v1;
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[pf..]).axpy_skip2(
+                    fixed::Vec::from_slice(f[0]),
+                    wv0,
+                    fixed::Vec::from_slice(f[1]),
+                    wv1,
+                );
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[ps..]).axpy_skip2(
+                    fixed::Vec::from_slice(s[0]),
+                    wv0,
+                    fixed::Vec::from_slice(s[1]),
+                    wv1,
+                );
+            } else if v0 != T::ZERO {
+                self.u[lm] += wv0 * v0;
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[pf..])
+                    .axpy_skip(fixed::Vec::from_slice(f[0]), wv0);
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[ps..])
+                    .axpy_skip(fixed::Vec::from_slice(s[0]), wv0);
+            } else {
+                self.u[lm] += wv1 * v1;
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[pf..])
+                    .axpy_skip(fixed::Vec::from_slice(f[1]), wv1);
+                fixed::Vec::<T, 6>::from_mut_slice(&mut wv[ps..])
+                    .axpy_skip(fixed::Vec::from_slice(s[1]), wv1);
+            }
+        }
+        // Source columns in the pose runs. Each column's diagonal-block tail
+        // has a compile-time length (`6 - TI`), so the per-column bodies are
+        // expanded by macro with every kernel call fully unrolled — the
+        // guarded multiply-add sequence per cell is exactly the generic
+        // loop's (the unrolled and the runtime-length forms are bitwise
+        // interchangeable, see the `kernel_equivalence` suite).
+        let q = self.q;
+        let by = &mut self.by[..q];
+        let vdat = self.v.as_mut_slice();
+        // First run: upper diagonal-block tail plus the full 6-wide cross
+        // block against the second run. `$cross: true` emits the cross part.
+        macro_rules! pose_col {
+            ($j0:expr, $j1:expr, $r0:expr, $cross:expr, $ti:literal) => {{
+                const TI: usize = $ti;
+                let (v0, v1) = ($j0[TI], $j1[TI]);
+                if v0 != T::ZERO || v1 != T::ZERO {
+                    let ri = $r0 + TI;
+                    let wv0 = w2 * v0;
+                    let wv1 = w2 * v1;
+                    if v0 != T::ZERO {
+                        by[ri] -= wv0 * e[0];
+                    }
+                    if v1 != T::ZERO {
+                        by[ri] -= wv1 * e[1];
+                    }
+                    let row = &mut vdat[ri * q..(ri + 1) * q];
+                    let tail0: &[T; 6 - TI] = (&$j0[TI..]).try_into().unwrap();
+                    let tail1: &[T; 6 - TI] = (&$j1[TI..]).try_into().unwrap();
+                    let dtail = fixed::Vec::<T, { 6 - TI }>::from_mut_slice(&mut row[ri..]);
+                    if v0 != T::ZERO && v1 != T::ZERO {
+                        dtail.axpy_skip2(
+                            fixed::Vec::from_slice(tail0),
+                            wv0,
+                            fixed::Vec::from_slice(tail1),
+                            wv1,
+                        );
+                        if $cross {
+                            fixed::Vec::<T, 6>::from_mut_slice(&mut row[rs..]).axpy_skip2(
+                                fixed::Vec::from_slice(s[0]),
+                                wv0,
+                                fixed::Vec::from_slice(s[1]),
+                                wv1,
+                            );
+                        }
+                    } else if v0 != T::ZERO {
+                        dtail.axpy_skip(fixed::Vec::from_slice(tail0), wv0);
+                        if $cross {
+                            fixed::Vec::<T, 6>::from_mut_slice(&mut row[rs..])
+                                .axpy_skip(fixed::Vec::from_slice(s[0]), wv0);
+                        }
+                    } else {
+                        dtail.axpy_skip(fixed::Vec::from_slice(tail1), wv1);
+                        if $cross {
+                            fixed::Vec::<T, 6>::from_mut_slice(&mut row[rs..])
+                                .axpy_skip(fixed::Vec::from_slice(s[1]), wv1);
+                        }
+                    }
+                }
+            }};
+            ($j0:expr, $j1:expr, $r0:expr, $cross:expr) => {
+                pose_col!($j0, $j1, $r0, $cross, 0);
+                pose_col!($j0, $j1, $r0, $cross, 1);
+                pose_col!($j0, $j1, $r0, $cross, 2);
+                pose_col!($j0, $j1, $r0, $cross, 3);
+                pose_col!($j0, $j1, $r0, $cross, 4);
+                pose_col!($j0, $j1, $r0, $cross, 5);
+            };
+        }
+        pose_col!(f[0], f[1], rf, true);
+        // Second run: only its diagonal-block tail remains.
+        pose_col!(s[0], s[1], rs, false);
+    }
+
     /// Subtracts `val` from the landmark right-hand side `bx[j]` (the scatter
     /// convention of Gauss–Newton assembly: `b -= Jᵀ·W·e`).
     pub fn sub_bx(&mut self, j: usize, val: T) {
@@ -365,7 +522,7 @@ impl<T: Scalar> BlockSparseSystem<T> {
             Err(pos) => {
                 rows.insert(pos, b0 as u32);
                 let at = pos * self.kb;
-                self.w_vals[lm].splice(at..at, std::iter::repeat(T::ZERO).take(self.kb));
+                self.w_vals[lm].splice(at..at, std::iter::repeat_n(T::ZERO, self.kb));
                 pos
             }
         };
@@ -433,8 +590,13 @@ impl<T: Scalar> BlockSparseSystem<T> {
     ) -> Result<()> {
         let (p, q, kb) = (self.p, self.q, self.kb);
         counters::time(Phase::SchurProduct, || self.schur_reduce(scratch, pool))?;
+        // The reduced system S = V − prod is factored straight from its two
+        // operands — never materialized — with the identical per-element
+        // subtraction the explicit Schur matrix would have stored.
         counters::time(Phase::Factorization, || {
-            scratch.chol.refactor_with(&scratch.schur, pool)
+            scratch
+                .chol
+                .refactor_diff_with(&self.v, &scratch.prod, pool)
         })?;
         counters::time(Phase::BackSubstitution, || {
             let SchurScratch {
@@ -450,17 +612,25 @@ impl<T: Scalar> BlockSparseSystem<T> {
             // Back-substitute: U·δpx = bx − Wᵀ·δpy, then concatenate.
             out.resize_fill(p + q, T::ZERO);
             let o = out.as_mut_slice();
+            let dy_s = dy.as_slice();
             for lm in 0..p {
                 let mut acc = T::ZERO;
                 let vals = &self.w_vals[lm];
                 for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
-                    for t in 0..kb {
-                        let vi = dy[r0 as usize + t];
-                        // transpose_mat_vec's zero-row skip.
-                        if vi == T::ZERO {
-                            continue;
+                    if kb == 6 {
+                        // Unrolled branchless fold; same serial accumulation
+                        // order and skip guard as the loop below.
+                        acc = fixed::Vec::<T, 6>::from_slice(&vals[bi * 6..])
+                            .dot_skip_fold(fixed::Vec::from_slice(&dy_s[r0 as usize..]), acc);
+                    } else {
+                        for t in 0..kb {
+                            let vi = dy_s[r0 as usize + t];
+                            // transpose_mat_vec's zero-row skip.
+                            if vi == T::ZERO {
+                                continue;
+                            }
+                            acc += vals[bi * kb + t] * vi;
                         }
-                        acc += vals[bi * kb + t] * vi;
                     }
                 }
                 o[lm] = uinv[lm] * (self.bx[lm] - acc);
@@ -471,8 +641,10 @@ impl<T: Scalar> BlockSparseSystem<T> {
     }
 
     /// The Schur-reduction half of [`BlockSparseSystem::solve_into`]: fills
-    /// `scratch` with `U⁻¹`, the reduced system `S = V − W·U⁻¹·Wᵀ` and its
-    /// right-hand side.
+    /// `scratch` with `U⁻¹`, the elimination product `W·U⁻¹·Wᵀ` and the
+    /// reduced right-hand side. The reduced system `S = V − W·U⁻¹·Wᵀ` itself
+    /// is never materialized — the factorization seeds its work buffer with
+    /// the difference directly ([`Cholesky::refactor_diff_with`]).
     ///
     /// Two equivalent elimination kernels share this function. The serial
     /// one sweeps landmark-major — for each landmark, one rank-1 update of
@@ -562,31 +734,44 @@ impl<T: Scalar> BlockSparseSystem<T> {
             // instead of once per (pose row, landmark) gather, and every
             // inner write is a fused kb-wide row run.
             let prod = &mut scratch.prod;
+            let prod_s = prod.as_mut_slice();
             for lm in 0..p {
                 let rows = &self.w_rows[lm];
                 let vals = &self.w_vals[lm];
                 let ui = scratch.uinv[lm];
-                for (bi, &r0) in rows.iter().enumerate() {
-                    let r0 = r0 as usize;
-                    for t in 0..kb {
-                        // Same operand order as the dense path: (w·u⁻¹)
-                        // first, and the same skip as try_mul's
-                        // zero-multiplicand test.
-                        let s = vals[bi * kb + t] * ui;
-                        if s == T::ZERO {
-                            continue;
-                        }
-                        let prow = prod.row_mut(r0 + t);
-                        if kb == 6 {
-                            // The sliding window's block height, unrolled.
-                            for (bj, &c0) in rows.iter().enumerate() {
-                                kernels::add_scaled_fixed::<T, 6>(
-                                    &mut prow[c0 as usize..],
-                                    &vals[bj * 6..],
-                                    s,
-                                );
+                if kb == 6 {
+                    // The sliding window's block height: the whole 6-high
+                    // block-pair update runs through the unrolled
+                    // fixed-width SYRK kernel. Per destination cell one
+                    // landmark contributes exactly one multiply-add, so the
+                    // kernel's block-column-major loop order is
+                    // bit-identical to the row-major fallback below (see
+                    // `fixed::syrk_scatter`); the per-row scale is the same
+                    // `(w·u⁻¹)`-first product, with zero rows skipped like
+                    // the fallback's `continue`.
+                    for (bi, &r0) in rows.iter().enumerate() {
+                        let r0 = r0 as usize;
+                        let s: [T; 6] = core::array::from_fn(|t| vals[bi * 6 + t] * ui);
+                        fixed::syrk_scatter::<T, 6>(
+                            &mut prod_s[r0 * q..(r0 + 6) * q],
+                            q,
+                            &s,
+                            rows,
+                            vals,
+                        );
+                    }
+                } else {
+                    for (bi, &r0) in rows.iter().enumerate() {
+                        let r0 = r0 as usize;
+                        for t in 0..kb {
+                            // Same operand order as the dense path: (w·u⁻¹)
+                            // first, and the same skip as try_mul's
+                            // zero-multiplicand test.
+                            let s = vals[bi * kb + t] * ui;
+                            if s == T::ZERO {
+                                continue;
                             }
-                        } else {
+                            let prow = &mut prod_s[(r0 + t) * q..(r0 + t + 1) * q];
                             for (bj, &c0) in rows.iter().enumerate() {
                                 let c0 = c0 as usize;
                                 kernels::add_scaled(
@@ -611,8 +796,14 @@ impl<T: Scalar> BlockSparseSystem<T> {
                 let vals = &self.w_vals[lm];
                 for (bi, &r0) in self.w_rows[lm].iter().enumerate() {
                     let r0 = r0 as usize;
-                    for t in 0..kb {
-                        scratch.racc[r0 + t] += vals[bi * kb + t] * s2;
+                    if kb == 6 {
+                        // Unrolled, with the sweep's src-first operand order.
+                        fixed::Vec::<T, 6>::from_mut_slice(&mut scratch.racc[r0..])
+                            .axpy_src_s(fixed::Vec::from_slice(&vals[bi * 6..]), s2);
+                    } else {
+                        for t in 0..kb {
+                            scratch.racc[r0 + t] += vals[bi * kb + t] * s2;
+                        }
                     }
                 }
             }
@@ -620,16 +811,6 @@ impl<T: Scalar> BlockSparseSystem<T> {
             for ((rh, &b), &acc) in rhs.iter_mut().zip(&self.by).zip(&scratch.racc) {
                 *rh = b - acc;
             }
-        }
-        scratch.schur.reset_zeros(q, q);
-        for ((s, &vv), &pp) in scratch
-            .schur
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.v.as_slice())
-            .zip(scratch.prod.as_slice())
-        {
-            *s = vv - pp;
         }
         Ok(())
     }
@@ -719,7 +900,6 @@ pub struct SchurScratch<T: Scalar> {
     row_cur: Vec<u32>,
     row_ent: Vec<(u32, u32)>,
     prod: Matrix<T>,
-    schur: Matrix<T>,
     rhs: Vector<T>,
     chol: Cholesky<T>,
     /// Forward-substitution intermediate and pose solution of the reduced
@@ -738,7 +918,6 @@ impl<T: Scalar> Default for SchurScratch<T> {
             row_cur: Vec::new(),
             row_ent: Vec::new(),
             prod: Matrix::zeros(0, 0),
-            schur: Matrix::zeros(0, 0),
             rhs: Vector::zeros(0),
             chol: Cholesky::default(),
             ytmp: Vector::zeros(0),
@@ -767,7 +946,7 @@ mod tests {
         }
         for r in 0..q {
             s.add_v(r, r, 10.0 + r as f64 * 0.5);
-            s.sub_by(r, (r as f64 * 0.7 - 2.0) * -1.0);
+            s.sub_by(r, -(r as f64 * 0.7 - 2.0));
             for c in (r + 1)..q {
                 let v = 0.3 / (1.0 + (r as f64 - c as f64).abs());
                 s.add_v(r, c, v);

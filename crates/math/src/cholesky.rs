@@ -8,6 +8,7 @@
 //! model cannot drift apart.
 
 use crate::error::{MathError, Result};
+use crate::fixed;
 use crate::kernels;
 use crate::matrix::Matrix;
 use crate::scalar::Scalar;
@@ -16,11 +17,14 @@ use crate::vector::Vector;
 use archytas_par::Pool;
 
 /// Column-panel width of the blocked trailing update in
-/// [`Cholesky::refactor_with`]. Four columns per sweep lets the update kernel
-/// apply a rank-4 modification per trailing-row traversal — a 4× reduction in
-/// trailing-matrix memory traffic — while [`kernels::sub_scaled4`] keeps the
-/// per-element subtraction sequence of the unblocked loop.
-const PANEL: usize = 4;
+/// [`Cholesky::refactor_with`]. Eight columns per sweep lets the update
+/// kernel apply a rank-8 modification per trailing-row traversal — an 8×
+/// reduction in trailing-matrix memory traffic over the unblocked loop —
+/// while the const-generic [`fixed::sub_scaled_panel`] keeps the per-element
+/// subtraction sequence of the unblocked formulation (the panel width only
+/// moves *when* a subtraction happens, never its operands or its position in
+/// an element's sequence, so any width factors bit-identically).
+const PANEL: usize = 8;
 
 /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +130,48 @@ impl<T: Scalar> Cholesky<T> {
     /// Same conditions as [`Cholesky::factor`].
     pub fn refactor_with(&mut self, a: &Matrix<T>, pool: &Pool) -> Result<CholeskyOpCounts> {
         let n = a.rows();
+        // The trailing sub-matrix S_k is stored TRANSPOSED (see
+        // `refactor_seeded`); seeding it from `a`'s rows reads the upper
+        // triangle (symmetry is assumed). `self.l` doubles as the buffer; it
+        // is overwritten with the final row-major factor afterwards.
+        self.l.clone_from(a);
+        self.refactor_seeded(n, pool)
+    }
+
+    /// Factors the difference `v − prod` without materializing it: the
+    /// work buffer is seeded with the elementwise difference directly, so
+    /// the Schur complement `S = V − W·U⁻¹·Wᵀ` never exists as a separate
+    /// matrix (saving two full-matrix passes per solve).
+    ///
+    /// Each seeded element is the identical single rounded `v[i] − prod[i]`
+    /// a materialized subtraction would store, so the factor is bit-identical
+    /// to `refactor_with` on the explicit difference.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::factor`] (the difference must be
+    /// square, symmetric and positive definite).
+    pub fn refactor_diff_with(
+        &mut self,
+        v: &Matrix<T>,
+        prod: &Matrix<T>,
+        pool: &Pool,
+    ) -> Result<CholeskyOpCounts> {
+        if !v.is_square() {
+            return Err(MathError::DimensionMismatch {
+                op: "cholesky",
+                lhs: v.shape(),
+                rhs: prod.shape(),
+            });
+        }
+        let n = v.rows();
+        self.l.set_sub_of(v, prod);
+        self.refactor_seeded(n, pool)
+    }
+
+    /// The shared factorization body: `self.l` holds the seeded work matrix
+    /// (the input, upper triangle valid), `self.lt` receives the factor.
+    fn refactor_seeded(&mut self, n: usize, pool: &Pool) -> Result<CholeskyOpCounts> {
         // The factor is accumulated as `Lᵀ` (row-major): the Evaluate phase
         // then writes column k of `L` into one contiguous row, and the Update
         // phase reads that same row sequentially — the strided column
@@ -134,11 +180,7 @@ impl<T: Scalar> Cholesky<T> {
         // The trailing sub-matrix S_k, also stored TRANSPOSED: row j holds
         // the elements (i, j), i ≥ j, contiguously, so the Evaluate phase's
         // column read and the Update phase's row walks are all sequential.
-        // Seeding it from `a`'s rows reads the upper triangle (symmetry is
-        // assumed). `self.l` doubles as the buffer; it is overwritten with
-        // the final row-major factor afterwards.
         let work = &mut self.l;
-        work.clone_from(a);
         let mut counts = CholeskyOpCounts {
             iterations: n,
             ..Default::default()
@@ -151,7 +193,7 @@ impl<T: Scalar> Cholesky<T> {
         // Bit-identity with the unblocked column-at-a-time loop: every
         // trailing element (i, j) receives its multiply-subtracts in the same
         // ascending-k order — columns before the panel via earlier trailing
-        // sweeps, panel columns in sequence inside `sub_scaled4` / the
+        // sweeps, panel columns in sequence inside `sub_scaled_panel` / the
         // remainder loop — each as a separately-rounded `w − l_ki·l_kj` with
         // the exact operands of the serial formulation. The blocking only
         // changes *when* a subtraction happens, never its inputs or its
@@ -211,17 +253,10 @@ impl<T: Scalar> Cholesky<T> {
                         let j = kend + c;
                         let w = &mut wr[j..];
                         if nb == PANEL {
-                            kernels::sub_scaled4(
-                                w,
-                                &lt.row(k0)[j..],
-                                lt.get(k0, j),
-                                &lt.row(k0 + 1)[j..],
-                                lt.get(k0 + 1, j),
-                                &lt.row(k0 + 2)[j..],
-                                lt.get(k0 + 2, j),
-                                &lt.row(k0 + 3)[j..],
-                                lt.get(k0 + 3, j),
-                            );
+                            let srcs: [&[T]; PANEL] =
+                                core::array::from_fn(|kk| &lt.row(k0 + kk)[j..]);
+                            let a: [T; PANEL] = core::array::from_fn(|kk| lt.get(k0 + kk, j));
+                            fixed::sub_scaled_panel::<T, PANEL>(w, &srcs, &a);
                         } else {
                             for kk in k0..kend {
                                 kernels::sub_scaled(w, &lt.row(kk)[j..], lt.get(kk, j));

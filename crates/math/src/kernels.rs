@@ -26,16 +26,34 @@
 //! [`NormalEqSink::add_a_row`](../../archytas_slam) docs for why `±0.0`
 //! additions are bit-safe there), but the guard is part of the replayed
 //! operation sequence, so the kernels keep it rather than reason about it
-//! per call site.
+//! per call site. The guard is *evaluated branchlessly* (candidate
+//! multiply-add plus a select, see [`crate::fixed`] module docs for the
+//! bit-identity argument) so the loop body stays branch-free for the
+//! autovectorizer.
+//!
+//! # Fixed-width dispatch
+//!
+//! The SLAM layout's run widths are compile-time constants — `6` (the
+//! pose-tangent block height `kb`) and `15` (the full state `stride`) — so
+//! the zero-skip kernels dispatch those lengths to the fully unrolled
+//! const-generic forms in [`crate::fixed`] and keep the runtime-width loop
+//! as the generic fallback (any other `kb`/`stride`, e.g. the block tests'
+//! kb = 4 layout). Both forms replay the identical per-element operation
+//! sequence, so dispatch is invisible in the stored bits — the
+//! `kernel_equivalence` proptests pin this.
 
+use crate::fixed;
 use crate::scalar::Scalar;
 
 /// `dst[i] += s * src[i]` for every element — no zero skip.
 ///
 /// The Schur-product inner loop: one multiply-add per element, operand order
 /// `s * src[i]` first, then the add. `src` must be at least as long as `dst`.
-#[inline]
+#[inline(always)]
 pub fn add_scaled<T: Scalar>(dst: &mut [T], src: &[T], s: T) {
+    if dst.len() == 6 {
+        return fixed::Vec::<T, 6>::from_mut_slice(dst).axpy(fixed::Vec::from_slice(src), s);
+    }
     let n = dst.len();
     let src = &src[..n];
     for i in 0..n {
@@ -60,13 +78,18 @@ pub fn add_scaled_fixed<T: Scalar, const N: usize>(dst: &mut [T], src: &[T], s: 
 
 /// `dst[i] += s * src[i]` for every element with `src[i] != 0` — the
 /// contiguous-run scatter write of the normal-equation assemblers.
-#[inline]
+#[inline(always)]
 pub fn add_scaled_skip<T: Scalar>(dst: &mut [T], src: &[T], s: T) {
-    let n = dst.len();
-    let src = &src[..n];
-    for i in 0..n {
-        if src[i] != T::ZERO {
-            dst[i] += s * src[i];
+    match dst.len() {
+        6 => fixed::Vec::<T, 6>::from_mut_slice(dst).axpy_skip(fixed::Vec::from_slice(src), s),
+        15 => fixed::Vec::<T, 15>::from_mut_slice(dst).axpy_skip(fixed::Vec::from_slice(src), s),
+        n => {
+            let src = &src[..n];
+            for i in 0..n {
+                let v = src[i];
+                let cand = dst[i] + s * v;
+                dst[i] = if v != T::ZERO { cand } else { dst[i] };
+            }
         }
     }
 }
@@ -78,17 +101,34 @@ pub fn add_scaled_skip<T: Scalar>(dst: &mut [T], src: &[T], s: T) {
 /// row 1's — is exactly that of two sequential [`add_scaled_skip`] calls, so
 /// the result is bit-identical while the destination is walked (and its
 /// bounds checked) once instead of twice.
-#[inline]
+#[inline(always)]
 pub fn add_scaled_skip2<T: Scalar>(dst: &mut [T], src0: &[T], s0: T, src1: &[T], s1: T) {
-    let n = dst.len();
-    let src0 = &src0[..n];
-    let src1 = &src1[..n];
-    for i in 0..n {
-        if src0[i] != T::ZERO {
-            dst[i] += s0 * src0[i];
-        }
-        if src1[i] != T::ZERO {
-            dst[i] += s1 * src1[i];
+    match dst.len() {
+        6 => fixed::Vec::<T, 6>::from_mut_slice(dst).axpy_skip2(
+            fixed::Vec::from_slice(src0),
+            s0,
+            fixed::Vec::from_slice(src1),
+            s1,
+        ),
+        15 => fixed::Vec::<T, 15>::from_mut_slice(dst).axpy_skip2(
+            fixed::Vec::from_slice(src0),
+            s0,
+            fixed::Vec::from_slice(src1),
+            s1,
+        ),
+        n => {
+            let src0 = &src0[..n];
+            let src1 = &src1[..n];
+            for i in 0..n {
+                let mut acc = dst[i];
+                let v0 = src0[i];
+                let c0 = acc + s0 * v0;
+                acc = if v0 != T::ZERO { c0 } else { acc };
+                let v1 = src1[i];
+                let c1 = acc + s1 * v1;
+                acc = if v1 != T::ZERO { c1 } else { acc };
+                dst[i] = acc;
+            }
         }
     }
 }
@@ -100,18 +140,22 @@ pub fn add_scaled_skip2<T: Scalar>(dst: &mut [T], src0: &[T], s0: T, src1: &[T],
 /// order (each destination element receives the same guarded multiply-adds
 /// in the same sequence); the destination cache line is loaded once per
 /// element instead of once per row.
-#[inline]
+#[inline(always)]
 pub fn add_scaled_skip_rows<T: Scalar>(dst: &mut [T], rows: &[(&[T], T)]) {
-    let n = dst.len();
-    for i in 0..n {
-        let mut acc = dst[i];
-        for &(src, s) in rows {
-            let v = src[i];
-            if v != T::ZERO {
-                acc += s * v;
+    match dst.len() {
+        6 => fixed::Vec::<T, 6>::from_mut_slice(dst).axpy_skip_rows(rows),
+        15 => fixed::Vec::<T, 15>::from_mut_slice(dst).axpy_skip_rows(rows),
+        n => {
+            for i in 0..n {
+                let mut acc = dst[i];
+                for &(src, s) in rows {
+                    let v = src[i];
+                    let cand = acc + s * v;
+                    acc = if v != T::ZERO { cand } else { acc };
+                }
+                dst[i] = acc;
             }
         }
-        dst[i] = acc;
     }
 }
 
@@ -123,7 +167,7 @@ pub fn sub_scaled<T: Scalar>(dst: &mut [T], src: &[T], a: T) {
     let n = dst.len();
     let src = &src[..n];
     for i in 0..n {
-        dst[i] = dst[i] - src[i] * a;
+        dst[i] -= src[i] * a;
     }
 }
 
@@ -155,10 +199,10 @@ pub fn sub_scaled4<T: Scalar>(
     let src3 = &src3[..n];
     for i in 0..n {
         let mut w = dst[i];
-        w = w - src0[i] * a0;
-        w = w - src1[i] * a1;
-        w = w - src2[i] * a2;
-        w = w - src3[i] * a3;
+        w -= src0[i] * a0;
+        w -= src1[i] * a1;
+        w -= src2[i] * a2;
+        w -= src3[i] * a3;
         dst[i] = w;
     }
 }

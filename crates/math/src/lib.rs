@@ -37,6 +37,7 @@ mod block_sparse;
 mod cholesky;
 mod diag;
 mod error;
+pub mod fixed;
 pub mod kernels;
 mod matrix;
 mod scalar;

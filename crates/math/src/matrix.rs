@@ -72,6 +72,23 @@ impl<T: Scalar> Matrix<T> {
         self.data.resize(rows * cols, T::ZERO);
     }
 
+    /// Sets `self = a − b` elementwise, reshaping to `a`'s shape and reusing
+    /// the allocation — one fused pass instead of a zero-fill, a copy and an
+    /// in-place subtraction. Each element is the single rounded difference
+    /// `a[i] − b[i]`, exactly as the unfused formulation stores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` and `b` differ in shape.
+    pub fn set_sub_of(&mut self, a: &Self, b: &Self) {
+        assert_eq!(a.shape(), b.shape(), "set_sub_of shape mismatch");
+        self.rows = a.rows;
+        self.cols = a.cols;
+        self.data.clear();
+        self.data
+            .extend(a.data.iter().zip(&b.data).map(|(&x, &y)| x - y));
+    }
+
     /// Creates the `n × n` identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Self::zeros(n, n);

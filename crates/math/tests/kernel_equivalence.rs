@@ -9,6 +9,7 @@
 //! with the serial threshold forced to zero, so the parallel code paths run
 //! even on tiny inputs.
 
+use archytas_math::fixed::{self, sub_scaled_panel, syrk_scatter};
 use archytas_math::kernels::{
     add_scaled, add_scaled_fixed, add_scaled_skip, add_scaled_skip2, add_scaled_skip_rows,
     sub_scaled, sub_scaled4,
@@ -129,6 +130,162 @@ proptest! {
     }
 }
 
+/// Pins every `fixed::Vec` form at width `N` against the open-coded scalar
+/// loop it replaced (written out here rather than routed through
+/// `kernels::*`, whose length dispatch would make the comparison
+/// tautological at the fixed widths).
+fn check_fixed_vec_forms<const N: usize>(
+    dst: &[f64],
+    s0: &[f64],
+    s1: &[f64],
+    a0: f64,
+    a1: f64,
+    acc0: f64,
+) -> std::result::Result<(), TestCaseError> {
+    // axpy: dst[i] += a0 * s0[i].
+    let mut got = dst.to_vec();
+    let mut want = dst.to_vec();
+    fixed::Vec::<f64, N>::from_mut_slice(&mut got).axpy(fixed::Vec::from_slice(s0), a0);
+    for i in 0..N {
+        want[i] += a0 * s0[i];
+    }
+    assert_bits_eq(&got, &want)?;
+
+    // axpy_src_s: the source-first operand order dst[i] += s0[i] * a0.
+    let mut got = dst.to_vec();
+    let mut want = dst.to_vec();
+    fixed::Vec::<f64, N>::from_mut_slice(&mut got).axpy_src_s(fixed::Vec::from_slice(s0), a0);
+    for i in 0..N {
+        want[i] += s0[i] * a0;
+    }
+    assert_bits_eq(&got, &want)?;
+
+    // axpy_skip: the branchless select vs the guarded branch.
+    let mut got = dst.to_vec();
+    let mut want = dst.to_vec();
+    fixed::Vec::<f64, N>::from_mut_slice(&mut got).axpy_skip(fixed::Vec::from_slice(s0), a0);
+    for i in 0..N {
+        if s0[i] != 0.0 {
+            want[i] += a0 * s0[i];
+        }
+    }
+    assert_bits_eq(&got, &want)?;
+
+    // axpy_skip2: fused pair vs two sequential guarded sweeps.
+    let mut got = dst.to_vec();
+    let mut want = dst.to_vec();
+    fixed::Vec::<f64, N>::from_mut_slice(&mut got).axpy_skip2(
+        fixed::Vec::from_slice(s0),
+        a0,
+        fixed::Vec::from_slice(s1),
+        a1,
+    );
+    for (src, a) in [(s0, a0), (s1, a1)] {
+        for i in 0..N {
+            if src[i] != 0.0 {
+                want[i] += a * src[i];
+            }
+        }
+    }
+    assert_bits_eq(&got, &want)?;
+
+    // axpy_skip_rows: fused many-row vs sequential guarded sweeps in order.
+    let rows: [(&[f64], f64); 2] = [(s0, a0), (s1, a1)];
+    let mut got = dst.to_vec();
+    let want_rows = want; // seeded by the skip2 reference above — same math
+    fixed::Vec::<f64, N>::from_mut_slice(&mut got).axpy_skip_rows(&rows);
+    assert_bits_eq(&got, &want_rows)?;
+
+    // dot_skip_fold: branchless-guard serial reduction vs the guarded loop.
+    let got = fixed::Vec::<f64, N>::from_slice(s0).dot_skip_fold(fixed::Vec::from_slice(s1), acc0);
+    let mut want = acc0;
+    for i in 0..N {
+        if s1[i] != 0.0 {
+            want += s0[i] * s1[i];
+        }
+    }
+    prop_assert!(
+        got.to_bits() == want.to_bits(),
+        "fold differs: {} vs {}",
+        got,
+        want
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every `fixed::Vec` micro-kernel form at the two deployed widths (6 =
+    /// pose-tangent runs, 15 = keyframe state) equals its open-coded scalar
+    /// predecessor bitwise.
+    #[test]
+    fn fixed_vec_forms_match_scalar_bitwise(
+        ((d6, x6, y6), (d15, x15, y15), (a0, a1, acc)) in
+            ((vals(6usize), vals(6usize), vals(6usize)),
+             (vals(15usize), vals(15usize), vals(15usize)),
+             (val(), val(), val()))
+    ) {
+        check_fixed_vec_forms::<6>(&d6, &x6, &y6, a0, a1, acc)?;
+        check_fixed_vec_forms::<15>(&d15, &x15, &y15, a0, a1, acc)?;
+    }
+
+    /// The block-column-major rank-6 SYRK scatter equals the row-major slice
+    /// replay bitwise: one multiply-add per destination cell either way, so
+    /// the loop interchange cannot move bits.
+    #[test]
+    fn syrk_scatter_matches_row_major_replay_bitwise(
+        (stride, blocks, s, vals_flat, rows) in
+            (6usize..=12, proptest::collection::vec(0u8..2, 1..=4)).prop_flat_map(|(stride, mask)| {
+                let nb = mask.iter().filter(|&&m| m != 0).count();
+                (Just(stride), Just(mask), vals(6usize), vals(nb * 6), vals(6 * 4 * stride))
+            }).prop_map(|(stride, mask, s, vals_flat, rows)| {
+                let cols: Vec<u32> = mask.iter().enumerate()
+                    .filter(|(_, &m)| m != 0)
+                    .map(|(b, _)| (b * stride) as u32)
+                    .collect();
+                (stride, cols, s, vals_flat, rows)
+            })
+    ) {
+        let pitch = 4 * stride;
+        let s: &[f64; 6] = s.as_slice().try_into().unwrap();
+        let mut got = rows.clone();
+        let mut want = rows;
+        syrk_scatter::<f64, 6>(&mut got, pitch, s, &blocks, &vals_flat);
+        for t in 0..6 {
+            if s[t] == 0.0 {
+                continue;
+            }
+            for (bj, &c0) in blocks.iter().enumerate() {
+                for i in 0..6 {
+                    want[t * pitch + c0 as usize + i] += s[t] * vals_flat[bj * 6 + i];
+                }
+            }
+        }
+        assert_bits_eq(&got, &want)?;
+    }
+
+    /// The `PANEL`-wide fused trailing update equals eight sequential rank-1
+    /// `sub_scaled` sweeps bitwise (per element the subtractions happen in
+    /// the same order with the same operand order).
+    #[test]
+    fn sub_scaled_panel_matches_sequential_bitwise(
+        (dst, srcs, a) in (0usize..=40).prop_flat_map(|n| {
+            (vals(n), proptest::collection::vec(vals(n), 8), vals(8usize))
+        })
+    ) {
+        let refs: [&[f64]; 8] = std::array::from_fn(|k| srcs[k].as_slice());
+        let a: &[f64; 8] = a.as_slice().try_into().unwrap();
+        let mut fused = dst.clone();
+        let mut seq = dst;
+        sub_scaled_panel::<f64, 8>(&mut fused, &refs, a);
+        for k in 0..8 {
+            sub_scaled(&mut seq, &srcs[k], a[k]);
+        }
+        assert_bits_eq(&fused, &seq)?;
+    }
+}
+
 /// Any B yields an SPD matrix B·Bᵀ + (n+1)·I.
 fn spd_strategy(n: usize) -> impl Strategy<Value = DMat> {
     proptest::collection::vec(-5.0..5.0f64, n * n).prop_map(move |data| {
@@ -212,9 +369,25 @@ struct BlockProblem {
     lambda: Option<f64>,
 }
 
+/// Problem shapes: mostly small random `(kb, stride)` pairs exercising the
+/// generic slice path, plus a weighted share of the deployed SLAM layout
+/// (15-row pose blocks, 6-high observation blocks) so the `kb == 6`
+/// fixed-width dispatch in assembly, Schur elimination and back-substitution
+/// runs under the same dense-reference check at every pool.
+fn block_shape_strategy() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (0u8..4, (1usize..=5, 1usize..=3, 1usize..=4), 0usize..=2).prop_map(
+        |(sel, (p, nblocks, kb), extra)| {
+            if sel == 0 {
+                (p.min(4), nblocks.min(2), 6, 15)
+            } else {
+                (p, nblocks, kb, kb + extra)
+            }
+        },
+    )
+}
+
 fn block_problem_strategy() -> impl Strategy<Value = BlockProblem> {
-    (1usize..=5, 1usize..=3, 1usize..=4)
-        .prop_flat_map(|(p, nblocks, kb)| (Just(p), Just(nblocks), Just(kb), kb..=kb + 2))
+    block_shape_strategy()
         .prop_flat_map(|(p, nblocks, kb, stride)| {
             let q = nblocks * stride;
             (
@@ -251,6 +424,7 @@ fn block_problem_strategy() -> impl Strategy<Value = BlockProblem> {
 
 /// Assembles the problem through the sparse build API, with the diagonal
 /// boosted to strict dominance (row sums of `|W|` and `|V|` plus a margin).
+#[allow(clippy::needless_range_loop)] // index math mirrors the matrix layout
 fn build_system(pb: &BlockProblem) -> BlockSparseSystem<f64> {
     let q = pb.nblocks * pb.stride;
     let widx = |lm: usize, b: usize, t: usize| (lm * pb.nblocks + b) * pb.kb + t;
@@ -332,5 +506,147 @@ proptest! {
             s.solve_into(&mut scratch, &pool, &mut out).unwrap();
             assert_bits_eq(out.as_slice(), reference.as_slice())?;
         }
+    }
+}
+
+/// One randomized visual factor in the SLAM layout: a landmark column, two
+/// ascending 6-wide pose runs at block starts, two residual rows.
+#[derive(Debug, Clone)]
+struct VisualObs {
+    lm: usize,
+    rf: usize,
+    rs: usize,
+    jr: [f64; 2],
+    f: [[f64; 6]; 2],
+    s: [[f64; 6]; 2],
+    e: [f64; 2],
+    w2: f64,
+}
+
+fn visual_obs_strategy(p: usize, nblocks: usize) -> impl Strategy<Value = VisualObs> {
+    (
+        (0..p, 0..nblocks, 0..nblocks - 1),
+        (vals(2usize), vals(2usize), 0.01..4.0f64),
+        (vals(6usize), vals(6usize), vals(6usize), vals(6usize)),
+    )
+        .prop_map(|((lm, ba, bb), (jr, e, w2), (f0, f1, s0, s1))| {
+            // Two distinct blocks, ascending: `bb` skips over `ba`.
+            let bb = if bb >= ba { bb + 1 } else { bb };
+            let (bf, bs) = (ba.min(bb), ba.max(bb));
+            VisualObs {
+                lm,
+                rf: bf * 15,
+                rs: bs * 15,
+                jr: jr.try_into().unwrap(),
+                f: [f0.try_into().unwrap(), f1.try_into().unwrap()],
+                s: [s0.try_into().unwrap(), s1.try_into().unwrap()],
+                e: e.try_into().unwrap(),
+                w2,
+            }
+        })
+}
+
+/// The generic per-source-column scatter of one visual factor — the exact
+/// sequence of single-run sink writes (`scatter_runs2` through the block
+/// sink) that [`BlockSparseSystem::add_visual_obs6`] fuses: guarded `b` and
+/// diagonal updates per column in row-0-then-row-1 order, the `W` mirrors as
+/// the cross-block storage, upper-triangle `V` runs only.
+fn replay_visual_percolumn(sys: &mut BlockSparseSystem<f64>, o: &VisualObs) {
+    let (e, w2) = (o.e, o.w2);
+    // Source column 1: the inverse depth.
+    let (v0, v1) = (o.jr[0], o.jr[1]);
+    if v0 != 0.0 || v1 != 0.0 {
+        let (wv0, wv1) = (w2 * v0, w2 * v1);
+        if v0 != 0.0 {
+            sys.sub_bx(o.lm, wv0 * e[0]);
+        }
+        if v1 != 0.0 {
+            sys.sub_bx(o.lm, wv1 * e[1]);
+        }
+        if v0 != 0.0 && v1 != 0.0 {
+            sys.add_u(o.lm, wv0 * v0);
+            sys.add_u(o.lm, wv1 * v1);
+            sys.add_w_run2(o.lm, o.rf, &o.f[0], wv0, &o.f[1], wv1);
+            sys.add_w_run2(o.lm, o.rs, &o.s[0], wv0, &o.s[1], wv1);
+        } else if v0 != 0.0 {
+            sys.add_u(o.lm, wv0 * v0);
+            sys.add_w_run(o.lm, o.rf, &o.f[0], wv0);
+            sys.add_w_run(o.lm, o.rs, &o.s[0], wv0);
+        } else {
+            sys.add_u(o.lm, wv1 * v1);
+            sys.add_w_run(o.lm, o.rf, &o.f[1], wv1);
+            sys.add_w_run(o.lm, o.rs, &o.s[1], wv1);
+        }
+    }
+    // Source columns in the pose runs (first run carries the cross block).
+    for (run, r0, cross) in [(&o.f, o.rf, true), (&o.s, o.rs, false)] {
+        for ti in 0..6 {
+            let (v0, v1) = (run[0][ti], run[1][ti]);
+            if v0 == 0.0 && v1 == 0.0 {
+                continue;
+            }
+            let ri = r0 + ti;
+            let (wv0, wv1) = (w2 * v0, w2 * v1);
+            if v0 != 0.0 {
+                sys.sub_by(ri, wv0 * e[0]);
+            }
+            if v1 != 0.0 {
+                sys.sub_by(ri, wv1 * e[1]);
+            }
+            if v0 != 0.0 && v1 != 0.0 {
+                sys.add_v_row2(ri, ri, &run[0][ti..], wv0, &run[1][ti..], wv1);
+                if cross {
+                    sys.add_v_row2(ri, o.rs, &o.s[0], wv0, &o.s[1], wv1);
+                }
+            } else if v0 != 0.0 {
+                sys.add_v_row(ri, ri, &run[0][ti..], wv0);
+                if cross {
+                    sys.add_v_row(ri, o.rs, &o.s[0], wv0);
+                }
+            } else {
+                sys.add_v_row(ri, ri, &run[1][ti..], wv1);
+                if cross {
+                    sys.add_v_row(ri, o.rs, &o.s[1], wv1);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fused whole-observation visual scatter equals the generic
+    /// per-source-column scatter bitwise — across repeated observations per
+    /// landmark (so the memoized block lookup sees hits, misses and
+    /// mid-stream block inserts) and zero Jacobian entries (so every
+    /// single-row fallback runs).
+    #[test]
+    fn fused_visual_scatter_matches_percolumn_bitwise(
+        (p, nblocks, obs) in (1usize..=3, 2usize..=4).prop_flat_map(|(p, nblocks)| {
+            (
+                Just(p),
+                Just(nblocks),
+                proptest::collection::vec(visual_obs_strategy(p, nblocks), 1..=8),
+            )
+        })
+    ) {
+        let q = nblocks * 15;
+        let mut fused = BlockSparseSystem::new();
+        let mut seq = BlockSparseSystem::new();
+        fused.reset(p, q, 6, 15);
+        seq.reset(p, q, 6, 15);
+        for o in &obs {
+            fused.add_visual_obs6(
+                o.lm, o.rf, o.rs, o.jr, [&o.f[0], &o.f[1]], [&o.s[0], &o.s[1]], o.e, o.w2,
+            );
+            replay_visual_percolumn(&mut seq, o);
+        }
+        fused.reflect_v_upper();
+        seq.reflect_v_upper();
+        let (fa, fb) = fused.to_dense();
+        let (sa, sb) = seq.to_dense();
+        assert_bits_eq(fa.as_slice(), sa.as_slice())?;
+        assert_bits_eq(fb.as_slice(), sb.as_slice())?;
     }
 }

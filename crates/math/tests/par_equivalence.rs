@@ -124,7 +124,7 @@ proptest! {
         let mut a = fill(r, c, seed);
         for i in 0..r {
             for j in 0..c {
-                if (i + j + seed as usize) % 3 == 0 {
+                if (i + j + seed as usize).is_multiple_of(3) {
                     a.set(i, j, f64::ZERO);
                 }
             }

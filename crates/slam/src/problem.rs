@@ -113,6 +113,26 @@ pub(crate) trait NormalEqSink {
             self.mirror_a_col(i0, j, &vals[..len], s);
         }
     }
+
+    /// Whole-observation scatter of one visual factor: a 1-wide inverse-depth
+    /// run plus two pose-tangent runs (`first.0 < second.0`), shared by both
+    /// residual rows. The default is exactly the generic per-source-column
+    /// scatter ([`scatter_runs2`]); sinks that store the factor's destination
+    /// regions directly override it with a fused routine that replays the
+    /// same per-cell guarded multiply-add sequence — bit-identical by
+    /// construction — without the per-column sink-call plumbing.
+    fn scatter_visual(
+        &mut self,
+        rho: (usize, &[f64], &[f64]),
+        first: (usize, &[f64], &[f64]),
+        second: (usize, &[f64], &[f64]),
+        e: [f64; 2],
+        w2: f64,
+    ) where
+        Self: Sized,
+    {
+        scatter_runs2(self, &[rho, first, second], e, w2);
+    }
 }
 
 pub(crate) struct DenseSink<'a> {
@@ -279,6 +299,37 @@ impl NormalEqSink for BlockSink<'_> {
     fn reflect_upper(&mut self) {
         self.sys.reflect_v_upper();
     }
+    fn scatter_visual(
+        &mut self,
+        rho: (usize, &[f64], &[f64]),
+        first: (usize, &[f64], &[f64]),
+        second: (usize, &[f64], &[f64]),
+        e: [f64; 2],
+        w2: f64,
+    ) {
+        let p = self.p;
+        // The SLAM layout: rho is a landmark column, both pose runs are
+        // 6-wide (= the block-sparse `W` height) and inside the pose region.
+        // Anything else falls back to the generic per-column scatter.
+        if rho.0 < p && first.0 >= p && first.1.len() == POSE_TANGENT_DIM && rho.1.len() == 1 {
+            let (f0, f1): (&[f64; 6], &[f64; 6]) =
+                (first.1.try_into().unwrap(), first.2.try_into().unwrap());
+            let (s0, s1): (&[f64; 6], &[f64; 6]) =
+                (second.1.try_into().unwrap(), second.2.try_into().unwrap());
+            self.sys.add_visual_obs6(
+                rho.0,
+                first.0 - p,
+                second.0 - p,
+                [rho.1[0], rho.2[0]],
+                [f0, f1],
+                [s0, s1],
+                e,
+                w2,
+            );
+        } else {
+            scatter_runs2(self, &[rho, first, second], e, w2);
+        }
+    }
 }
 
 /// Assembled normal equations plus bookkeeping for one linearization.
@@ -433,9 +484,10 @@ fn assemble<S: NormalEqSink>(
         } else {
             (obs_run, anchor_run)
         };
-        scatter_runs2(
-            sink,
-            &[(col_rho, &j_rho0[..], &j_rho1[..]), first, second],
+        sink.scatter_visual(
+            (col_rho, &j_rho0[..], &j_rho1[..]),
+            first,
+            second,
             ev.residual,
             w2,
         );

@@ -170,4 +170,32 @@ fn lm_iterations_allocate_nothing_after_warmup() {
         long_iters - short_iters,
         long_allocs as i64 - short_allocs as i64,
     );
+
+    // The fixed-width dispatch path in isolation: on this window the block
+    // assembler and Schur solve run the fused kb = 6 kernels (whole-
+    // observation visual scatter, rank-6 SYRK, fold back-substitution), and
+    // a warmed assemble→damp→solve cycle must not allocate at all — not
+    // merely "no more than a 1-iteration solve". Same minimum-over-repeats
+    // discipline as above for counter noise.
+    let mut sys = archytas_math::BlockSparseSystem::new();
+    let mut scratch = archytas_math::SchurScratch::default();
+    let mut delta = archytas_math::DVec::zeros(0);
+    let pool = archytas_par::Pool::global();
+    let weights2 = FactorWeights::default();
+    archytas_slam::build_block_normal_equations(&window, &weights2, None, &mut sys);
+    sys.damp(1e-3, 1e-9);
+    sys.solve_into(&mut scratch, &pool, &mut delta).unwrap();
+
+    let mut direct_best = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        archytas_slam::build_block_normal_equations(&window, &weights2, None, &mut sys);
+        sys.damp(1e-3, 1e-9);
+        sys.solve_into(&mut scratch, &pool, &mut delta).unwrap();
+        direct_best = direct_best.min(allocations() - before);
+    }
+    assert_eq!(
+        direct_best, 0,
+        "warmed fixed-width assemble/damp/solve cycle allocated {direct_best} times"
+    );
 }

@@ -33,6 +33,13 @@ trap 'rm -f "$TMP" "$PERF_TMP"' EXIT
 echo "checking formatting (cargo fmt --check)..." >&2
 cargo fmt --check
 
+# Lint gate: surface clippy findings across the workspace, and hold the
+# math crate — home of the bit-identity kernel contracts — to zero
+# warnings across all build targets.
+echo "linting (cargo clippy)..." >&2
+cargo clippy -q --workspace
+cargo clippy -q -p archytas-math --all-targets -- -D warnings
+
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
 

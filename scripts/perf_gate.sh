@@ -49,30 +49,46 @@ def index(path):
 fresh = index(fresh_path)
 base = index(base_path)
 
-failures = []
+def phase(name):
+    """Maps a record to the solver phase it measures, so a failure names
+    the part of the pipeline that regressed rather than just a bench case."""
+    case = name.split("/", 1)[-1]
+    if "build" in case:
+        return "assembly"
+    if "kernel_" in case:
+        return "micro-kernels"
+    if "solve" in case:
+        return "linear-solve"
+    return "end-to-end"
+
+failures = {}
 compared = 0
 for (name, threads), mean in sorted(fresh.items()):
     ref = base.get((name, threads))
     if ref is None or ref <= 0.0:
-        print(f"  new   {name} ({threads}t): {mean / 1e6:.3f} ms "
-              f"(no baseline record)", file=sys.stderr)
+        print(f"  new   [{phase(name)}] {name} ({threads}t): "
+              f"{mean / 1e6:.3f} ms (no baseline record)", file=sys.stderr)
         continue
     ratio = mean / ref
     gated = threads == 1 or cpus >= 4
     compared += gated
     status = "FAIL" if (gated and ratio > tol) else ("info" if not gated else "ok")
-    print(f"  {status:<4}  {name} ({threads}t): fresh/baseline = {ratio:.3f} "
+    print(f"  {status:<4}  [{phase(name)}] {name} ({threads}t): "
+          f"fresh/baseline = {ratio:.3f} "
           f"({mean / 1e6:.3f} ms vs {ref / 1e6:.3f} ms)", file=sys.stderr)
     if gated and ratio > tol:
-        failures.append(f"{name} ({threads}t)")
+        failures.setdefault(phase(name), []).append(f"{name} ({threads}t)")
 
 if compared == 0:
     print("perf gate SKIPPED: no comparable records between fresh and "
           "baseline", file=sys.stderr)
     sys.exit(0)
 if failures:
-    print(f"perf gate FAILED (tolerance {tol:.2f}x): {', '.join(failures)}",
-          file=sys.stderr)
+    for ph in sorted(failures):
+        print(f"perf gate: {ph} phase regressed: {', '.join(failures[ph])}",
+              file=sys.stderr)
+    print(f"perf gate FAILED (tolerance {tol:.2f}x) in phase(s): "
+          f"{', '.join(sorted(failures))}", file=sys.stderr)
     sys.exit(1)
 print(f"perf gate passed ({compared} record(s) within {tol:.2f}x of the "
       f"committed baseline)", file=sys.stderr)
