@@ -1,39 +1,111 @@
 //! Criterion bench for Sec. 7.3: time for the synthesizer to identify a
 //! design in the ~90,000-point space (paper: seconds vs 15 years of
-//! synthesis-in-the-loop search).
+//! synthesis-in-the-loop search), plus the re-synthesis paths the fleet
+//! layer leans on — warm-started search and the memoized `SynthCache`.
+//!
+//! Every case runs one untimed warmup search first so one-time process
+//! state (pool calibration, allocator warmup, lazy platform tables) is paid
+//! outside the sampling loop — `zc706_min_latency`'s historical
+//! 748 µs-on-3.8 ms stddev was exactly this first-sample pollution.
+//!
+//! After the timed runs, per-case search counters are printed as
+//! `SYNTHJSON {...}` lines that `bench_smoke.sh` folds into
+//! `BENCH_par.json`'s `synth_search` section.
 
-use archytas_core::{synthesize, DesignSpec, Objective};
+use archytas_core::{
+    synthesize, synthesize_warm, DesignSpec, Objective, SynthCache, SynthesizedDesign,
+};
 use archytas_hw::FpgaPlatform;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+fn zc706_min_latency_spec() -> DesignSpec {
+    DesignSpec {
+        objective: Objective::MinLatency,
+        ..DesignSpec::zc706_power_optimal(0.0)
+    }
+}
+
+fn virtex7_min_latency_spec() -> DesignSpec {
+    DesignSpec {
+        platform: FpgaPlatform::virtex7_690t(),
+        objective: Objective::MinLatency,
+        ..DesignSpec::zc706_power_optimal(0.0)
+    }
+}
+
+fn synthjson(case: &str, d: &SynthesizedDesign) -> String {
+    format!(
+        "SYNTHJSON {{\"case\":\"{case}\",\"examined\":{},\"pruned\":{}}}",
+        d.candidates_examined, d.candidates_pruned
+    )
+}
+
 fn bench_synthesizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesizer");
     group.sample_size(20);
+    let mut counters: Vec<String> = Vec::new();
 
     group.bench_function("zc706_power_optimal_20ms", |b| {
         let spec = DesignSpec::zc706_power_optimal(20.0);
+        counters.push(synthjson(
+            "zc706_power_optimal_20ms",
+            &synthesize(&spec).expect("feasible"),
+        ));
         b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
     });
 
     group.bench_function("zc706_min_latency", |b| {
-        let spec = DesignSpec {
-            objective: Objective::MinLatency,
-            ..DesignSpec::zc706_power_optimal(0.0)
-        };
+        let spec = zc706_min_latency_spec();
+        counters.push(synthjson(
+            "zc706_min_latency",
+            &synthesize(&spec).expect("feasible"),
+        ));
         b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
     });
 
     group.bench_function("virtex7_min_latency_scaled_lattice", |b| {
-        let spec = DesignSpec {
-            platform: FpgaPlatform::virtex7_690t(),
-            objective: Objective::MinLatency,
-            ..DesignSpec::zc706_power_optimal(0.0)
-        };
+        let spec = virtex7_min_latency_spec();
+        counters.push(synthjson(
+            "virtex7_min_latency_scaled_lattice",
+            &synthesize(&spec).expect("feasible"),
+        ));
         b.iter(|| synthesize(black_box(&spec)).expect("feasible"))
     });
 
+    group.bench_function("virtex7_min_latency_warm_resynthesis", |b| {
+        // The fleet re-optimization path: a neighboring deployment (same
+        // board, drifted workload) supplies its optimum as the prior.
+        let spec = virtex7_min_latency_spec();
+        let mut drifted = spec.clone();
+        drifted.shape.features += 30;
+        drifted.shape.marginalized_features += 5;
+        let prior = synthesize(&drifted).expect("feasible");
+        counters.push(synthjson(
+            "virtex7_min_latency_warm_resynthesis",
+            &synthesize_warm(&spec, &prior).expect("feasible"),
+        ));
+        b.iter(|| synthesize_warm(black_box(&spec), black_box(&prior)).expect("feasible"))
+    });
+
+    group.bench_function("synth_cache_hit", |b| {
+        // Steady-state fleet tick: the class's canonical spec is already
+        // cached, so a lookup must cost microseconds, not a search.
+        let cache = SynthCache::new();
+        let spec = virtex7_min_latency_spec();
+        cache.synthesize(&spec).expect("feasible");
+        b.iter(|| cache.synthesize(black_box(&spec)).expect("feasible"));
+        counters.push(format!(
+            "SYNTHJSON {{\"case\":\"synth_cache_hit\",\"cache_hits\":{},\"cache_misses\":{}}}",
+            cache.hits(),
+            cache.searches()
+        ));
+    });
+
     group.finish();
+    for line in counters {
+        println!("{line}");
+    }
 }
 
 criterion_group!(benches, bench_synthesizer);

@@ -88,8 +88,13 @@ fn main() {
         .iter()
         .filter(|s| s.outcome == SessionOutcome::Completed)
         .count();
+    // The machine's CPU count rides in every run record (not only the
+    // gate block fleet_smoke.sh appends) so a single record is
+    // interpretable on its own — a 4-worker run on a 1-CPU box is
+    // timeslicing, not parallelism.
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "FLEETJSON {{\"threads\":{},\"sessions\":{},\"completed\":{},\
+        "FLEETJSON {{\"threads\":{},\"cpus\":{cpus},\"sessions\":{},\"completed\":{},\
          \"frames\":{},\"windows\":{},\"serving_wall_s\":{:.6},\
          \"throughput_fps\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
          \"model_evaluations\":{},\"model_cache_hits\":{},\

@@ -7,19 +7,54 @@
 //! * Eq. 12 — minimize latency subject to resource constraints.
 //!
 //! The feasible set is a 3-variable integer lattice of ≈90,000 points
-//! (`nd ∈ 1..=30`, `nm ∈ 1..=24`, `s ∈ 1..=125`). The paper solves the
-//! relaxation with YALMIP in milliseconds; an exact scan with monotone
-//! pruning is both faster to implement and strictly optimal, and still runs
-//! in single-digit milliseconds — against the ~15 *years* an exhaustive
-//! search through FPGA synthesis would take (Sec. 7.3).
+//! (`nd ∈ 1..=30`, `nm ∈ 1..=24`, `s ∈ 1..=125`) on the ZC706, scaling to
+//! millions of points on larger fabrics. The paper solves the relaxation
+//! with YALMIP in milliseconds; an exact search is both strictly optimal
+//! and — with the structure below — fast enough to re-run *at serving
+//! time*, against the ~15 *years* an exhaustive search through FPGA
+//! synthesis would take (Sec. 7.3).
+//!
+//! # Search structure
+//!
+//! Three compounding layers make re-synthesis cheap enough for fleet-wide
+//! dynamic re-optimization (ROADMAP item 4), while every path returns the
+//! **bitwise-identical design** the exhaustive serial scan
+//! ([`synthesize_exhaustive`]) returns:
+//!
+//! 1. **Memoized per-knob models.** Eq. 13's summands each depend on a
+//!    single knob, so [`archytas_hw::LatencyTables`] evaluates every
+//!    distinct sub-term once and replays the exact floating-point summation
+//!    order per lattice point — bit-identical to calling
+//!    [`window_cycles`] directly, at a few flops per candidate.
+//! 2. **Incumbent-bound pruning.** The best primary-objective value found
+//!    so far is shared across stripes through a tighten-only atomic. Whole
+//!    stripes, `(nm, s)` subranges and `s`-blocks are cut when their
+//!    monotonicity-safe *lower bound* (term-wise minima summed in the same
+//!    expression shape — see `LatencyTables::window_cycles_lower_bound`)
+//!    strictly exceeds the incumbent. Cuts are value-strict, so any
+//!    candidate that could tie the optimum is never skipped, and the fold
+//!    over per-stripe winners replays the strict serial [`beats`] order —
+//!    the selected design is therefore identical at every pool size, even
+//!    though *which* candidates get cut depends on thread timing (the
+//!    [`SynthesizedDesign::candidates_examined`] /
+//!    [`SynthesizedDesign::candidates_pruned`] counters are diagnostics,
+//!    deterministic only on a 1-thread pool).
+//! 3. **Warm starts and per-class memoization.** [`synthesize_warm`] seeds
+//!    the incumbent from a neighboring deployment's optimum and scans
+//!    stripes outward from its lattice coordinates; [`SynthCache`] memoizes
+//!    whole searches per canonicalized spec with exactly-once fill
+//!    semantics (mirroring `GatingCache`), so a fleet re-evaluation tick
+//!    over K traffic classes performs at most K model-backed searches.
 
 use archytas_hw::{
-    window_cycles, AcceleratorConfig, FpgaPlatform, PowerModel, ResourceModel, ResourceVector,
+    window_cycles, AcceleratorConfig, FpgaPlatform, LatencyTables, PowerModel, ResourceModel,
+    ResourceVector, S_BLOCK,
 };
 use archytas_mdfg::ProblemShape;
-use archytas_par::Pool;
+use archytas_par::{Memo, MemoStats, Pool};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bounds of the synthesizer's search lattice on the ZC706.
 /// `30 × 24 × 125 = 90,000` candidate designs — the space quoted in
@@ -85,8 +120,31 @@ pub struct SynthesizedDesign {
     pub power_w: f64,
     /// Modelled resources.
     pub resources: ResourceVector,
-    /// Candidate designs examined before pruning/selection.
+    /// Lattice points the latency model was evaluated on (including
+    /// incumbent-seeding probes). Run-dependent under parallel pruning —
+    /// the shared bound tightens at thread-timing-dependent moments — and
+    /// deterministic on a 1-thread pool.
     pub candidates_examined: usize,
+    /// Resource-feasible lattice points skipped wholesale by
+    /// incumbent-bound cuts (stripe, `(nm, s)`-subrange and `s`-block
+    /// extents). Same determinism caveat as `candidates_examined`.
+    pub candidates_pruned: usize,
+}
+
+impl SynthesizedDesign {
+    /// `true` when `other` selects the same configuration with bit-equal
+    /// modelled latency, power and resources — the equivalence contract of
+    /// the pruned/warm/cached paths against [`synthesize_exhaustive`]
+    /// (the search counters are run-dependent and deliberately excluded).
+    pub fn same_design(&self, other: &SynthesizedDesign) -> bool {
+        self.config == other.config
+            && self.latency_ms.to_bits() == other.latency_ms.to_bits()
+            && self.power_w.to_bits() == other.power_w.to_bits()
+            && self.resources.lut.to_bits() == other.resources.lut.to_bits()
+            && self.resources.ff.to_bits() == other.resources.ff.to_bits()
+            && self.resources.bram.to_bits() == other.resources.bram.to_bits()
+            && self.resources.dsp.to_bits() == other.resources.dsp.to_bits()
+    }
 }
 
 /// Why synthesis failed.
@@ -131,13 +189,26 @@ fn beats(objective: Objective, lat: f64, p: f64, b: &SynthesizedDesign) -> bool 
 /// Partial scan result of one `nd` stripe of the lattice.
 struct StripeScan {
     examined: usize,
+    pruned: usize,
     best_latency_any: f64,
     best: Option<SynthesizedDesign>,
 }
 
-/// Scans the full `(nm, s)` plane at a fixed `nd` — the serial inner loops of
-/// the branch-and-bound, unchanged.
-fn scan_stripe(
+impl StripeScan {
+    fn empty() -> Self {
+        StripeScan {
+            examined: 0,
+            pruned: 0,
+            best_latency_any: f64::INFINITY,
+            best: None,
+        }
+    }
+}
+
+/// Scans the full `(nm, s)` plane at a fixed `nd` by direct model
+/// evaluation — the unoptimized serial inner loops kept verbatim as the
+/// gold reference for the pruned search.
+fn scan_stripe_exhaustive(
     spec: &DesignSpec,
     resources: &ResourceModel,
     power: &PowerModel,
@@ -146,11 +217,7 @@ fn scan_stripe(
     s_max: usize,
 ) -> StripeScan {
     let clock_khz = spec.platform.clock_mhz * 1e3;
-    let mut scan = StripeScan {
-        examined: 0,
-        best_latency_any: f64::INFINITY,
-        best: None,
-    };
+    let mut scan = StripeScan::empty();
     for nm in 1..=nm_max {
         // Resource feasibility is monotone in s: find the largest
         // feasible s once and never examine beyond it.
@@ -188,6 +255,7 @@ fn scan_stripe(
                     power_w: p,
                     resources: resources.resources(&config),
                     candidates_examined: 0,
+                    candidates_pruned: 0,
                 });
             }
         }
@@ -195,51 +263,379 @@ fn scan_stripe(
     scan
 }
 
-/// Runs the synthesizer on the global pool.
+/// The exhaustive serial scan: every resource-feasible lattice point is
+/// evaluated directly against the Eq. 13–17 models in `(nd, nm, s)` order,
+/// with no tables, no pruning and no parallelism.
+///
+/// This is the semantic oracle of the synthesizer — the pruned, warm-started
+/// and cached paths all promise to return a design for which
+/// [`SynthesizedDesign::same_design`] holds against this scan's result
+/// (and, on infeasible specs, a bit-equal
+/// [`SynthesisError::Infeasible`] latency). It is deliberately kept in the
+/// original unoptimized form; use [`synthesize`] for anything
+/// latency-sensitive.
 ///
 /// # Errors
 ///
 /// Returns [`SynthesisError::Infeasible`] when no configuration meets the
 /// constraints on the target platform.
-pub fn synthesize(spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
-    synthesize_with(spec, &Pool::global())
-}
-
-/// Runs the synthesizer on an explicit pool.
-///
-/// The lattice is striped over `nd`: each stripe runs the serial `(nm, s)`
-/// scan (including the monotone `s_limit` pruning) independently, and the
-/// per-stripe winners are folded in ascending `nd` order with the same strict
-/// [`beats`] predicate as the serial best-so-far loop. Because the predicate
-/// is a strict lexicographic order and ties keep the earlier candidate, the
-/// fold selects the identical design the serial scan does, for any thread
-/// count.
-///
-/// # Errors
-///
-/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
-/// constraints on the target platform.
-pub fn synthesize_with(
-    spec: &DesignSpec,
-    pool: &Pool,
-) -> Result<SynthesizedDesign, SynthesisError> {
+pub fn synthesize_exhaustive(spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
     let resources = ResourceModel::calibrated();
     let power = PowerModel::for_platform(&spec.platform);
     let (nd_max, nm_max, s_max) = knob_bounds(&spec.platform);
-    let nds: Vec<usize> = (1..=nd_max).collect();
-    // A stripe is ~nm_max·s_max model evaluations — far above any sensible
-    // per-item threshold — so gate only on "more than one stripe".
-    let stripes = pool
-        .with_serial_threshold(pool.serial_threshold().min(2))
-        .par_map(&nds, |&nd| {
-            scan_stripe(spec, &resources, &power, nd, nm_max, s_max)
-        });
-
     let mut examined = 0usize;
     let mut best: Option<SynthesizedDesign> = None;
     let mut best_latency_any = f64::INFINITY;
-    for stripe in stripes {
+    for nd in 1..=nd_max {
+        let stripe = scan_stripe_exhaustive(spec, &resources, &power, nd, nm_max, s_max);
         examined += stripe.examined;
+        best_latency_any = best_latency_any.min(stripe.best_latency_any);
+        if let Some(cand) = stripe.best {
+            let better = match &best {
+                None => true,
+                Some(b) => beats(spec.objective, cand.latency_ms, cand.power_w, b),
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    match best {
+        Some(mut d) => {
+            d.candidates_examined = examined;
+            Ok(d)
+        }
+        None => Err(SynthesisError::Infeasible {
+            best_achievable_latency_ms: best_latency_any,
+        }),
+    }
+}
+
+/// Shared state of one pruned search: the memoized models plus the
+/// tighten-only incumbent bound the stripes race against.
+struct Search<'a> {
+    spec: &'a DesignSpec,
+    resources: ResourceModel,
+    power: PowerModel,
+    tables: LatencyTables,
+    clock_khz: f64,
+    nd_max: usize,
+    nm_max: usize,
+    s_max: usize,
+    /// Bit pattern of the best primary-objective value (latency for
+    /// Eq. 12, power for Eq. 11) achieved by any feasible candidate so
+    /// far. Latencies and powers are positive finite, so the IEEE-754 bit
+    /// order equals the value order and an atomic min over bits is an
+    /// atomic min over values. Starts at `+inf`; only ever tightens.
+    incumbent_bits: AtomicU64,
+}
+
+impl<'a> Search<'a> {
+    fn new(spec: &'a DesignSpec) -> Self {
+        let (nd_max, nm_max, s_max) = knob_bounds(&spec.platform);
+        Search {
+            resources: ResourceModel::calibrated(),
+            power: PowerModel::for_platform(&spec.platform),
+            tables: LatencyTables::new(&spec.shape, spec.iterations, nd_max, nm_max, s_max),
+            clock_khz: spec.platform.clock_mhz * 1e3,
+            nd_max,
+            nm_max,
+            s_max,
+            incumbent_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            spec,
+        }
+    }
+
+    /// Current incumbent bound (primary objective value), `+inf` until the
+    /// first feasible candidate is seen.
+    fn bound(&self) -> f64 {
+        f64::from_bits(self.incumbent_bits.load(Ordering::Relaxed))
+    }
+
+    /// Tightens the shared bound to `value` if it improves it. Lock-free
+    /// CAS-min; the bound can only ever decrease, so a stale read merely
+    /// prunes less.
+    fn tighten(&self, value: f64) {
+        let bits = value.to_bits();
+        let mut cur = self.incumbent_bits.load(Ordering::Relaxed);
+        while bits < cur {
+            match self.incumbent_bits.compare_exchange_weak(
+                cur,
+                bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    #[inline]
+    fn latency_ms(&self, nd: usize, nm: usize, s: usize) -> f64 {
+        self.tables.window_cycles_at(nd, nm, s) / self.clock_khz
+    }
+
+    /// Evaluates one candidate and, when feasible, tightens the shared
+    /// bound with its primary value. Returns whether it was evaluated.
+    fn probe(&self, nd: usize, nm: usize, s: usize) -> bool {
+        if nd == 0 || nm == 0 || s == 0 || nd > self.nd_max || nm > self.nm_max || s > self.s_max {
+            return false;
+        }
+        if !self
+            .resources
+            .fits(&AcceleratorConfig::new(nd, nm, s), &self.spec.platform)
+        {
+            return false;
+        }
+        let lat = self.latency_ms(nd, nm, s);
+        match self.spec.objective {
+            Objective::MinLatency => self.tighten(lat),
+            Objective::MinPowerUnderLatency(bound) => {
+                if lat <= bound {
+                    self.tighten(
+                        self.power
+                            .power_with_s(self.power.power_prefix_w(nd, nm), s),
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Seeds the incumbent bound before the sweep: the warm-start prior (if
+    /// supplied and feasible on this spec), then a deterministic coarse
+    /// probe grid over the lattice corners and the Cholesky sweet spot.
+    /// Returns `(model evaluations spent, warm-start stripe center)`.
+    fn seed(&self, warm: Option<&SynthesizedDesign>) -> (usize, Option<usize>) {
+        let mut examined = 0usize;
+        let mut center = None;
+        if let Some(prior) = warm {
+            let c = prior.config;
+            if self.probe(c.nd, c.nm, c.s) {
+                examined += 1;
+                if self.bound().is_finite() {
+                    center = Some(c.nd);
+                }
+            }
+        }
+        let s_star = self.tables.best_s_hint();
+        let mut nd_probes = [
+            self.nd_max,
+            (self.nd_max * 3 / 4).max(1),
+            (self.nd_max / 2).max(1),
+            (self.nd_max / 4).max(1),
+            1,
+        ];
+        nd_probes.sort_unstable();
+        let mut nm_probes = [self.nm_max, (self.nm_max / 2).max(1), 1];
+        nm_probes.sort_unstable();
+        let mut last_nd = 0usize;
+        for &nd in &nd_probes {
+            if nd == last_nd {
+                continue;
+            }
+            last_nd = nd;
+            let mut last_nm = 0usize;
+            for &nm in &nm_probes {
+                if nm == last_nm {
+                    continue;
+                }
+                last_nm = nm;
+                let s_limit =
+                    self.resources
+                        .max_feasible_s(nd, nm, &self.spec.platform, self.s_max);
+                if s_limit == 0 {
+                    continue;
+                }
+                for s in [s_star.min(s_limit), s_limit] {
+                    if self.probe(nd, nm, s) {
+                        examined += 1;
+                    }
+                }
+            }
+        }
+        (examined, center)
+    }
+
+    /// Total resource-feasible extent of one stripe — the points a bound
+    /// cut of the whole stripe skips. O(`nm_max`) via the closed-form
+    /// `max_feasible_s`.
+    fn stripe_extent(&self, nd: usize) -> usize {
+        let mut total = 0usize;
+        let mut s_cap = self.s_max;
+        for nm in 1..=self.nm_max {
+            let s_limit = self
+                .resources
+                .max_feasible_s(nd, nm, &self.spec.platform, s_cap);
+            if s_limit == 0 {
+                break;
+            }
+            s_cap = s_limit;
+            total += s_limit;
+        }
+        total
+    }
+
+    /// The pruned `(nm, s)` scan of one `nd` stripe.
+    ///
+    /// Every cut compares a monotonicity-safe *lower bound* of the skipped
+    /// subrange **strictly** against the shared incumbent: a skipped
+    /// candidate therefore has primary value strictly above some
+    /// already-achieved feasible value, so it can neither beat nor tie the
+    /// eventual optimum — which is why the fold over stripe winners still
+    /// selects the exhaustive scan's design no matter how the bound
+    /// tightens across threads.
+    fn scan_stripe(&self, nd: usize) -> StripeScan {
+        let mut scan = StripeScan::empty();
+        let objective = self.spec.objective;
+        // Stripe-level cut: O(1) bound against the whole (nm, s) plane.
+        let stripe_bound = match objective {
+            Objective::MinLatency => {
+                self.tables
+                    .window_cycles_lower_bound(nd, self.nm_max, self.s_max)
+                    / self.clock_khz
+            }
+            Objective::MinPowerUnderLatency(_) => {
+                self.power.power_with_s(self.power.power_prefix_w(nd, 1), 1)
+            }
+        };
+        if stripe_bound > self.bound() {
+            scan.pruned += self.stripe_extent(nd);
+            return scan;
+        }
+        let mut s_cap = self.s_max;
+        for nm in 1..=self.nm_max {
+            // Resources are monotone in nm, so the feasible s range can
+            // only shrink stripe-inward — and once it vanishes, no larger
+            // nm fits either.
+            let s_limit = self
+                .resources
+                .max_feasible_s(nd, nm, &self.spec.platform, s_cap);
+            if s_limit == 0 {
+                break;
+            }
+            s_cap = s_limit;
+            // (nm, s)-subrange cut.
+            let nm_bound = match objective {
+                Objective::MinLatency => {
+                    self.tables.window_cycles_lower_bound(nd, nm, s_limit) / self.clock_khz
+                }
+                Objective::MinPowerUnderLatency(_) => self
+                    .power
+                    .power_with_s(self.power.power_prefix_w(nd, nm), 1),
+            };
+            if nm_bound > self.bound() {
+                scan.pruned += s_limit;
+                continue;
+            }
+            let p_prefix = self.power.power_prefix_w(nd, nm);
+            let pruning_active = self.bound().is_finite();
+            let mut s = 1usize;
+            's_axis: while s <= s_limit {
+                // s-block cut: the Cholesky terms are not monotone in s
+                // (Eq. 7's Evaluate serialization), so the s axis is tiled
+                // into S_BLOCK-wide blocks with precomputed term minima.
+                // Constraint-based cuts (MinPower's latency bound) are
+                // gated on an incumbent existing, so an infeasible search
+                // still evaluates every point and reports the exhaustive
+                // scan's exact best-achievable latency.
+                if pruning_active && s % S_BLOCK == 1 {
+                    let block = (s - 1) / S_BLOCK;
+                    let block_end = (s + S_BLOCK - 1).min(s_limit);
+                    let lat_lb = self.tables.window_cycles_lower_bound_s_block(nd, nm, block)
+                        / self.clock_khz;
+                    let cut = match objective {
+                        Objective::MinLatency => lat_lb > self.bound(),
+                        Objective::MinPowerUnderLatency(bound) => lat_lb > bound,
+                    };
+                    if cut {
+                        scan.pruned += block_end - s + 1;
+                        s = block_end + 1;
+                        continue 's_axis;
+                    }
+                }
+                scan.examined += 1;
+                let lat = self.latency_ms(nd, nm, s);
+                scan.best_latency_any = scan.best_latency_any.min(lat);
+                let feasible = match objective {
+                    Objective::MinPowerUnderLatency(bound) => lat <= bound,
+                    Objective::MinLatency => true,
+                };
+                if !feasible {
+                    s += 1;
+                    continue 's_axis;
+                }
+                let p = self.power.power_with_s(p_prefix, s);
+                if let Objective::MinPowerUnderLatency(_) = objective {
+                    // Power is strictly increasing in s: once this
+                    // latency-feasible candidate's power exceeds the
+                    // incumbent, every later s in the run costs strictly
+                    // more and can neither beat nor tie it.
+                    if p > self.bound() {
+                        scan.pruned += s_limit - s;
+                        break 's_axis;
+                    }
+                }
+                let better = match &scan.best {
+                    None => true,
+                    Some(b) => beats(objective, lat, p, b),
+                };
+                if better {
+                    let config = AcceleratorConfig::new(nd, nm, s);
+                    scan.best = Some(SynthesizedDesign {
+                        config,
+                        latency_ms: lat,
+                        power_w: p,
+                        resources: self.resources.resources(&config),
+                        candidates_examined: 0,
+                        candidates_pruned: 0,
+                    });
+                    self.tighten(match objective {
+                        Objective::MinLatency => lat,
+                        Objective::MinPowerUnderLatency(_) => p,
+                    });
+                }
+                s += 1;
+            }
+        }
+        scan
+    }
+}
+
+/// The pruned search shared by the cold, warm and cached entry points.
+fn search_with(
+    spec: &DesignSpec,
+    pool: &Pool,
+    warm: Option<&SynthesizedDesign>,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    let search = Search::new(spec);
+    let (probe_examined, center) = search.seed(warm);
+    let mut nds: Vec<usize> = (1..=search.nd_max).collect();
+    if let Some(c) = center {
+        // Warm start: scan outward from the prior's stripe so near
+        // neighbors — where the new optimum almost certainly lives —
+        // tighten the bound before the far stripes are even looked at.
+        nds.sort_by_key(|&nd| (nd.abs_diff(c), nd));
+    }
+    // A stripe is up to ~nm_max·s_max model evaluations — far above any
+    // sensible per-item threshold — so gate only on "more than one stripe".
+    let stripes = pool
+        .with_serial_threshold(pool.serial_threshold().min(2))
+        .par_map(&nds, |&nd| search.scan_stripe(nd));
+
+    // The fold must replay the strict serial order, so re-sort the
+    // (possibly outward-ordered) stripes back to ascending nd first.
+    let mut tagged: Vec<(usize, StripeScan)> = nds.into_iter().zip(stripes).collect();
+    tagged.sort_by_key(|&(nd, _)| nd);
+
+    let mut examined = probe_examined;
+    let mut pruned = 0usize;
+    let mut best: Option<SynthesizedDesign> = None;
+    let mut best_latency_any = f64::INFINITY;
+    for (_, stripe) in tagged {
+        examined += stripe.examined;
+        pruned += stripe.pruned;
         best_latency_any = best_latency_any.min(stripe.best_latency_any);
         if let Some(cand) = stripe.best {
             let better = match &best {
@@ -255,11 +651,216 @@ pub fn synthesize_with(
     match best {
         Some(mut d) => {
             d.candidates_examined = examined;
+            d.candidates_pruned = pruned;
             Ok(d)
         }
+        // No feasible candidate means the bound never left +inf, so no cut
+        // ever fired: every resource-feasible point was evaluated and the
+        // reported best-achievable latency is the exhaustive scan's, bit
+        // for bit.
         None => Err(SynthesisError::Infeasible {
             best_achievable_latency_ms: best_latency_any,
         }),
+    }
+}
+
+/// Runs the synthesizer on the global pool.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize(spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
+    synthesize_with(spec, &Pool::global())
+}
+
+/// Runs the synthesizer on an explicit pool.
+///
+/// The lattice is striped over `nd`; each stripe runs the pruned `(nm, s)`
+/// scan against the shared incumbent bound, and the per-stripe winners are
+/// folded in ascending `nd` order with the same strict [`beats`] predicate
+/// as the serial best-so-far loop. Returns a design for which
+/// [`SynthesizedDesign::same_design`] holds against
+/// [`synthesize_exhaustive`], for any thread count.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize_with(
+    spec: &DesignSpec,
+    pool: &Pool,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    search_with(spec, pool, None)
+}
+
+/// Warm-started re-synthesis on the global pool: seeds the incumbent bound
+/// from `prior` — a neighboring deployment's optimum, or this class's
+/// previous design before a workload drift — and scans stripes outward from
+/// its lattice coordinates, so nearly all of the lattice is cut by the
+/// already-tight bound. Falls back to the cold pruned sweep (probe-seeded,
+/// ascending stripes) when the prior is infeasible on `spec`.
+///
+/// The result is exactly [`synthesize`]'s: the prior only contributes an
+/// achieved objective value to prune against, never a candidate of its own.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize_warm(
+    spec: &DesignSpec,
+    prior: &SynthesizedDesign,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    synthesize_warm_with(spec, prior, &Pool::global())
+}
+
+/// [`synthesize_warm`] on an explicit pool.
+///
+/// # Errors
+///
+/// Returns [`SynthesisError::Infeasible`] when no configuration meets the
+/// constraints on the target platform.
+pub fn synthesize_warm_with(
+    spec: &DesignSpec,
+    prior: &SynthesizedDesign,
+    pool: &Pool,
+) -> Result<SynthesizedDesign, SynthesisError> {
+    search_with(spec, pool, Some(prior))
+}
+
+/// Grid the [`SynthCache`] snaps `MinPowerUnderLatency` bounds onto
+/// (milliseconds): traffic classes whose constraints differ by less than
+/// one quantum share a cache entry (and therefore a design).
+pub const LATENCY_QUANTUM_MS: f64 = 0.01;
+
+/// Cache key: the full canonicalized input of a search. Platforms are
+/// identified by name, clock bits and capacity bits so no float rounding or
+/// custom board can alias two different lattices; the objective is keyed by
+/// discriminant plus the (already quantized) bound's bit pattern.
+type SynthKey = (ProblemShape, usize, &'static str, u64, [u64; 4], u8, u64);
+
+/// Exactly-once memoization of whole design-space searches, shared across
+/// a serving fleet.
+///
+/// A fleet re-evaluation tick maps K traffic classes onto a design
+/// portfolio; without caching, every class pays a full lattice search per
+/// tick despite most classes resolving to identical specs. This cache keys
+/// searches by canonicalized spec — platform identity, workload shape,
+/// iteration budget, objective with the latency constraint quantized to
+/// [`LATENCY_QUANTUM_MS`] — and computes each exactly once (an
+/// [`archytas_par::Memo`], safe under concurrent re-evaluation ticks,
+/// mirroring `GatingCache`), so at most K model-backed searches run
+/// fleet-wide and repeat lookups return in microseconds.
+///
+/// Canonicalization always *floors* the latency bound onto the grid, so a
+/// cached design also satisfies the original (looser-or-equal) constraint;
+/// the design returned is the exact [`synthesize_exhaustive`]-identical
+/// optimum *of the canonical spec* (asserted by the equivalence suite).
+/// Infeasible outcomes are cached too — re-asking for an impossible spec
+/// is exactly the case a fleet tick must not pay a full sweep for.
+#[derive(Debug, Default)]
+pub struct SynthCache {
+    searches: Memo<SynthKey, Result<SynthesizedDesign, SynthesisError>>,
+}
+
+impl SynthCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The spec a request is cached (and synthesized) under: identical to
+    /// `spec` except that a `MinPowerUnderLatency` bound is floored onto
+    /// the [`LATENCY_QUANTUM_MS`] grid. Bounds below one quantum are kept
+    /// verbatim rather than floored to an always-infeasible zero.
+    pub fn canonical_spec(spec: &DesignSpec) -> DesignSpec {
+        let objective = match spec.objective {
+            Objective::MinLatency => Objective::MinLatency,
+            Objective::MinPowerUnderLatency(bound) => {
+                let ticks = (bound / LATENCY_QUANTUM_MS).floor();
+                let mut snapped = ticks * LATENCY_QUANTUM_MS;
+                if snapped > bound {
+                    // Guard against the floor/multiply round-trip rounding
+                    // up past the requested bound (e.g. 2.5 / 0.01).
+                    snapped = (ticks - 1.0) * LATENCY_QUANTUM_MS;
+                }
+                if ticks >= 1.0 {
+                    Objective::MinPowerUnderLatency(snapped)
+                } else {
+                    Objective::MinPowerUnderLatency(bound)
+                }
+            }
+        };
+        DesignSpec {
+            objective,
+            ..spec.clone()
+        }
+    }
+
+    fn key(spec: &DesignSpec) -> SynthKey {
+        let (tag, bound_bits) = match spec.objective {
+            Objective::MinPowerUnderLatency(b) => (0u8, b.to_bits()),
+            Objective::MinLatency => (1u8, 0u64),
+        };
+        let cap = &spec.platform.capacity;
+        (
+            spec.shape,
+            spec.iterations,
+            spec.platform.name,
+            spec.platform.clock_mhz.to_bits(),
+            [
+                cap.lut.to_bits(),
+                cap.ff.to_bits(),
+                cap.bram.to_bits(),
+                cap.dsp.to_bits(),
+            ],
+            tag,
+            bound_bits,
+        )
+    }
+
+    /// The design for `spec`'s canonical form, synthesized on the global
+    /// pool on first request and served from the cache afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (equally cached) [`SynthesisError::Infeasible`] when the
+    /// canonical spec admits no design.
+    pub fn synthesize(&self, spec: &DesignSpec) -> Result<SynthesizedDesign, SynthesisError> {
+        self.synthesize_with(spec, &Pool::global())
+    }
+
+    /// [`SynthCache::synthesize`] on an explicit pool (used only on a
+    /// miss; hits never touch the pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns the cached [`SynthesisError::Infeasible`] when the canonical
+    /// spec admits no design.
+    pub fn synthesize_with(
+        &self,
+        spec: &DesignSpec,
+        pool: &Pool,
+    ) -> Result<SynthesizedDesign, SynthesisError> {
+        let canon = Self::canonical_spec(spec);
+        self.searches
+            .get_or_compute(Self::key(&canon), || synthesize_with(&canon, pool))
+    }
+
+    /// Searches actually run (== distinct canonical specs requested).
+    pub fn searches(&self) -> usize {
+        self.searches.misses()
+    }
+
+    /// Requests served from the cache.
+    pub fn hits(&self) -> usize {
+        self.searches.hits()
+    }
+
+    /// Point-in-time counter snapshot for bench/serving telemetry.
+    pub fn stats(&self) -> MemoStats {
+        self.searches.stats()
     }
 }
 
@@ -418,7 +1019,11 @@ mod tests {
             elapsed.as_millis() < 3_000,
             "synthesis took {elapsed:?}, paper quotes ~3 s end-to-end"
         );
-        assert!(design.candidates_examined > 10_000);
+        // Between evaluation and bound cuts, the search must have
+        // dispatched a meaningful share of the 90k lattice — and actually
+        // cut something.
+        assert!(design.candidates_examined + design.candidates_pruned > 10_000);
+        assert!(design.candidates_pruned > 0, "no bound cut ever fired");
     }
 
     #[test]
@@ -501,23 +1106,115 @@ mod tests {
     }
 
     #[test]
-    fn striped_scan_matches_serial_for_any_thread_count() {
+    fn pruned_scan_matches_exhaustive_for_any_thread_count() {
         for objective in [Objective::MinPowerUnderLatency(4.0), Objective::MinLatency] {
             let spec = DesignSpec {
                 objective,
                 ..DesignSpec::zc706_power_optimal(4.0)
             };
-            let serial = synthesize_with(&spec, &Pool::with_threads(1)).expect("feasible");
-            for threads in [2, 8] {
-                let par = synthesize_with(&spec, &Pool::with_threads(threads)).expect("feasible");
-                assert_eq!(
-                    par.config, serial.config,
-                    "{objective:?} @ {threads} threads"
+            let oracle = synthesize_exhaustive(&spec).expect("feasible");
+            for threads in [1, 2, 8] {
+                let pruned =
+                    synthesize_with(&spec, &Pool::with_threads(threads)).expect("feasible");
+                assert!(
+                    pruned.same_design(&oracle),
+                    "{objective:?} @ {threads} threads: {:?} vs {:?}",
+                    pruned.config,
+                    oracle.config
                 );
-                assert_eq!(par.latency_ms.to_bits(), serial.latency_ms.to_bits());
-                assert_eq!(par.power_w.to_bits(), serial.power_w.to_bits());
-                assert_eq!(par.candidates_examined, serial.candidates_examined);
             }
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_and_prunes_more() {
+        let spec = DesignSpec {
+            objective: Objective::MinLatency,
+            ..DesignSpec::zc706_power_optimal(0.0)
+        };
+        let cold = synthesize(&spec).expect("feasible");
+        // A neighboring deployment: same board, slightly drifted workload.
+        let mut drifted = spec.clone();
+        drifted.shape.features += 20;
+        drifted.shape.marginalized_features += 3;
+        let neighbor = synthesize(&drifted).expect("feasible");
+        let warm = synthesize_warm(&spec, &neighbor).expect("feasible");
+        assert!(warm.same_design(&cold));
+        assert!(
+            warm.candidates_examined < cold.candidates_examined,
+            "warm start must examine less: {} vs {}",
+            warm.candidates_examined,
+            cold.candidates_examined
+        );
+    }
+
+    #[test]
+    fn infeasible_prior_falls_back_to_cold_sweep() {
+        let spec = DesignSpec::zc706_power_optimal(3.0);
+        // A prior from a much larger board: its knobs exceed the ZC706
+        // lattice entirely, so warm seeding must be skipped.
+        let big = DesignSpec {
+            platform: FpgaPlatform::virtex7_690t(),
+            objective: Objective::MinLatency,
+            ..DesignSpec::zc706_power_optimal(0.0)
+        };
+        let prior = synthesize(&big).expect("feasible");
+        assert!(prior.config.nd > ND_MAX);
+        let warm = synthesize_warm(&spec, &prior).expect("feasible");
+        let oracle = synthesize_exhaustive(&spec).expect("feasible");
+        assert!(warm.same_design(&oracle));
+    }
+
+    #[test]
+    fn infeasible_spec_reports_exhaustive_error_bits() {
+        let spec = DesignSpec::zc706_power_optimal(0.001);
+        let oracle = synthesize_exhaustive(&spec).expect_err("infeasible");
+        for threads in [1, 8] {
+            let pruned =
+                synthesize_with(&spec, &Pool::with_threads(threads)).expect_err("infeasible");
+            let (
+                SynthesisError::Infeasible {
+                    best_achievable_latency_ms: a,
+                },
+                SynthesisError::Infeasible {
+                    best_achievable_latency_ms: b,
+                },
+            ) = (&pruned, &oracle);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn synth_cache_serves_repeat_requests_without_searching() {
+        let cache = SynthCache::new();
+        let spec = DesignSpec::zc706_power_optimal(5.0);
+        let first = cache.synthesize(&spec).expect("feasible");
+        let again = cache.synthesize(&spec).expect("feasible");
+        assert!(first.same_design(&again));
+        assert_eq!(cache.searches(), 1);
+        assert_eq!(cache.hits(), 1);
+        // A bound within the same quantum shares the entry...
+        let near = DesignSpec::zc706_power_optimal(5.0 + LATENCY_QUANTUM_MS / 4.0);
+        cache.synthesize(&near).expect("feasible");
+        assert_eq!(cache.searches(), 1, "same quantum must not re-search");
+        // ...while a genuinely different constraint does not.
+        cache
+            .synthesize(&DesignSpec::zc706_power_optimal(7.0))
+            .expect("feasible");
+        assert_eq!(cache.searches(), 2);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn canonical_bound_never_exceeds_the_request() {
+        for bound in [2.5, 5.0, 5.004999, 0.001, 33.333333, 20.0] {
+            let spec = DesignSpec::zc706_power_optimal(bound);
+            let canon = SynthCache::canonical_spec(&spec);
+            let Objective::MinPowerUnderLatency(snapped) = canon.objective else {
+                panic!("objective kind must be preserved");
+            };
+            assert!(snapped <= bound, "{snapped} > requested {bound}");
+            assert!(bound - snapped <= LATENCY_QUANTUM_MS, "over-tightened");
         }
     }
 

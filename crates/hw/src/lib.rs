@@ -44,8 +44,8 @@ pub use cyclesim::{cholesky_timeline, simulate_window, BlockActivity, WindowSimR
 pub use energy::{window_energy_breakdown, EnergyBreakdown};
 pub use funcsim::{accelerated_solve, f32_linear_solver};
 pub use latency::{
-    marginalization_cycles, nls_iteration_cycles, window_cycles, ITERATION_OVERHEAD_CYCLES,
-    WINDOW_OVERHEAD_CYCLES,
+    marginalization_cycles, nls_iteration_cycles, window_cycles, LatencyTables,
+    ITERATION_OVERHEAD_CYCLES, S_BLOCK, WINDOW_OVERHEAD_CYCLES,
 };
 pub use platform::{FpgaPlatform, ResourceKind, ResourceVector, RESOURCE_KINDS};
 pub use power::PowerModel;

@@ -59,6 +59,27 @@ impl PowerModel {
             + config.s as f64 * self.per_s_w
     }
 
+    /// The `nd`/`nm` prefix of Eq. 17's summation:
+    /// `P0 + nd·Pd + nm·Pm`, evaluated in exactly [`PowerModel::power_w`]'s
+    /// operation order so that [`PowerModel::power_with_s`] on the prefix is
+    /// bit-identical to the full evaluation. All coefficients are positive,
+    /// so the prefix is also a monotonicity-safe lower bound on the power of
+    /// every `(nd', nm', s)` with `nd' ≥ nd`, `nm' ≥ nm` — the bound the
+    /// synthesizer's incumbent cuts lean on.
+    #[inline]
+    pub fn power_prefix_w(&self, nd: usize, nm: usize) -> f64 {
+        self.base_w + nd as f64 * self.per_nd_w + nm as f64 * self.per_nm_w
+    }
+
+    /// Completes [`PowerModel::power_prefix_w`] with the lane term:
+    /// `prefix + s·Ps`, the exact tail of [`PowerModel::power_w`]'s
+    /// summation — `power_with_s(power_prefix_w(nd, nm), s)` returns the
+    /// same bits as `power_w(&AcceleratorConfig::new(nd, nm, s))`.
+    #[inline]
+    pub fn power_with_s(&self, prefix_w: f64, s: usize) -> f64 {
+        prefix_w + s as f64 * self.per_s_w
+    }
+
     /// Power when the instantiated design `built` runs clock-gated down to
     /// the active configuration `active` (Sec. 6.2): the gated units keep
     /// only a small leakage fraction of their dynamic power.
@@ -105,6 +126,21 @@ mod tests {
         assert!((hp - lp - 2.0).abs() < 0.25, "gap {}", hp - lp);
         assert!((2.5..5.5).contains(&hp), "hp {hp}");
         assert!((2.5..5.5).contains(&lp), "lp {lp}");
+    }
+
+    #[test]
+    fn split_evaluation_is_bitwise_power_w() {
+        let m = PowerModel::for_platform(&FpgaPlatform::virtex7_690t());
+        for nd in [1, 7, 28, 120] {
+            for nm in [1, 19, 96] {
+                let prefix = m.power_prefix_w(nd, nm);
+                for s in [1, 34, 97, 500] {
+                    let full = m.power_w(&AcceleratorConfig::new(nd, nm, s));
+                    assert_eq!(m.power_with_s(prefix, s).to_bits(), full.to_bits());
+                    assert!(prefix <= full, "prefix must lower-bound the total");
+                }
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,47 @@ impl ResourceModel {
         self.resources(config).fits(&platform.capacity)
     }
 
+    /// Largest `s ∈ 1..=s_max` for which `(nd, nm, s)` fits the platform,
+    /// or 0 when no lane count fits — exactly the value a descending
+    /// [`ResourceModel::fits`] scan would find, in O(1) instead of
+    /// O(`s_max`).
+    ///
+    /// Eq. 16 is linear with non-negative per-lane cost, so feasibility is
+    /// monotone in `s`: an algebraic estimate (`⌊headroom / per-lane⌋` over
+    /// the four kinds) lands within a step or two of the boundary, and a
+    /// short fix-up walk against the *same* `fits` predicate the scan uses
+    /// makes the result exact — no float-division rounding can shift it.
+    pub fn max_feasible_s(
+        &self,
+        nd: usize,
+        nm: usize,
+        platform: &FpgaPlatform,
+        s_max: usize,
+    ) -> usize {
+        if s_max == 0 {
+            return 0;
+        }
+        let partial = self
+            .base
+            .plus(&self.per_nd.times(nd as f64))
+            .plus(&self.per_nm.times(nm as f64));
+        let mut est = s_max as f64;
+        for k in RESOURCE_KINDS {
+            let per = self.per_s.get(k);
+            if per > 0.0 {
+                est = est.min(((platform.capacity.get(k) - partial.get(k)) / per).floor());
+            }
+        }
+        let mut s = est.clamp(0.0, s_max as f64) as usize;
+        while s < s_max && self.fits(&AcceleratorConfig::new(nd, nm, s + 1), platform) {
+            s += 1;
+        }
+        while s > 0 && !self.fits(&AcceleratorConfig::new(nd, nm, s), platform) {
+            s -= 1;
+        }
+        s
+    }
+
     /// Utilization report: `(kind, absolute, fraction)` per resource.
     pub fn utilization(
         &self,
@@ -135,6 +176,36 @@ mod tests {
         let r = m.resources(&bigger);
         assert!(r.dsp > p.capacity.dsp, "DSP exceeded first");
         assert!(r.lut < p.capacity.lut && r.ff < p.capacity.ff && r.bram < p.capacity.bram);
+    }
+
+    #[test]
+    fn max_feasible_s_matches_descending_scan() {
+        let m = ResourceModel::calibrated();
+        for platform in [
+            FpgaPlatform::zc706(),
+            FpgaPlatform::kintex7_160t(),
+            FpgaPlatform::virtex7_690t(),
+        ] {
+            for nd in [1, 8, 21, 28, 60, 120] {
+                for nm in [1, 4, 8, 19, 50, 96] {
+                    for s_max in [1, 34, 125, 500] {
+                        let mut expect = 0usize;
+                        for s in (1..=s_max).rev() {
+                            if m.fits(&AcceleratorConfig::new(nd, nm, s), &platform) {
+                                expect = s;
+                                break;
+                            }
+                        }
+                        assert_eq!(
+                            m.max_feasible_s(nd, nm, &platform, s_max),
+                            expect,
+                            "({nd},{nm}) on {} with s_max {s_max}",
+                            platform.name
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod memo;
 mod pool;
 
 pub use calibrate::{calibration, Calibration};
-pub use memo::Memo;
+pub use memo::{Memo, MemoStats};
 pub use pool::{run_as_worker, Pool, DEFAULT_MIN_PARALLEL_WORK, DEFAULT_SERIAL_THRESHOLD};
 
 /// [`Pool::par_map`] on the [`Pool::global`] pool.

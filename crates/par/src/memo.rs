@@ -41,10 +41,42 @@ impl<K, V> Default for Memo<K, V> {
     }
 }
 
+/// A consistent point-in-time view of a [`Memo`]'s counters, for stamping
+/// into bench/serving telemetry (`BENCH_par.json` cache attribution) without
+/// three racing loads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that ran the compute closure (== distinct keys requested).
+    pub misses: usize,
+    /// Distinct keys currently cached.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Total lookups observed (`hits + misses`).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
 impl<K, V> Memo<K, V> {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Snapshot of the hit/miss/entry counters. The three fields are read
+    /// under the slot lock, so a snapshot taken while the cache is quiescent
+    /// is exact; under concurrent fills it is a consistent lower bound.
+    pub fn stats(&self) -> MemoStats {
+        let entries = self.slots.lock().expect("memo poisoned").len();
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
     }
 
     /// Number of distinct keys cached so far.
@@ -143,6 +175,19 @@ mod tests {
         assert_eq!(calls.load(Ordering::Relaxed), 16, "one compute per key");
         assert_eq!(memo.misses(), 16);
         assert_eq!(memo.hits() + memo.misses(), 512);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let memo: Memo<u32, u32> = Memo::new();
+        for i in [1u32, 2, 1, 3, 1] {
+            memo.get_or_compute(i, || i + 100);
+        }
+        let s = memo.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.lookups(), 5);
     }
 
     #[test]

@@ -14,7 +14,13 @@
 #     below 4 CPUs.
 #   - absolute regression (scripts/perf_gate.sh): the fresh 1-thread solver
 #     means must stay within 1.15x of the checked-in BENCH_solver.json
-#     baseline.
+#     baseline, and the synthesizer records must stay within tolerance of
+#     the checked-in BENCH_par.json plus the absolute re-synthesis latency
+#     ceilings (cold sweep / warm re-synthesis / cache hit).
+#
+# The synthesizer bench also prints SYNTHJSON search-counter lines
+# (candidates examined/pruned per case, cache hit/miss); these are folded
+# into BENCH_par.json's `synth_search` section.
 #
 # Usage: scripts/bench_smoke.sh [output.json] [solver-output.json]
 set -euo pipefail
@@ -26,7 +32,8 @@ BENCHES=(synthesizer solver_iteration accel_sim)
 THREAD_COUNTS=(1 4)
 TMP="$(mktemp)"
 PERF_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$PERF_TMP"' EXIT
+SYNTH_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$PERF_TMP" "$SYNTH_TMP"' EXIT
 
 # Formatting gate: the whole workspace must be rustfmt-clean before any
 # benchmark time is spent.
@@ -59,6 +66,10 @@ for bench in "${BENCHES[@]}"; do
         # archytas-par counters.
         sed -n "s/^PERFJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"counters\":/p" \
             <<<"$RAW" | sed 's/$/}/' >> "$PERF_TMP"
+        # Design-space search counters (candidates examined/pruned, cache
+        # hit/miss), emitted by the synthesizer bench per case.
+        sed -n "s/^SYNTHJSON /{\"threads\":$threads,\"bench\":\"$bench\",\"search\":/p" \
+            <<<"$RAW" | sed 's/$/}/' >> "$SYNTH_TMP"
     done
 done
 
@@ -69,6 +80,8 @@ done
     paste -sd, - < "$TMP"
     echo '],"perf_phases":['
     paste -sd, - < "$PERF_TMP"
+    echo '],"synth_search":['
+    paste -sd, - < "$SYNTH_TMP"
     echo ']}'
 } > "$OUT"
 
@@ -140,8 +153,10 @@ print("solver 4-thread regression gate passed", file=sys.stderr)
 PY
 
 # Absolute regression gate: the fresh solver means must stay within
-# tolerance of the committed BENCH_solver.json baseline.
-scripts/perf_gate.sh "$SOLVER_OUT"
+# tolerance of the committed BENCH_solver.json baseline, and the fresh
+# synthesizer records within tolerance of the committed BENCH_par.json
+# plus the re-synthesis latency ceilings.
+scripts/perf_gate.sh "$SOLVER_OUT" "" "$OUT"
 
 # Fault-matrix robustness smoke rides along (writes BENCH_faults.json and
 # enforces the 3x-nominal RMSE and pool-size determinism gates).

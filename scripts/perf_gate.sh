@@ -1,37 +1,68 @@
 #!/usr/bin/env bash
-# Absolute solver-performance gate: compares a freshly generated
-# BENCH_solver.json against the checked-in baseline and fails (non-zero
-# exit) when any bench case regressed beyond the tolerance (default 1.15x
-# per bench mean, override with PERF_GATE_TOLERANCE).
+# Absolute performance gate over the committed bench baselines.
 #
-# The baseline defaults to the committed copy of BENCH_solver.json (git
-# HEAD) — bench_smoke.sh overwrites the working-tree file in place, so the
-# committed copy is the only durable reference point. Pass an explicit
-# baseline path to compare against something else.
+# Stage 1 — solver: compares a freshly generated BENCH_solver.json against
+# the checked-in baseline and fails (non-zero exit) when any bench case
+# regressed beyond the tolerance (default 1.15x per bench mean, override
+# with PERF_GATE_TOLERANCE).
+#
+# Stage 2 — synthesizer: compares the `synthesizer/*` records of a freshly
+# generated BENCH_par.json against the committed copy under the same
+# tolerance (only the synthesizer records — the solver records in that file
+# are already gated through BENCH_solver.json), and additionally enforces
+# the re-synthesis latency ceilings the fleet re-optimization path relies
+# on (1-thread means):
+#   - cold virtex7 scaled-lattice sweep   <= 60 ms
+#   - warm-started virtex7 re-synthesis   <= 10 ms
+#   - SynthCache hit                      <= 10 us
+#
+# Baselines default to the committed copies (git HEAD) — bench_smoke.sh
+# overwrites the working-tree files in place, so the committed copies are
+# the only durable reference points. Pass explicit baseline paths to
+# compare against something else.
 #
 # Thread handling: 1-thread records are always gated (they are meaningful
 # on any machine); 4-thread records are gated only on >=4-CPU machines,
 # where their scheduling is real rather than timeslicing noise.
 #
-# Usage: scripts/perf_gate.sh [fresh.json] [baseline.json]
+# Usage: scripts/perf_gate.sh [fresh_solver.json] [baseline_solver.json] \
+#                             [fresh_par.json] [baseline_par.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 FRESH="${1:-BENCH_solver.json}"
 BASELINE="${2:-}"
+PAR_FRESH="${3:-BENCH_par.json}"
+PAR_BASELINE="${4:-}"
 TOLERANCE="${PERF_GATE_TOLERANCE:-1.15}"
 CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
+SOLVER_BASE_TMP=""
+PAR_BASE_TMP=""
+cleanup() { rm -f "$SOLVER_BASE_TMP" "$PAR_BASE_TMP"; }
+trap cleanup EXIT
+
 if [ -z "$BASELINE" ]; then
-    TMP="$(mktemp)"
-    trap 'rm -f "$TMP"' EXIT
-    if ! git show HEAD:BENCH_solver.json > "$TMP" 2>/dev/null; then
-        echo "perf gate SKIPPED: no committed BENCH_solver.json to baseline against" >&2
-        exit 0
+    SOLVER_BASE_TMP="$(mktemp)"
+    if git show HEAD:BENCH_solver.json > "$SOLVER_BASE_TMP" 2>/dev/null; then
+        BASELINE="$SOLVER_BASE_TMP"
+    else
+        echo "perf gate (solver) SKIPPED: no committed BENCH_solver.json to baseline against" >&2
+        BASELINE=""
     fi
-    BASELINE="$TMP"
 fi
 
+if [ -z "$PAR_BASELINE" ]; then
+    PAR_BASE_TMP="$(mktemp)"
+    if git show HEAD:BENCH_par.json > "$PAR_BASE_TMP" 2>/dev/null; then
+        PAR_BASELINE="$PAR_BASE_TMP"
+    else
+        echo "perf gate (synthesizer) relative check limited: no committed BENCH_par.json baseline" >&2
+        PAR_BASELINE=""
+    fi
+fi
+
+if [ -n "$BASELINE" ]; then
 python3 - "$FRESH" "$BASELINE" "$TOLERANCE" "$CPUS" <<'PY'
 import json
 import sys
@@ -80,16 +111,112 @@ for (name, threads), mean in sorted(fresh.items()):
         failures.setdefault(phase(name), []).append(f"{name} ({threads}t)")
 
 if compared == 0:
-    print("perf gate SKIPPED: no comparable records between fresh and "
-          "baseline", file=sys.stderr)
+    print("perf gate (solver) SKIPPED: no comparable records between fresh "
+          "and baseline", file=sys.stderr)
     sys.exit(0)
 if failures:
     for ph in sorted(failures):
         print(f"perf gate: {ph} phase regressed: {', '.join(failures[ph])}",
               file=sys.stderr)
-    print(f"perf gate FAILED (tolerance {tol:.2f}x) in phase(s): "
+    print(f"perf gate (solver) FAILED (tolerance {tol:.2f}x) in phase(s): "
           f"{', '.join(sorted(failures))}", file=sys.stderr)
     sys.exit(1)
-print(f"perf gate passed ({compared} record(s) within {tol:.2f}x of the "
-      f"committed baseline)", file=sys.stderr)
+print(f"perf gate (solver) passed ({compared} record(s) within {tol:.2f}x "
+      f"of the committed baseline)", file=sys.stderr)
+PY
+fi
+
+# Stage 2: synthesizer records (design-space search latencies).
+if [ ! -f "$PAR_FRESH" ]; then
+    echo "perf gate (synthesizer) SKIPPED: $PAR_FRESH not found" >&2
+    exit 0
+fi
+python3 - "$PAR_FRESH" "${PAR_BASELINE:-/dev/null}" "$TOLERANCE" "$CPUS" <<'PY'
+import json
+import sys
+
+fresh_path, base_path, tol, cpus = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), int(sys.argv[4]))
+
+def index(path):
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return {
+        (r["result"]["name"], r["threads"]): r["result"]["mean_ns"]
+        for r in doc.get("records", [])
+        if r["result"]["name"].startswith("synthesizer/")
+    }
+
+fresh = index(fresh_path)
+base = index(base_path)
+
+if not fresh:
+    print("perf gate (synthesizer) SKIPPED: no synthesizer records in "
+          f"{fresh_path}", file=sys.stderr)
+    sys.exit(0)
+
+def phase(name):
+    """Maps a synthesizer record to the search path it measures."""
+    case = name.split("/", 1)[-1]
+    if "warm" in case:
+        return "warm-resynthesis"
+    if "cache" in case:
+        return "cache"
+    return "cold-sweep"
+
+# Absolute ceilings (ns, 1-thread) for the fleet re-optimization path: a
+# dynamic re-synthesis tick must fit inside a serving quantum, so these are
+# hard latency budgets rather than relative drift checks.
+CEILINGS_NS = {
+    "synthesizer/virtex7_min_latency_scaled_lattice": 60e6,
+    "synthesizer/virtex7_min_latency_warm_resynthesis": 10e6,
+    "synthesizer/synth_cache_hit": 10e3,
+}
+
+failures = {}
+compared = 0
+
+for (name, threads), mean in sorted(fresh.items()):
+    ref = base.get((name, threads))
+    gated = threads == 1 or cpus >= 4
+    if ref is None or ref <= 0.0:
+        print(f"  new   [{phase(name)}] {name} ({threads}t): "
+              f"{mean / 1e6:.3f} ms (no baseline record)", file=sys.stderr)
+    else:
+        ratio = mean / ref
+        compared += gated
+        status = "FAIL" if (gated and ratio > tol) else ("info" if not gated else "ok")
+        print(f"  {status:<4}  [{phase(name)}] {name} ({threads}t): "
+              f"fresh/baseline = {ratio:.3f} "
+              f"({mean / 1e6:.3f} ms vs {ref / 1e6:.3f} ms)", file=sys.stderr)
+        if gated and ratio > tol:
+            failures.setdefault(phase(name), []).append(f"{name} ({threads}t)")
+
+for name, ceiling in sorted(CEILINGS_NS.items()):
+    mean = fresh.get((name, 1))
+    if mean is None:
+        failures.setdefault(phase(name), []).append(f"{name} (1t record missing)")
+        print(f"  FAIL  [{phase(name)}] {name} (1t): ceiling record missing "
+              f"from {fresh_path}", file=sys.stderr)
+        continue
+    compared += 1
+    status = "FAIL" if mean > ceiling else "ok"
+    print(f"  {status:<4}  [{phase(name)}] {name} (1t): "
+          f"{mean / 1e6:.4f} ms vs absolute ceiling {ceiling / 1e6:.4f} ms",
+          file=sys.stderr)
+    if mean > ceiling:
+        failures.setdefault(phase(name), []).append(f"{name} (ceiling)")
+
+if failures:
+    for ph in sorted(failures):
+        print(f"perf gate: {ph} phase regressed: {', '.join(failures[ph])}",
+              file=sys.stderr)
+    print(f"perf gate (synthesizer) FAILED (tolerance {tol:.2f}x + absolute "
+          f"ceilings) in phase(s): {', '.join(sorted(failures))}",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"perf gate (synthesizer) passed ({compared} check(s): relative "
+      f"within {tol:.2f}x, ceilings met)", file=sys.stderr)
 PY
