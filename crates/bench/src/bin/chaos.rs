@@ -1,0 +1,383 @@
+//! Chaos bench: drives the standard 8-vehicle fleet batch through the
+//! execution-level chaos matrix (session panics, step stalls, poisoned
+//! observations, worker jitter) and *gates in-process* on the fault-
+//! isolation contract before emitting anything:
+//!
+//! * the set of terminally quarantined sessions equals each case's
+//!   expectation — chaos quarantines exactly its targets, never a
+//!   neighbor;
+//! * every session (faulted or not) is bitwise identical to running that
+//!   same spec alone, serially, at pools {1, 2, 8};
+//! * every *non-faulted* session additionally matches the chaos-free
+//!   serial reference — a neighbor's panic, stall, or jitter never costs
+//!   a healthy vehicle one bit.
+//!
+//! Usage: `chaos [--workers N] [--seconds S]` (workers also via
+//! `ARCHYTAS_FLEET_THREADS`, default 1).
+//!
+//! Output for `scripts/chaos_smoke.sh`:
+//! * one `CHAOSDET {...}` line per (case, session) — deterministic fields
+//!   only, byte-identical across pool sizes;
+//! * one `CHAOSJSON {...}` line per case — wall-clock timing and fleet
+//!   counters from the `--workers` run.
+//!
+//! Exits non-zero on any contract violation.
+
+use archytas_dataset::{euroc_sequences, kitti_sequences};
+use archytas_faults::{ChaosKind, ChaosPlan, FaultKind, FaultPlan};
+use archytas_fleet::{
+    run_fleet, run_session_alone, DeadlinePolicy, FleetConfig, FleetReport, Priority,
+    RestartPolicy, SessionOutcome, SessionReport, SessionSpec,
+};
+use std::collections::HashMap;
+
+/// The same 8-vehicle batch the fleet bench serves (two sessions carry
+/// sensor-level fault plans), so chaos results compose with the existing
+/// fleet baselines.
+fn base_specs(seconds: f64) -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    let fault_len = seconds.max(4.0);
+    vec![
+        SessionSpec::new("car-0", kitti[0].truncated(seconds), Priority::High),
+        SessionSpec::new("car-1", kitti[1].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-2", kitti[2].truncated(seconds), Priority::Low),
+        SessionSpec::new("drone-0", euroc[0].truncated(seconds), Priority::Normal),
+        SessionSpec::new("drone-1", euroc[1].truncated(seconds), Priority::Low),
+        SessionSpec::new("car-3", kitti[3].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-flaky", kitti[1].truncated(fault_len), Priority::High)
+            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
+        SessionSpec::new("drone-flaky", euroc[0].truncated(fault_len), Priority::Low)
+            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
+    ]
+}
+
+/// One chaos scenario: which sessions get which chaos, under which
+/// policies, and which sessions are expected to end quarantined.
+struct ChaosCase {
+    name: &'static str,
+    /// `(session name, chaos plan)` — applied on top of the base batch.
+    chaos: Vec<(&'static str, ChaosPlan)>,
+    deadline: DeadlinePolicy,
+    restart: RestartPolicy,
+    /// Sessions that must end `SessionOutcome::Quarantined` — exactly.
+    expect_quarantined: Vec<&'static str>,
+    /// Chaos-touched sessions expected to nevertheless match the
+    /// *chaos-free* serial bits (restart replay, timing-only chaos).
+    expect_clean_bits: Vec<&'static str>,
+}
+
+fn cases() -> Vec<ChaosCase> {
+    vec![
+        ChaosCase {
+            name: "panic-restart",
+            chaos: vec![(
+                "car-3",
+                ChaosPlan::new(41).with(ChaosKind::SessionPanic { frame: 15 }),
+            )],
+            deadline: DeadlinePolicy::default(),
+            restart: RestartPolicy::default(), // one restart
+            expect_quarantined: vec![],
+            // The one-shot panic does not re-fire after the checkpoint
+            // restore, so car-3 replays to the chaos-free bits.
+            expect_clean_bits: vec!["car-3"],
+        },
+        ChaosCase {
+            name: "panic-quarantine",
+            chaos: vec![(
+                "car-1",
+                ChaosPlan::new(7).with(ChaosKind::SessionPanic { frame: 10 }),
+            )],
+            deadline: DeadlinePolicy::default(),
+            restart: RestartPolicy {
+                max_restarts: 0,
+                ..RestartPolicy::default()
+            },
+            expect_quarantined: vec!["car-1"],
+            expect_clean_bits: vec![],
+        },
+        ChaosCase {
+            name: "step-stall",
+            chaos: vec![(
+                "drone-0",
+                ChaosPlan::new(5).with(ChaosKind::StepStall {
+                    frame: 14,
+                    rounds: 11,
+                }),
+            )],
+            deadline: DeadlinePolicy {
+                multiplier: 4.0,
+                misses_to_quarantine: 1,
+                ..DeadlinePolicy::default()
+            },
+            restart: RestartPolicy {
+                max_restarts: 0,
+                ..RestartPolicy::default()
+            },
+            expect_quarantined: vec!["drone-0"],
+            expect_clean_bits: vec![],
+        },
+        ChaosCase {
+            name: "poisoned-observation",
+            chaos: vec![(
+                "car-2",
+                ChaosPlan::new(3).with(ChaosKind::PoisonedObservation { start: 12, end: 16 }),
+            )],
+            deadline: DeadlinePolicy::default(),
+            restart: RestartPolicy::default(),
+            // The fallible solver absorbs the non-finite costs through the
+            // degradation ladder; the session survives with different (but
+            // deterministic) bits.
+            expect_quarantined: vec![],
+            expect_clean_bits: vec![],
+        },
+        ChaosCase {
+            name: "worker-jitter",
+            chaos: vec![
+                (
+                    "car-0",
+                    ChaosPlan::new(9)
+                        .with(ChaosKind::WorkerJitter { max_spins: 4000 })
+                        .with(ChaosKind::StepStall {
+                            frame: 8,
+                            rounds: 3,
+                        }),
+                ),
+                (
+                    "drone-1",
+                    ChaosPlan::new(17).with(ChaosKind::WorkerJitter { max_spins: 4000 }),
+                ),
+            ],
+            deadline: DeadlinePolicy::default(),
+            restart: RestartPolicy::default(),
+            expect_quarantined: vec![],
+            // Timing-only chaos: bits must equal the chaos-free reference.
+            expect_clean_bits: vec!["car-0", "drone-1"],
+        },
+    ]
+}
+
+fn specs_for(case: &ChaosCase, seconds: f64) -> Vec<SessionSpec> {
+    let mut specs = base_specs(seconds);
+    for (name, plan) in &case.chaos {
+        let spec = specs
+            .iter_mut()
+            .find(|s| s.name == *name)
+            .expect("chaos target exists in the base batch");
+        *spec = spec.clone().with_chaos(plan.clone());
+    }
+    specs
+}
+
+fn config_for(case: &ChaosCase, threads: usize) -> FleetConfig {
+    FleetConfig {
+        threads,
+        deadline: case.deadline,
+        restart: case.restart,
+        ..FleetConfig::default()
+    }
+}
+
+/// Compares the deterministic payload of two reports; returns a
+/// description of the first divergence instead of panicking, so the bench
+/// can report every violation before exiting.
+fn diff(a: &SessionReport, b: &SessionReport) -> Option<String> {
+    if a.outcome != b.outcome {
+        return Some(format!("outcome {:?} vs {:?}", a.outcome, b.outcome));
+    }
+    if a.windows != b.windows {
+        return Some(format!("windows {} vs {}", a.windows, b.windows));
+    }
+    if a.digest() != b.digest() {
+        return Some(format!("digest {:016x} vs {:016x}", a.digest(), b.digest()));
+    }
+    None
+}
+
+/// Runs one case at one pool size and checks the quarantine set and the
+/// per-session bits against the references. Returns violation strings.
+fn gate_one_pool(
+    case: &ChaosCase,
+    threads: usize,
+    report: &FleetReport,
+    alone_chaotic: &HashMap<String, SessionReport>,
+    alone_clean: &HashMap<String, SessionReport>,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let quarantined: Vec<&str> = report
+        .sessions
+        .iter()
+        .filter(|s| s.outcome == SessionOutcome::Quarantined)
+        .map(|s| s.name.as_str())
+        .collect();
+    if quarantined != case.expect_quarantined {
+        violations.push(format!(
+            "{}@{threads}t: quarantine set {:?}, expected {:?}",
+            case.name, quarantined, case.expect_quarantined
+        ));
+    }
+    let touched: Vec<&str> = case.chaos.iter().map(|(n, _)| *n).collect();
+    for s in &report.sessions {
+        // Contract 1: fleet == alone with the *same* chaos, for everyone.
+        if let Some(d) = diff(s, &alone_chaotic[&s.name]) {
+            violations.push(format!(
+                "{}@{threads}t: {} diverges from chaotic serial-alone: {d}",
+                case.name, s.name
+            ));
+        }
+        // Contract 2: untouched sessions == the chaos-free reference.
+        let expect_clean = !touched.contains(&s.name.as_str())
+            || case.expect_clean_bits.contains(&s.name.as_str());
+        if expect_clean {
+            if let Some(d) = diff(s, &alone_clean[&s.name]) {
+                violations.push(format!(
+                    "{}@{threads}t: {} diverges from chaos-free serial-alone: {d}",
+                    case.name, s.name
+                ));
+            }
+        }
+    }
+    violations
+}
+
+fn main() {
+    // Injected chaos panics are expected; swallow their default-hook
+    // backtrace noise but keep every real panic loud.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let chaos = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("chaos:"));
+        if !chaos {
+            default_hook(info);
+        }
+    }));
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut workers: usize = std::env::var("ARCHYTAS_FLEET_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut seconds = 4.0f64;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--workers needs an unsigned integer");
+            }
+            "--seconds" => {
+                seconds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds needs a number");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut violations: Vec<String> = Vec::new();
+
+    // The chaos-free serial reference, shared by every case: a clean
+    // session's bits do not depend on the deadline/restart policy (the
+    // watchdog only observes, checkpoints only clone), so one reference
+    // under the default config serves all cases.
+    let alone_clean: HashMap<String, SessionReport> = base_specs(seconds)
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                run_session_alone(s, &FleetConfig::default()),
+            )
+        })
+        .collect();
+
+    for case in cases() {
+        let specs = specs_for(&case, seconds);
+        let serial_cfg = config_for(&case, 1);
+        // Chaotic serial references: only chaos-touched specs need a fresh
+        // run under the case's policies; everyone else IS the clean twin.
+        let alone_chaotic: HashMap<String, SessionReport> = specs
+            .iter()
+            .map(|s| {
+                let report = if s.chaos.is_some() {
+                    run_session_alone(s, &serial_cfg)
+                } else {
+                    alone_clean[&s.name].clone()
+                };
+                (s.name.clone(), report)
+            })
+            .collect();
+
+        // The hard gate runs at pools {1, 2, 8} regardless of --workers.
+        let mut workers_report: Option<FleetReport> = None;
+        for threads in [1usize, 2, 8] {
+            let report = run_fleet(&specs, &config_for(&case, threads));
+            violations.extend(gate_one_pool(
+                &case,
+                threads,
+                &report,
+                &alone_chaotic,
+                &alone_clean,
+            ));
+            if threads == workers {
+                workers_report = Some(report);
+            }
+        }
+        let report =
+            workers_report.unwrap_or_else(|| run_fleet(&specs, &config_for(&case, workers)));
+
+        for s in &report.sessions {
+            let failure = s
+                .failure
+                .as_ref()
+                .map_or(String::from("null"), |f| format!("\"{}\"", f.cause));
+            println!(
+                "CHAOSDET {{\"case\":\"{}\",\"session\":\"{}\",\"outcome\":\"{:?}\",\
+                 \"phase\":\"{}\",\"windows\":{},\"digest\":\"{:016x}\",\
+                 \"restarts\":{},\"deadline_misses\":{},\"failure\":{}}}",
+                case.name,
+                s.name,
+                s.outcome,
+                s.phase,
+                s.windows,
+                s.digest(),
+                s.restarts,
+                s.deadline_misses,
+                failure,
+            );
+        }
+        println!(
+            "CHAOSJSON {{\"case\":\"{}\",\"workers\":{},\"cpus\":{cpus},\
+             \"sessions\":{},\"quarantined\":{},\"session_restarts\":{},\
+             \"deadline_misses\":{},\"frames\":{},\"windows\":{},\
+             \"serving_wall_s\":{:.6},\"throughput_fps\":{:.3},\
+             \"resurrections\":{},\"quanta\":{}}}",
+            case.name,
+            report.threads,
+            report.sessions.len(),
+            report.quarantined_sessions,
+            report.session_restarts,
+            report.deadline_misses,
+            report.frames_processed,
+            report.windows_processed,
+            report.serving_wall_s,
+            report.throughput_fps,
+            report.scheduler.resurrections,
+            report.scheduler.quanta,
+        );
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("CHAOS GATE VIOLATION: {v}");
+        }
+        eprintln!("chaos gate FAILED: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+    eprintln!("chaos gate passed: quarantine sets exact, all sessions bitwise == serial-alone at pools {{1,2,8}}");
+}

@@ -67,12 +67,16 @@ fn main() {
 
     for s in &report.sessions {
         println!(
-            "FLEETDET {{\"session\":\"{}\",\"outcome\":\"{:?}\",\"windows\":{},\
+            "FLEETDET {{\"session\":\"{}\",\"outcome\":\"{:?}\",\"phase\":\"{}\",\
+             \"windows\":{},\
              \"digest\":\"{:016x}\",\"iterations_sum\":{},\"rmse_bits\":\"{:016x}\",\
              \"latency_bits\":\"{:016x}\",\"energy_bits\":\"{:016x}\",\
-             \"degraded_windows\":{},\"watchdog_windows\":{}}}",
+             \"degraded_windows\":{},\"watchdog_windows\":{},\
+             \"sensor_fault_windows\":{},\"solver_divergence_windows\":{},\
+             \"prior_reset_windows\":{},\"restarts\":{},\"deadline_misses\":{}}}",
             s.name,
             s.outcome,
+            s.phase,
             s.windows,
             s.digest(),
             s.iterations.iter().sum::<usize>(),
@@ -81,6 +85,11 @@ fn main() {
             s.modelled_energy_mj.to_bits(),
             s.degraded_windows,
             s.watchdog_windows,
+            s.sensor_fault_windows,
+            s.solver_divergence_windows,
+            s.prior_reset_windows,
+            s.restarts,
+            s.deadline_misses,
         );
     }
     let completed = report
@@ -99,7 +108,8 @@ fn main() {
          \"throughput_fps\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
          \"model_evaluations\":{},\"model_cache_hits\":{},\
          \"gating_builds\":{},\"gating_hits\":{},\
-         \"steals\":{},\"deferrals\":{},\"quanta\":{}}}",
+         \"quarantined\":{},\"session_restarts\":{},\"deadline_misses\":{},\
+         \"steals\":{},\"deferrals\":{},\"quanta\":{},\"resurrections\":{}}}",
         report.threads,
         report.sessions.len(),
         completed,
@@ -114,8 +124,12 @@ fn main() {
         report.model_cache_hits,
         report.gating_builds,
         report.gating_hits,
+        report.quarantined_sessions,
+        report.session_restarts,
+        report.deadline_misses,
         report.scheduler.steals,
         report.scheduler.deferrals,
         report.scheduler.quanta,
+        report.scheduler.resurrections,
     );
 }

@@ -9,12 +9,17 @@
 
 use crate::runtime::{RuntimeSystem, ITER_CAP};
 use archytas_baselines::CpuPlatform;
-use archytas_dataset::{HealthState, PipelineConfig, SequenceData, VioPipeline};
+use archytas_dataset::{DegradationCause, HealthState, PipelineConfig, SequenceData, VioPipeline};
 use archytas_hw::{f32_linear_solver, AcceleratorModel};
 use archytas_mdfg::ProblemShape;
 use archytas_slam::{relative_error, schur_linear_solver, Pose, TrajectoryMetrics};
 
 /// Who executes the per-window optimization.
+///
+/// One `Executor` exists per end-to-end run, so the size skew between the
+/// accelerator and CPU variants costs nothing; boxing would only add a
+/// pointer chase to the per-window latency lookup.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Executor {
     /// A generated accelerator; `runtime: Some(..)` enables the dynamic
@@ -58,6 +63,11 @@ pub struct WindowRecord {
     /// Whether the runtime watchdog held the full configuration for this
     /// window (always `false` on the CPU path and static accelerator runs).
     pub watchdog_engaged: bool,
+    /// Why the window closed degraded (`None` when clean). Distinguishes a
+    /// sanitized sensor fault from solver trouble and from a prior reset —
+    /// and all three from fleet-level quarantine, which is a per-session
+    /// verdict recorded by `archytas-fleet`, never here.
+    pub degradation_cause: Option<DegradationCause>,
 }
 
 /// Aggregate result of one sequence run.
@@ -107,6 +117,28 @@ impl RunSummary {
     /// Windows for which the runtime watchdog held the full configuration.
     pub fn watchdog_windows(&self) -> usize {
         self.windows.iter().filter(|w| w.watchdog_engaged).count()
+    }
+
+    fn cause_windows(&self, cause: DegradationCause) -> usize {
+        self.windows
+            .iter()
+            .filter(|w| w.degradation_cause == Some(cause))
+            .count()
+    }
+
+    /// Windows degraded by a sanitized sensor fault.
+    pub fn sensor_fault_windows(&self) -> usize {
+        self.cause_windows(DegradationCause::SensorFault)
+    }
+
+    /// Windows degraded by the solver alone (no sensor fault latched).
+    pub fn solver_divergence_windows(&self) -> usize {
+        self.cause_windows(DegradationCause::SolverDivergence)
+    }
+
+    /// Windows degraded by a failed marginalization (prior reset).
+    pub fn prior_reset_windows(&self) -> usize {
+        self.cause_windows(DegradationCause::PriorReset)
     }
 }
 
@@ -177,6 +209,7 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
             relative_error: rel,
             health: result.health,
             watchdog_engaged,
+            degradation_cause: result.cause,
         });
     }
 

@@ -37,8 +37,11 @@ mod world;
 
 pub use frontend::{generate_frames, Frame, FrontendConfig, TrackedFeature};
 pub use pipeline::{
-    HealthConfig, HealthMonitor, HealthState, InitMode, PipelineConfig, VioPipeline, WindowResult,
+    DegradationCause, HealthConfig, HealthMonitor, HealthState, InitMode, PipelineConfig,
+    VioPipeline, WindowResult,
 };
-pub use sequence::{euroc_sequences, kitti_sequences, DatasetFamily, SequenceData, SequenceSpec};
+pub use sequence::{
+    euroc_sequences, kitti_sequences, tunnel_sequences, DatasetFamily, SequenceData, SequenceSpec,
+};
 pub use trajectory::{HallTrajectory, KinematicSample, RoadTrajectory, Trajectory};
 pub use world::{World, WorldPoint};

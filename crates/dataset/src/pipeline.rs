@@ -42,6 +42,25 @@ pub enum HealthState {
     Recovering,
 }
 
+/// Why a window closed degraded — the ladder's *diagnosis*, as opposed to
+/// [`HealthState`] which is its *response*. Distinguishing the cause matters
+/// operationally: a sanitized sensor fault is routine (the ladder absorbed
+/// it), a prior reset means information was discarded, and solver divergence
+/// on clean input points at conditioning rather than sensors. None of these
+/// is a quarantine event — quarantine is a fleet-level verdict
+/// (`archytas-fleet`) about a session, not a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationCause {
+    /// Corrupted sensor input was detected and sanitized (non-finite IMU,
+    /// vision dropout, stale frame delivery, non-finite feature).
+    SensorFault,
+    /// The solver reported a degraded outcome with no sensor fault latched.
+    SolverDivergence,
+    /// Marginalization failed; the oldest keyframe was dropped and the
+    /// prior reset rather than carrying a corrupt one forward.
+    PriorReset,
+}
+
 /// Thresholds of the [`HealthMonitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthConfig {
@@ -75,8 +94,10 @@ pub struct HealthMonitor {
     config: HealthConfig,
     state: HealthState,
     clean_windows: usize,
-    /// Fault event latched since the last window closed.
-    window_event: bool,
+    /// Fault event latched since the last window closed (the first cause
+    /// observed wins; later events in the same window add no information
+    /// to the transition).
+    window_cause: Option<DegradationCause>,
     degraded_windows: usize,
 }
 
@@ -87,7 +108,7 @@ impl HealthMonitor {
             config,
             state: HealthState::Nominal,
             clean_windows: 0,
-            window_event: false,
+            window_cause: None,
             degraded_windows: 0,
         }
     }
@@ -113,24 +134,29 @@ impl HealthMonitor {
     /// pipeline suppresses landmark instantiation and forces IMU
     /// dead-reckoning initialization.
     pub fn is_suspect(&self) -> bool {
-        self.window_event || self.state != HealthState::Nominal
+        self.window_cause.is_some() || self.state != HealthState::Nominal
     }
 
-    /// Latches a fault event for the current window.
-    fn note_event(&mut self) {
-        self.window_event = true;
+    /// Latches a fault event for the current window; the first cause
+    /// observed in a window wins.
+    fn note_event(&mut self, cause: DegradationCause) {
+        self.window_cause.get_or_insert(cause);
     }
 
     /// Folds the latched events and the solve outcome into one transition as
-    /// a window closes.
-    fn end_window(&mut self, outcome_degraded: bool) {
-        let faulted = self.window_event || outcome_degraded;
-        self.window_event = false;
-        if faulted {
+    /// a window closes, returning the window's degradation cause (`None`
+    /// when the window was clean). A degraded solve outcome with no sensor
+    /// or marginalization event latched is attributed to the solver itself.
+    fn end_window(&mut self, outcome_degraded: bool) -> Option<DegradationCause> {
+        let cause = self
+            .window_cause
+            .take()
+            .or_else(|| outcome_degraded.then_some(DegradationCause::SolverDivergence));
+        if cause.is_some() {
             self.state = HealthState::Degraded;
             self.clean_windows = 0;
             self.degraded_windows += 1;
-            return;
+            return cause;
         }
         match self.state {
             HealthState::Nominal => {}
@@ -143,6 +169,7 @@ impl HealthMonitor {
                 }
             }
         }
+        None
     }
 }
 
@@ -205,10 +232,12 @@ pub struct WindowResult {
     pub workload: WindowWorkload,
     /// Health state after this window closed (degradation ladder).
     pub health: HealthState,
+    /// Why the window closed degraded, `None` when it was clean.
+    pub cause: Option<DegradationCause>,
 }
 
 /// The stateful VIO pipeline.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VioPipeline {
     config: PipelineConfig,
     window: SlidingWindow,
@@ -280,7 +309,7 @@ impl VioPipeline {
             match sanitize_imu(&frame.imu, self.last_good_imu.as_ref()) {
                 None => std::borrow::Cow::Borrowed(&frame.imu[..]),
                 Some(clean) => {
-                    self.health.note_event();
+                    self.health.note_event(DegradationCause::SensorFault);
                     std::borrow::Cow::Owned(clean)
                 }
             };
@@ -290,7 +319,7 @@ impl VioPipeline {
         if frame.features.len() < self.config.health.min_vision_features {
             // Vision dropout: the window from here on runs on IMU dead
             // reckoning and existing landmarks only.
-            self.health.note_event();
+            self.health.note_event(DegradationCause::SensorFault);
         }
         // Stale-frame detection: a feature set bit-identical to the previous
         // frame's is a duplicate delivery (frame-grabber fault), not a new
@@ -307,7 +336,7 @@ impl VioPipeline {
             && signature == self.last_frame_features;
         self.last_frame_features = signature;
         if stale {
-            self.health.note_event();
+            self.health.note_event(DegradationCause::SensorFault);
         }
         let suspect = self.health.is_suspect();
 
@@ -361,7 +390,7 @@ impl VioPipeline {
             // A non-finite measurement would put NaN into every residual it
             // touches: drop it and flag the window instead.
             if !(feat.uv[0].is_finite() && feat.uv[1].is_finite()) {
-                self.health.note_event();
+                self.health.note_event(DegradationCause::SensorFault);
                 continue;
             }
             match self.landmark_of.get(&feat.id) {
@@ -495,7 +524,7 @@ impl VioPipeline {
                 // poisoned window): drop the oldest keyframe and its
                 // landmarks outright and reset the prior rather than carry a
                 // corrupt one into every subsequent window.
-                self.health.note_event();
+                self.health.note_event(DegradationCause::PriorReset);
                 let (shrunk, _) = drop_oldest(&self.window);
                 self.window = shrunk;
                 self.prior = None;
@@ -504,7 +533,7 @@ impl VioPipeline {
         self.gt_window.remove(0);
         self.rebuild_landmark_map();
         self.windows_processed += 1;
-        self.health.end_window(outcome_degraded);
+        let cause = self.health.end_window(outcome_degraded);
 
         WindowResult {
             window_id,
@@ -513,6 +542,7 @@ impl VioPipeline {
             ground_truth,
             workload,
             health: self.health.state(),
+            cause,
         }
     }
 
@@ -867,20 +897,24 @@ mod tests {
             recovery_windows: 2,
         });
         assert!(m.is_nominal());
-        m.note_event();
+        m.note_event(DegradationCause::SensorFault);
         assert!(m.is_suspect());
-        m.end_window(false);
+        assert_eq!(m.end_window(false), Some(DegradationCause::SensorFault));
         assert_eq!(m.state(), HealthState::Degraded);
         // One clean window: recovering, not yet nominal.
-        m.end_window(false);
+        assert_eq!(m.end_window(false), None);
         assert_eq!(m.state(), HealthState::Recovering);
         assert!(m.is_suspect());
         // Second clean window: back to nominal.
-        m.end_window(false);
+        assert_eq!(m.end_window(false), None);
         assert_eq!(m.state(), HealthState::Nominal);
-        // A degraded solve outcome alone also demotes.
-        m.end_window(true);
+        // A degraded solve outcome alone is attributed to the solver.
+        assert_eq!(m.end_window(true), Some(DegradationCause::SolverDivergence));
         assert_eq!(m.state(), HealthState::Degraded);
         assert_eq!(m.degraded_windows(), 2);
+        // The first cause latched in a window wins over later ones.
+        m.note_event(DegradationCause::PriorReset);
+        m.note_event(DegradationCause::SensorFault);
+        assert_eq!(m.end_window(true), Some(DegradationCause::PriorReset));
     }
 }

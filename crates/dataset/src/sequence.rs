@@ -17,6 +17,9 @@ pub enum DatasetFamily {
     Kitti,
     /// EuRoC MAV (drone, Machine Hall sequences).
     Euroc,
+    /// Long-horizon highway tunnel drives: feature droughts measured in
+    /// minutes, not the seconds-scale dips of the KITTI-like profile.
+    Tunnel,
 }
 
 impl std::fmt::Display for DatasetFamily {
@@ -24,6 +27,7 @@ impl std::fmt::Display for DatasetFamily {
         match self {
             DatasetFamily::Kitti => write!(f, "KITTI"),
             DatasetFamily::Euroc => write!(f, "EuRoC"),
+            DatasetFamily::Tunnel => write!(f, "Tunnel"),
         }
     }
 }
@@ -78,6 +82,21 @@ pub fn euroc_sequences() -> Vec<SequenceSpec> {
         .collect()
 }
 
+/// Three long-horizon tunnel drives (240 s each): the vehicle enters a
+/// seeded highway tunnel ~15 s in and spends roughly two *minutes* inside a
+/// bore with almost no trackable texture — ROADMAP item 3's
+/// "droughts measured in minutes, not seconds" regime.
+pub fn tunnel_sequences() -> Vec<SequenceSpec> {
+    (0..3)
+        .map(|i| SequenceSpec {
+            name: format!("tunnel-{i:02}"),
+            family: DatasetFamily::Tunnel,
+            duration: 240.0,
+            seed: 3000 + i,
+        })
+        .collect()
+}
+
 impl SequenceSpec {
     /// A short variant of this sequence (for tests and quick demos).
     pub fn truncated(&self, duration: f64) -> SequenceSpec {
@@ -90,13 +109,13 @@ impl SequenceSpec {
     /// Generates the sequence data (deterministic per spec).
     pub fn build(&self) -> SequenceData {
         let camera = match self.family {
-            DatasetFamily::Kitti => PinholeCamera::kitti_like(),
+            DatasetFamily::Kitti | DatasetFamily::Tunnel => PinholeCamera::kitti_like(),
             DatasetFamily::Euroc => PinholeCamera::euroc_like(),
         };
         let frontend = FrontendConfig {
             seed: self.seed.wrapping_mul(0x9e3779b97f4a7c15),
             max_features: match self.family {
-                DatasetFamily::Kitti => 180,
+                DatasetFamily::Kitti | DatasetFamily::Tunnel => 180,
                 DatasetFamily::Euroc => 140,
             },
             ..FrontendConfig::default()
@@ -107,6 +126,12 @@ impl SequenceSpec {
                 let traj = RoadTrajectory::kitti_like(self.duration);
                 let length = traj.sample(self.duration).pose.trans.x() + 100.0;
                 let world = World::road_corridor(length, seed, move |s| drought_profile(s, seed));
+                generate_frames(&traj, &world, &camera, &frontend)
+            }
+            DatasetFamily::Tunnel => {
+                let traj = RoadTrajectory::kitti_like(self.duration);
+                let length = traj.sample(self.duration).pose.trans.x() + 100.0;
+                let world = World::road_corridor(length, seed, move |s| tunnel_profile(s, seed));
                 generate_frames(&traj, &world, &camera, &frontend)
             }
             DatasetFamily::Euroc => {
@@ -141,6 +166,27 @@ fn drought_profile(s: f64, seed: u64) -> f64 {
         density -= 0.75 * (-d * d).exp();
     }
     density.clamp(0.08, 1.0)
+}
+
+/// Texture/density profile of a highway tunnel drive: rich open road, a
+/// short smooth portal ramp, then a 1.0–1.3 km bore whose texture floor is
+/// a few percent of open road. At the KITTI-like 5–15 m/s speed band that
+/// is well over a minute of continuous drought.
+fn tunnel_profile(s: f64, seed: u64) -> f64 {
+    let entry = 140.0 + ((seed % 11) as f64);
+    let length = 1000.0 + 100.0 * ((seed % 7) % 4) as f64;
+    let exit = entry + length;
+    let ramp = 12.0; // portal transition length in metres
+    let open = {
+        let phase = (seed % 89) as f64 * 0.17;
+        0.55 + 0.35 * (0.011 * s + phase).sin()
+    };
+    let floor = 0.02 + 0.01 * ((seed >> 3) % 4) as f64;
+    // Smoothstep into and out of the bore.
+    let t_in = ((s - entry) / ramp).clamp(0.0, 1.0);
+    let t_out = ((s - exit) / ramp).clamp(0.0, 1.0);
+    let inside = t_in * t_in * (3.0 - 2.0 * t_in) - t_out * t_out * (3.0 - 2.0 * t_out);
+    (open + (floor - open) * inside).clamp(floor, 1.0)
 }
 
 impl SequenceData {
@@ -192,6 +238,57 @@ mod tests {
         assert_eq!(euroc_sequences().len(), 5);
         assert_eq!(kitti_sequences()[0].name, "kitti-00");
         assert_eq!(euroc_sequences()[4].name, "euroc-mh-05");
+        assert_eq!(tunnel_sequences().len(), 3);
+        assert_eq!(tunnel_sequences()[0].name, "tunnel-00");
+        assert_eq!(tunnel_sequences()[0].family, DatasetFamily::Tunnel);
+        assert!(tunnel_sequences().iter().all(|s| s.duration >= 240.0));
+    }
+
+    #[test]
+    fn tunnel_profile_has_minutes_scale_drought() {
+        // The bore must be a contiguous low-texture span long enough that a
+        // 5–15 m/s drive spends more than a minute inside: ≥ 900 m below
+        // 10% density (900 m / 15 m/s = 60 s even at top speed).
+        for spec in tunnel_sequences() {
+            let seed = spec.seed;
+            let mut run = 0.0;
+            let mut longest = 0.0f64;
+            let step = 5.0;
+            let mut s = 0.0;
+            while s < 2400.0 {
+                if tunnel_profile(s, seed) < 0.10 {
+                    run += step;
+                    longest = longest.max(run);
+                } else {
+                    run = 0.0;
+                }
+                s += step;
+            }
+            assert!(
+                longest >= 900.0,
+                "{}: longest drought {longest} m < 900 m",
+                spec.name
+            );
+            // Open road on both sides of the bore is rich.
+            assert!(tunnel_profile(0.0, seed) > 0.2);
+            assert!(tunnel_profile(2350.0, seed) > 0.2);
+        }
+    }
+
+    #[test]
+    fn tunnel_sequence_builds_with_feature_drought() {
+        // A 30 s truncation reaches past the portal (~150 m at ~10 m/s is
+        // ~15 s in) and must show the feature counts collapsing inside.
+        let spec = tunnel_sequences()[0].truncated(30.0);
+        let data = spec.build();
+        let counts: Vec<usize> = data.frames.iter().map(|f| f.features.len()).collect();
+        let max = *counts.iter().max().unwrap();
+        let tail_min = *counts[counts.len() - 50..].iter().min().unwrap();
+        assert!(max > 100, "open road is rich (max {max})");
+        assert!(
+            tail_min < max / 4,
+            "bore is a drought (tail min {tail_min}, max {max})"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! also come from `ARCHYTAS_FAULT_SEED`). Exits nonzero when any scenario
 //! panics or exceeds the 3× nominal RMSE bound.
 
-use archytas_faults::{run_scenario, scenarios};
+use archytas_faults::{long_horizon_scenarios, run_scenario, scenarios};
 
 const RMSE_BOUND: f64 = 3.0;
 
@@ -22,7 +22,12 @@ fn main() {
         .unwrap_or(8.0);
 
     let mut failures = 0usize;
-    for sc in scenarios(seed) {
+    // The standard seconds-scale matrix, then the long-horizon scenarios
+    // (which pin their own sequence and duration, ignoring `seconds`).
+    for sc in scenarios(seed)
+        .into_iter()
+        .chain(long_horizon_scenarios(seed))
+    {
         let r = run_scenario(&sc, seconds);
         let ok = r.within_rmse_bound(RMSE_BOUND);
         if !ok {

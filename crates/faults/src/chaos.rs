@@ -1,0 +1,218 @@
+//! Fleet-level chaos vocabulary: faults aimed at the *serving* layer
+//! rather than the sensor stream.
+//!
+//! A [`crate::FaultPlan`] corrupts what a session *sees*; a [`ChaosPlan`]
+//! corrupts how a session *executes* — it panics mid-step, wedges for
+//! whole scheduler rounds, feeds the solver numerically poisoned
+//! observations, or jitters the worker it happens to run on. The fleet's
+//! fault-isolation layer (`archytas-fleet`) consumes these plans to prove
+//! that a hostile session is quarantined without perturbing its neighbors.
+//!
+//! Every stochastic draw follows the same discipline as [`crate::apply`]:
+//! an independent RNG stream per `(event index, frame index)` keyed only by
+//! the plan seed, so a chaos run is bit-reproducible at any pool size and
+//! admission order.
+
+use crate::inject::episode_rng;
+use archytas_dataset::Frame;
+use rand::Rng;
+
+/// One kind of execution-level chaos.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosKind {
+    /// The session panics while assembling/solving the window that begins
+    /// at `frame` — models an unhandled software defect in one session.
+    SessionPanic {
+        /// Frame index at which the step panics.
+        frame: usize,
+    },
+    /// The session wedges at `frame` for `rounds` scheduler rounds before
+    /// making progress — models a stuck I/O or a pathological solve.
+    StepStall {
+        /// Frame index at which the stall begins.
+        frame: usize,
+        /// Scheduler rounds consumed before the step completes.
+        rounds: usize,
+    },
+    /// Observations over `[start, end)` are overwritten with finite but
+    /// astronomically large coordinates, overflowing the residual math to
+    /// non-finite costs and Hessians — models corrupt memory rather than a
+    /// corrupt sensor (which `FaultKind` already covers).
+    PoisonedObservation {
+        /// First poisoned frame (inclusive).
+        start: usize,
+        /// First clean frame (exclusive).
+        end: usize,
+    },
+    /// The worker executing the session busy-spins a seeded number of
+    /// iterations (up to `max_spins`) before each step — models noisy
+    /// neighbors and scheduling jitter. Must never change any output bit.
+    WorkerJitter {
+        /// Upper bound on busy-spin iterations per step.
+        max_spins: u32,
+    },
+}
+
+/// A seeded schedule of chaos events for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Master seed of all stochastic draws.
+    pub seed: u64,
+    /// Scheduled events (index order is the RNG episode key).
+    pub events: Vec<ChaosKind>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (chaos is the identity).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event (builder style).
+    pub fn with(mut self, kind: ChaosKind) -> Self {
+        self.events.push(kind);
+        self
+    }
+
+    /// Whether the plan schedules no chaos at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The index of a `SessionPanic` event scheduled at `frame`, if any.
+    pub fn panic_event_at(&self, frame: usize) -> Option<usize> {
+        self.events
+            .iter()
+            .position(|e| matches!(e, ChaosKind::SessionPanic { frame: f } if *f == frame))
+    }
+
+    /// The `(event index, rounds)` of a `StepStall` scheduled at `frame`,
+    /// if any.
+    pub fn stall_event_at(&self, frame: usize) -> Option<(usize, usize)> {
+        self.events.iter().enumerate().find_map(|(i, e)| match e {
+            ChaosKind::StepStall { frame: f, rounds } if *f == frame => Some((i, *rounds)),
+            _ => None,
+        })
+    }
+
+    /// Seeded busy-spin count for the step at `frame` (0 when no
+    /// `WorkerJitter` is scheduled). Derived per `(event, frame)` so it is
+    /// identical no matter which worker runs the step.
+    pub fn jitter_spins(&self, frame: usize) -> u32 {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| match e {
+                ChaosKind::WorkerJitter { max_spins } if *max_spins > 0 => {
+                    episode_rng(self.seed, i, frame).gen_range(0..=*max_spins)
+                }
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Applies every `PoisonedObservation` event to `frames` in place: one
+    /// seeded feature per covered frame has its measurement overwritten
+    /// with ±1e160 — finite, so it passes the pipeline's non-finite input
+    /// guard, but large enough that the squared residual overflows to
+    /// infinity inside the solver.
+    pub fn poison_frames(&self, frames: &mut [Frame]) {
+        for (i, e) in self.events.iter().enumerate() {
+            let ChaosKind::PoisonedObservation { start, end } = e else {
+                continue;
+            };
+            for (idx, frame) in frames.iter_mut().enumerate() {
+                if idx < *start || idx >= *end || frame.features.is_empty() {
+                    continue;
+                }
+                let mut rng = episode_rng(self.seed, i, idx);
+                let k = rng.gen_range(0..frame.features.len());
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                frame.features[k].uv = [sign * 1e160, -sign * 1e160];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archytas_dataset::{generate_frames, FrontendConfig, RoadTrajectory, Trajectory, World};
+    use archytas_slam::PinholeCamera;
+
+    fn frames() -> Vec<Frame> {
+        let traj = RoadTrajectory::kitti_like(3.0);
+        let world = World::road_corridor(traj.sample(3.0).pose.trans.x() + 80.0, 5, |_| 1.0);
+        generate_frames(
+            &traj,
+            &world,
+            &PinholeCamera::kitti_like(),
+            &FrontendConfig::default(),
+        )
+    }
+
+    #[test]
+    fn event_lookup() {
+        let plan = ChaosPlan::new(7)
+            .with(ChaosKind::SessionPanic { frame: 12 })
+            .with(ChaosKind::StepStall {
+                frame: 20,
+                rounds: 3,
+            });
+        assert_eq!(plan.panic_event_at(12), Some(0));
+        assert_eq!(plan.panic_event_at(11), None);
+        assert_eq!(plan.stall_event_at(20), Some((1, 3)));
+        assert_eq!(plan.stall_event_at(12), None);
+        assert!(ChaosPlan::new(7).is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic_and_bounded() {
+        let plan = ChaosPlan::new(9).with(ChaosKind::WorkerJitter { max_spins: 500 });
+        let spins: Vec<u32> = (0..50).map(|f| plan.jitter_spins(f)).collect();
+        let again: Vec<u32> = (0..50).map(|f| plan.jitter_spins(f)).collect();
+        assert_eq!(spins, again);
+        assert!(spins.iter().all(|&s| s <= 500));
+        assert!(spins.iter().any(|&s| s > 0), "jitter never fired");
+        let other = ChaosPlan::new(10).with(ChaosKind::WorkerJitter { max_spins: 500 });
+        assert_ne!(
+            spins,
+            (0..50).map(|f| other.jitter_spins(f)).collect::<Vec<_>>()
+        );
+        assert_eq!(ChaosPlan::new(9).jitter_spins(3), 0);
+    }
+
+    #[test]
+    fn poison_overwrites_exactly_one_feature_per_covered_frame() {
+        let mut fs = frames();
+        let clean = fs.clone();
+        let plan = ChaosPlan::new(3).with(ChaosKind::PoisonedObservation { start: 5, end: 9 });
+        plan.poison_frames(&mut fs);
+        for (i, (f, c)) in fs.iter().zip(&clean).enumerate() {
+            let poisoned = f
+                .features
+                .iter()
+                .filter(|feat| feat.uv[0].abs() >= 1e159)
+                .count();
+            if (5..9).contains(&i) {
+                assert_eq!(poisoned, 1, "frame {i}");
+                // Poison is finite — it must pass the input guard and blow
+                // up inside the solver, not at the door.
+                assert!(f.features.iter().all(|x| x.uv[0].is_finite()));
+            } else {
+                assert_eq!(poisoned, 0, "frame {i}");
+                assert_eq!(f.features, c.features);
+            }
+        }
+        // Reapplication is bit-identical.
+        let mut again = clean.clone();
+        plan.poison_frames(&mut again);
+        for (a, b) in fs.iter().zip(&again) {
+            assert_eq!(a.features, b.features);
+        }
+    }
+}

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 /// Derives the RNG stream of one `(episode, frame)` pair. Each pair gets an
 /// independent stream keyed only by the plan seed and the two indices, so
 /// injection is bit-reproducible no matter how the frames are iterated.
-fn episode_rng(seed: u64, episode: usize, frame: usize) -> SmallRng {
+pub(crate) fn episode_rng(seed: u64, episode: usize, frame: usize) -> SmallRng {
     SmallRng::seed_from_u64(
         seed ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (episode as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),

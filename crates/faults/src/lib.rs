@@ -16,7 +16,12 @@
 //!   for a given seed regardless of thread count;
 //! * [`matrix::scenarios`] is the standard fault matrix and
 //!   [`matrix::run_scenario`] drives the full pipeline + runtime stack
-//!   through one scenario, reporting accuracy against the fault-free run.
+//!   through one scenario, reporting accuracy against the fault-free run;
+//!   [`matrix::long_horizon_scenarios`] adds minutes-scale regimes pinned
+//!   to their own sequences (tunnel feature droughts);
+//! * a [`ChaosPlan`] schedules *execution-level* faults for the fleet
+//!   layer — session panics, step stalls, poisoned observations, worker
+//!   jitter — with the same per-(event, frame) RNG discipline.
 //!
 //! # Example: a vision dropout survives
 //!
@@ -24,17 +29,22 @@
 //! use archytas_faults::{run_scenario, FaultKind, FaultPlan, Scenario};
 //!
 //! let plan = FaultPlan::new(7).with(FaultKind::VisionDropout, 24, 28);
-//! let result = run_scenario(&Scenario { name: "dropout".into(), plan }, 4.0);
+//! let result = run_scenario(&Scenario::new("dropout", plan), 4.0);
 //! assert!(result.completed);
 //! assert!(result.rmse_m.is_finite());
 //! ```
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod inject;
 mod matrix;
 mod plan;
 
+pub use chaos::{ChaosKind, ChaosPlan};
 pub use inject::apply;
-pub use matrix::{run_nominal, run_scenario, scenarios, NominalRun, Scenario, ScenarioResult};
+pub use matrix::{
+    long_horizon_scenarios, run_nominal, run_nominal_on, run_scenario, scenarios, NominalRun,
+    Scenario, ScenarioResult,
+};
 pub use plan::{FaultEpisode, FaultKind, FaultPlan};

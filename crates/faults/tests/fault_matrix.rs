@@ -1,7 +1,7 @@
 //! The acceptance gate of the fault harness: every scenario in the standard
 //! matrix completes without panicking and stays within the accuracy bound.
 
-use archytas_faults::{run_scenario, scenarios};
+use archytas_faults::{long_horizon_scenarios, run_scenario, scenarios};
 
 #[test]
 fn every_scenario_completes_within_rmse_bound() {
@@ -18,6 +18,43 @@ fn every_scenario_completes_within_rmse_bound() {
             r.nominal_rmse_m
         );
     }
+}
+
+#[test]
+fn standard_matrix_is_index_stable() {
+    // Downstream code (and these tests) pin scenarios by index and name;
+    // long-horizon additions must go to `long_horizon_scenarios`, not here.
+    let m = scenarios(7);
+    assert_eq!(m.len(), 9);
+    assert_eq!(m[0].name, "feature-drought");
+    assert_eq!(m[1].name, "vision-dropout");
+    assert!(m
+        .iter()
+        .all(|s| s.sequence.is_none() && s.seconds.is_none()));
+}
+
+#[test]
+fn long_horizon_scenarios_pin_their_sequences() {
+    // The minutes-scale runs are exercised by the release-mode fault-matrix
+    // bin (debug runs would take minutes per scenario); tier-1 checks the
+    // list's invariants only.
+    let m = long_horizon_scenarios(7);
+    assert!(!m.is_empty());
+    for sc in &m {
+        let spec = sc.sequence.as_ref().expect("long-horizon pins a sequence");
+        let seconds = sc.seconds.expect("long-horizon pins a duration");
+        assert!(
+            seconds >= 120.0,
+            "{}: {seconds} s is not minutes-scale",
+            sc.name
+        );
+        assert!(
+            spec.duration >= seconds,
+            "{}: spec shorter than run",
+            sc.name
+        );
+    }
+    assert_eq!(m[0].name, "tunnel-drought");
 }
 
 #[test]

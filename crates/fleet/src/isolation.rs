@@ -1,0 +1,297 @@
+//! Fault isolation vocabulary: per-session health phases, failure records,
+//! step deadlines, and the restart/backoff policy.
+//!
+//! The state machine a session moves through:
+//!
+//! ```text
+//!          deadline miss                 misses_to_quarantine
+//! Nominal ───────────────► SlowSuspect ─────────────────────► Quarantined
+//!    ▲                          │                                  │
+//!    │   recovery_steps clean   │          restart budget left     │
+//!    └──────────────────────────┘     ┌────────────────────────────┘
+//!                                     ▼
+//!                                Restarting ──► Nominal (first clean step)
+//! ```
+//!
+//! A panic quarantines immediately (no `SlowSuspect` detour). Quarantined
+//! sessions with restart budget re-enter through admission control after a
+//! capped exponential backoff measured in *scheduler rounds* — a unit that
+//! is deterministic and seedable, unlike wall time.
+
+/// Where a session sits in the fault-isolation state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionPhase {
+    /// Healthy, meeting its deadlines.
+    Nominal,
+    /// Missed a step deadline recently; still running, under observation.
+    SlowSuspect,
+    /// Isolated: panicked or exceeded the deadline-miss budget. No further
+    /// steps execute unless the restart ladder revives it.
+    Quarantined,
+    /// Revived from its last checkpoint, not yet re-proven healthy.
+    Restarting,
+}
+
+impl std::fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionPhase::Nominal => write!(f, "nominal"),
+            SessionPhase::SlowSuspect => write!(f, "slow-suspect"),
+            SessionPhase::Quarantined => write!(f, "quarantined"),
+            SessionPhase::Restarting => write!(f, "restarting"),
+        }
+    }
+}
+
+/// Why a session was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureCause {
+    /// The step panicked (caught at the session boundary).
+    Panic,
+    /// The step-deadline watchdog exceeded its consecutive-miss budget.
+    DeadlineMiss,
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureCause::Panic => write!(f, "panic"),
+            FailureCause::DeadlineMiss => write!(f, "deadline-miss"),
+        }
+    }
+}
+
+/// Everything known about a session's (most recent) quarantine event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureRecord {
+    /// What went wrong.
+    pub cause: FailureCause,
+    /// Human-readable context: the panic payload string, or the watchdog's
+    /// miss accounting.
+    pub detail: String,
+    /// Frame cursor at failure (index into the session's frame stream).
+    pub frame: usize,
+    /// Windows completed before the failure.
+    pub window: usize,
+    /// Restarts already consumed when this failure happened.
+    pub restarts_before: usize,
+}
+
+/// How step deadlines are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineClock {
+    /// Deterministic frame-count budgets: a window's cost is the number of
+    /// scheduler rounds it consumed (1 + stall rounds), and the deadline is
+    /// `multiplier` rounds. Both sides of the Eq. 13 comparison scale by
+    /// the modelled window latency, so the modelled budget cancels to a
+    /// pure round count — bit-reproducible at any pool size. The default,
+    /// and the only mode tests use.
+    Logical,
+    /// Production mode: measured step wall time against
+    /// `window_latency_ms × multiplier` from the Eq. 13 model. Timing-
+    /// dependent by construction; never part of the determinism contract.
+    WallClock,
+}
+
+/// Step-deadline policy: the soft deadline is the Eq. 13 modelled window
+/// latency times `multiplier`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeadlinePolicy {
+    /// Deadline as a multiple of the modelled window latency (Logical: the
+    /// round budget per window).
+    pub multiplier: f64,
+    /// Consecutive misses that escalate `SlowSuspect` → `Quarantined`.
+    pub misses_to_quarantine: usize,
+    /// Clean windows needed to demote `SlowSuspect` → `Nominal`.
+    pub recovery_steps: usize,
+    /// Logical (deterministic) or wall-clock measurement.
+    pub clock: DeadlineClock,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        Self {
+            multiplier: 8.0,
+            misses_to_quarantine: 2,
+            recovery_steps: 2,
+            clock: DeadlineClock::Logical,
+        }
+    }
+}
+
+/// Restart ladder: how many revivals a quarantined session gets and how
+/// long it backs off between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Maximum restarts per session (0 disables the ladder entirely —
+    /// quarantine is then terminal and no checkpoints are taken).
+    pub max_restarts: usize,
+    /// Base backoff in scheduler rounds; doubles per restart.
+    pub backoff_base_rounds: usize,
+    /// Backoff ceiling in scheduler rounds.
+    pub backoff_cap_rounds: usize,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 1,
+            backoff_base_rounds: 2,
+            backoff_cap_rounds: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff before restart number `restart_n` (0-based), in scheduler
+    /// rounds: capped exponential plus seeded jitter keyed by the session
+    /// name hash, so two sessions quarantined in the same round do not
+    /// stampede the admission queue together. Deterministic — no wall
+    /// clock, no shared RNG state.
+    pub fn backoff_rounds(&self, name_hash: u64, restart_n: usize) -> usize {
+        let base = self.backoff_base_rounds.max(1);
+        let exp = base
+            .checked_shl(restart_n.min(63) as u32)
+            .unwrap_or(usize::MAX)
+            .min(self.backoff_cap_rounds.max(base));
+        let jitter = splitmix64(self.seed ^ name_hash ^ restart_n as u64) as usize % base;
+        exp + jitter
+    }
+}
+
+/// FNV-1a over a byte string — the session-name hash feeding backoff
+/// jitter (same construction as `SessionReport::digest`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Verdict of one deadline observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineVerdict {
+    /// Within deadline and not under observation.
+    Ok,
+    /// Missed recently (or just now); keep running under observation.
+    Slow,
+    /// Consecutive-miss budget exhausted: quarantine.
+    Quarantine,
+}
+
+/// Streak accounting for the step-deadline watchdog. Lives *inside* the
+/// checkpointed session core, so a restart also resets the miss streak the
+/// failure accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadlineWatchdog {
+    consecutive_misses: usize,
+    clean_streak: usize,
+    slow: bool,
+}
+
+impl DeadlineWatchdog {
+    /// Folds one window's miss/clean observation into the streaks and
+    /// returns the escalation verdict.
+    pub fn observe(&mut self, missed: bool, policy: &DeadlinePolicy) -> DeadlineVerdict {
+        if missed {
+            self.consecutive_misses += 1;
+            self.clean_streak = 0;
+            self.slow = true;
+            if self.consecutive_misses >= policy.misses_to_quarantine.max(1) {
+                return DeadlineVerdict::Quarantine;
+            }
+            return DeadlineVerdict::Slow;
+        }
+        self.consecutive_misses = 0;
+        if self.slow {
+            self.clean_streak += 1;
+            if self.clean_streak >= policy.recovery_steps.max(1) {
+                self.slow = false;
+                self.clean_streak = 0;
+                return DeadlineVerdict::Ok;
+            }
+            return DeadlineVerdict::Slow;
+        }
+        DeadlineVerdict::Ok
+    }
+
+    /// Miss streak accounting, for failure-record details.
+    pub fn consecutive_misses(&self) -> usize {
+        self.consecutive_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_escalates_and_recovers() {
+        let policy = DeadlinePolicy {
+            misses_to_quarantine: 2,
+            recovery_steps: 2,
+            ..DeadlinePolicy::default()
+        };
+        let mut w = DeadlineWatchdog::default();
+        assert_eq!(w.observe(false, &policy), DeadlineVerdict::Ok);
+        assert_eq!(w.observe(true, &policy), DeadlineVerdict::Slow);
+        // One clean window interrupts the consecutive streak…
+        assert_eq!(w.observe(false, &policy), DeadlineVerdict::Slow);
+        // …so the next miss is again the first of a streak.
+        assert_eq!(w.observe(true, &policy), DeadlineVerdict::Slow);
+        assert_eq!(w.observe(true, &policy), DeadlineVerdict::Quarantine);
+    }
+
+    #[test]
+    fn watchdog_needs_recovery_steps_to_clear() {
+        let policy = DeadlinePolicy {
+            misses_to_quarantine: 3,
+            recovery_steps: 2,
+            ..DeadlinePolicy::default()
+        };
+        let mut w = DeadlineWatchdog::default();
+        assert_eq!(w.observe(true, &policy), DeadlineVerdict::Slow);
+        assert_eq!(w.observe(false, &policy), DeadlineVerdict::Slow);
+        assert_eq!(w.observe(false, &policy), DeadlineVerdict::Ok);
+        assert_eq!(w.observe(false, &policy), DeadlineVerdict::Ok);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_with_deterministic_jitter() {
+        let p = RestartPolicy {
+            max_restarts: 8,
+            backoff_base_rounds: 2,
+            backoff_cap_rounds: 32,
+            seed: 5,
+        };
+        let h = fnv1a(b"car-3");
+        let rounds: Vec<usize> = (0..8).map(|n| p.backoff_rounds(h, n)).collect();
+        assert_eq!(
+            rounds,
+            (0..8).map(|n| p.backoff_rounds(h, n)).collect::<Vec<_>>()
+        );
+        // Exponential portion: 2, 4, 8, 16, 32, 32, … plus jitter < base.
+        for (n, &r) in rounds.iter().enumerate() {
+            let exp = (2usize << n).min(32);
+            assert!(r >= exp && r < exp + 2, "restart {n}: {r} vs exp {exp}");
+        }
+        // Different sessions de-synchronize.
+        let other: Vec<usize> = (0..8)
+            .map(|n| p.backoff_rounds(fnv1a(b"drone-1"), n))
+            .collect();
+        assert_ne!(rounds, other);
+    }
+}

@@ -18,6 +18,20 @@
 //! schedule is unobservable and [`admission`](self) for why shedding is
 //! arrival-time deterministic.
 //!
+//! # Fault isolation
+//!
+//! Every step runs behind `catch_unwind`: a panicking or
+//! deadline-violating session moves to [`SessionPhase::Quarantined`] with
+//! a [`FailureRecord`] while its neighbors keep producing their exact
+//! serial-alone bits. A [`RestartPolicy`] revives quarantined sessions
+//! from their last checkpoint after a capped exponential backoff
+//! (measured in scheduler rounds — deterministic and seedable), and a
+//! [`DeadlinePolicy`] escalates slow sessions `Nominal → SlowSuspect →
+//! Quarantined` on a logical frame-count clock by default (wall-clock is
+//! a production opt-in). The `archytas-faults` crate's `ChaosPlan` is the
+//! adversary: seeded panics, stalls, poisoned observations, and worker
+//! jitter for proving all of the above.
+//!
 //! # Example
 //!
 //! ```
@@ -41,17 +55,22 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod isolation;
 mod scheduler;
 mod session;
 
 pub use admission::{plan as plan_admission, AdmissionDecision};
+pub use isolation::{
+    fnv1a, DeadlineClock, DeadlinePolicy, DeadlineVerdict, DeadlineWatchdog, FailureCause,
+    FailureRecord, RestartPolicy, SessionPhase,
+};
 pub use scheduler::SchedulerStats;
 pub use session::{
     fleet_pipeline_config, FleetServices, Priority, SessionOutcome, SessionReport, SessionSpec,
 };
 
 use archytas_hw::{AcceleratorConfig, FpgaPlatform, HIGH_PERF};
-use session::SessionState;
+use session::{SessionState, StepOutcome};
 use std::time::Instant;
 
 /// Deployment-wide configuration of the serving layer.
@@ -75,6 +94,12 @@ pub struct FleetConfig {
     pub defer_watermark: usize,
     /// Frames one scheduler quantum processes before requeueing.
     pub frames_per_quantum: usize,
+    /// Step-deadline policy (logical frame-count clock by default).
+    pub deadline: DeadlinePolicy,
+    /// Restart ladder for quarantined sessions.
+    pub restart: RestartPolicy,
+    /// Windows between session checkpoints (restart granularity).
+    pub checkpoint_interval: usize,
 }
 
 impl Default for FleetConfig {
@@ -88,6 +113,9 @@ impl Default for FleetConfig {
             shed_watermark: usize::MAX,
             defer_watermark: usize::MAX,
             frames_per_quantum: 4,
+            deadline: DeadlinePolicy::default(),
+            restart: RestartPolicy::default(),
+            checkpoint_interval: 8,
         }
     }
 }
@@ -130,6 +158,12 @@ pub struct FleetReport {
     pub gating_builds: usize,
     /// Gating-table requests served from the shared cache.
     pub gating_hits: usize,
+    /// Sessions that ended terminally quarantined.
+    pub quarantined_sessions: usize,
+    /// Restarts consumed across the fleet.
+    pub session_restarts: usize,
+    /// Step-deadline misses across the fleet (lifetime, survives restarts).
+    pub deadline_misses: usize,
     /// Work-stealing / backpressure counters.
     pub scheduler: SchedulerStats,
 }
@@ -178,6 +212,12 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
     all_ns.sort_unstable();
     let frames_processed = all_ns.len();
     let windows_processed = sessions.iter().map(|s| s.windows).sum();
+    let quarantined_sessions = sessions
+        .iter()
+        .filter(|s| s.outcome == SessionOutcome::Quarantined)
+        .count();
+    let session_restarts = sessions.iter().map(|s| s.restarts).sum();
+    let deadline_misses = sessions.iter().map(|s| s.deadline_misses).sum();
     FleetReport {
         threads,
         serving_wall_s,
@@ -197,6 +237,9 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
         model_cache_hits: services.model.cache_hits(),
         gating_builds: services.gating.builds(),
         gating_hits: services.gating.hits(),
+        quarantined_sessions,
+        session_restarts,
+        deadline_misses,
         scheduler: stats,
         sessions,
     }
@@ -205,11 +248,25 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
 /// The serial reference: runs one session to completion on the calling
 /// thread with private (unshared) services. Fleet output must match this
 /// bitwise, session by session.
+///
+/// The loop charges one logical round per `step_guarded` call — the same
+/// unit the fleet scheduler charges per quantum round — so the logical
+/// deadline clock (and therefore quarantine decisions) agrees bit-for-bit
+/// with fleet execution. Failures walk the same restart ladder.
 pub fn run_session_alone(spec: &SessionSpec, config: &FleetConfig) -> SessionReport {
     let services = FleetServices::new(config);
     let mut state = SessionState::new(spec, &services);
-    while !state.step_frame() {}
-    state.finish()
+    loop {
+        match state.step_guarded() {
+            StepOutcome::Progress | StepOutcome::Stalled => {}
+            StepOutcome::Done => return state.finish(),
+            StepOutcome::Failed => {
+                if state.try_schedule_restart().is_none() {
+                    return state.finish_quarantined();
+                }
+            }
+        }
+    }
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample (ns).

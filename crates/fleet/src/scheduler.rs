@@ -4,14 +4,15 @@
 //! # Why any schedule produces the same bits
 //!
 //! A session index lives in **exactly one** place at a time — one worker's
-//! local deque, the global injector, the deferred queue, or held by the
-//! worker currently executing a quantum. Workers therefore never run two
-//! quanta of the same session concurrently, and a session's frames are
-//! processed strictly in order. Since a quantum is a pure function of the
-//! session's own state (sessions share only immutable caches), the stream
-//! of per-session results is independent of which worker ran which
-//! quantum, of steal order, and of the pool size. Scheduling decides only
-//! *interleaving*, and interleaving is unobservable to a session.
+//! local deque, the global injector, the deferred queue, the resurrect
+//! queue, or held by the worker currently executing a quantum. Workers
+//! therefore never run two quanta of the same session concurrently, and a
+//! session's frames are processed strictly in order. Since a quantum is a
+//! pure function of the session's own state (sessions share only immutable
+//! caches), the stream of per-session results is independent of which
+//! worker ran which quantum, of steal order, and of the pool size.
+//! Scheduling decides only *interleaving*, and interleaving is
+//! unobservable to a session.
 //!
 //! # Backpressure
 //!
@@ -21,12 +22,24 @@
 //! resume watermark. Deferral changes completion *order*, never outputs,
 //! and a deferred session can only wait while other work exists — the pool
 //! never idles with a non-empty deferred queue.
+//!
+//! # Fault isolation
+//!
+//! A quantum whose step fails (panic, deadline quarantine — the catch
+//! happens *inside* [`SessionState::step_guarded`], under the slot lock,
+//! so no `Mutex` is ever poisoned) consults the restart ladder. With
+//! budget left, the session parks on the **resurrect queue** until its
+//! backoff (measured in executed quanta — the scheduler's deterministic
+//! logical clock) expires, then re-enters through the normal admission
+//! queue. Without budget, the session is terminally quarantined: its slot
+//! is reaped exactly like a completion, so neighbors keep their workers
+//! and their bits.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::session::{Priority, SessionReport, SessionState};
+use crate::session::{Priority, SessionReport, SessionState, StepOutcome};
 
 /// Knobs the scheduler needs (a subset of [`crate::FleetConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +60,18 @@ pub struct SchedulerStats {
     pub deferrals: usize,
     /// Quanta executed in total.
     pub quanta: usize,
+    /// Sessions parked on the resurrect queue (restart ladder).
+    pub resurrections: usize,
+}
+
+/// What one executed quantum decided about its session.
+enum QuantumVerdict {
+    /// More frames remain; requeue.
+    Requeue,
+    /// The session completed every frame.
+    Done,
+    /// The session failed (panic or deadline quarantine).
+    Failed,
 }
 
 struct Shared {
@@ -61,6 +86,8 @@ struct Shared {
     injector: Mutex<VecDeque<usize>>,
     /// Backpressured `Low` sessions.
     deferred: Mutex<VecDeque<usize>>,
+    /// Failed sessions awaiting restart: `(slot, ready_at_quanta)`.
+    resurrect: Mutex<Vec<(usize, usize)>>,
     /// Sessions currently activated and unfinished.
     active: AtomicUsize,
     /// Admitted sessions not yet finished (workers exit at zero).
@@ -70,6 +97,7 @@ struct Shared {
     steals: AtomicUsize,
     deferrals: AtomicUsize,
     quanta: AtomicUsize,
+    resurrections: AtomicUsize,
 }
 
 /// Runs every session in `sessions` to completion and returns the reports
@@ -93,12 +121,14 @@ pub(crate) fn run(
         locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         injector: Mutex::new(VecDeque::new()),
         deferred: Mutex::new(VecDeque::new()),
+        resurrect: Mutex::new(Vec::new()),
         active: AtomicUsize::new(0),
         live: AtomicUsize::new(live),
         runnable: AtomicUsize::new(0),
         steals: AtomicUsize::new(0),
         deferrals: AtomicUsize::new(0),
         quanta: AtomicUsize::new(0),
+        resurrections: AtomicUsize::new(0),
     };
 
     if threads == 1 {
@@ -117,6 +147,7 @@ pub(crate) fn run(
         steals: shared.steals.load(Ordering::Relaxed),
         deferrals: shared.deferrals.load(Ordering::Relaxed),
         quanta: shared.quanta.load(Ordering::Relaxed),
+        resurrections: shared.resurrections.load(Ordering::Relaxed),
     };
     let reports = shared
         .reports
@@ -128,6 +159,7 @@ pub(crate) fn run(
 
 fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
     while sh.live.load(Ordering::SeqCst) != 0 {
+        promote_resurrections(sh);
         admit_up_to_capacity(sh, cfg);
         let Some(i) = acquire(sh, w, cfg) else {
             std::thread::yield_now();
@@ -138,23 +170,105 @@ fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
         let state = slot
             .as_mut()
             .expect("a queued session index always has live state");
-        let mut done = false;
+        let mut verdict = QuantumVerdict::Requeue;
         for _ in 0..cfg.frames_per_quantum.max(1) {
-            if state.step_frame() {
-                done = true;
-                break;
+            match state.step_guarded() {
+                StepOutcome::Progress => {}
+                StepOutcome::Done => {
+                    verdict = QuantumVerdict::Done;
+                    break;
+                }
+                // A wedged step consumes the rest of this quantum — one
+                // Stalled return costs exactly one scheduler round, the
+                // same unit the serial-alone loop charges, so the logical
+                // deadline clock agrees between fleet and alone.
+                StepOutcome::Stalled => break,
+                StepOutcome::Failed => {
+                    verdict = QuantumVerdict::Failed;
+                    break;
+                }
             }
         }
-        if done {
-            let state = slot.take().unwrap();
-            drop(slot);
-            *sh.reports[i].lock().unwrap() = Some(state.finish());
-            sh.active.fetch_sub(1, Ordering::SeqCst);
-            sh.live.fetch_sub(1, Ordering::SeqCst);
+        match verdict {
+            QuantumVerdict::Done => {
+                let state = slot.take().unwrap();
+                drop(slot);
+                *sh.reports[i].lock().unwrap() = Some(state.finish());
+                sh.active.fetch_sub(1, Ordering::SeqCst);
+                sh.live.fetch_sub(1, Ordering::SeqCst);
+            }
+            QuantumVerdict::Failed => {
+                let restart = slot.as_mut().unwrap().try_schedule_restart();
+                match restart {
+                    Some(backoff) => {
+                        // The slot keeps the (checkpoint-restored) state;
+                        // only its scheduling claim is released. It will
+                        // re-enter through the admission queue once the
+                        // backoff expires on the quanta clock.
+                        drop(slot);
+                        let ready_at = sh.quanta.load(Ordering::Relaxed) + backoff;
+                        sh.resurrect.lock().unwrap().push((i, ready_at));
+                        sh.resurrections.fetch_add(1, Ordering::Relaxed);
+                        sh.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        // Terminal quarantine: reaped like a completion so
+                        // the pool keeps serving everyone else.
+                        let state = slot.take().unwrap();
+                        drop(slot);
+                        *sh.reports[i].lock().unwrap() = Some(state.finish_quarantined());
+                        sh.active.fetch_sub(1, Ordering::SeqCst);
+                        sh.live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            QuantumVerdict::Requeue => {
+                let low = slot.as_ref().unwrap().priority() == Priority::Low;
+                drop(slot);
+                release(sh, w, i, low, cfg);
+            }
+        }
+    }
+}
+
+/// Moves restart-ladder sessions whose backoff has expired (on the
+/// executed-quanta clock) back onto the admission queue, so a revived
+/// session re-enters through the same capacity gate as a new arrival.
+///
+/// The quanta clock only advances while some session is runnable; if the
+/// resurrect queue ever holds the *only* remaining work, the earliest
+/// entry is fast-forwarded so the pool cannot idle forever. (Backoff
+/// shapes timing, never outputs, so the fast-forward is contract-safe.)
+fn promote_resurrections(sh: &Shared) {
+    let mut resurrect = sh.resurrect.lock().unwrap();
+    if resurrect.is_empty() {
+        return;
+    }
+    let now = sh.quanta.load(Ordering::Relaxed);
+    let mut waiting = sh.waiting.lock().unwrap();
+    let mut promoted = false;
+    resurrect.retain(|&(i, ready_at)| {
+        if ready_at <= now {
+            waiting.push_back(i);
+            promoted = true;
+            false
         } else {
-            let low = state.priority() == Priority::Low;
-            drop(slot);
-            release(sh, w, i, low, cfg);
+            true
+        }
+    });
+    if !promoted
+        && waiting.is_empty()
+        && sh.runnable.load(Ordering::SeqCst) == 0
+        && sh.active.load(Ordering::SeqCst) == 0
+    {
+        let earliest = resurrect
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &(slot, ready_at))| (ready_at, slot))
+            .map(|(pos, _)| pos);
+        if let Some(pos) = earliest {
+            let (i, _) = resurrect.remove(pos);
+            waiting.push_back(i);
         }
     }
 }

@@ -8,19 +8,35 @@
 //! shares with its neighbours are immutable, pure-function caches
 //! ([`CachedAcceleratorModel`], [`archytas_core::GatingCache`]), which is
 //! why fleet execution is bitwise identical to running each session alone.
+//!
+//! # Fault isolation
+//!
+//! Every step executes behind [`std::panic::catch_unwind`]: a panicking
+//! session is moved to [`SessionPhase::Quarantined`] with a
+//! [`FailureRecord`] instead of unwinding into the worker. The
+//! deterministic state a step mutates lives in one `Core` struct, cloned
+//! periodically as a checkpoint — the restart ladder overwrites a torn
+//! core with the checkpoint, so mid-assembly wreckage is never observable.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
 use archytas_core::{GatingCache, IterPolicy, RuntimeSystem};
-use archytas_dataset::{Frame, HealthState, PipelineConfig, SequenceSpec, VioPipeline};
-use archytas_faults::FaultPlan;
+use archytas_dataset::{
+    DegradationCause, Frame, HealthState, PipelineConfig, SequenceSpec, VioPipeline,
+};
+use archytas_faults::{ChaosPlan, FaultPlan};
 use archytas_hw::{
     f32_linear_solver, AcceleratorConfig, AcceleratorModel, CachedAcceleratorModel, FpgaPlatform,
 };
 use archytas_mdfg::ProblemShape;
 use archytas_slam::{FactorWeights, Pose, TrajectoryMetrics};
 
+use crate::isolation::{
+    fnv1a, DeadlineClock, DeadlinePolicy, DeadlineVerdict, DeadlineWatchdog, FailureCause,
+    FailureRecord, RestartPolicy, SessionPhase,
+};
 use crate::FleetConfig;
 
 /// Scheduling priority of a session.
@@ -49,6 +65,9 @@ pub struct SessionSpec {
     pub priority: Priority,
     /// Optional seeded fault plan applied to the sensor stream.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional seeded execution-level chaos plan (panics, stalls,
+    /// poisoned observations, worker jitter).
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl SessionSpec {
@@ -59,12 +78,19 @@ impl SessionSpec {
             sequence,
             priority,
             fault_plan: None,
+            chaos: None,
         }
     }
 
     /// Attaches a seeded fault plan to the sensor stream.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Attaches a seeded chaos plan to the session's execution.
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 }
@@ -76,6 +102,9 @@ pub enum SessionOutcome {
     Completed,
     /// Rejected by admission control before processing any frame.
     Shed,
+    /// Quarantined by the fault-isolation layer (panic or deadline-miss
+    /// budget) with no restart budget left.
+    Quarantined,
 }
 
 /// Final per-session record, sufficient for a bitwise comparison against a
@@ -107,6 +136,21 @@ pub struct SessionReport {
     pub degraded_windows: usize,
     /// Windows for which the runtime watchdog held the full configuration.
     pub watchdog_windows: usize,
+    /// Windows degraded by a sanitized sensor fault.
+    pub sensor_fault_windows: usize,
+    /// Windows degraded by solver divergence (no sensor fault latched).
+    pub solver_divergence_windows: usize,
+    /// Windows degraded by a failed marginalization (prior reset).
+    pub prior_reset_windows: usize,
+    /// Final fault-isolation phase.
+    pub phase: SessionPhase,
+    /// Restarts consumed from the restart ladder.
+    pub restarts: usize,
+    /// Step-deadline misses across the session's whole life (survives
+    /// restarts; deterministic under the logical clock).
+    pub deadline_misses: usize,
+    /// The (most recent) quarantine event, if any.
+    pub failure: Option<FailureRecord>,
     /// Host wall-clock time per frame (ns). Timing-only: excluded from the
     /// determinism contract, pooled fleet-wide for latency percentiles.
     pub frame_wall_ns: Vec<u64>,
@@ -128,6 +172,13 @@ impl SessionReport {
             rmse_m: 0.0,
             degraded_windows: 0,
             watchdog_windows: 0,
+            sensor_fault_windows: 0,
+            solver_divergence_windows: 0,
+            prior_reset_windows: 0,
+            phase: SessionPhase::Nominal,
+            restarts: 0,
+            deadline_misses: 0,
+            failure: None,
             frame_wall_ns: Vec::new(),
         }
     }
@@ -154,6 +205,11 @@ impl SessionReport {
     /// FNV-1a digest over every deterministic field — two runs of the same
     /// session agree on the digest iff they agree on every estimate bit,
     /// every iteration decision, and every modelled cost.
+    ///
+    /// The eaten field set is frozen: restart/deadline counters are report
+    /// metadata, not digest payload, so a restarted session that replays to
+    /// the same estimates digests identically to a clean run — which is
+    /// exactly the restart-determinism contract.
     pub fn digest(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |word: u64| {
@@ -224,6 +280,21 @@ impl SessionReport {
             "{}: watchdog windows",
             self.name
         );
+        assert_eq!(
+            self.sensor_fault_windows, other.sensor_fault_windows,
+            "{}: sensor-fault windows",
+            self.name
+        );
+        assert_eq!(
+            self.solver_divergence_windows, other.solver_divergence_windows,
+            "{}: solver-divergence windows",
+            self.name
+        );
+        assert_eq!(
+            self.prior_reset_windows, other.prior_reset_windows,
+            "{}: prior-reset windows",
+            self.name
+        );
     }
 }
 
@@ -239,6 +310,12 @@ pub struct FleetServices {
     pub gating: Arc<GatingCache>,
     /// Shared iteration policy (immutable lookup table).
     pub policy: Arc<IterPolicy>,
+    /// Step-deadline policy every session runs under.
+    pub deadline: DeadlinePolicy,
+    /// Restart/backoff ladder every session runs under.
+    pub restart: RestartPolicy,
+    /// Windows between session checkpoints (when restarts are enabled).
+    pub checkpoint_interval: usize,
     design: AcceleratorConfig,
     platform: FpgaPlatform,
     latency_bound_ms: f64,
@@ -254,6 +331,9 @@ impl FleetServices {
             )),
             gating: Arc::new(GatingCache::new()),
             policy: Arc::new(IterPolicy::default_table()),
+            deadline: config.deadline,
+            restart: config.restart,
+            checkpoint_interval: config.checkpoint_interval,
             design: config.design,
             platform: config.platform.clone(),
             latency_bound_ms: config.latency_bound_ms,
@@ -284,15 +364,31 @@ pub fn fleet_pipeline_config() -> PipelineConfig {
     }
 }
 
-/// Live state of one admitted session.
-pub(crate) struct SessionState {
-    name: String,
-    priority: Priority,
-    frames: Vec<Frame>,
+/// What one guarded step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// A frame was processed; more remain.
+    Progress,
+    /// The sequence is exhausted.
+    Done,
+    /// The step is wedged (chaos stall); it consumed this scheduler round
+    /// without touching any deterministic state.
+    Stalled,
+    /// The session failed (panic or deadline quarantine) and holds a
+    /// [`FailureRecord`]; ask [`SessionState::try_schedule_restart`].
+    Failed,
+}
+
+/// Every piece of deterministic state a step mutates, in one cloneable
+/// struct — the unit of checkpoint/restore for the restart ladder. The
+/// frame stream, chaos bookkeeping, and lifetime counters live *outside*,
+/// so a restore rewinds the estimator without forgetting what already
+/// happened to the session.
+#[derive(Debug, Clone)]
+struct Core {
     cursor: usize,
     pipeline: VioPipeline,
     runtime: RuntimeSystem,
-    model: Arc<CachedAcceleratorModel>,
     metrics: TrajectoryMetrics,
     estimates: Vec<Pose>,
     iterations: Vec<usize>,
@@ -300,49 +396,39 @@ pub(crate) struct SessionState {
     modelled_energy_mj: f64,
     degraded_windows: usize,
     watchdog_windows: usize,
-    frame_wall_ns: Vec<u64>,
+    /// Degradation-cause counts: [sensor fault, solver divergence, prior
+    /// reset].
+    cause_windows: [usize; 3],
+    /// Deadline streak state (inside the checkpoint, so a restart also
+    /// clears the miss streak that killed the session).
+    watchdog: DeadlineWatchdog,
+    /// Scheduler rounds consumed by stalls since the last window closed —
+    /// the logical-clock numerator of the deadline check.
+    stalls_since_window: usize,
 }
 
-impl SessionState {
-    /// Builds the session: replays the sequence spec into frames, applies
-    /// the fault plan, and wires a fresh pipeline to a runtime drawing from
-    /// the shared caches.
-    pub(crate) fn new(spec: &SessionSpec, services: &FleetServices) -> Self {
-        let mut frames = spec.sequence.build().frames;
-        if let Some(plan) = &spec.fault_plan {
-            frames = archytas_faults::apply(plan, &frames);
-        }
-        Self {
-            name: spec.name.clone(),
-            priority: spec.priority,
-            frames,
-            cursor: 0,
-            pipeline: VioPipeline::new(fleet_pipeline_config()),
-            runtime: services.runtime(),
-            model: Arc::clone(&services.model),
-            metrics: TrajectoryMetrics::new(),
-            estimates: Vec::new(),
-            iterations: Vec::new(),
-            modelled_latency_ms: 0.0,
-            modelled_energy_mj: 0.0,
-            degraded_windows: 0,
-            watchdog_windows: 0,
-            frame_wall_ns: Vec::new(),
-        }
-    }
-
-    pub(crate) fn priority(&self) -> Priority {
-        self.priority
-    }
-
+impl Core {
     /// Processes the next frame (front-end, health-fed runtime decision,
-    /// f32 accelerator solve). Returns `true` once the sequence is
-    /// exhausted. Purely a function of the session's own state — no
-    /// observable dependence on what other sessions are doing.
-    pub(crate) fn step_frame(&mut self) -> bool {
-        let t0 = Instant::now();
-        let produced = self.pipeline.push_frame(&self.frames[self.cursor]);
+    /// f32 accelerator solve). Returns `(done, window latency)` where the
+    /// latency is `Some` iff a window closed this frame. Purely a function
+    /// of the session's own state — no observable dependence on what other
+    /// sessions are doing.
+    ///
+    /// `inject_panic` fires the chaos panic *after* the front-end ingests
+    /// the frame, so the unwind genuinely tears mid-assembly state (a
+    /// half-extended window) — the hardest case for isolation.
+    fn step_frame(
+        &mut self,
+        frames: &[Frame],
+        model: &CachedAcceleratorModel,
+        inject_panic: bool,
+    ) -> (bool, Option<f64>) {
+        let produced = self.pipeline.push_frame(&frames[self.cursor]);
         self.cursor += 1;
+        if inject_panic {
+            panic!("chaos: injected session panic at frame {}", self.cursor - 1);
+        }
+        let mut window_latency = None;
         if produced {
             let features = self.pipeline.window().num_landmarks();
             let healthy = !self.pipeline.health().is_suspect();
@@ -354,39 +440,299 @@ impl SessionState {
                 .pipeline
                 .optimize_and_slide_with(decision.iterations, &f32_linear_solver);
             let shape = ProblemShape::from_workload(&result.workload);
-            let latency_ms = self.model.window_latency_ms(&shape, decision.iterations);
+            let latency_ms = model.window_latency_ms(&shape, decision.iterations);
             self.modelled_latency_ms += latency_ms;
             self.modelled_energy_mj += latency_ms * decision.gated_power_w;
             if result.health == HealthState::Degraded {
                 self.degraded_windows += 1;
             }
+            match result.cause {
+                Some(DegradationCause::SensorFault) => self.cause_windows[0] += 1,
+                Some(DegradationCause::SolverDivergence) => self.cause_windows[1] += 1,
+                Some(DegradationCause::PriorReset) => self.cause_windows[2] += 1,
+                None => {}
+            }
             self.metrics
                 .record(&result.estimate, &result.ground_truth, 0.0);
             self.estimates.push(result.estimate);
             self.iterations.push(decision.iterations);
+            window_latency = Some(latency_ms);
         }
-        self.frame_wall_ns
-            .push(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        self.cursor >= self.frames.len()
+        (self.cursor >= frames.len(), window_latency)
+    }
+}
+
+/// Live state of one admitted session.
+pub(crate) struct SessionState {
+    name: String,
+    priority: Priority,
+    /// The (possibly fault-injected and chaos-poisoned) frame stream.
+    /// Immutable once built: restarts replay it from the checkpoint cursor.
+    frames: Vec<Frame>,
+    model: Arc<CachedAcceleratorModel>,
+    deadline: DeadlinePolicy,
+    restart: RestartPolicy,
+    checkpoint_interval: usize,
+    chaos: Option<ChaosPlan>,
+    /// One-shot latch per chaos event. Lives outside the checkpoint: chaos
+    /// models *transient* defects, so a restarted session replays the
+    /// trigger frame cleanly instead of dying in a loop.
+    chaos_fired: Vec<bool>,
+    /// Stall rounds still to burn before the wedged step completes.
+    pending_stall: usize,
+    core: Core,
+    checkpoint: Option<Box<Core>>,
+    phase: SessionPhase,
+    failure: Option<FailureRecord>,
+    restarts: usize,
+    /// Lifetime deadline misses (outside the checkpoint: restarts must not
+    /// erase the record of why they happened).
+    deadline_misses_total: usize,
+    frame_wall_ns: Vec<u64>,
+}
+
+impl SessionState {
+    /// Builds the session: replays the sequence spec into frames, applies
+    /// the fault plan and chaos poisoning, and wires a fresh pipeline to a
+    /// runtime drawing from the shared caches.
+    pub(crate) fn new(spec: &SessionSpec, services: &FleetServices) -> Self {
+        let mut frames = spec.sequence.build().frames;
+        if let Some(plan) = &spec.fault_plan {
+            frames = archytas_faults::apply(plan, &frames);
+        }
+        if let Some(plan) = &spec.chaos {
+            plan.poison_frames(&mut frames);
+        }
+        let core = Core {
+            cursor: 0,
+            pipeline: VioPipeline::new(fleet_pipeline_config()),
+            runtime: services.runtime(),
+            metrics: TrajectoryMetrics::new(),
+            estimates: Vec::new(),
+            iterations: Vec::new(),
+            modelled_latency_ms: 0.0,
+            modelled_energy_mj: 0.0,
+            degraded_windows: 0,
+            watchdog_windows: 0,
+            cause_windows: [0; 3],
+            watchdog: DeadlineWatchdog::default(),
+            stalls_since_window: 0,
+        };
+        // Seed the checkpoint with the pristine core so a failure before
+        // the first periodic checkpoint can still restart (from frame 0).
+        let checkpoint = (services.restart.max_restarts > 0).then(|| Box::new(core.clone()));
+        Self {
+            name: spec.name.clone(),
+            priority: spec.priority,
+            frames,
+            model: Arc::clone(&services.model),
+            deadline: services.deadline,
+            restart: services.restart,
+            checkpoint_interval: services.checkpoint_interval,
+            chaos_fired: vec![false; spec.chaos.as_ref().map_or(0, |p| p.events.len())],
+            chaos: spec.chaos.clone(),
+            pending_stall: 0,
+            core,
+            checkpoint,
+            phase: SessionPhase::Nominal,
+            failure: None,
+            restarts: 0,
+            deadline_misses_total: 0,
+            frame_wall_ns: Vec::new(),
+        }
+    }
+
+    pub(crate) fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// One guarded step: burns a pending stall round, fires due chaos,
+    /// executes the frame behind `catch_unwind`, and folds the result into
+    /// the deadline watchdog and checkpoint schedule.
+    pub(crate) fn step_guarded(&mut self) -> StepOutcome {
+        if self.phase == SessionPhase::Quarantined {
+            // Defensive: a quarantined session must never be stepped.
+            return StepOutcome::Failed;
+        }
+        if self.pending_stall > 0 {
+            self.pending_stall -= 1;
+            self.core.stalls_since_window += 1;
+            return StepOutcome::Stalled;
+        }
+        let frame_idx = self.core.cursor;
+        let mut inject_panic = false;
+        if let Some(plan) = &self.chaos {
+            if let Some((ev, rounds)) = plan.stall_event_at(frame_idx) {
+                if !self.chaos_fired[ev] {
+                    self.chaos_fired[ev] = true;
+                    if rounds > 0 {
+                        self.pending_stall = rounds - 1;
+                        self.core.stalls_since_window += 1;
+                        return StepOutcome::Stalled;
+                    }
+                }
+            }
+            // Jitter burns host cycles only; it must not touch any
+            // deterministic state.
+            for _ in 0..plan.jitter_spins(frame_idx) {
+                std::hint::spin_loop();
+            }
+            if let Some(ev) = plan.panic_event_at(frame_idx) {
+                if !self.chaos_fired[ev] {
+                    // Latched *before* the panic fires: the defect is
+                    // transient, so a restart replays this frame cleanly.
+                    self.chaos_fired[ev] = true;
+                    inject_panic = true;
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let core = &mut self.core;
+        let frames = &self.frames[..];
+        let model = &*self.model;
+        // AssertUnwindSafe: a panic can leave `core` torn mid-assembly, but
+        // a torn core is never observed afterwards — the failure path
+        // either overwrites it with a checkpoint clone or quarantines the
+        // session so it is never stepped again. The panic is caught here,
+        // inside the slot lock's critical section, so no Mutex is poisoned
+        // and no other session can ever see the wreckage.
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            core.step_frame(frames, model, inject_panic)
+        }));
+        let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        match step {
+            Err(payload) => {
+                self.fail(
+                    FailureCause::Panic,
+                    panic_payload_string(payload),
+                    frame_idx,
+                );
+                StepOutcome::Failed
+            }
+            Ok((done, window)) => {
+                self.frame_wall_ns.push(wall_ns);
+                if let Some(latency_ms) = window {
+                    let rounds = 1 + self.core.stalls_since_window;
+                    self.core.stalls_since_window = 0;
+                    let missed = match self.deadline.clock {
+                        DeadlineClock::Logical => rounds as f64 > self.deadline.multiplier,
+                        DeadlineClock::WallClock => {
+                            wall_ns as f64 > latency_ms * self.deadline.multiplier * 1e6
+                        }
+                    };
+                    if missed {
+                        self.deadline_misses_total += 1;
+                    }
+                    match self.core.watchdog.observe(missed, &self.deadline) {
+                        DeadlineVerdict::Quarantine => {
+                            let detail = format!(
+                                "window exceeded {}x the Eq. 13 deadline \
+                                 ({} consecutive misses)",
+                                self.deadline.multiplier,
+                                self.core.watchdog.consecutive_misses(),
+                            );
+                            self.fail(FailureCause::DeadlineMiss, detail, frame_idx);
+                            return StepOutcome::Failed;
+                        }
+                        DeadlineVerdict::Slow => self.phase = SessionPhase::SlowSuspect,
+                        DeadlineVerdict::Ok => self.phase = SessionPhase::Nominal,
+                    }
+                    if self.restart.max_restarts > 0
+                        && self.phase == SessionPhase::Nominal
+                        && self
+                            .core
+                            .estimates
+                            .len()
+                            .is_multiple_of(self.checkpoint_interval.max(1))
+                    {
+                        self.checkpoint = Some(Box::new(self.core.clone()));
+                    }
+                } else if self.phase == SessionPhase::Restarting {
+                    self.phase = SessionPhase::Nominal;
+                }
+                if done {
+                    StepOutcome::Done
+                } else {
+                    StepOutcome::Progress
+                }
+            }
+        }
+    }
+
+    fn fail(&mut self, cause: FailureCause, detail: String, frame: usize) {
+        self.phase = SessionPhase::Quarantined;
+        self.failure = Some(FailureRecord {
+            cause,
+            detail,
+            frame,
+            window: self.core.estimates.len(),
+            restarts_before: self.restarts,
+        });
+    }
+
+    /// Attempts to schedule a restart of a failed session: restores the
+    /// last checkpoint over the (possibly torn) core and returns the
+    /// backoff in scheduler rounds the session must sit out before
+    /// re-entering admission. `None` when the restart budget is exhausted —
+    /// the quarantine is terminal.
+    pub(crate) fn try_schedule_restart(&mut self) -> Option<usize> {
+        if self.restarts >= self.restart.max_restarts {
+            return None;
+        }
+        let checkpoint = self.checkpoint.as_deref()?;
+        self.core = checkpoint.clone();
+        self.pending_stall = 0;
+        self.phase = SessionPhase::Restarting;
+        let n = self.restarts;
+        self.restarts += 1;
+        Some(self.restart.backoff_rounds(fnv1a(self.name.as_bytes()), n))
     }
 
     /// Consumes the session into its final report.
     pub(crate) fn finish(self) -> SessionReport {
+        self.into_report(SessionOutcome::Completed)
+    }
+
+    /// Consumes a terminally quarantined session into its final report,
+    /// keeping the windows it completed before failing.
+    pub(crate) fn finish_quarantined(self) -> SessionReport {
+        self.into_report(SessionOutcome::Quarantined)
+    }
+
+    fn into_report(self, outcome: SessionOutcome) -> SessionReport {
         SessionReport {
             name: self.name,
             priority: self.priority,
-            outcome: SessionOutcome::Completed,
-            frames: self.cursor,
-            windows: self.estimates.len(),
-            estimates: self.estimates,
-            iterations: self.iterations,
-            modelled_latency_ms: self.modelled_latency_ms,
-            modelled_energy_mj: self.modelled_energy_mj,
-            rmse_m: self.metrics.rmse(),
-            degraded_windows: self.degraded_windows,
-            watchdog_windows: self.watchdog_windows,
+            outcome,
+            frames: self.core.cursor,
+            windows: self.core.estimates.len(),
+            estimates: self.core.estimates,
+            iterations: self.core.iterations,
+            modelled_latency_ms: self.core.modelled_latency_ms,
+            modelled_energy_mj: self.core.modelled_energy_mj,
+            rmse_m: self.core.metrics.rmse(),
+            degraded_windows: self.core.degraded_windows,
+            watchdog_windows: self.core.watchdog_windows,
+            sensor_fault_windows: self.core.cause_windows[0],
+            solver_divergence_windows: self.core.cause_windows[1],
+            prior_reset_windows: self.core.cause_windows[2],
+            phase: self.phase,
+            restarts: self.restarts,
+            deadline_misses: self.deadline_misses_total,
+            failure: self.failure,
             frame_wall_ns: self.frame_wall_ns,
         }
+    }
+}
+
+/// Renders a caught panic payload as a string for the [`FailureRecord`].
+fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -394,6 +740,26 @@ impl SessionState {
 mod tests {
     use super::*;
     use archytas_dataset::kitti_sequences;
+    use archytas_faults::ChaosKind;
+
+    /// Installs (once) a panic hook that swallows injected-chaos panics but
+    /// forwards everything else — real failures stay loud, and tests that
+    /// panic in parallel never race on hook ownership.
+    fn silence_chaos_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let chaos = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|s| s.starts_with("chaos:"));
+                if !chaos {
+                    default(info);
+                }
+            }));
+        });
+    }
 
     #[test]
     fn digest_is_sensitive_to_every_deterministic_field() {
@@ -410,6 +776,12 @@ mod tests {
         let mut timed = base.clone();
         timed.frame_wall_ns.push(123);
         assert_eq!(base.digest(), timed.digest());
+        // Restart/deadline counters are metadata, not payload: a restarted
+        // session that replayed to the same estimates digests identically.
+        let mut restarted = base.clone();
+        restarted.restarts = 1;
+        restarted.deadline_misses = 3;
+        assert_eq!(base.digest(), restarted.digest());
     }
 
     #[test]
@@ -417,12 +789,91 @@ mod tests {
         let spec = SessionSpec::new("alone", kitti_sequences()[3].truncated(2.5), Priority::High);
         let services = FleetServices::new(&FleetConfig::default());
         let mut st = SessionState::new(&spec, &services);
-        while !st.step_frame() {}
+        loop {
+            match st.step_guarded() {
+                StepOutcome::Done => break,
+                StepOutcome::Progress => {}
+                other => panic!("clean session produced {other:?}"),
+            }
+        }
         let report = st.finish();
         assert!(report.windows > 0);
         assert_eq!(report.frames, report.frame_wall_ns.len());
         assert_eq!(report.windows, report.estimates.len());
         assert!(report.rmse_m.is_finite());
         assert!(report.modelled_latency_ms > 0.0);
+        assert_eq!(report.phase, SessionPhase::Nominal);
+        assert_eq!(report.restarts, 0);
+        assert_eq!(report.deadline_misses, 0);
+        assert!(report.failure.is_none());
+    }
+
+    #[test]
+    fn injected_panic_quarantines_with_failure_record() {
+        let spec = SessionSpec::new(
+            "doomed",
+            kitti_sequences()[3].truncated(2.5),
+            Priority::High,
+        )
+        .with_chaos(ChaosPlan::new(1).with(ChaosKind::SessionPanic { frame: 12 }));
+        let services = FleetServices::new(&FleetConfig {
+            restart: RestartPolicy {
+                max_restarts: 0,
+                ..RestartPolicy::default()
+            },
+            ..FleetConfig::default()
+        });
+        let mut st = SessionState::new(&spec, &services);
+        silence_chaos_panics();
+        let outcome = loop {
+            match st.step_guarded() {
+                StepOutcome::Progress => {}
+                other => break other,
+            }
+        };
+        assert_eq!(outcome, StepOutcome::Failed);
+        assert_eq!(st.try_schedule_restart(), None, "no restart budget");
+        let report = st.finish_quarantined();
+        assert_eq!(report.outcome, SessionOutcome::Quarantined);
+        assert_eq!(report.phase, SessionPhase::Quarantined);
+        let failure = report.failure.expect("failure record");
+        assert_eq!(failure.cause, FailureCause::Panic);
+        assert_eq!(failure.frame, 12);
+        assert!(failure.detail.contains("chaos: injected session panic"));
+        assert_eq!(failure.restarts_before, 0);
+    }
+
+    #[test]
+    fn restart_replays_to_clean_bits() {
+        let seq = kitti_sequences()[3].truncated(2.5);
+        let clean_spec = SessionSpec::new("s", seq.clone(), Priority::Normal);
+        let services = FleetServices::new(&FleetConfig::default());
+        let mut clean = SessionState::new(&clean_spec, &services);
+        loop {
+            if let StepOutcome::Done = clean.step_guarded() {
+                break;
+            }
+        }
+        let clean_report = clean.finish();
+
+        let chaotic_spec = SessionSpec::new("s", seq, Priority::Normal)
+            .with_chaos(ChaosPlan::new(1).with(ChaosKind::SessionPanic { frame: 15 }));
+        let mut chaotic = SessionState::new(&chaotic_spec, &services);
+        silence_chaos_panics();
+        let report = loop {
+            match chaotic.step_guarded() {
+                StepOutcome::Done => break chaotic.finish(),
+                StepOutcome::Failed if chaotic.try_schedule_restart().is_none() => {
+                    break chaotic.finish_quarantined();
+                }
+                _ => {}
+            }
+        };
+        assert_eq!(report.outcome, SessionOutcome::Completed);
+        assert_eq!(report.restarts, 1);
+        // The restart replayed from the checkpoint; the one-shot chaos
+        // event does not re-fire, so the final bits equal a clean run's.
+        assert_eq!(report.digest(), clean_report.digest());
+        clean_report.assert_bitwise_eq(&report);
     }
 }

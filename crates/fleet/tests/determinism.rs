@@ -3,11 +3,31 @@
 //! admission order, and under backpressure.
 
 use archytas_dataset::{euroc_sequences, kitti_sequences};
-use archytas_faults::{FaultKind, FaultPlan};
+use archytas_faults::{ChaosKind, ChaosPlan, FaultKind, FaultPlan};
 use archytas_fleet::{
-    run_fleet, run_session_alone, FleetConfig, Priority, SessionOutcome, SessionReport, SessionSpec,
+    run_fleet, run_session_alone, DeadlinePolicy, FailureCause, FleetConfig, Priority,
+    RestartPolicy, SessionOutcome, SessionPhase, SessionReport, SessionSpec,
 };
 use std::collections::HashMap;
+
+/// Installs (once) a panic hook that swallows injected-chaos panics but
+/// forwards everything else, so assertion failures stay loud and tests
+/// never race on hook ownership.
+fn silence_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let chaos = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !chaos {
+                default(info);
+            }
+        }));
+    });
+}
 
 /// The standard 8-vehicle batch: cars and drones, mixed priorities, two
 /// vehicles hitting sensor faults mid-sequence.
@@ -133,6 +153,175 @@ fn backpressure_defers_low_priority_without_changing_outputs() {
     for (spec, session) in specs.iter().zip(&report.sessions) {
         assert_eq!(session.outcome, SessionOutcome::Completed);
         session.assert_bitwise_eq(&alone[&spec.name]);
+    }
+}
+
+#[test]
+fn restart_ladder_is_deterministic_at_every_pool_size() {
+    silence_chaos_panics();
+    // car-3 panics at frame 15 but holds one restart: it must complete,
+    // replaying from its checkpoint to the exact bits of a chaos-free run —
+    // at every pool size and admission order, like everyone else.
+    let mut specs = fleet_specs();
+    let victim = 5; // car-3
+    specs[victim] = specs[victim]
+        .clone()
+        .with_chaos(ChaosPlan::new(41).with(ChaosKind::SessionPanic { frame: 15 }));
+    let alone = alone_reports(&fleet_specs()); // chaos-free reference bits
+
+    let mut reversed = specs.clone();
+    reversed.reverse();
+    for threads in [1usize, 2, 8] {
+        for order in [&specs, &reversed] {
+            let report = run_fleet(
+                order,
+                &FleetConfig {
+                    threads,
+                    ..base_config()
+                },
+            );
+            assert_eq!(report.quarantined_sessions, 0, "{threads}t");
+            assert_eq!(report.session_restarts, 1, "{threads}t");
+            assert!(report.scheduler.resurrections >= 1);
+            for (spec, session) in order.iter().zip(&report.sessions) {
+                assert_eq!(session.outcome, SessionOutcome::Completed, "{}", spec.name);
+                session.assert_bitwise_eq(&alone[&spec.name]);
+                if spec.name == "car-3" {
+                    assert_eq!(session.restarts, 1);
+                    assert_eq!(session.digest(), alone[&spec.name].digest());
+                } else {
+                    assert_eq!(session.restarts, 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_without_restart_budget_quarantines_only_the_victim() {
+    silence_chaos_panics();
+    let mut specs = fleet_specs();
+    specs[1] = specs[1]
+        .clone()
+        .with_chaos(ChaosPlan::new(7).with(ChaosKind::SessionPanic { frame: 10 }));
+    let alone = alone_reports(&fleet_specs());
+    let config = FleetConfig {
+        restart: RestartPolicy {
+            max_restarts: 0,
+            ..RestartPolicy::default()
+        },
+        ..base_config()
+    };
+    for threads in [1usize, 2, 8] {
+        let report = run_fleet(
+            &specs,
+            &FleetConfig {
+                threads,
+                ..config.clone()
+            },
+        );
+        assert_eq!(report.quarantined_sessions, 1, "{threads}t");
+        let victim = &report.sessions[1];
+        assert_eq!(victim.outcome, SessionOutcome::Quarantined);
+        assert_eq!(victim.phase, SessionPhase::Quarantined);
+        let failure = victim.failure.as_ref().expect("failure record");
+        assert_eq!(failure.cause, FailureCause::Panic);
+        assert_eq!(failure.frame, 10);
+        assert!(failure.detail.contains("chaos: injected session panic"));
+        // Every non-faulted session keeps its exact serial-alone bits.
+        for (spec, session) in specs.iter().zip(&report.sessions) {
+            if spec.name != "car-1" {
+                assert_eq!(session.outcome, SessionOutcome::Completed, "{}", spec.name);
+                session.assert_bitwise_eq(&alone[&spec.name]);
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_escalates_on_the_logical_clock_identically_at_every_pool_size() {
+    silence_chaos_panics();
+    // An 11-round stall against a 4-round budget and a 1-miss quarantine
+    // threshold: the watchdog must quarantine deterministically (logical
+    // clock), with the same verdict and the same completed-window prefix
+    // at every pool size, in fleet and alone.
+    let mut specs = fleet_specs();
+    specs[3] = specs[3]
+        .clone()
+        .with_chaos(ChaosPlan::new(5).with(ChaosKind::StepStall {
+            frame: 14,
+            rounds: 11,
+        }));
+    let config = FleetConfig {
+        deadline: DeadlinePolicy {
+            multiplier: 4.0,
+            misses_to_quarantine: 1,
+            ..DeadlinePolicy::default()
+        },
+        restart: RestartPolicy {
+            max_restarts: 0,
+            ..RestartPolicy::default()
+        },
+        ..base_config()
+    };
+    let alone_clean = alone_reports(&fleet_specs());
+    let alone_stalled = run_session_alone(&specs[3], &config);
+    assert_eq!(alone_stalled.outcome, SessionOutcome::Quarantined);
+    assert_eq!(
+        alone_stalled.failure.as_ref().map(|f| f.cause),
+        Some(FailureCause::DeadlineMiss)
+    );
+    assert!(alone_stalled.deadline_misses >= 1);
+    for threads in [1usize, 2, 8] {
+        let report = run_fleet(
+            &specs,
+            &FleetConfig {
+                threads,
+                ..config.clone()
+            },
+        );
+        let victim = &report.sessions[3];
+        assert_eq!(victim.outcome, SessionOutcome::Quarantined, "{threads}t");
+        victim.assert_bitwise_eq(&alone_stalled);
+        assert_eq!(victim.deadline_misses, alone_stalled.deadline_misses);
+        assert_eq!(report.deadline_misses, alone_stalled.deadline_misses);
+        for (spec, session) in specs.iter().zip(&report.sessions) {
+            if spec.name != "drone-0" {
+                session.assert_bitwise_eq(&alone_clean[&spec.name]);
+            }
+        }
+    }
+}
+
+#[test]
+fn stalls_and_jitter_within_budget_never_change_bits() {
+    // Chaos that only shapes timing (a short stall under the deadline
+    // budget, worker jitter) must leave every output bit — including the
+    // victim's — identical to the chaos-free run.
+    let mut specs = fleet_specs();
+    specs[0] = specs[0].clone().with_chaos(
+        ChaosPlan::new(9)
+            .with(ChaosKind::StepStall {
+                frame: 8,
+                rounds: 3,
+            })
+            .with(ChaosKind::WorkerJitter { max_spins: 400 }),
+    );
+    let alone = alone_reports(&fleet_specs());
+    for threads in [1usize, 4] {
+        let report = run_fleet(
+            &specs,
+            &FleetConfig {
+                threads,
+                ..base_config()
+            },
+        );
+        assert_eq!(report.quarantined_sessions, 0);
+        assert_eq!(report.deadline_misses, 0, "3 rounds vs 8-round budget");
+        for (spec, session) in specs.iter().zip(&report.sessions) {
+            assert_eq!(session.outcome, SessionOutcome::Completed, "{}", spec.name);
+            session.assert_bitwise_eq(&alone[&spec.name]);
+        }
     }
 }
 

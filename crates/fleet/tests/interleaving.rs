@@ -5,6 +5,11 @@
 //! from one shared `GatingCache`.
 
 use archytas_core::{GatingCache, IterCounter, IterPolicy, RuntimeDecision, RuntimeSystem};
+use archytas_dataset::kitti_sequences;
+use archytas_faults::{ChaosKind, ChaosPlan};
+use archytas_fleet::{
+    run_fleet, run_session_alone, FleetConfig, Priority, SessionOutcome, SessionSpec,
+};
 use archytas_hw::{FpgaPlatform, HIGH_PERF};
 use archytas_mdfg::ProblemShape;
 
@@ -151,6 +156,75 @@ fn watchdog_engagement_never_leaks_between_sessions() {
                 decisions.iter().all(|(_, engaged)| !*engaged),
                 "session {s} caught session 1's watchdog"
             );
+        }
+    }
+}
+
+#[test]
+fn racing_panics_on_a_saturated_pool_leave_survivors_bit_exact() {
+    // Unwind-safety under pressure: four sessions panic at *different*
+    // frames on an 8-worker pool with single-frame quanta — panics racing
+    // each other, racing steals, and racing completions. Every panic must
+    // be caught inside the slot's critical section (no poisoned locks, no
+    // worker death), quarantine exactly its own session, and leave every
+    // survivor's bits untouched.
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let chaos = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("chaos:"));
+            if !chaos {
+                default(info);
+            }
+        }));
+    });
+    let kitti = kitti_sequences();
+    let specs: Vec<SessionSpec> = (0..8)
+        .map(|i| {
+            let spec = SessionSpec::new(
+                format!("s-{i}"),
+                kitti[i % 4].truncated(2.5),
+                Priority::Normal,
+            );
+            if i % 2 == 0 {
+                // Panic frames spread across the sequence so the unwinds
+                // interleave with healthy sessions' quanta.
+                spec.with_chaos(
+                    ChaosPlan::new(100 + i as u64)
+                        .with(ChaosKind::SessionPanic { frame: 5 + 3 * i }),
+                )
+            } else {
+                spec
+            }
+        })
+        .collect();
+    let config = FleetConfig {
+        threads: 8,
+        frames_per_quantum: 1, // maximize interleaving pressure
+        restart: archytas_fleet::RestartPolicy {
+            max_restarts: 0,
+            ..archytas_fleet::RestartPolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&specs, &config);
+    assert_eq!(report.quarantined_sessions, 4);
+    for (i, (spec, session)) in specs.iter().zip(&report.sessions).enumerate() {
+        if i % 2 == 0 {
+            assert_eq!(
+                session.outcome,
+                SessionOutcome::Quarantined,
+                "{}",
+                spec.name
+            );
+            let failure = session.failure.as_ref().expect("failure record");
+            assert_eq!(failure.frame, 5 + 3 * i, "{}", spec.name);
+        } else {
+            assert_eq!(session.outcome, SessionOutcome::Completed, "{}", spec.name);
+            session.assert_bitwise_eq(&run_session_alone(spec, &FleetConfig::default()));
         }
     }
 }

@@ -196,6 +196,7 @@ impl EkfVio {
         let d_theta = p_c.skew(); // ∂p_c/∂δθ (right perturbation)
         let d_p = self.state.pose.rot.to_mat().transpose().scale(-1.0); // ∂p_c/∂δp
         let mut h = DMat::zeros(2, STATE_DIM);
+        #[allow(clippy::needless_range_loop)] // parallel-indexed 2x3x3 contraction
         for row in 0..2 {
             for col in 0..3 {
                 let mut acc_t = 0.0;

@@ -90,6 +90,7 @@ pub fn evaluate_visual(
     let mut j_anchor = [[0.0; 6]; 2];
     let mut j_obs = [[0.0; 6]; 2];
     let mut j_rho = [0.0; 2];
+    #[allow(clippy::needless_range_loop)] // parallel-indexed 2x3x3 contraction
     for r in 0..2 {
         for c in 0..3 {
             let mut acc_ta = 0.0;

@@ -631,6 +631,7 @@ fn scatter_imu_runs<S: NormalEqSink>(
         let mut tails = [EMPTY; STATE_DIM];
         let mut crosses = [EMPTY; STATE_DIM];
         let mut n = 0;
+        #[allow(clippy::needless_range_loop)] // r indexes w2s, j_i, and residual
         for r in 0..STATE_DIM {
             let v = ev.j_i[r][ti];
             if v == 0.0 {
@@ -662,6 +663,7 @@ fn scatter_imu_runs<S: NormalEqSink>(
         let ci = off_j + tj;
         let mut tails = [EMPTY; STATE_DIM];
         let mut n = 0;
+        #[allow(clippy::needless_range_loop)] // r indexes w2s, j_j, and residual
         for r in 0..STATE_DIM {
             let v = ev.j_j[r][tj];
             if v == 0.0 {

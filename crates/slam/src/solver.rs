@@ -461,7 +461,7 @@ pub fn solve_with_in_workspace(
         let mut accepted = false;
         for _ in 0..=config.max_retries {
             damp_in_place(damped, &ne.a, lambda);
-            let Some(delta) = linear_solver(&damped, &ne.b, ne.num_landmarks) else {
+            let Some(delta) = linear_solver(damped, &ne.b, ne.num_landmarks) else {
                 tracker.solve_failed = true;
                 lambda *= config.lambda_up;
                 continue;
@@ -473,7 +473,7 @@ pub fn solve_with_in_workspace(
             }
             candidate.clone_from(window);
             apply_increment(candidate, &delta);
-            let new_cost = evaluate_cost(&candidate, weights, prior);
+            let new_cost = evaluate_cost(candidate, weights, prior);
             if !new_cost.is_finite() {
                 tracker.non_finite = true;
             }

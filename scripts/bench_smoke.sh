@@ -41,11 +41,11 @@ echo "checking formatting (cargo fmt --check)..." >&2
 cargo fmt --check
 
 # Lint gate: surface clippy findings across the workspace, and hold the
-# math crate — home of the bit-identity kernel contracts — to zero
-# warnings across all build targets.
+# crates carrying bit-identity contracts — the math kernels plus the
+# fleet/faults isolation layer — to zero warnings across all build targets.
 echo "linting (cargo clippy)..." >&2
 cargo clippy -q --workspace
-cargo clippy -q -p archytas-math --all-targets -- -D warnings
+cargo clippy -q -p archytas-math -p archytas-fleet -p archytas-faults --all-targets -- -D warnings
 
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
@@ -166,3 +166,9 @@ scripts/fault_smoke.sh
 # worker determinism gate plus, on >=4-CPU machines, the 2x throughput
 # scaling gate).
 scripts/fleet_smoke.sh
+
+# Chaos-harness smoke (writes BENCH_chaos.json; enforces the in-process
+# quarantine/bitwise gates at pools {1,2,8} and the 1-vs-4 worker
+# determinism byte-diff; the parallel-racing verdict self-skips loudly
+# below 4 CPUs with a stamped "gate_reason").
+scripts/chaos_smoke.sh
