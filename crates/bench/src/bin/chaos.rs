@@ -23,34 +23,14 @@
 //!
 //! Exits non-zero on any contract violation.
 
-use archytas_dataset::{euroc_sequences, kitti_sequences};
-use archytas_faults::{ChaosKind, ChaosPlan, FaultKind, FaultPlan};
+use archytas_bench::json::JsonLine;
+use archytas_bench::standard_fleet_specs as base_specs;
+use archytas_faults::{ChaosKind, ChaosPlan};
 use archytas_fleet::{
-    run_fleet, run_session_alone, DeadlinePolicy, FleetConfig, FleetReport, Priority,
-    RestartPolicy, SessionOutcome, SessionReport, SessionSpec,
+    run_fleet, run_session_alone, DeadlinePolicy, FleetConfig, FleetReport, RestartPolicy,
+    SessionOutcome, SessionReport, SessionSpec,
 };
 use std::collections::HashMap;
-
-/// The same 8-vehicle batch the fleet bench serves (two sessions carry
-/// sensor-level fault plans), so chaos results compose with the existing
-/// fleet baselines.
-fn base_specs(seconds: f64) -> Vec<SessionSpec> {
-    let kitti = kitti_sequences();
-    let euroc = euroc_sequences();
-    let fault_len = seconds.max(4.0);
-    vec![
-        SessionSpec::new("car-0", kitti[0].truncated(seconds), Priority::High),
-        SessionSpec::new("car-1", kitti[1].truncated(seconds), Priority::Normal),
-        SessionSpec::new("car-2", kitti[2].truncated(seconds), Priority::Low),
-        SessionSpec::new("drone-0", euroc[0].truncated(seconds), Priority::Normal),
-        SessionSpec::new("drone-1", euroc[1].truncated(seconds), Priority::Low),
-        SessionSpec::new("car-3", kitti[3].truncated(seconds), Priority::Normal),
-        SessionSpec::new("car-flaky", kitti[1].truncated(fault_len), Priority::High)
-            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
-        SessionSpec::new("drone-flaky", euroc[0].truncated(fault_len), Priority::Low)
-            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
-    ]
-}
 
 /// One chaos scenario: which sessions get which chaos, under which
 /// policies, and which sessions are expected to end quarantined.
@@ -332,44 +312,34 @@ fn main() {
             workers_report.unwrap_or_else(|| run_fleet(&specs, &config_for(&case, workers)));
 
         for s in &report.sessions {
-            let failure = s
-                .failure
-                .as_ref()
-                .map_or(String::from("null"), |f| format!("\"{}\"", f.cause));
-            println!(
-                "CHAOSDET {{\"case\":\"{}\",\"session\":\"{}\",\"outcome\":\"{:?}\",\
-                 \"phase\":\"{}\",\"windows\":{},\"digest\":\"{:016x}\",\
-                 \"restarts\":{},\"deadline_misses\":{},\"failure\":{}}}",
-                case.name,
-                s.name,
-                s.outcome,
-                s.phase,
-                s.windows,
-                s.digest(),
-                s.restarts,
-                s.deadline_misses,
-                failure,
-            );
+            let failure = s.failure.as_ref().map(|f| f.cause.to_string());
+            let line = JsonLine::new()
+                .str("case", case.name)
+                .str("session", &s.name)
+                .str("outcome", &format!("{:?}", s.outcome))
+                .str("phase", &s.phase.to_string())
+                .uint("windows", s.windows as u64)
+                .bits("digest", s.digest())
+                .uint("restarts", s.restarts as u64)
+                .uint("deadline_misses", s.deadline_misses as u64)
+                .opt_str("failure", failure.as_deref());
+            println!("CHAOSDET {}", line.finish());
         }
-        println!(
-            "CHAOSJSON {{\"case\":\"{}\",\"workers\":{},\"cpus\":{cpus},\
-             \"sessions\":{},\"quarantined\":{},\"session_restarts\":{},\
-             \"deadline_misses\":{},\"frames\":{},\"windows\":{},\
-             \"serving_wall_s\":{:.6},\"throughput_fps\":{:.3},\
-             \"resurrections\":{},\"quanta\":{}}}",
-            case.name,
-            report.threads,
-            report.sessions.len(),
-            report.quarantined_sessions,
-            report.session_restarts,
-            report.deadline_misses,
-            report.frames_processed,
-            report.windows_processed,
-            report.serving_wall_s,
-            report.throughput_fps,
-            report.scheduler.resurrections,
-            report.scheduler.quanta,
-        );
+        let line = JsonLine::new()
+            .str("case", case.name)
+            .uint("workers", report.threads as u64)
+            .uint("cpus", cpus as u64)
+            .uint("sessions", report.sessions.len() as u64)
+            .uint("quarantined", report.quarantined_sessions as u64)
+            .uint("session_restarts", report.session_restarts as u64)
+            .uint("deadline_misses", report.deadline_misses as u64)
+            .uint("frames", report.frames_processed as u64)
+            .uint("windows", report.windows_processed as u64)
+            .float("serving_wall_s", report.serving_wall_s, 6)
+            .float("throughput_fps", report.throughput_fps, 3)
+            .uint("resurrections", report.scheduler.resurrections as u64)
+            .uint("quanta", report.scheduler.quanta as u64);
+        println!("CHAOSJSON {}", line.finish());
     }
 
     if !violations.is_empty() {

@@ -1,9 +1,13 @@
 //! Runs the standard fault matrix and emits one JSON line per scenario.
 //!
+//! Lives in `archytas-bench` with the other experiment binaries so all
+//! machine-readable emitters share one JSON writer (`archytas_bench::json`).
+//!
 //! Usage: `fault_matrix [SEED] [SECONDS]` (defaults 7 and 8.0; the seed can
 //! also come from `ARCHYTAS_FAULT_SEED`). Exits nonzero when any scenario
 //! panics or exceeds the 3× nominal RMSE bound.
 
+use archytas_bench::json::JsonLine;
 use archytas_faults::{long_horizon_scenarios, run_scenario, scenarios};
 
 const RMSE_BOUND: f64 = 3.0;
@@ -33,23 +37,21 @@ fn main() {
         if !ok {
             failures += 1;
         }
-        println!(
-            "FAULTJSON {{\"scenario\":\"{}\",\"seed\":{},\"completed\":{},\"pass\":{},\
-             \"rmse_m\":{:.6},\"nominal_rmse_m\":{:.6},\"windows\":{},\
-             \"degraded_windows\":{},\"watchdog_windows\":{},\
-             \"recovery_latency_windows\":{}}}",
-            r.name,
-            seed,
-            r.completed,
-            ok,
-            r.rmse_m,
-            r.nominal_rmse_m,
-            r.windows,
-            r.degraded_windows,
-            r.watchdog_windows,
-            r.recovery_latency_windows
-                .map_or("null".to_string(), |w| w.to_string()),
-        );
+        let line = JsonLine::new()
+            .str("scenario", &r.name)
+            .uint("seed", seed)
+            .boolean("completed", r.completed)
+            .boolean("pass", ok)
+            .float("rmse_m", r.rmse_m, 6)
+            .float("nominal_rmse_m", r.nominal_rmse_m, 6)
+            .uint("windows", r.windows as u64)
+            .uint("degraded_windows", r.degraded_windows as u64)
+            .uint("watchdog_windows", r.watchdog_windows as u64)
+            .opt_uint(
+                "recovery_latency_windows",
+                r.recovery_latency_windows.map(|w| w as u64),
+            );
+        println!("FAULTJSON {}", line.finish());
     }
     if failures > 0 {
         eprintln!("fault matrix: {failures} scenario(s) failed");

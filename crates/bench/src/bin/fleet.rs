@@ -11,27 +11,9 @@
 //! * one `FLEETJSON {...}` line — wall-clock throughput, pooled frame
 //!   latency percentiles, shared-cache and scheduler counters.
 
-use archytas_dataset::{euroc_sequences, kitti_sequences};
-use archytas_faults::{FaultKind, FaultPlan};
-use archytas_fleet::{run_fleet, FleetConfig, Priority, SessionOutcome, SessionSpec};
-
-fn specs(seconds: f64) -> Vec<SessionSpec> {
-    let kitti = kitti_sequences();
-    let euroc = euroc_sequences();
-    let fault_len = seconds.max(4.0);
-    vec![
-        SessionSpec::new("car-0", kitti[0].truncated(seconds), Priority::High),
-        SessionSpec::new("car-1", kitti[1].truncated(seconds), Priority::Normal),
-        SessionSpec::new("car-2", kitti[2].truncated(seconds), Priority::Low),
-        SessionSpec::new("drone-0", euroc[0].truncated(seconds), Priority::Normal),
-        SessionSpec::new("drone-1", euroc[1].truncated(seconds), Priority::Low),
-        SessionSpec::new("car-3", kitti[3].truncated(seconds), Priority::Normal),
-        SessionSpec::new("car-flaky", kitti[1].truncated(fault_len), Priority::High)
-            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
-        SessionSpec::new("drone-flaky", euroc[0].truncated(fault_len), Priority::Low)
-            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
-    ]
-}
+use archytas_bench::json::JsonLine;
+use archytas_bench::standard_fleet_specs;
+use archytas_fleet::{run_fleet, FleetConfig, SessionOutcome};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -63,34 +45,30 @@ fn main() {
         threads,
         ..FleetConfig::default()
     };
-    let report = run_fleet(&specs(seconds), &config);
+    let report = run_fleet(&standard_fleet_specs(seconds), &config);
 
     for s in &report.sessions {
-        println!(
-            "FLEETDET {{\"session\":\"{}\",\"outcome\":\"{:?}\",\"phase\":\"{}\",\
-             \"windows\":{},\
-             \"digest\":\"{:016x}\",\"iterations_sum\":{},\"rmse_bits\":\"{:016x}\",\
-             \"latency_bits\":\"{:016x}\",\"energy_bits\":\"{:016x}\",\
-             \"degraded_windows\":{},\"watchdog_windows\":{},\
-             \"sensor_fault_windows\":{},\"solver_divergence_windows\":{},\
-             \"prior_reset_windows\":{},\"restarts\":{},\"deadline_misses\":{}}}",
-            s.name,
-            s.outcome,
-            s.phase,
-            s.windows,
-            s.digest(),
-            s.iterations.iter().sum::<usize>(),
-            s.rmse_m.to_bits(),
-            s.modelled_latency_ms.to_bits(),
-            s.modelled_energy_mj.to_bits(),
-            s.degraded_windows,
-            s.watchdog_windows,
-            s.sensor_fault_windows,
-            s.solver_divergence_windows,
-            s.prior_reset_windows,
-            s.restarts,
-            s.deadline_misses,
-        );
+        let line = JsonLine::new()
+            .str("session", &s.name)
+            .str("outcome", &format!("{:?}", s.outcome))
+            .str("phase", &s.phase.to_string())
+            .uint("windows", s.windows as u64)
+            .bits("digest", s.digest())
+            .uint("iterations_sum", s.iterations.iter().sum::<usize>() as u64)
+            .bits("rmse_bits", s.rmse_m.to_bits())
+            .bits("latency_bits", s.modelled_latency_ms.to_bits())
+            .bits("energy_bits", s.modelled_energy_mj.to_bits())
+            .uint("degraded_windows", s.degraded_windows as u64)
+            .uint("watchdog_windows", s.watchdog_windows as u64)
+            .uint("sensor_fault_windows", s.sensor_fault_windows as u64)
+            .uint(
+                "solver_divergence_windows",
+                s.solver_divergence_windows as u64,
+            )
+            .uint("prior_reset_windows", s.prior_reset_windows as u64)
+            .uint("restarts", s.restarts as u64)
+            .uint("deadline_misses", s.deadline_misses as u64);
+        println!("FLEETDET {}", line.finish());
     }
     let completed = report
         .sessions
@@ -102,34 +80,28 @@ fn main() {
     // interpretable on its own — a 4-worker run on a 1-CPU box is
     // timeslicing, not parallelism.
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    println!(
-        "FLEETJSON {{\"threads\":{},\"cpus\":{cpus},\"sessions\":{},\"completed\":{},\
-         \"frames\":{},\"windows\":{},\"serving_wall_s\":{:.6},\
-         \"throughput_fps\":{:.3},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\
-         \"model_evaluations\":{},\"model_cache_hits\":{},\
-         \"gating_builds\":{},\"gating_hits\":{},\
-         \"quarantined\":{},\"session_restarts\":{},\"deadline_misses\":{},\
-         \"steals\":{},\"deferrals\":{},\"quanta\":{},\"resurrections\":{}}}",
-        report.threads,
-        report.sessions.len(),
-        completed,
-        report.frames_processed,
-        report.windows_processed,
-        report.serving_wall_s,
-        report.throughput_fps,
-        report.latency.p50_ns as f64 / 1_000.0,
-        report.latency.p95_ns as f64 / 1_000.0,
-        report.latency.p99_ns as f64 / 1_000.0,
-        report.model_evaluations,
-        report.model_cache_hits,
-        report.gating_builds,
-        report.gating_hits,
-        report.quarantined_sessions,
-        report.session_restarts,
-        report.deadline_misses,
-        report.scheduler.steals,
-        report.scheduler.deferrals,
-        report.scheduler.quanta,
-        report.scheduler.resurrections,
-    );
+    let line = JsonLine::new()
+        .uint("threads", report.threads as u64)
+        .uint("cpus", cpus as u64)
+        .uint("sessions", report.sessions.len() as u64)
+        .uint("completed", completed as u64)
+        .uint("frames", report.frames_processed as u64)
+        .uint("windows", report.windows_processed as u64)
+        .float("serving_wall_s", report.serving_wall_s, 6)
+        .float("throughput_fps", report.throughput_fps, 3)
+        .float("p50_us", report.latency.p50_ns as f64 / 1_000.0, 1)
+        .float("p95_us", report.latency.p95_ns as f64 / 1_000.0, 1)
+        .float("p99_us", report.latency.p99_ns as f64 / 1_000.0, 1)
+        .uint("model_evaluations", report.model_evaluations as u64)
+        .uint("model_cache_hits", report.model_cache_hits as u64)
+        .uint("gating_builds", report.gating_builds as u64)
+        .uint("gating_hits", report.gating_hits as u64)
+        .uint("quarantined", report.quarantined_sessions as u64)
+        .uint("session_restarts", report.session_restarts as u64)
+        .uint("deadline_misses", report.deadline_misses as u64)
+        .uint("steals", report.scheduler.steals as u64)
+        .uint("deferrals", report.scheduler.deferrals as u64)
+        .uint("quanta", report.scheduler.quanta as u64)
+        .uint("resurrections", report.scheduler.resurrections as u64);
+    println!("FLEETJSON {}", line.finish());
 }

@@ -6,10 +6,37 @@
 
 use archytas_baselines::{CachedCpuPlatform, CpuPlatform};
 use archytas_dataset::{euroc_sequences, kitti_sequences, SequenceData, SequenceSpec};
+use archytas_faults::{FaultKind, FaultPlan};
+use archytas_fleet::{Priority, SessionSpec};
 use archytas_hw::{AcceleratorModel, CachedAcceleratorModel, FpgaPlatform, HIGH_PERF, LOW_POWER};
 use archytas_mdfg::ProblemShape;
 use archytas_par::Pool;
 use archytas_slam::mean_stdev;
+
+pub mod json;
+
+/// The standard 8-vehicle serving batch shared by the `fleet`, `chaos` and
+/// `obs` binaries: four cars, two drones, mixed priorities, and two
+/// vehicles hitting sensor faults mid-sequence. Durations truncate to
+/// `seconds`, except the faulted pair which needs at least 4 s so their
+/// frame-24..28 fault windows actually land (10 Hz).
+pub fn standard_fleet_specs(seconds: f64) -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    let fault_len = seconds.max(4.0);
+    vec![
+        SessionSpec::new("car-0", kitti[0].truncated(seconds), Priority::High),
+        SessionSpec::new("car-1", kitti[1].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-2", kitti[2].truncated(seconds), Priority::Low),
+        SessionSpec::new("drone-0", euroc[0].truncated(seconds), Priority::Normal),
+        SessionSpec::new("drone-1", euroc[1].truncated(seconds), Priority::Low),
+        SessionSpec::new("car-3", kitti[3].truncated(seconds), Priority::Normal),
+        SessionSpec::new("car-flaky", kitti[1].truncated(fault_len), Priority::High)
+            .with_faults(FaultPlan::new(11).with(FaultKind::VisionDropout, 24, 28)),
+        SessionSpec::new("drone-flaky", euroc[0].truncated(fault_len), Priority::Low)
+            .with_faults(FaultPlan::new(13).with(FaultKind::ImuNan { probability: 0.3 }, 24, 27)),
+    ]
+}
 
 /// Prints a fixed-width text table (header + separator + rows).
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

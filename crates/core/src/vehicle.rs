@@ -7,7 +7,7 @@
 //! accuracy records out, with the estimation arithmetic actually executed
 //! (f64 on the CPU path, f32 through the accelerator functional model).
 
-use crate::runtime::{RuntimeSystem, ITER_CAP};
+use crate::runtime::{IterationProfile, RuntimeSystem, ITER_CAP};
 use archytas_baselines::CpuPlatform;
 use archytas_dataset::{DegradationCause, HealthState, PipelineConfig, SequenceData, VioPipeline};
 use archytas_hw::{f32_linear_solver, AcceleratorModel};
@@ -85,6 +85,12 @@ pub struct RunSummary {
     pub rmse_m: f64,
     /// Mean per-window relative error.
     pub mean_relative_error: f64,
+    /// Total NLS iterations across all windows.
+    pub total_iterations: u64,
+    /// Per-budget window counts (index = iteration budget): the runtime
+    /// profiler's view of the run, also populated on static-accelerator
+    /// and CPU runs from each window's fixed budget.
+    pub iteration_profile: IterationProfile,
 }
 
 impl RunSummary {
@@ -95,6 +101,11 @@ impl RunSummary {
         } else {
             self.total_time_ms / self.windows.len() as f64
         }
+    }
+
+    /// Mean NLS iterations per window.
+    pub fn mean_iterations(&self) -> f64 {
+        self.iteration_profile.mean()
     }
 
     /// Mean power over the run (W).
@@ -149,6 +160,7 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
     let mut metrics = TrajectoryMetrics::new();
     let mut total_time = 0.0;
     let mut total_energy = 0.0;
+    let mut profile = IterationProfile::new();
     let mut prev_pair: Option<(Pose, Pose)> = None; // (est, gt)
 
     for frame in &data.frames {
@@ -192,6 +204,7 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
         let energy_mj = latency_ms * power_w;
         total_time += latency_ms;
         total_energy += energy_mj;
+        profile.record(iterations);
 
         let rel = prev_pair.map_or(0.0, |(pe, pg)| {
             relative_error(&pe, &result.estimate, &pg, &result.ground_truth)
@@ -220,6 +233,8 @@ pub fn run_sequence(data: &SequenceData, executor: &mut Executor) -> RunSummary 
         total_energy_mj: total_energy,
         rmse_m: metrics.rmse(),
         mean_relative_error: metrics.mean_relative_error(),
+        total_iterations: profile.total_iterations(),
+        iteration_profile: profile,
     }
 }
 
@@ -312,5 +327,21 @@ mod tests {
         assert!((sum - summary.total_time_ms).abs() < 1e-9);
         assert!(summary.mean_latency_ms() > 0.0);
         assert!(summary.mean_power_w() > 1.0);
+    }
+
+    #[test]
+    fn summary_iterations_match_window_records() {
+        let data = short_sequence();
+        for dynamic in [false, true] {
+            let summary = run_sequence(&data, &mut accel_executor(dynamic));
+            let from_windows: u64 = summary.windows.iter().map(|w| w.iterations as u64).sum();
+            assert_eq!(summary.total_iterations, from_windows);
+            assert_eq!(
+                summary.iteration_profile.windows(),
+                summary.windows.len() as u64
+            );
+            assert!(summary.mean_iterations() >= 1.0);
+            assert!(summary.mean_iterations() <= ITER_CAP as f64);
+        }
     }
 }

@@ -4,47 +4,83 @@
 //!
 //! Shedding from *runtime* queue depths would make the shed set depend on
 //! execution timing — two runs of the same fleet could then serve
-//! different vehicles, which breaks the determinism contract. Instead the
-//! controller prices each session's worst-case arrival backlog (everyone
-//! submitted ahead of it that exceeds the active-set capacity) and sheds a
-//! `Low`-priority session whose backlog crosses the watermark. Runtime
-//! backpressure (deferral) is handled separately by the scheduler and only
-//! ever *reorders* work, never drops it.
+//! different vehicles, which breaks the determinism contract. Instead two
+//! arrival-time budgets are priced in one pass, in arrival order:
+//!
+//! 1. **The power envelope** (checked first — it trips *before* any queue
+//!    watermark): every immediately-started session draws its deployed
+//!    design's full Eq. 17 watts, and the fleet owns a fixed budget. An
+//!    arrival that no longer fits is shed if `Low`, *deferred* if
+//!    `Normal` — it still runs to completion with identical bits, but its
+//!    start is pushed behind every immediately-admitted session, so the
+//!    concurrent draw stays near the budget. `High` is safety-critical
+//!    and is admitted regardless (the envelope is best-effort for it, as
+//!    the priority contract promises: never shed, never deferred).
+//! 2. **The arrival-backlog watermark**: a `Low` session whose worst-case
+//!    arrival backlog (everyone running ahead of it beyond the active-set
+//!    capacity) crosses the watermark is shed.
+//!
+//! Deferred sessions do not add to the priced draw — they start only once
+//! the immediately-admitted pool has drained — and shed sessions never
+//! consume capacity of either budget. Runtime backpressure (the
+//! scheduler's deferred queue) still exists separately and only ever
+//! *reorders* work, never drops it.
 
 use crate::session::{Priority, SessionSpec};
+use archytas_telemetry::PowerEnvelope;
 
 /// What admission control decided for one submitted session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionDecision {
-    /// The session will run to completion.
+    /// The session will run to completion, starting immediately.
     Admit,
+    /// The session will run to completion with identical bits, but its
+    /// start is deferred behind every immediately-admitted session (only
+    /// `Priority::Normal` is eligible; the power envelope is the only
+    /// trigger).
+    Defer,
     /// The session is rejected up front (only `Priority::Low` is eligible).
     Shed,
 }
 
 /// Plans admission for one submission batch, in arrival order.
 ///
-/// Session `i` is shed iff it is `Low` priority and its arrival backlog —
-/// the number of sessions admitted ahead of it beyond the `max_active`
-/// capacity — is at least `shed_watermark`. With
-/// `shed_watermark == usize::MAX` (the default) nothing is ever shed.
+/// Both budgets are pure functions of the spec list, the configuration,
+/// and the envelope — never of pool size or execution timing — so every
+/// pool size computes the identical decision vector. Ties between equal
+/// sessions break by arrival order: the earlier arrival takes the last
+/// slot under either budget.
 pub fn plan(
     specs: &[SessionSpec],
     max_active: usize,
     shed_watermark: usize,
+    envelope: &PowerEnvelope,
 ) -> Vec<AdmissionDecision> {
-    let mut admitted_ahead = 0usize;
+    // Sessions that will run (Admit + Defer): the backlog base.
+    let mut running_ahead = 0usize;
+    // Sessions starting immediately: the draw priced against the envelope.
+    let mut powered = 0usize;
     specs
         .iter()
         .map(|spec| {
-            let backlog = admitted_ahead.saturating_sub(max_active);
-            let shed = spec.priority == Priority::Low && backlog >= shed_watermark;
-            if shed {
-                AdmissionDecision::Shed
-            } else {
-                admitted_ahead += 1;
-                AdmissionDecision::Admit
+            let over_envelope = !envelope.fits(powered);
+            let backlog = running_ahead.saturating_sub(max_active);
+            let decision = match spec.priority {
+                Priority::Low if over_envelope || backlog >= shed_watermark => {
+                    AdmissionDecision::Shed
+                }
+                Priority::Normal if over_envelope => AdmissionDecision::Defer,
+                _ => AdmissionDecision::Admit,
+            };
+            match decision {
+                AdmissionDecision::Admit => {
+                    running_ahead += 1;
+                    powered += 1;
+                }
+                AdmissionDecision::Defer => running_ahead += 1,
+                AdmissionDecision::Shed => {}
             }
+            decision
         })
         .collect()
 }
@@ -53,6 +89,7 @@ pub fn plan(
 mod tests {
     use super::*;
     use archytas_dataset::kitti_sequences;
+    use archytas_hw::{FpgaPlatform, HIGH_PERF};
 
     fn batch(priorities: &[Priority]) -> Vec<SessionSpec> {
         let seq = kitti_sequences()[0].truncated(1.0);
@@ -63,10 +100,16 @@ mod tests {
             .collect()
     }
 
+    /// An envelope sized for exactly `n` concurrent HIGH_PERF sessions.
+    fn envelope_for(n: usize) -> PowerEnvelope {
+        let one = PowerEnvelope::new(1.0, &HIGH_PERF, &FpgaPlatform::zc706()).session_draw_w;
+        PowerEnvelope::new(one * n as f64 + 1e-9, &HIGH_PERF, &FpgaPlatform::zc706())
+    }
+
     #[test]
     fn disabled_watermark_admits_everything() {
         let specs = batch(&[Priority::Low; 16]);
-        let decisions = plan(&specs, 2, usize::MAX);
+        let decisions = plan(&specs, 2, usize::MAX, &PowerEnvelope::unlimited());
         assert!(decisions.iter().all(|d| *d == AdmissionDecision::Admit));
     }
 
@@ -78,7 +121,7 @@ mod tests {
             Priority::High,
             Priority::Normal,
         ]);
-        let decisions = plan(&specs, 1, 0);
+        let decisions = plan(&specs, 1, 0, &PowerEnvelope::unlimited());
         assert!(decisions.iter().all(|d| *d == AdmissionDecision::Admit));
     }
 
@@ -94,7 +137,7 @@ mod tests {
             Priority::Normal, // admitted regardless
             Priority::Low,    // shed: backlog 2
         ]);
-        let decisions = plan(&specs, 2, 1);
+        let decisions = plan(&specs, 2, 1, &PowerEnvelope::unlimited());
         assert_eq!(
             decisions,
             vec![
@@ -113,7 +156,7 @@ mod tests {
         // After a shed, the next Low at the same backlog is shed too —
         // shed sessions never increment the admitted count.
         let specs = batch(&[Priority::Low; 6]);
-        let decisions = plan(&specs, 3, 1);
+        let decisions = plan(&specs, 3, 1, &PowerEnvelope::unlimited());
         // Backlogs: 0,0,0,0,1(shed),1(shed) — the admitted count stalls at
         // 4, so the sixth session sees the same backlog as the fifth.
         assert_eq!(
@@ -136,8 +179,69 @@ mod tests {
             Priority::Low,
             Priority::High,
         ]);
-        let a = plan(&specs, 2, 1);
-        let b = plan(&specs, 2, 1);
+        let a = plan(&specs, 2, 1, &envelope_for(3));
+        let b = plan(&specs, 2, 1, &envelope_for(3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn envelope_sheds_low_and_defers_normal_before_watermarks() {
+        // Two-session budget; watermarks wide open — only the envelope can
+        // trip, and it must: Low → Shed, Normal → Defer, High → Admit.
+        let specs = batch(&[
+            Priority::Normal, // powered 0 → Admit
+            Priority::High,   // powered 1 → Admit
+            Priority::Low,    // powered 2, over budget → Shed
+            Priority::Normal, // over budget → Defer
+            Priority::High,   // over budget, safety-critical → Admit
+            Priority::Normal, // still over → Defer
+        ]);
+        let decisions = plan(&specs, usize::MAX, usize::MAX, &envelope_for(2));
+        assert_eq!(
+            decisions,
+            vec![
+                AdmissionDecision::Admit,
+                AdmissionDecision::Admit,
+                AdmissionDecision::Shed,
+                AdmissionDecision::Defer,
+                AdmissionDecision::Admit,
+                AdmissionDecision::Defer,
+            ]
+        );
+    }
+
+    #[test]
+    fn deferred_sessions_do_not_consume_envelope_budget() {
+        // One-session budget: the first Normal admits, every later Normal
+        // defers (deferral never frees or consumes the priced draw), and a
+        // trailing High admits without being blocked by the deferrals.
+        let specs = batch(&[
+            Priority::Normal,
+            Priority::Normal,
+            Priority::Normal,
+            Priority::High,
+        ]);
+        let decisions = plan(&specs, usize::MAX, usize::MAX, &envelope_for(1));
+        assert_eq!(
+            decisions,
+            vec![
+                AdmissionDecision::Admit,
+                AdmissionDecision::Defer,
+                AdmissionDecision::Defer,
+                AdmissionDecision::Admit,
+            ]
+        );
+    }
+
+    #[test]
+    fn envelope_ties_break_by_arrival_order() {
+        // Two identical Lows compete for the last powered slot: the
+        // earlier arrival wins, every time.
+        let specs = batch(&[Priority::Low, Priority::Low]);
+        let decisions = plan(&specs, usize::MAX, usize::MAX, &envelope_for(1));
+        assert_eq!(
+            decisions,
+            vec![AdmissionDecision::Admit, AdmissionDecision::Shed]
+        );
     }
 }

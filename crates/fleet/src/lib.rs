@@ -60,6 +60,7 @@ mod scheduler;
 mod session;
 
 pub use admission::{plan as plan_admission, AdmissionDecision};
+pub use archytas_telemetry::{FleetTelemetry, PowerEnvelope, SessionTelemetry, TrafficClass};
 pub use isolation::{
     fnv1a, DeadlineClock, DeadlinePolicy, DeadlineVerdict, DeadlineWatchdog, FailureCause,
     FailureRecord, RestartPolicy, SessionPhase,
@@ -89,6 +90,11 @@ pub struct FleetConfig {
     /// Arrival-backlog watermark beyond which `Low` sessions are shed
     /// (`usize::MAX` disables shedding).
     pub shed_watermark: usize,
+    /// Fleet-wide power budget in watts (`f64::INFINITY` disables the
+    /// envelope). Sessions are priced at the deployed design's full
+    /// Eq. 17 power; arrivals that no longer fit are shed (`Low`) or
+    /// start-deferred (`Normal`) *before* any queue watermark trips.
+    pub power_envelope_w: f64,
     /// Runnable-session watermark at which `Low` sessions are deferred
     /// (`usize::MAX` disables deferral).
     pub defer_watermark: usize,
@@ -111,6 +117,7 @@ impl Default for FleetConfig {
             latency_bound_ms: 2.5,
             max_active: 8,
             shed_watermark: usize::MAX,
+            power_envelope_w: f64::INFINITY,
             defer_watermark: usize::MAX,
             frames_per_quantum: 4,
             deadline: DeadlinePolicy::default(),
@@ -164,6 +171,20 @@ pub struct FleetReport {
     pub session_restarts: usize,
     /// Step-deadline misses across the fleet (lifetime, survives restarts).
     pub deadline_misses: usize,
+    /// Sessions shed by admission control (envelope or backlog watermark).
+    pub shed_sessions: usize,
+    /// Sessions whose start the power envelope deferred (they still ran to
+    /// completion with identical bits).
+    pub deferred_sessions: usize,
+    /// The power envelope the batch was admitted under.
+    pub envelope: PowerEnvelope,
+    /// Deterministic per-class/fleet telemetry, folded in submission order
+    /// over every session that ran — byte-identical at any pool size.
+    pub telemetry: FleetTelemetry,
+    /// Running fleet watts implied by the telemetry: total modelled energy
+    /// over total modelled busy time (the Eq. 17 gated power averaged over
+    /// every served window).
+    pub fleet_power_w: f64,
     /// Work-stealing / backpressure counters.
     pub scheduler: SchedulerStats,
 }
@@ -177,19 +198,25 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
     } else {
         config.threads
     };
-    let decisions = admission::plan(specs, config.max_active, config.shed_watermark);
+    let envelope = PowerEnvelope::new(config.power_envelope_w, &config.design, &config.platform);
+    let decisions = admission::plan(specs, config.max_active, config.shed_watermark, &envelope);
     let services = FleetServices::new(config);
     let states: Vec<Option<SessionState>> = specs
         .iter()
         .zip(&decisions)
         .map(|(spec, d)| {
-            (*d == AdmissionDecision::Admit).then(|| SessionState::new(spec, &services))
+            (*d != AdmissionDecision::Shed).then(|| SessionState::new(spec, &services))
         })
+        .collect();
+    let defer_at_start: Vec<bool> = decisions
+        .iter()
+        .map(|d| *d == AdmissionDecision::Defer)
         .collect();
 
     let started = Instant::now();
     let (reports, stats) = scheduler::run(
         states,
+        defer_at_start,
         &scheduler::SchedulerConfig {
             threads,
             max_active: config.max_active,
@@ -218,6 +245,24 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
         .count();
     let session_restarts = sessions.iter().map(|s| s.restarts).sum();
     let deadline_misses = sessions.iter().map(|s| s.deadline_misses).sum();
+    let shed_sessions = sessions
+        .iter()
+        .filter(|s| s.outcome == SessionOutcome::Shed)
+        .count();
+    let deferred_sessions = decisions
+        .iter()
+        .filter(|d| **d == AdmissionDecision::Defer)
+        .count();
+    // Canonical fold: submission order over every session that ran. The
+    // aggregate is a pure function of the (deterministic) per-session
+    // telemetry and the spec order — byte-identical at any pool size.
+    let telemetry = FleetTelemetry::fold(
+        sessions
+            .iter()
+            .filter(|s| s.outcome != SessionOutcome::Shed)
+            .map(|s| (TrafficClass::from(s.priority), &s.telemetry)),
+    );
+    let fleet_power_w = telemetry.fleet.watts();
     FleetReport {
         threads,
         serving_wall_s,
@@ -240,6 +285,11 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
         quarantined_sessions,
         session_restarts,
         deadline_misses,
+        shed_sessions,
+        deferred_sessions,
+        envelope,
+        telemetry,
+        fleet_power_w,
         scheduler: stats,
         sessions,
     }

@@ -36,7 +36,7 @@
 //! and their bits.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::session::{Priority, SessionReport, SessionState, StepOutcome};
@@ -62,6 +62,9 @@ pub struct SchedulerStats {
     pub quanta: usize,
     /// Sessions parked on the resurrect queue (restart ladder).
     pub resurrections: usize,
+    /// Sessions whose *start* was deferred by the power envelope: on first
+    /// activation they park on the deferred queue instead of the injector.
+    pub envelope_deferrals: usize,
 }
 
 /// What one executed quantum decided about its session.
@@ -88,6 +91,10 @@ struct Shared {
     deferred: Mutex<VecDeque<usize>>,
     /// Failed sessions awaiting restart: `(slot, ready_at_quanta)`.
     resurrect: Mutex<Vec<(usize, usize)>>,
+    /// One-shot per-slot flag: the power envelope deferred this session's
+    /// start, so its *first* activation routes to the deferred queue. The
+    /// flag clears on use — a later restart re-enters like anyone else.
+    defer_at_start: Vec<AtomicBool>,
     /// Sessions currently activated and unfinished.
     active: AtomicUsize,
     /// Admitted sessions not yet finished (workers exit at zero).
@@ -98,19 +105,33 @@ struct Shared {
     deferrals: AtomicUsize,
     quanta: AtomicUsize,
     resurrections: AtomicUsize,
+    envelope_deferrals: AtomicUsize,
 }
 
 /// Runs every session in `sessions` to completion and returns the reports
 /// in slot order plus scheduling counters.
+///
+/// `defer_at_start[i]` marks slot `i` as envelope-deferred: it joins the
+/// admission queue *behind* every immediately-admitted session (in arrival
+/// order within each group — a pure function of the decision vector, so
+/// identical at every pool size) and its first activation parks on the
+/// deferred queue, resuming only once the runnable backlog has drained.
 pub(crate) fn run(
     sessions: Vec<Option<SessionState>>,
+    defer_at_start: Vec<bool>,
     cfg: &SchedulerConfig,
 ) -> (Vec<Option<SessionReport>>, SchedulerStats) {
     let threads = cfg.threads.max(1);
-    let order: VecDeque<usize> = sessions
+    let live_slots: Vec<usize> = sessions
         .iter()
         .enumerate()
         .filter_map(|(i, s)| s.is_some().then_some(i))
+        .collect();
+    let order: VecDeque<usize> = live_slots
+        .iter()
+        .filter(|&&i| !defer_at_start[i])
+        .chain(live_slots.iter().filter(|&&i| defer_at_start[i]))
+        .copied()
         .collect();
     let live = order.len();
     let slot_count = sessions.len();
@@ -118,6 +139,7 @@ pub(crate) fn run(
         slots: sessions.into_iter().map(Mutex::new).collect(),
         reports: (0..slot_count).map(|_| Mutex::new(None)).collect(),
         waiting: Mutex::new(order),
+        defer_at_start: defer_at_start.into_iter().map(AtomicBool::new).collect(),
         locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         injector: Mutex::new(VecDeque::new()),
         deferred: Mutex::new(VecDeque::new()),
@@ -129,6 +151,7 @@ pub(crate) fn run(
         deferrals: AtomicUsize::new(0),
         quanta: AtomicUsize::new(0),
         resurrections: AtomicUsize::new(0),
+        envelope_deferrals: AtomicUsize::new(0),
     };
 
     if threads == 1 {
@@ -148,6 +171,7 @@ pub(crate) fn run(
         deferrals: shared.deferrals.load(Ordering::Relaxed),
         quanta: shared.quanta.load(Ordering::Relaxed),
         resurrections: shared.resurrections.load(Ordering::Relaxed),
+        envelope_deferrals: shared.envelope_deferrals.load(Ordering::Relaxed),
     };
     let reports = shared
         .reports
@@ -275,13 +299,23 @@ fn promote_resurrections(sh: &Shared) {
 
 /// Activates waiting sessions while the active set has capacity. `active`
 /// is only incremented under the `waiting` lock, so the cap holds.
+///
+/// An envelope-deferred session activates into the *deferred* queue (its
+/// one-shot flag clears here): it consumes an active slot — so completion
+/// accounting stays uniform — but is not runnable, and therefore only
+/// starts once the runnable backlog drains below the resume watermark.
 fn admit_up_to_capacity(sh: &Shared, cfg: &SchedulerConfig) {
     let mut waiting = sh.waiting.lock().unwrap();
     while !waiting.is_empty() && sh.active.load(Ordering::SeqCst) < cfg.max_active.max(1) {
         let i = waiting.pop_front().unwrap();
         sh.active.fetch_add(1, Ordering::SeqCst);
-        sh.injector.lock().unwrap().push_back(i);
-        sh.runnable.fetch_add(1, Ordering::SeqCst);
+        if sh.defer_at_start[i].swap(false, Ordering::SeqCst) {
+            sh.deferred.lock().unwrap().push_back(i);
+            sh.envelope_deferrals.fetch_add(1, Ordering::Relaxed);
+        } else {
+            sh.injector.lock().unwrap().push_back(i);
+            sh.runnable.fetch_add(1, Ordering::SeqCst);
+        }
     }
 }
 

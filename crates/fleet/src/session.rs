@@ -32,6 +32,7 @@ use archytas_hw::{
 };
 use archytas_mdfg::ProblemShape;
 use archytas_slam::{FactorWeights, Pose, TrajectoryMetrics};
+use archytas_telemetry::{SessionTelemetry, TrafficClass};
 
 use crate::isolation::{
     fnv1a, DeadlineClock, DeadlinePolicy, DeadlineVerdict, DeadlineWatchdog, FailureCause,
@@ -52,6 +53,16 @@ pub enum Priority {
     Normal,
     /// Safety-critical vehicle: never shed, never deferred.
     High,
+}
+
+impl From<Priority> for TrafficClass {
+    fn from(p: Priority) -> Self {
+        match p {
+            Priority::Low => TrafficClass::Low,
+            Priority::Normal => TrafficClass::Normal,
+            Priority::High => TrafficClass::High,
+        }
+    }
 }
 
 /// Description of one vehicle joining the fleet.
@@ -154,6 +165,11 @@ pub struct SessionReport {
     /// Host wall-clock time per frame (ns). Timing-only: excluded from the
     /// determinism contract, pooled fleet-wide for latency percentiles.
     pub frame_wall_ns: Vec<u64>,
+    /// Per-window latency/energy histograms and iteration counts, recorded
+    /// on the step path. Deterministic (built from modelled quantities)
+    /// and checked by [`SessionReport::assert_bitwise_eq`], but *excluded*
+    /// from [`SessionReport::digest`] — the digest's field set is frozen.
+    pub telemetry: SessionTelemetry,
 }
 
 impl SessionReport {
@@ -180,6 +196,7 @@ impl SessionReport {
             deadline_misses: 0,
             failure: None,
             frame_wall_ns: Vec::new(),
+            telemetry: SessionTelemetry::new(),
         }
     }
 
@@ -295,6 +312,11 @@ impl SessionReport {
             "{}: prior-reset windows",
             self.name
         );
+        assert_eq!(
+            self.telemetry, other.telemetry,
+            "{}: telemetry histograms",
+            self.name
+        );
     }
 }
 
@@ -399,6 +421,10 @@ struct Core {
     /// Degradation-cause counts: [sensor fault, solver divergence, prior
     /// reset].
     cause_windows: [usize; 3],
+    /// Per-window telemetry (inside the checkpoint: a restart replays the
+    /// rewound windows into the histograms, so a restarted session's
+    /// telemetry is bitwise a clean run's).
+    telemetry: SessionTelemetry,
     /// Deadline streak state (inside the checkpoint, so a restart also
     /// clears the miss streak that killed the session).
     watchdog: DeadlineWatchdog,
@@ -441,8 +467,11 @@ impl Core {
                 .optimize_and_slide_with(decision.iterations, &f32_linear_solver);
             let shape = ProblemShape::from_workload(&result.workload);
             let latency_ms = model.window_latency_ms(&shape, decision.iterations);
+            let energy_mj = latency_ms * decision.gated_power_w;
             self.modelled_latency_ms += latency_ms;
-            self.modelled_energy_mj += latency_ms * decision.gated_power_w;
+            self.modelled_energy_mj += energy_mj;
+            self.telemetry
+                .record_window(latency_ms, energy_mj, decision.iterations as u32);
             if result.health == HealthState::Degraded {
                 self.degraded_windows += 1;
             }
@@ -515,6 +544,7 @@ impl SessionState {
             degraded_windows: 0,
             watchdog_windows: 0,
             cause_windows: [0; 3],
+            telemetry: SessionTelemetry::new(),
             watchdog: DeadlineWatchdog::default(),
             stalls_since_window: 0,
         };
@@ -721,6 +751,7 @@ impl SessionState {
             deadline_misses: self.deadline_misses_total,
             failure: self.failure,
             frame_wall_ns: self.frame_wall_ns,
+            telemetry: self.core.telemetry,
         }
     }
 }
@@ -782,6 +813,12 @@ mod tests {
         restarted.restarts = 1;
         restarted.deadline_misses = 3;
         assert_eq!(base.digest(), restarted.digest());
+        // Telemetry is deterministic but NOT digest payload: the digest
+        // body is frozen, so adding observability cannot invalidate any
+        // archived digest.
+        let mut observed = base.clone();
+        observed.telemetry.record_window(1.5, 6.0, 3);
+        assert_eq!(base.digest(), observed.digest());
     }
 
     #[test]

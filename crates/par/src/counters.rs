@@ -130,6 +130,12 @@ pub fn snapshot() -> [PhaseTotal; PHASE_COUNT] {
     })
 }
 
+/// Total nanoseconds attributed across every phase — the denominator for
+/// per-phase share computations (e.g. the telemetry layer's phase table).
+pub fn attributed_total_ns() -> u64 {
+    NANOS.iter().map(|n| n.load(Ordering::Relaxed)).sum()
+}
+
 /// The payload of a `PERFJSON` line: phases with at least one recorded call,
 /// as a JSON object `{"phases":[{"name":…,"ns":…,"calls":…},…]}`.
 pub fn perfjson() -> String {

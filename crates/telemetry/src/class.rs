@@ -1,0 +1,308 @@
+//! Per-session and per-traffic-class telemetry scopes.
+//!
+//! Every fleet session owns one [`SessionTelemetry`] inside its
+//! checkpointable core: the step path records the *modelled* latency and
+//! energy of each optimized window (deterministic quantities — wall time
+//! stays out of these records on purpose). After the fleet drains, the
+//! driver folds the per-session telemetry into a [`FleetTelemetry`] in
+//! canonical submission order, so a 1-worker and an 8-worker run of the
+//! same batch produce byte-identical aggregates regardless of completion
+//! order.
+
+use crate::histogram::{energy_nj, latency_ns, Histogram};
+
+/// Serving traffic classes, mirroring the fleet's session priorities.
+///
+/// Kept as a separate enum so `archytas-telemetry` stays below
+/// `archytas-fleet` in the dependency graph; the fleet layer maps its
+/// `Priority` into this via a trivial `From` impl.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Best-effort sessions: first shed under pressure.
+    Low,
+    /// Default class: may be deferred, never shed.
+    Normal,
+    /// Safety-critical sessions: never shed, never deferred.
+    High,
+}
+
+impl TrafficClass {
+    /// All classes in canonical (ascending-priority) order.
+    pub const ALL: [TrafficClass; 3] =
+        [TrafficClass::Low, TrafficClass::Normal, TrafficClass::High];
+
+    /// Stable index into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name for machine-readable records.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Low => "low",
+            TrafficClass::Normal => "normal",
+            TrafficClass::High => "high",
+        }
+    }
+}
+
+/// Iteration-count distribution slots: per-window LM iteration decisions
+/// are capped far below this (the runtime's `ITER_CAP` is 6), and larger
+/// observations clamp into the last slot rather than widening the array.
+pub const ITER_SLOTS: usize = 9;
+
+/// Telemetry recorded by one session's step path.
+///
+/// All state is fixed-size integers — recording allocates nothing
+/// (pinned by `tests/zero_alloc.rs`), and cloning it with the session's
+/// checkpoint restores telemetry to exactly the bits it had when the
+/// checkpoint was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTelemetry {
+    /// Modelled per-window accelerator latency, quantized to ns.
+    pub latency_ns: Histogram,
+    /// Modelled per-window energy (Eq. 17 gated power × latency),
+    /// quantized to nJ.
+    pub energy_nj: Histogram,
+    /// Windows observed at each LM iteration count (clamped to the last
+    /// slot).
+    pub iterations: [u64; ITER_SLOTS],
+    /// Optimized windows recorded.
+    pub windows: u64,
+}
+
+impl Default for SessionTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionTelemetry {
+    /// An empty record.
+    pub const fn new() -> Self {
+        Self {
+            latency_ns: Histogram::new(),
+            energy_nj: Histogram::new(),
+            iterations: [0; ITER_SLOTS],
+            windows: 0,
+        }
+    }
+
+    /// Records one optimized window: modelled latency (ms), modelled
+    /// energy (mJ), and the runtime's iteration decision for the window.
+    #[inline]
+    pub fn record_window(&mut self, latency_ms: f64, energy_mj: f64, iterations: u32) {
+        self.latency_ns.record(latency_ns(latency_ms));
+        self.energy_nj.record(energy_nj(energy_mj));
+        self.iterations[(iterations as usize).min(ITER_SLOTS - 1)] += 1;
+        self.windows += 1;
+    }
+}
+
+/// Aggregate over a set of sessions (the whole fleet, or one traffic
+/// class). Built by folding [`SessionTelemetry`] records in canonical
+/// submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeAggregate {
+    /// Sessions folded in.
+    pub sessions: u64,
+    /// Total optimized windows.
+    pub windows: u64,
+    /// Merged latency histogram (ns).
+    pub latency_ns: Histogram,
+    /// Merged energy histogram (nJ).
+    pub energy_nj: Histogram,
+    /// Summed iteration-count distribution.
+    pub iterations: [u64; ITER_SLOTS],
+}
+
+impl Default for ScopeAggregate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScopeAggregate {
+    /// An empty aggregate.
+    pub const fn new() -> Self {
+        Self {
+            sessions: 0,
+            windows: 0,
+            latency_ns: Histogram::new(),
+            energy_nj: Histogram::new(),
+            iterations: [0; ITER_SLOTS],
+        }
+    }
+
+    /// Folds one session's telemetry in. Exactly associative (all-integer
+    /// state), so any partition of the session set merges to the same
+    /// bits as long as the final fold order is canonical.
+    pub fn absorb(&mut self, t: &SessionTelemetry) {
+        self.sessions += 1;
+        self.windows += t.windows;
+        self.latency_ns.merge(&t.latency_ns);
+        self.energy_nj.merge(&t.energy_nj);
+        for (a, b) in self.iterations.iter_mut().zip(&t.iterations) {
+            *a += *b;
+        }
+    }
+
+    /// Folds another aggregate in (for hierarchical merges).
+    pub fn merge(&mut self, other: &Self) {
+        self.sessions += other.sessions;
+        self.windows += other.windows;
+        self.latency_ns.merge(&other.latency_ns);
+        self.energy_nj.merge(&other.energy_nj);
+        for (a, b) in self.iterations.iter_mut().zip(&other.iterations) {
+            *a += *b;
+        }
+    }
+
+    /// Running power implied by the recorded samples: total modelled
+    /// energy over total modelled busy time. The units cancel exactly
+    /// (nJ / ns = W), so this is the Eq. 17 gated power averaged over
+    /// every recorded window, weighted by window latency.
+    pub fn watts(&self) -> f64 {
+        let ns = self.latency_ns.total();
+        if ns == 0 {
+            0.0
+        } else {
+            self.energy_nj.total() as f64 / ns as f64
+        }
+    }
+
+    /// Mean LM iterations per optimized window.
+    pub fn mean_iterations(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .iterations
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        weighted as f64 / self.windows as f64
+    }
+}
+
+/// Fleet-wide telemetry: one aggregate per traffic class plus the total.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetTelemetry {
+    /// Everything, all classes merged.
+    pub fleet: ScopeAggregate,
+    /// Per-class aggregates, indexed by [`TrafficClass::index`].
+    pub classes: [ScopeAggregate; 3],
+}
+
+impl FleetTelemetry {
+    /// Folds per-session telemetry in canonical (submission) order. The
+    /// caller supplies sessions in arrival order; because every merge is
+    /// exactly associative, the result is independent of which worker
+    /// completed which session when.
+    pub fn fold<'a>(
+        sessions: impl IntoIterator<Item = (TrafficClass, &'a SessionTelemetry)>,
+    ) -> Self {
+        let mut out = Self::default();
+        for (class, telemetry) in sessions {
+            out.fleet.absorb(telemetry);
+            out.classes[class.index()].absorb(telemetry);
+        }
+        out
+    }
+
+    /// The aggregate for one class.
+    pub fn class(&self, class: TrafficClass) -> &ScopeAggregate {
+        &self.classes[class.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session(seed: u64, windows: u32) -> SessionTelemetry {
+        let mut t = SessionTelemetry::new();
+        for w in 0..windows {
+            let x = (seed.wrapping_mul(31).wrapping_add(w as u64)) % 7;
+            t.record_window(
+                1.0 + x as f64 * 0.2,
+                3.0 + x as f64 * 0.5,
+                3 + (x as u32 % 4),
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn record_window_fills_all_scopes() {
+        let mut t = SessionTelemetry::new();
+        t.record_window(2.0, 8.0, 4);
+        assert_eq!(t.windows, 1);
+        assert_eq!(t.latency_ns.count(), 1);
+        assert_eq!(t.latency_ns.total(), 2_000_000);
+        assert_eq!(t.energy_nj.total(), 8_000_000);
+        assert_eq!(t.iterations[4], 1);
+    }
+
+    #[test]
+    fn iteration_overflow_clamps_to_last_slot() {
+        let mut t = SessionTelemetry::new();
+        t.record_window(1.0, 1.0, 1_000);
+        assert_eq!(t.iterations[ITER_SLOTS - 1], 1);
+    }
+
+    #[test]
+    fn watts_is_energy_over_time() {
+        let mut agg = ScopeAggregate::new();
+        let mut t = SessionTelemetry::new();
+        // 2 ms at 4 W → 8 mJ.
+        t.record_window(2.0, 8.0, 3);
+        agg.absorb(&t);
+        assert!((agg.watts() - 4.0).abs() < 1e-9);
+        assert_eq!(ScopeAggregate::new().watts(), 0.0);
+    }
+
+    #[test]
+    fn fold_is_partition_independent() {
+        let sessions: Vec<(TrafficClass, SessionTelemetry)> = (0..6)
+            .map(|i| {
+                let class = TrafficClass::ALL[i % 3];
+                (class, sample_session(i as u64, 40 + i as u32))
+            })
+            .collect();
+        let direct = FleetTelemetry::fold(sessions.iter().map(|(c, t)| (*c, t)));
+
+        // Simulate workers finishing in scrambled order, then canonical fold.
+        let mut partial: [ScopeAggregate; 3] = Default::default();
+        for (c, t) in sessions.iter().rev() {
+            partial[c.index()].absorb(t);
+        }
+        let mut merged = ScopeAggregate::new();
+        for p in &partial {
+            merged.merge(p);
+        }
+        assert_eq!(direct.fleet.windows, merged.windows);
+        assert_eq!(direct.fleet.latency_ns, merged.latency_ns);
+        assert_eq!(direct.fleet.energy_nj, merged.energy_nj);
+    }
+
+    #[test]
+    fn mean_iterations_weights_by_count() {
+        let mut agg = ScopeAggregate::new();
+        let mut t = SessionTelemetry::new();
+        t.record_window(1.0, 1.0, 2);
+        t.record_window(1.0, 1.0, 6);
+        agg.absorb(&t);
+        assert!((agg.mean_iterations() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        assert_eq!(TrafficClass::Low.name(), "low");
+        assert_eq!(TrafficClass::Normal.name(), "normal");
+        assert_eq!(TrafficClass::High.name(), "high");
+        assert_eq!(TrafficClass::High.index(), 2);
+    }
+}

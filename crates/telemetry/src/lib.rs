@@ -1,0 +1,35 @@
+//! Serving-grade observability for the Archytas fleet layer.
+//!
+//! Three concerns, one dependency-light crate that sits between the
+//! hardware model (`archytas-hw`) and the fleet scheduler
+//! (`archytas-fleet` depends on *us*, never the reverse):
+//!
+//! 1. **Streaming histograms** ([`histogram`]): zero-alloc, fixed-bucket,
+//!    log-spaced, with a bitwise-deterministic merge. Sessions record
+//!    modelled window latency (ns) and modelled window energy (nJ) on the
+//!    hot path; aggregates fold in canonical submission order so every
+//!    pool size produces byte-identical records.
+//! 2. **Traffic-class energy accounting** ([`class`]): per-session
+//!    telemetry rolls up per class and fleet-wide; because energy samples
+//!    are Eq. 17 gated power × modelled latency, `energy/time` recovers
+//!    the running fleet watts exactly (nJ/ns = W).
+//! 3. **Power-envelope bookkeeping** ([`envelope`]): a fleet-wide watt
+//!    budget priced at the deployed design's Eq. 17 power, evaluated
+//!    serially in arrival order so admission decisions are identical at
+//!    every pool size.
+//!
+//! Phase-level wall time ([`phases`]) rides along as a thin veneer over
+//! `archytas-par`'s global counters — timing only, excluded from every
+//! determinism gate.
+
+#![forbid(unsafe_code)]
+
+pub mod class;
+pub mod envelope;
+pub mod histogram;
+pub mod phases;
+
+pub use class::{FleetTelemetry, ScopeAggregate, SessionTelemetry, TrafficClass, ITER_SLOTS};
+pub use envelope::PowerEnvelope;
+pub use histogram::{bucket_index, bucket_lower_bound, energy_nj, latency_ns, Histogram, BUCKETS};
+pub use phases::{phase_rows, PhaseRow};

@@ -1,0 +1,113 @@
+//! Counting-allocator proof that telemetry recording is allocation-free.
+//!
+//! The histograms sit on the fleet's per-window step path; a single heap
+//! allocation there would multiply across every window of every session.
+//! All state is inline fixed-size arrays, so recording — and merging —
+//! must not touch the allocator at all.
+//!
+//! One test function only: the counter is a process-global, so this file
+//! must not share its binary with other tests whose threads would
+//! allocate concurrently. Same minimum-over-repeats discipline as
+//! `crates/slam/tests/zero_alloc.rs` to shrug off harness noise.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use archytas_telemetry::{
+    FleetTelemetry, Histogram, ScopeAggregate, SessionTelemetry, TrafficClass,
+};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Minimum allocation count of `f` over several repeats (noise only adds).
+fn min_allocs(mut f: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let before = allocations();
+        f();
+        best = best.min(allocations() - before);
+    }
+    best
+}
+
+#[test]
+fn recording_and_merging_allocate_nothing() {
+    // Everything lives on the stack / in preexisting locals: construction
+    // itself must already be allocation-free.
+    let mut session = SessionTelemetry::new();
+    let mut histogram = Histogram::new();
+    let mut aggregate = ScopeAggregate::new();
+    let other = {
+        let mut t = SessionTelemetry::new();
+        for w in 0..64u64 {
+            t.record_window(1.0 + w as f64 * 0.17, 4.0 + w as f64 * 0.3, (w % 7) as u32);
+        }
+        t
+    };
+
+    // The per-window hot path: one histogram record.
+    let raw = min_allocs(|| {
+        for v in 0..1_000u64 {
+            histogram.record(v.wrapping_mul(2_654_435_761));
+        }
+    });
+    assert_eq!(raw, 0, "Histogram::record allocated {raw} times");
+
+    // The fleet session step path: latency + energy + iteration slot.
+    let windows = min_allocs(|| {
+        for w in 0..1_000u64 {
+            session.record_window(0.5 + w as f64 * 0.01, 2.0 + w as f64 * 0.05, (w % 9) as u32);
+        }
+    });
+    assert_eq!(
+        windows, 0,
+        "SessionTelemetry::record_window allocated {windows} times"
+    );
+
+    // Post-drain aggregation: absorbing sessions and merging aggregates.
+    let fold = min_allocs(|| {
+        for _ in 0..100 {
+            aggregate.absorb(&other);
+        }
+        let mut scratch = ScopeAggregate::new();
+        scratch.merge(&aggregate);
+        std::hint::black_box(scratch.watts());
+    });
+    assert_eq!(fold, 0, "aggregate fold allocated {fold} times");
+
+    // A whole FleetTelemetry fold over a fixed-size session set: the only
+    // permitted allocations are the caller's own collection, none here.
+    let pairs = [
+        (TrafficClass::Low, &other),
+        (TrafficClass::Normal, &session),
+        (TrafficClass::High, &other),
+    ];
+    let whole = min_allocs(|| {
+        let t = FleetTelemetry::fold(pairs.iter().map(|(c, t)| (*c, *t)));
+        std::hint::black_box(t.fleet.windows);
+    });
+    assert_eq!(whole, 0, "FleetTelemetry::fold allocated {whole} times");
+}

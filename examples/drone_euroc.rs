@@ -51,6 +51,18 @@ fn main() {
     );
     println!(
         "{:<26}{:>12.2}{:>12.2}",
+        "mean NLS iterations",
+        static_run.mean_iterations(),
+        dynamic_run.mean_iterations()
+    );
+    println!(
+        "{:<26}{:>12.3}{:>12.3}",
+        "energy per window (mJ)",
+        static_run.total_energy_mj / static_run.windows.len().max(1) as f64,
+        dynamic_run.total_energy_mj / dynamic_run.windows.len().max(1) as f64
+    );
+    println!(
+        "{:<26}{:>12.2}{:>12.2}",
         "trajectory RMSE (cm)",
         static_run.rmse_m * 100.0,
         dynamic_run.rmse_m * 100.0

@@ -60,6 +60,18 @@ fn main() {
     );
     println!(
         "{:<26}{:>14.2}{:>14.2}",
+        "mean power (W)",
+        accel_run.mean_power_w(),
+        cpu_run.mean_power_w()
+    );
+    println!(
+        "{:<26}{:>14.2}{:>14.2}",
+        "mean NLS iterations",
+        accel_run.mean_iterations(),
+        cpu_run.mean_iterations()
+    );
+    println!(
+        "{:<26}{:>14.2}{:>14.2}",
         "trajectory RMSE (cm)",
         accel_run.rmse_m * 100.0,
         cpu_run.rmse_m * 100.0
@@ -71,14 +83,29 @@ fn main() {
         (accel_run.rmse_m - cpu_run.rmse_m).abs() * 100.0
     );
 
-    // Show the run-time knob at work: iteration histogram.
-    let mut hist = [0usize; ITER_CAP + 1];
+    // Show the run-time knob at work: the runtime profiler's iteration
+    // histogram, with the modelled energy each budget bucket cost.
+    let mut energy_by_iter = [0.0f64; ITER_CAP + 1];
     for w in &accel_run.windows {
-        hist[w.iterations] += 1;
+        energy_by_iter[w.iterations.min(ITER_CAP)] += w.energy_mj;
     }
-    println!("\nper-window NLS iterations chosen by the run-time system:");
-    for (iter, count) in hist.iter().enumerate().filter(|(_, c)| **c > 0) {
-        println!("  Iter = {iter}: {count} windows");
+    println!(
+        "\nper-window NLS iterations chosen by the run-time system \
+         ({} total over {} windows):",
+        accel_run.total_iterations,
+        accel_run.iteration_profile.windows()
+    );
+    for (iter, &count) in accel_run
+        .iteration_profile
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c > 0)
+    {
+        println!(
+            "  Iter = {iter}: {count} windows ({:.1} mJ)",
+            energy_by_iter[iter]
+        );
     }
 
     // Health-fed runtime telemetry: on a clean drive the degradation

@@ -45,7 +45,7 @@ cargo fmt --check
 # fleet/faults isolation layer — to zero warnings across all build targets.
 echo "linting (cargo clippy)..." >&2
 cargo clippy -q --workspace
-cargo clippy -q -p archytas-math -p archytas-fleet -p archytas-faults --all-targets -- -D warnings
+cargo clippy -q -p archytas-math -p archytas-fleet -p archytas-faults -p archytas-telemetry --all-targets -- -D warnings
 
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
@@ -172,3 +172,9 @@ scripts/fleet_smoke.sh
 # determinism byte-diff; the parallel-racing verdict self-skips loudly
 # below 4 CPUs with a stamped "gate_reason").
 scripts/chaos_smoke.sh
+
+# Observability smoke (writes BENCH_obs.json; enforces the 1-vs-4 worker
+# OBSREC/OBSENV byte-diff — telemetry aggregates and power-envelope
+# admission decisions must not depend on pool size — and stamps the
+# parallel-interleaving verdict, "skipped" below 4 CPUs).
+scripts/obs_smoke.sh

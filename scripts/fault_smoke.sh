@@ -25,7 +25,7 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
 echo "building fault_matrix (release)..." >&2
-cargo build -q --release -p archytas-faults --bin fault_matrix
+cargo build -q --release -p archytas-bench --bin fault_matrix
 
 for threads in "${THREAD_COUNTS[@]}"; do
     echo "running fault matrix (seed=$SEED, ${RUN_SECONDS}s, ARCHYTAS_THREADS=$threads)..." >&2
