@@ -38,6 +38,31 @@ pub fn standard_fleet_specs(seconds: f64) -> Vec<SessionSpec> {
     ]
 }
 
+/// A deterministic `n`-vehicle batch for the scaling sweep: sequences
+/// cycle through the KITTI-like and EuRoC-like sets, priorities cycle
+/// High/Normal/Normal/Low, durations truncate to `seconds`. A pure
+/// function of `(n, seconds)`, so every sweep point and every pool size
+/// serves byte-identical work.
+pub fn scaling_fleet_specs(n: usize, seconds: f64) -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    (0..n)
+        .map(|i| {
+            let (kind, seq) = if i % 3 == 2 {
+                ("drone", &euroc[(i / 3) % euroc.len()])
+            } else {
+                ("car", &kitti[i % kitti.len()])
+            };
+            let priority = match i % 4 {
+                0 => Priority::High,
+                3 => Priority::Low,
+                _ => Priority::Normal,
+            };
+            SessionSpec::new(format!("{kind}-{i:04}"), seq.truncated(seconds), priority)
+        })
+        .collect()
+}
+
 /// Prints a fixed-width text table (header + separator + rows).
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

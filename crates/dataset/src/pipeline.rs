@@ -12,7 +12,17 @@ use archytas_slam::{
     Landmark, LmConfig, Observation, Pose, Preintegration, Prior, SlidingWindow, SolveReport,
     SolverWorkspace, WindowWorkload, GRAVITY,
 };
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+thread_local! {
+    /// Per-thread solver scratch backing the workspace-less
+    /// `optimize_and_slide*` entry points. Sessions no longer own a
+    /// workspace (a grown one is ~1 MB — it would dominate per-session
+    /// resident bytes at fleet scale); scratch is per-executing-thread here
+    /// or checked out of the fleet's bounded pool via the `*_in` variants.
+    static SCRATCH: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
 
 /// How each new keyframe's state estimate is initialized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -247,8 +257,6 @@ pub struct VioPipeline {
     /// Ground-truth poses aligned with `window.keyframes`.
     gt_window: Vec<KeyframeState>,
     windows_processed: usize,
-    /// Solver buffers reused across every window this pipeline optimizes.
-    workspace: SolverWorkspace,
     /// Degradation-ladder state machine.
     health: HealthMonitor,
     /// Signature `(id, uv bits)` of the previous frame's features, for
@@ -269,7 +277,6 @@ impl VioPipeline {
             landmark_of: HashMap::new(),
             gt_window: Vec::new(),
             windows_processed: 0,
-            workspace: SolverWorkspace::new(),
             health: HealthMonitor::new(config.health),
             last_frame_features: Vec::new(),
             last_good_imu: None,
@@ -436,10 +443,30 @@ impl VioPipeline {
     /// slides it (marginalizing the oldest keyframe). Returns the window
     /// result.
     ///
+    /// Solver scratch comes from a per-thread [`SolverWorkspace`]; callers
+    /// that manage their own scratch pool (the fleet serving layer) use
+    /// [`VioPipeline::optimize_and_slide_in`] instead. The workspace is pure
+    /// scratch — every buffer is fully rewritten before it is read — so which
+    /// workspace executes a window never changes its bits.
+    ///
     /// # Panics
     ///
     /// Panics when called before the window is full.
     pub fn optimize_and_slide(&mut self, iterations: usize) -> WindowResult {
+        SCRATCH.with(|ws| self.optimize_and_slide_in(&mut ws.borrow_mut(), iterations))
+    }
+
+    /// [`VioPipeline::optimize_and_slide`] with caller-provided solver
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before the window is full.
+    pub fn optimize_and_slide_in(
+        &mut self,
+        workspace: &mut SolverWorkspace,
+        iterations: usize,
+    ) -> WindowResult {
         assert!(
             self.window.num_keyframes() >= self.config.window_size,
             "optimize_and_slide: window not full"
@@ -450,7 +477,7 @@ impl VioPipeline {
             None
         };
         let report = archytas_slam::solve_in_workspace(
-            &mut self.workspace,
+            workspace,
             &mut self.window,
             &self.config.weights,
             prior,
@@ -461,14 +488,32 @@ impl VioPipeline {
 
     /// Like [`VioPipeline::optimize_and_slide`] but with a caller-provided
     /// linear solver — the hook through which the accelerator's
-    /// single-precision functional model executes the window. Reuses this
-    /// pipeline's [`SolverWorkspace`] across windows like the default path.
+    /// single-precision functional model executes the window. Scratch comes
+    /// from the same per-thread [`SolverWorkspace`] as the default path.
     ///
     /// # Panics
     ///
     /// Panics when called before the window is full.
     pub fn optimize_and_slide_with(
         &mut self,
+        iterations: usize,
+        linear_solver: archytas_slam::LinearSolver<'_>,
+    ) -> WindowResult {
+        SCRATCH.with(|ws| {
+            self.optimize_and_slide_with_in(&mut ws.borrow_mut(), iterations, linear_solver)
+        })
+    }
+
+    /// [`VioPipeline::optimize_and_slide_with`] with caller-provided solver
+    /// scratch — the combination the fleet layer uses: accelerator linear
+    /// solver plus a workspace checked out of its bounded scratch pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before the window is full.
+    pub fn optimize_and_slide_with_in(
+        &mut self,
+        workspace: &mut SolverWorkspace,
         iterations: usize,
         linear_solver: archytas_slam::LinearSolver<'_>,
     ) -> WindowResult {
@@ -482,7 +527,7 @@ impl VioPipeline {
             None
         };
         let report = archytas_slam::solve_with_in_workspace(
-            &mut self.workspace,
+            workspace,
             &mut self.window,
             &self.config.weights,
             prior,

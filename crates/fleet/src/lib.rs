@@ -2,15 +2,19 @@
 //! accelerator pool.
 //!
 //! The paper generates one accelerator per vehicle; this crate serves a
-//! *fleet*. `N` independent vehicle sessions — each a full
-//! [`archytas_dataset::VioPipeline`] plus a private
-//! [`archytas_core::RuntimeSystem`] (iteration counter + watchdog) driving
-//! a simulated accelerator instance — are admitted, scheduled onto a
-//! work-stealing worker pool, and throttled by bounded backpressure.
-//! Read-only derived state is shared fleet-wide with exactly-once fill
-//! semantics: the accelerator latency/energy model
-//! ([`archytas_hw::CachedAcceleratorModel`]) and the gating-LUT cache
-//! ([`archytas_core::GatingCache`]).
+//! *fleet*. `N` independent vehicle sessions are admitted, scheduled onto
+//! a sharded work-stealing worker pool, and throttled by bounded
+//! backpressure. Per-session state is deliberately small — the estimator
+//! `Core` (a [`archytas_dataset::VioPipeline`] shell plus the private
+//! iteration counter + watchdog of its [`archytas_core::RuntimeSystem`]):
+//! the frame stream is materialized lazily at first activation, solver
+//! scratch is checked out of a bounded per-worker pool per quantum, and
+//! all read-only derived state is shared fleet-wide with exactly-once
+//! fill semantics — the accelerator latency/energy model
+//! ([`archytas_hw::CachedAcceleratorModel`]), the gating-LUT cache
+//! ([`archytas_core::GatingCache`]) and the iteration policy. That split
+//! is what makes 1000-session fleets cheap: admission costs a `Core`, not
+//! a sequence replay plus a ~1 MB solver workspace.
 //!
 //! **The hard contract:** every session's output is bitwise identical to
 //! running that session alone, serially, at any pool size and any
@@ -56,6 +60,7 @@
 
 mod admission;
 mod isolation;
+mod pool;
 mod scheduler;
 mod session;
 
@@ -65,9 +70,11 @@ pub use isolation::{
     fnv1a, DeadlineClock, DeadlinePolicy, DeadlineVerdict, DeadlineWatchdog, FailureCause,
     FailureRecord, RestartPolicy, SessionPhase,
 };
+pub use pool::ScratchStats;
 pub use scheduler::SchedulerStats;
 pub use session::{
-    fleet_pipeline_config, FleetServices, Priority, SessionOutcome, SessionReport, SessionSpec,
+    fleet_pipeline_config, AdmittedSession, FleetServices, Priority, SessionOutcome, SessionReport,
+    SessionSpec,
 };
 
 use archytas_hw::{AcceleratorConfig, FpgaPlatform, HIGH_PERF};
@@ -100,6 +107,10 @@ pub struct FleetConfig {
     pub defer_watermark: usize,
     /// Frames one scheduler quantum processes before requeueing.
     pub frames_per_quantum: usize,
+    /// Workers per scheduler shard (each shard has its own activation
+    /// injector and its workers steal within the shard before crossing).
+    /// `0` selects the default (4).
+    pub shard_size: usize,
     /// Step-deadline policy (logical frame-count clock by default).
     pub deadline: DeadlinePolicy,
     /// Restart ladder for quarantined sessions.
@@ -120,6 +131,7 @@ impl Default for FleetConfig {
             power_envelope_w: f64::INFINITY,
             defer_watermark: usize::MAX,
             frames_per_quantum: 4,
+            shard_size: 0,
             deadline: DeadlinePolicy::default(),
             restart: RestartPolicy::default(),
             checkpoint_interval: 8,
@@ -212,16 +224,19 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
         .iter()
         .map(|d| *d == AdmissionDecision::Defer)
         .collect();
+    let arrival: Vec<usize> = specs.iter().map(|s| s.arrival_round).collect();
 
     let started = Instant::now();
     let (reports, stats) = scheduler::run(
         states,
         defer_at_start,
+        arrival,
         &scheduler::SchedulerConfig {
             threads,
             max_active: config.max_active,
             frames_per_quantum: config.frames_per_quantum,
             defer_watermark: config.defer_watermark,
+            shard_size: config.shard_size,
         },
     );
     let serving_wall_s = started.elapsed().as_secs_f64();
@@ -306,8 +321,9 @@ pub fn run_fleet(specs: &[SessionSpec], config: &FleetConfig) -> FleetReport {
 pub fn run_session_alone(spec: &SessionSpec, config: &FleetConfig) -> SessionReport {
     let services = FleetServices::new(config);
     let mut state = SessionState::new(spec, &services);
+    let mut workspace = archytas_slam::SolverWorkspace::new();
     loop {
-        match state.step_guarded() {
+        match state.step_guarded(&mut workspace) {
             StepOutcome::Progress | StepOutcome::Stalled => {}
             StepOutcome::Done => return state.finish(),
             StepOutcome::Failed => {

@@ -1,0 +1,103 @@
+//! Bounded pool of solver scratch workspaces.
+//!
+//! Sessions own no solver scratch (a grown [`SolverWorkspace`] is ~1 MB —
+//! at 1000-session scale it would dominate resident memory). Instead each
+//! worker checks a workspace out of this pool for the duration of one
+//! quantum and returns it afterwards, so the fleet holds at most one
+//! workspace per *worker*, not per *session*. The workspace is pure scratch
+//! (every buffer is fully rewritten before it is read), so which workspace a
+//! quantum executes with never changes the session's bits — the same
+//! argument that lets a single thread-local workspace serve every pipeline
+//! in `archytas-dataset`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use archytas_slam::SolverWorkspace;
+
+/// Counters describing one run's scratch traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Workspaces handed out (one per executed quantum).
+    pub checkouts: usize,
+    /// Workspaces ever allocated — the pool's high-water mark, bounded by
+    /// the worker count.
+    pub created: usize,
+}
+
+/// A bounded free-list of solver workspaces.
+///
+/// Entries stay boxed: a grown workspace is ~1 MB of inline buffers, and
+/// checkout/restore must move a pointer, not memcpy the megabyte.
+#[derive(Debug)]
+#[allow(clippy::vec_box)]
+pub(crate) struct ScratchPool {
+    free: Mutex<Vec<Box<SolverWorkspace>>>,
+    capacity: usize,
+    created: AtomicUsize,
+    checkouts: AtomicUsize,
+}
+
+impl ScratchPool {
+    /// A pool retaining at most `capacity` workspaces (the worker count).
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::with_capacity(capacity)),
+            capacity,
+            created: AtomicUsize::new(0),
+            checkouts: AtomicUsize::new(0),
+        }
+    }
+
+    /// Checks a workspace out, allocating a fresh one only when the
+    /// free-list is empty. Steady state allocates nothing: the list refills
+    /// on [`ScratchPool::restore`] and traffic is bounded by workers.
+    pub(crate) fn checkout(&self) -> Box<SolverWorkspace> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let reused = self.free.lock().unwrap().pop();
+        reused.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Box::new(SolverWorkspace::new())
+        })
+    }
+
+    /// Returns a workspace to the free-list (dropped if the pool is already
+    /// at capacity, which cannot happen in the scheduler's
+    /// one-checkout-per-worker discipline).
+    pub(crate) fn restore(&self, workspace: Box<SolverWorkspace>) {
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.capacity {
+            free.push(workspace);
+        }
+    }
+
+    pub(crate) fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            created: self.created.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_and_stays_bounded() {
+        let pool = ScratchPool::new(2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        assert_eq!(pool.stats().created, 3);
+        pool.restore(a);
+        pool.restore(b);
+        pool.restore(c); // over capacity: dropped
+        let _a = pool.checkout();
+        let _b = pool.checkout();
+        let d = pool.checkout(); // free-list empty again
+        assert_eq!(pool.stats().created, 4);
+        assert_eq!(pool.stats().checkouts, 6);
+        pool.restore(d);
+    }
+}

@@ -1,17 +1,31 @@
-//! The fleet scheduler: a work-stealing pool that time-slices many
+//! The fleet scheduler: a sharded work-stealing pool that time-slices many
 //! sessions over a few worker threads.
+//!
+//! # Sharding
+//!
+//! Workers are grouped into **shards** of [`DEFAULT_SHARD_SIZE`] (config
+//! overridable). Each shard owns its own activation injector, and a worker
+//! looks for work close to home first — its own deque, then its shard —
+//! before crossing shards. One global `Mutex<VecDeque>` injector was fine
+//! for 8 sessions; at 1000-session scale every activation and every
+//! overflow pop would serialize the whole pool on one lock. Sharding keeps
+//! the common path (local deque, shard injector) contended only by
+//! `shard_size` workers, and steal probes use `try_lock` so a busy victim
+//! costs a counter bump, not a convoy. The canonical pop order lives on
+//! [`acquire`] — the *only* statement of it; everything else links here.
 //!
 //! # Why any schedule produces the same bits
 //!
 //! A session index lives in **exactly one** place at a time — one worker's
-//! local deque, the global injector, the deferred queue, the resurrect
-//! queue, or held by the worker currently executing a quantum. Workers
-//! therefore never run two quanta of the same session concurrently, and a
-//! session's frames are processed strictly in order. Since a quantum is a
-//! pure function of the session's own state (sessions share only immutable
-//! caches), the stream of per-session results is independent of which
-//! worker ran which quantum, of steal order, and of the pool size.
-//! Scheduling decides only *interleaving*, and interleaving is
+//! local deque, a shard injector, the deferred queue, the resurrect queue,
+//! or held by the worker currently executing a quantum. Workers therefore
+//! never run two quanta of the same session concurrently, and a session's
+//! frames are processed strictly in order. Since a quantum is a pure
+//! function of the session's own state (sessions share only immutable
+//! caches, and solver scratch from the bounded pool is rewritten before it
+//! is read), the stream of per-session results is independent of which
+//! worker ran which quantum, of steal order, of shard count, and of the
+//! pool size. Scheduling decides only *interleaving*, and interleaving is
 //! unobservable to a session.
 //!
 //! # Backpressure
@@ -23,23 +37,37 @@
 //! and a deferred session can only wait while other work exists — the pool
 //! never idles with a non-empty deferred queue.
 //!
+//! # Churn
+//!
+//! A session whose spec carries a future `arrival_round` sits in the
+//! admission queue until the executed-quanta clock reaches it — the same
+//! deterministic logical clock the restart ladder's backoff uses. If every
+//! remaining session is parked behind a future logical time, the earliest
+//! one is fast-forwarded so the pool cannot idle forever (timing-only,
+//! contract-safe).
+//!
 //! # Fault isolation
 //!
 //! A quantum whose step fails (panic, deadline quarantine — the catch
 //! happens *inside* [`SessionState::step_guarded`], under the slot lock,
 //! so no `Mutex` is ever poisoned) consults the restart ladder. With
 //! budget left, the session parks on the **resurrect queue** until its
-//! backoff (measured in executed quanta — the scheduler's deterministic
-//! logical clock) expires, then re-enters through the normal admission
-//! queue. Without budget, the session is terminally quarantined: its slot
-//! is reaped exactly like a completion, so neighbors keep their workers
-//! and their bits.
+//! backoff expires, then re-enters through the normal admission queue.
+//! Without budget, the session is terminally quarantined: its slot is
+//! reaped exactly like a completion, so neighbors keep their workers and
+//! their bits.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, TryLockError};
 
+use crate::pool::{ScratchPool, ScratchStats};
 use crate::session::{Priority, SessionReport, SessionState, StepOutcome};
+
+/// Workers per shard when the config does not pin one (`shard_size == 0`).
+/// Four keeps a shard's queues contended by at most four threads while
+/// still giving within-shard stealing enough victims to balance load.
+pub(crate) const DEFAULT_SHARD_SIZE: usize = 4;
 
 /// Knobs the scheduler needs (a subset of [`crate::FleetConfig`]).
 #[derive(Debug, Clone, Copy)]
@@ -48,14 +76,24 @@ pub(crate) struct SchedulerConfig {
     pub max_active: usize,
     pub frames_per_quantum: usize,
     pub defer_watermark: usize,
+    /// Workers per shard; `0` selects [`DEFAULT_SHARD_SIZE`].
+    pub shard_size: usize,
 }
 
 /// Counters describing how the run was scheduled (timing-dependent;
 /// excluded from the determinism contract).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedulerStats {
-    /// Quanta a worker stole from another worker's deque.
+    /// Quanta stolen from another worker's deque (shard + cross-shard).
     pub steals: usize,
+    /// Steals from a sibling within the thief's own shard.
+    pub shard_steals: usize,
+    /// Steals that had to cross a shard boundary (every queue in the
+    /// thief's shard was dry).
+    pub cross_steals: usize,
+    /// Steal/cross-injector probes skipped because the victim's lock was
+    /// busy (`try_lock` miss) — the contention the sharding absorbs.
+    pub contended_probes: usize,
     /// Times a `Low` session was parked on the deferred queue.
     pub deferrals: usize,
     /// Quanta executed in total.
@@ -63,8 +101,12 @@ pub struct SchedulerStats {
     /// Sessions parked on the resurrect queue (restart ladder).
     pub resurrections: usize,
     /// Sessions whose *start* was deferred by the power envelope: on first
-    /// activation they park on the deferred queue instead of the injector.
+    /// activation they park on the deferred queue instead of an injector.
     pub envelope_deferrals: usize,
+    /// Number of injector shards the pool ran with.
+    pub shards: usize,
+    /// Solver-scratch pool traffic (checkouts / workspaces ever created).
+    pub scratch: ScratchStats,
 }
 
 /// What one executed quantum decided about its session.
@@ -77,16 +119,29 @@ enum QuantumVerdict {
     Failed,
 }
 
+/// One injector shard: the activation/overflow queue shared by the
+/// `shard_size` workers of that shard.
+struct Shard {
+    injector: Mutex<VecDeque<usize>>,
+}
+
 struct Shared {
     /// Session slots, indexed like the input; `None` once finished.
     slots: Vec<Mutex<Option<SessionState>>>,
     reports: Vec<Mutex<Option<SessionReport>>>,
-    /// Admitted sessions not yet activated (admission queue, FIFO).
+    /// Admitted sessions not yet activated (admission queue, FIFO among
+    /// the arrival-eligible).
     waiting: Mutex<VecDeque<usize>>,
+    /// Per-slot arrival round on the executed-quanta clock; a session is
+    /// admission-eligible once the clock reaches it. Atomic so the
+    /// anti-livelock fast-forward can promote one without extra locking.
+    arrival: Vec<AtomicUsize>,
     /// Per-worker local deques.
     locals: Vec<Mutex<VecDeque<usize>>>,
-    /// Overflow / activation queue shared by all workers.
-    injector: Mutex<VecDeque<usize>>,
+    /// Per-shard activation/overflow injectors.
+    shards: Vec<Shard>,
+    /// Round-robin cursor distributing activations across shards.
+    next_shard: AtomicUsize,
     /// Backpressured `Low` sessions.
     deferred: Mutex<VecDeque<usize>>,
     /// Failed sessions awaiting restart: `(slot, ready_at_quanta)`.
@@ -95,17 +150,86 @@ struct Shared {
     /// start, so its *first* activation routes to the deferred queue. The
     /// flag clears on use — a later restart re-enters like anyone else.
     defer_at_start: Vec<AtomicBool>,
+    /// Bounded solver-scratch pool; workers check out one workspace per
+    /// executed quantum, so residency is one workspace per worker.
+    scratch: ScratchPool,
+    /// Effective workers per shard (for shard-membership arithmetic).
+    shard_size: usize,
+    threads: usize,
     /// Sessions currently activated and unfinished.
     active: AtomicUsize,
     /// Admitted sessions not yet finished (workers exit at zero).
     live: AtomicUsize,
-    /// Runnable sessions: enqueued in a local deque or the injector.
+    /// Runnable sessions: enqueued in a local deque or an injector.
     runnable: AtomicUsize,
-    steals: AtomicUsize,
+    shard_steals: AtomicUsize,
+    cross_steals: AtomicUsize,
+    contended_probes: AtomicUsize,
     deferrals: AtomicUsize,
     quanta: AtomicUsize,
     resurrections: AtomicUsize,
     envelope_deferrals: AtomicUsize,
+}
+
+impl Shared {
+    fn new(
+        sessions: Vec<Option<SessionState>>,
+        defer_at_start: Vec<bool>,
+        arrival: Vec<usize>,
+        order: VecDeque<usize>,
+        cfg: &SchedulerConfig,
+    ) -> Self {
+        let threads = cfg.threads.max(1);
+        let shard_size = if cfg.shard_size == 0 {
+            DEFAULT_SHARD_SIZE
+        } else {
+            cfg.shard_size
+        }
+        .min(threads);
+        let num_shards = threads.div_ceil(shard_size);
+        let live = order.len();
+        let slot_count = sessions.len();
+        Self {
+            slots: sessions.into_iter().map(Mutex::new).collect(),
+            reports: (0..slot_count).map(|_| Mutex::new(None)).collect(),
+            waiting: Mutex::new(order),
+            arrival: arrival.into_iter().map(AtomicUsize::new).collect(),
+            defer_at_start: defer_at_start.into_iter().map(AtomicBool::new).collect(),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shards: (0..num_shards)
+                .map(|_| Shard {
+                    injector: Mutex::new(VecDeque::new()),
+                })
+                .collect(),
+            next_shard: AtomicUsize::new(0),
+            deferred: Mutex::new(VecDeque::new()),
+            resurrect: Mutex::new(Vec::new()),
+            scratch: ScratchPool::new(threads),
+            shard_size,
+            threads,
+            active: AtomicUsize::new(0),
+            live: AtomicUsize::new(live),
+            runnable: AtomicUsize::new(0),
+            shard_steals: AtomicUsize::new(0),
+            cross_steals: AtomicUsize::new(0),
+            contended_probes: AtomicUsize::new(0),
+            deferrals: AtomicUsize::new(0),
+            quanta: AtomicUsize::new(0),
+            resurrections: AtomicUsize::new(0),
+            envelope_deferrals: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard worker `w` belongs to.
+    fn shard_of(&self, w: usize) -> usize {
+        w / self.shard_size
+    }
+
+    /// Worker indices of shard `s`.
+    fn shard_members(&self, s: usize) -> std::ops::Range<usize> {
+        let first = s * self.shard_size;
+        first..((s + 1) * self.shard_size).min(self.threads)
+    }
 }
 
 /// Runs every session in `sessions` to completion and returns the reports
@@ -116,9 +240,12 @@ struct Shared {
 /// order within each group — a pure function of the decision vector, so
 /// identical at every pool size) and its first activation parks on the
 /// deferred queue, resuming only once the runnable backlog has drained.
+/// `arrival[i]` is the executed-quanta round at which slot `i` becomes
+/// admission-eligible (`0` = at startup).
 pub(crate) fn run(
     sessions: Vec<Option<SessionState>>,
     defer_at_start: Vec<bool>,
+    arrival: Vec<usize>,
     cfg: &SchedulerConfig,
 ) -> (Vec<Option<SessionReport>>, SchedulerStats) {
     let threads = cfg.threads.max(1);
@@ -133,26 +260,7 @@ pub(crate) fn run(
         .chain(live_slots.iter().filter(|&&i| defer_at_start[i]))
         .copied()
         .collect();
-    let live = order.len();
-    let slot_count = sessions.len();
-    let shared = Shared {
-        slots: sessions.into_iter().map(Mutex::new).collect(),
-        reports: (0..slot_count).map(|_| Mutex::new(None)).collect(),
-        waiting: Mutex::new(order),
-        defer_at_start: defer_at_start.into_iter().map(AtomicBool::new).collect(),
-        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-        injector: Mutex::new(VecDeque::new()),
-        deferred: Mutex::new(VecDeque::new()),
-        resurrect: Mutex::new(Vec::new()),
-        active: AtomicUsize::new(0),
-        live: AtomicUsize::new(live),
-        runnable: AtomicUsize::new(0),
-        steals: AtomicUsize::new(0),
-        deferrals: AtomicUsize::new(0),
-        quanta: AtomicUsize::new(0),
-        resurrections: AtomicUsize::new(0),
-        envelope_deferrals: AtomicUsize::new(0),
-    };
+    let shared = Shared::new(sessions, defer_at_start, arrival, order, cfg);
 
     if threads == 1 {
         // Serial fast path: same code, no thread spawn.
@@ -166,12 +274,19 @@ pub(crate) fn run(
         });
     }
 
+    let shard_steals = shared.shard_steals.load(Ordering::Relaxed);
+    let cross_steals = shared.cross_steals.load(Ordering::Relaxed);
     let stats = SchedulerStats {
-        steals: shared.steals.load(Ordering::Relaxed),
+        steals: shard_steals + cross_steals,
+        shard_steals,
+        cross_steals,
+        contended_probes: shared.contended_probes.load(Ordering::Relaxed),
         deferrals: shared.deferrals.load(Ordering::Relaxed),
         quanta: shared.quanta.load(Ordering::Relaxed),
         resurrections: shared.resurrections.load(Ordering::Relaxed),
         envelope_deferrals: shared.envelope_deferrals.load(Ordering::Relaxed),
+        shards: shared.shards.len(),
+        scratch: shared.scratch.stats(),
     };
     let reports = shared
         .reports
@@ -186,6 +301,7 @@ fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
         promote_resurrections(sh);
         admit_up_to_capacity(sh, cfg);
         let Some(i) = acquire(sh, w, cfg) else {
+            fast_forward_if_idle(sh);
             std::thread::yield_now();
             continue;
         };
@@ -195,8 +311,9 @@ fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
             .as_mut()
             .expect("a queued session index always has live state");
         let mut verdict = QuantumVerdict::Requeue;
+        let mut workspace = sh.scratch.checkout();
         for _ in 0..cfg.frames_per_quantum.max(1) {
-            match state.step_guarded() {
+            match state.step_guarded(&mut workspace) {
                 StepOutcome::Progress => {}
                 StepOutcome::Done => {
                     verdict = QuantumVerdict::Done;
@@ -213,6 +330,7 @@ fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
                 }
             }
         }
+        sh.scratch.restore(workspace);
         match verdict {
             QuantumVerdict::Done => {
                 let state = slot.take().unwrap();
@@ -258,11 +376,6 @@ fn worker(sh: &Shared, w: usize, cfg: &SchedulerConfig) {
 /// Moves restart-ladder sessions whose backoff has expired (on the
 /// executed-quanta clock) back onto the admission queue, so a revived
 /// session re-enters through the same capacity gate as a new arrival.
-///
-/// The quanta clock only advances while some session is runnable; if the
-/// resurrect queue ever holds the *only* remaining work, the earliest
-/// entry is fast-forwarded so the pool cannot idle forever. (Backoff
-/// shapes timing, never outputs, so the fast-forward is contract-safe.)
 fn promote_resurrections(sh: &Shared) {
     let mut resurrect = sh.resurrect.lock().unwrap();
     if resurrect.is_empty() {
@@ -270,82 +383,181 @@ fn promote_resurrections(sh: &Shared) {
     }
     let now = sh.quanta.load(Ordering::Relaxed);
     let mut waiting = sh.waiting.lock().unwrap();
-    let mut promoted = false;
     resurrect.retain(|&(i, ready_at)| {
         if ready_at <= now {
             waiting.push_back(i);
-            promoted = true;
             false
         } else {
             true
         }
     });
-    if !promoted
-        && waiting.is_empty()
-        && sh.runnable.load(Ordering::SeqCst) == 0
-        && sh.active.load(Ordering::SeqCst) == 0
-    {
-        let earliest = resurrect
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &(slot, ready_at))| (ready_at, slot))
-            .map(|(pos, _)| pos);
-        if let Some(pos) = earliest {
-            let (i, _) = resurrect.remove(pos);
-            waiting.push_back(i);
-        }
-    }
 }
 
-/// Activates waiting sessions while the active set has capacity. `active`
-/// is only incremented under the `waiting` lock, so the cap holds.
+/// Activates arrival-eligible waiting sessions while the active set has
+/// capacity. `active` is only incremented under the `waiting` lock, so the
+/// cap holds. Activations distribute round-robin across the shard
+/// injectors.
 ///
 /// An envelope-deferred session activates into the *deferred* queue (its
 /// one-shot flag clears here): it consumes an active slot — so completion
 /// accounting stays uniform — but is not runnable, and therefore only
 /// starts once the runnable backlog drains below the resume watermark.
 fn admit_up_to_capacity(sh: &Shared, cfg: &SchedulerConfig) {
+    let now = sh.quanta.load(Ordering::Relaxed);
     let mut waiting = sh.waiting.lock().unwrap();
-    while !waiting.is_empty() && sh.active.load(Ordering::SeqCst) < cfg.max_active.max(1) {
-        let i = waiting.pop_front().unwrap();
+    let mut idx = 0;
+    while idx < waiting.len() && sh.active.load(Ordering::SeqCst) < cfg.max_active.max(1) {
+        if sh.arrival[waiting[idx]].load(Ordering::Relaxed) > now {
+            idx += 1; // not yet arrived: hold, but keep admitting behind it
+            continue;
+        }
+        let i = waiting.remove(idx).unwrap();
         sh.active.fetch_add(1, Ordering::SeqCst);
         if sh.defer_at_start[i].swap(false, Ordering::SeqCst) {
             sh.deferred.lock().unwrap().push_back(i);
             sh.envelope_deferrals.fetch_add(1, Ordering::Relaxed);
         } else {
-            sh.injector.lock().unwrap().push_back(i);
+            let s = sh.next_shard.fetch_add(1, Ordering::Relaxed) % sh.shards.len();
+            sh.shards[s].injector.lock().unwrap().push_back(i);
             sh.runnable.fetch_add(1, Ordering::SeqCst);
         }
     }
 }
 
-/// Takes the next session to run: own deque first, then a steal from a
-/// sibling (oldest end), then the injector, then — only when the runnable
-/// backlog has drained below the resume watermark — a deferred session.
+/// Anti-livelock for the logical clock: the executed-quanta clock only
+/// advances while some session runs, so if *every* remaining session is
+/// parked behind a future logical time (restart backoff or a churn arrival
+/// round), the earliest such wakeup is fast-forwarded to now. Backoff and
+/// arrival rounds shape timing, never outputs, so this is contract-safe.
+fn fast_forward_if_idle(sh: &Shared) {
+    if sh.runnable.load(Ordering::SeqCst) != 0 || sh.active.load(Ordering::SeqCst) != 0 {
+        return;
+    }
+    let now = sh.quanta.load(Ordering::Relaxed);
+    let mut resurrect = sh.resurrect.lock().unwrap();
+    let mut waiting = sh.waiting.lock().unwrap();
+    // Another worker may have replenished between the counter check and
+    // taking the locks; promoting one extra session early is harmless
+    // (timing-only), so no re-check is needed.
+    let earliest_res = resurrect
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &(slot, ready_at))| (ready_at, slot))
+        .map(|(pos, &(_, ready_at))| (ready_at, pos));
+    let earliest_arr = waiting
+        .iter()
+        .map(|&i| (sh.arrival[i].load(Ordering::Relaxed), i))
+        .min();
+    match (earliest_res, earliest_arr) {
+        // Earliest wakeup is a resurrection still in the future: pull it
+        // forward by re-queueing it through `waiting` (its arrival round
+        // is already <= now, so admission picks it up immediately).
+        (Some((res_at, pos)), arr)
+            if arr.is_none_or(|(arr_at, _)| res_at <= arr_at) && res_at > now =>
+        {
+            let (i, _) = resurrect.remove(pos);
+            waiting.push_back(i);
+        }
+        // Earliest wakeup is a resurrection that is already due: the next
+        // promote_resurrections pass runs it, and fast-forwarding a later
+        // arrival past it would reorder admission — do nothing.
+        (Some((res_at, _)), arr) if arr.is_none_or(|(arr_at, _)| res_at <= arr_at) => {}
+        (_, Some((arr_at, i))) if arr_at > now => {
+            sh.arrival[i].store(now, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+}
+
+/// Takes the next session for worker `w`.
+///
+/// **Canonical pop order** (the single authoritative statement — module
+/// docs, DESIGN.md and the `pop_order_is_canonical_on_the_sharded_path`
+/// test all defer to this list):
+///
+/// 1. own local deque (front: newest-first FIFO for cache warmth);
+/// 2. steal from a shard sibling's deque (back — the oldest, coldest
+///    work), probing with `try_lock` so a contended victim is skipped and
+///    counted rather than waited on;
+/// 3. own shard's injector (front);
+/// 4. cross-shard, ring order from the next shard: that shard's injector
+///    (front), then steals from its members' deques (back);
+/// 5. the deferred queue (front), only once the runnable backlog has
+///    drained below the resume watermark.
+///
+/// Tiers 1–3 touch only queues shared by the worker's own shard; tiers
+/// 4–5 run only when the entire shard is dry.
 fn acquire(sh: &Shared, w: usize, cfg: &SchedulerConfig) -> Option<usize> {
+    // 1. own deque.
     if let Some(i) = sh.locals[w].lock().unwrap().pop_front() {
         sh.runnable.fetch_sub(1, Ordering::SeqCst);
         return Some(i);
     }
-    let n = sh.locals.len();
-    for k in 1..n {
-        let victim = (w + k) % n;
-        if let Some(i) = sh.locals[victim].lock().unwrap().pop_back() {
-            sh.runnable.fetch_sub(1, Ordering::SeqCst);
-            sh.steals.fetch_add(1, Ordering::Relaxed);
+    let s = sh.shard_of(w);
+    // 2. shard siblings, ring order after `w`.
+    let members = sh.shard_members(s);
+    let span = members.len();
+    for k in 1..span {
+        let victim = members.start + (w - members.start + k) % span;
+        if let Some(i) = try_steal(sh, &sh.locals[victim]) {
+            sh.shard_steals.fetch_add(1, Ordering::Relaxed);
             return Some(i);
         }
     }
-    if let Some(i) = sh.injector.lock().unwrap().pop_front() {
+    // 3. own shard's injector.
+    if let Some(i) = sh.shards[s].injector.lock().unwrap().pop_front() {
         sh.runnable.fetch_sub(1, Ordering::SeqCst);
         return Some(i);
     }
+    // 4. cross-shard: injector first, then member deques.
+    let num_shards = sh.shards.len();
+    for k in 1..num_shards {
+        let t = (s + k) % num_shards;
+        match sh.shards[t].injector.try_lock() {
+            Ok(mut q) => {
+                if let Some(i) = q.pop_front() {
+                    sh.runnable.fetch_sub(1, Ordering::SeqCst);
+                    return Some(i);
+                }
+            }
+            Err(TryLockError::WouldBlock) => {
+                sh.contended_probes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TryLockError::Poisoned(e)) => panic!("poisoned injector: {e}"),
+        }
+        for victim in sh.shard_members(t) {
+            if let Some(i) = try_steal(sh, &sh.locals[victim]) {
+                sh.cross_steals.fetch_add(1, Ordering::Relaxed);
+                return Some(i);
+            }
+        }
+    }
+    // 5. deferred, below the resume watermark only.
     if sh.runnable.load(Ordering::SeqCst) < resume_watermark(cfg) {
         if let Some(i) = sh.deferred.lock().unwrap().pop_front() {
             return Some(i);
         }
     }
     None
+}
+
+/// One steal probe: `try_lock` the victim's deque and take its oldest
+/// entry. A busy victim is skipped (counted as a contended probe) — the
+/// thief has other tiers to try, and waiting here is exactly the lock
+/// convoy sharding exists to avoid.
+fn try_steal(sh: &Shared, victim: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    match victim.try_lock() {
+        Ok(mut q) => {
+            let i = q.pop_back()?;
+            sh.runnable.fetch_sub(1, Ordering::SeqCst);
+            Some(i)
+        }
+        Err(TryLockError::WouldBlock) => {
+            sh.contended_probes.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Err(TryLockError::Poisoned(e)) => panic!("poisoned deque: {e}"),
+    }
 }
 
 /// Requeues an unfinished session: `Low` sessions park on the deferred
@@ -366,4 +578,73 @@ fn release(sh: &Shared, w: usize, i: usize, low: bool, cfg: &SchedulerConfig) {
 /// makes progress).
 fn resume_watermark(cfg: &SchedulerConfig) -> usize {
     (cfg.defer_watermark / 2).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared(cfg: &SchedulerConfig) -> Shared {
+        Shared::new(Vec::new(), Vec::new(), Vec::new(), VecDeque::new(), cfg)
+    }
+
+    /// Single-quantum, single-thread replay of [`acquire`]'s canonical pop
+    /// order on the sharded path: one candidate is planted in each tier and
+    /// the drain order must match the documented list exactly —
+    /// deterministically, every run.
+    #[test]
+    fn pop_order_is_canonical_on_the_sharded_path() {
+        let cfg = SchedulerConfig {
+            threads: 8,
+            max_active: 8,
+            frames_per_quantum: 1,
+            defer_watermark: 16,
+            shard_size: 4,
+        };
+        let sh = test_shared(&cfg);
+        assert_eq!(sh.shards.len(), 2);
+        assert_eq!(sh.shard_members(0), 0..4);
+        assert_eq!(sh.shard_members(1), 4..8);
+
+        // One entry per tier, from worker 0's point of view.
+        sh.locals[0].lock().unwrap().push_back(1); // tier 1: own deque
+        sh.locals[2].lock().unwrap().push_back(2); // tier 2: shard sibling
+        sh.shards[0].injector.lock().unwrap().push_back(3); // tier 3: shard injector
+        sh.shards[1].injector.lock().unwrap().push_back(4); // tier 4a: cross injector
+        sh.locals[5].lock().unwrap().push_back(5); // tier 4b: cross steal
+        sh.deferred.lock().unwrap().push_back(6); // tier 5: deferred
+        sh.runnable.store(5, Ordering::SeqCst);
+
+        let drained: Vec<Option<usize>> = (0..7).map(|_| acquire(&sh, 0, &cfg)).collect();
+        assert_eq!(
+            drained,
+            vec![Some(1), Some(2), Some(3), Some(4), Some(5), Some(6), None],
+            "pop order must be: own deque, shard steal, shard injector, \
+             cross injector, cross steal, deferred"
+        );
+        assert_eq!(sh.runnable.load(Ordering::SeqCst), 0);
+        assert_eq!(sh.shard_steals.load(Ordering::Relaxed), 1);
+        assert_eq!(sh.cross_steals.load(Ordering::Relaxed), 1);
+        assert_eq!(sh.contended_probes.load(Ordering::Relaxed), 0);
+    }
+
+    /// The deferred tier stays fenced while the runnable backlog is at or
+    /// above the resume watermark.
+    #[test]
+    fn deferred_tier_respects_resume_watermark() {
+        let cfg = SchedulerConfig {
+            threads: 1,
+            max_active: 8,
+            frames_per_quantum: 1,
+            defer_watermark: 4,
+            shard_size: 0,
+        };
+        let sh = test_shared(&cfg);
+        assert_eq!(sh.shards.len(), 1, "1 worker collapses to 1 shard");
+        sh.deferred.lock().unwrap().push_back(9);
+        sh.runnable.store(2, Ordering::SeqCst); // watermark/2 = 2: fenced
+        assert_eq!(acquire(&sh, 0, &cfg), None);
+        sh.runnable.store(1, Ordering::SeqCst); // below: resumes
+        assert_eq!(acquire(&sh, 0, &cfg), Some(9));
+    }
 }

@@ -31,7 +31,7 @@ use archytas_hw::{
     f32_linear_solver, AcceleratorConfig, AcceleratorModel, CachedAcceleratorModel, FpgaPlatform,
 };
 use archytas_mdfg::ProblemShape;
-use archytas_slam::{FactorWeights, Pose, TrajectoryMetrics};
+use archytas_slam::{FactorWeights, Pose, SolverWorkspace, TrajectoryMetrics};
 use archytas_telemetry::{SessionTelemetry, TrafficClass};
 
 use crate::isolation::{
@@ -79,6 +79,19 @@ pub struct SessionSpec {
     /// Optional seeded execution-level chaos plan (panics, stalls,
     /// poisoned observations, worker jitter).
     pub chaos: Option<ChaosPlan>,
+    /// Scheduler round (logical quanta clock) at which this vehicle joins
+    /// the fleet. `0` joins at startup; later rounds model mid-run churn.
+    /// Scheduling-only: a late joiner computes the same bits as an early
+    /// one.
+    pub arrival_round: usize,
+    /// Leaves the fleet after this many frames (the rest of the sequence is
+    /// never delivered). Applied identically by [`crate::run_session_alone`],
+    /// so a leaver still satisfies the bitwise serial-identical contract.
+    pub leave_after_frames: Option<usize>,
+    /// Mid-run priority changes as `(frame_index, new_priority)` pairs: the
+    /// flip takes effect once the session has processed that many frames.
+    /// Scheduling-only, like [`SessionSpec::priority`] itself.
+    pub priority_flips: Vec<(usize, Priority)>,
 }
 
 impl SessionSpec {
@@ -90,6 +103,9 @@ impl SessionSpec {
             priority,
             fault_plan: None,
             chaos: None,
+            arrival_round: 0,
+            leave_after_frames: None,
+            priority_flips: Vec::new(),
         }
     }
 
@@ -102,6 +118,25 @@ impl SessionSpec {
     /// Attaches a seeded chaos plan to the session's execution.
     pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
         self.chaos = Some(plan);
+        self
+    }
+
+    /// Joins the fleet at the given scheduler round instead of at startup.
+    pub fn arriving_at(mut self, round: usize) -> Self {
+        self.arrival_round = round;
+        self
+    }
+
+    /// Leaves the fleet after the given number of frames.
+    pub fn leaving_after(mut self, frames: usize) -> Self {
+        self.leave_after_frames = Some(frames);
+        self
+    }
+
+    /// Flips the scheduling priority once `frame` frames have been
+    /// processed.
+    pub fn with_priority_flip(mut self, frame: usize, priority: Priority) -> Self {
+        self.priority_flips.push((frame, priority));
         self
     }
 }
@@ -447,8 +482,14 @@ impl Core {
         &mut self,
         frames: &[Frame],
         model: &CachedAcceleratorModel,
+        workspace: &mut SolverWorkspace,
         inject_panic: bool,
     ) -> (bool, Option<f64>) {
+        if self.cursor >= frames.len() {
+            // Zero-frame stream (a churn leaver truncated to nothing):
+            // complete immediately.
+            return (true, None);
+        }
         let produced = self.pipeline.push_frame(&frames[self.cursor]);
         self.cursor += 1;
         if inject_panic {
@@ -462,9 +503,11 @@ impl Core {
             if self.runtime.watchdog().engaged() {
                 self.watchdog_windows += 1;
             }
-            let result = self
-                .pipeline
-                .optimize_and_slide_with(decision.iterations, &f32_linear_solver);
+            let result = self.pipeline.optimize_and_slide_with_in(
+                workspace,
+                decision.iterations,
+                &f32_linear_solver,
+            );
             let shape = ProblemShape::from_workload(&result.workload);
             let latency_ms = model.window_latency_ms(&shape, decision.iterations);
             let energy_mj = latency_ms * decision.gated_power_w;
@@ -492,12 +535,28 @@ impl Core {
 }
 
 /// Live state of one admitted session.
+///
+/// Admission is cheap by design: an admitted-but-idle session holds only the
+/// estimator [`Core`] (pipeline shell, runtime handles into the shared
+/// caches, telemetry) plus the *spec* of its frame stream. The stream itself
+/// — the dominant per-session allocation — is materialized lazily by
+/// [`SessionState::ensure_started`] on first activation, and solver scratch
+/// is never owned at all: every step borrows a [`SolverWorkspace`] from the
+/// caller (the scheduler's bounded pool, sized by workers not sessions).
 pub(crate) struct SessionState {
     name: String,
     priority: Priority,
+    /// Mid-run priority flips from the spec, keyed on frames processed.
+    priority_flips: Vec<(usize, Priority)>,
+    /// Recipe for the frame stream (sequence + fault plan + early leave),
+    /// kept so `ensure_started` can build it on first activation.
+    sequence: SequenceSpec,
+    fault_plan: Option<FaultPlan>,
+    leave_after_frames: Option<usize>,
     /// The (possibly fault-injected and chaos-poisoned) frame stream.
-    /// Immutable once built: restarts replay it from the checkpoint cursor.
-    frames: Vec<Frame>,
+    /// `None` until first activation; immutable once built — restarts
+    /// replay it from the checkpoint cursor.
+    frames: Option<Vec<Frame>>,
     model: Arc<CachedAcceleratorModel>,
     deadline: DeadlinePolicy,
     restart: RestartPolicy,
@@ -521,17 +580,12 @@ pub(crate) struct SessionState {
 }
 
 impl SessionState {
-    /// Builds the session: replays the sequence spec into frames, applies
-    /// the fault plan and chaos poisoning, and wires a fresh pipeline to a
-    /// runtime drawing from the shared caches.
+    /// Admits the session: wires a fresh pipeline to a runtime drawing from
+    /// the shared caches. Deliberately does *not* build the frame stream or
+    /// seed the restart checkpoint — both happen at first activation
+    /// ([`SessionState::ensure_started`]), so admitting a session costs a
+    /// [`Core`], not a sequence replay.
     pub(crate) fn new(spec: &SessionSpec, services: &FleetServices) -> Self {
-        let mut frames = spec.sequence.build().frames;
-        if let Some(plan) = &spec.fault_plan {
-            frames = archytas_faults::apply(plan, &frames);
-        }
-        if let Some(plan) = &spec.chaos {
-            plan.poison_frames(&mut frames);
-        }
         let core = Core {
             cursor: 0,
             pipeline: VioPipeline::new(fleet_pipeline_config()),
@@ -548,13 +602,14 @@ impl SessionState {
             watchdog: DeadlineWatchdog::default(),
             stalls_since_window: 0,
         };
-        // Seed the checkpoint with the pristine core so a failure before
-        // the first periodic checkpoint can still restart (from frame 0).
-        let checkpoint = (services.restart.max_restarts > 0).then(|| Box::new(core.clone()));
         Self {
             name: spec.name.clone(),
             priority: spec.priority,
-            frames,
+            priority_flips: spec.priority_flips.clone(),
+            sequence: spec.sequence.clone(),
+            fault_plan: spec.fault_plan.clone(),
+            leave_after_frames: spec.leave_after_frames,
+            frames: None,
             model: Arc::clone(&services.model),
             deadline: services.deadline,
             restart: services.restart,
@@ -563,7 +618,7 @@ impl SessionState {
             chaos: spec.chaos.clone(),
             pending_stall: 0,
             core,
-            checkpoint,
+            checkpoint: None,
             phase: SessionPhase::Nominal,
             failure: None,
             restarts: 0,
@@ -572,14 +627,50 @@ impl SessionState {
         }
     }
 
+    /// Current scheduling priority: the spec priority, overridden by the
+    /// latest priority flip whose frame index has been processed. Like the
+    /// base priority this only moves sessions between queues — it never
+    /// changes what any session computes.
     pub(crate) fn priority(&self) -> Priority {
-        self.priority
+        self.priority_flips
+            .iter()
+            .rfind(|&&(frame, _)| frame <= self.core.cursor)
+            .map_or(self.priority, |&(_, p)| p)
+    }
+
+    /// First-activation work, deferred out of admission: replays the
+    /// sequence spec into frames, applies the fault plan, chaos poisoning
+    /// and the early-leave truncation, and seeds the restart checkpoint
+    /// with the pristine core (so a failure before the first periodic
+    /// checkpoint can still restart from frame 0). Idempotent; the stream
+    /// is a pure function of the spec, so *when* it is built can never
+    /// change the session's bits.
+    pub(crate) fn ensure_started(&mut self) {
+        if self.frames.is_some() {
+            return;
+        }
+        let mut frames = self.sequence.build().frames;
+        if let Some(plan) = &self.fault_plan {
+            frames = archytas_faults::apply(plan, &frames);
+        }
+        if let Some(plan) = &self.chaos {
+            plan.poison_frames(&mut frames);
+        }
+        if let Some(n) = self.leave_after_frames {
+            frames.truncate(n);
+        }
+        self.frames = Some(frames);
+        if self.restart.max_restarts > 0 {
+            self.checkpoint = Some(Box::new(self.core.clone()));
+        }
     }
 
     /// One guarded step: burns a pending stall round, fires due chaos,
     /// executes the frame behind `catch_unwind`, and folds the result into
-    /// the deadline watchdog and checkpoint schedule.
-    pub(crate) fn step_guarded(&mut self) -> StepOutcome {
+    /// the deadline watchdog and checkpoint schedule. Solver scratch is
+    /// borrowed from the caller for just this step — sessions own none.
+    pub(crate) fn step_guarded(&mut self, workspace: &mut SolverWorkspace) -> StepOutcome {
+        self.ensure_started();
         if self.phase == SessionPhase::Quarantined {
             // Defensive: a quarantined session must never be stepped.
             return StepOutcome::Failed;
@@ -618,7 +709,7 @@ impl SessionState {
         }
         let t0 = Instant::now();
         let core = &mut self.core;
-        let frames = &self.frames[..];
+        let frames = self.frames.as_deref().expect("ensure_started ran");
         let model = &*self.model;
         // AssertUnwindSafe: a panic can leave `core` torn mid-assembly, but
         // a torn core is never observed afterwards — the failure path
@@ -627,7 +718,7 @@ impl SessionState {
         // inside the slot lock's critical section, so no Mutex is poisoned
         // and no other session can ever see the wreckage.
         let step = catch_unwind(AssertUnwindSafe(|| {
-            core.step_frame(frames, model, inject_panic)
+            core.step_frame(frames, model, workspace, inject_panic)
         }));
         let wall_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         match step {
@@ -756,6 +847,54 @@ impl SessionState {
     }
 }
 
+/// A fleet session held at the admitted-but-idle stage — the probe API the
+/// `session_admit_cost` microbench (and anything else that wants to meter
+/// the serving layer) uses to measure what admission actually costs.
+///
+/// [`AdmittedSession::admit`] performs exactly the work `run_fleet` does per
+/// admitted session before its first quantum: build the estimator [`Core`]
+/// against the shared caches. Frames and the restart checkpoint are
+/// materialized by [`AdmittedSession::activate`]; solver scratch is borrowed
+/// per step, never owned.
+pub struct AdmittedSession {
+    state: SessionState,
+}
+
+impl AdmittedSession {
+    /// Admits the session against the shared services (idle: no frame
+    /// stream yet).
+    pub fn admit(spec: &SessionSpec, services: &FleetServices) -> Self {
+        Self {
+            state: SessionState::new(spec, services),
+        }
+    }
+
+    /// First-activation work: builds the frame stream and seeds the restart
+    /// checkpoint.
+    pub fn activate(&mut self) {
+        self.state.ensure_started();
+    }
+
+    /// Steps one frame with caller-provided solver scratch. Returns `false`
+    /// once the session is done (or quarantined).
+    pub fn step(&mut self, workspace: &mut SolverWorkspace) -> bool {
+        matches!(
+            self.state.step_guarded(workspace),
+            StepOutcome::Progress | StepOutcome::Stalled
+        )
+    }
+
+    /// Windows optimized so far.
+    pub fn windows(&self) -> usize {
+        self.state.core.estimates.len()
+    }
+
+    /// Consumes the session into its report.
+    pub fn into_report(self) -> SessionReport {
+        self.state.finish()
+    }
+}
+
 /// Renders a caught panic payload as a string for the [`FailureRecord`].
 fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -826,8 +965,9 @@ mod tests {
         let spec = SessionSpec::new("alone", kitti_sequences()[3].truncated(2.5), Priority::High);
         let services = FleetServices::new(&FleetConfig::default());
         let mut st = SessionState::new(&spec, &services);
+        let mut ws = SolverWorkspace::new();
         loop {
-            match st.step_guarded() {
+            match st.step_guarded(&mut ws) {
                 StepOutcome::Done => break,
                 StepOutcome::Progress => {}
                 other => panic!("clean session produced {other:?}"),
@@ -861,9 +1001,10 @@ mod tests {
             ..FleetConfig::default()
         });
         let mut st = SessionState::new(&spec, &services);
+        let mut ws = SolverWorkspace::new();
         silence_chaos_panics();
         let outcome = loop {
-            match st.step_guarded() {
+            match st.step_guarded(&mut ws) {
                 StepOutcome::Progress => {}
                 other => break other,
             }
@@ -886,8 +1027,9 @@ mod tests {
         let clean_spec = SessionSpec::new("s", seq.clone(), Priority::Normal);
         let services = FleetServices::new(&FleetConfig::default());
         let mut clean = SessionState::new(&clean_spec, &services);
+        let mut ws = SolverWorkspace::new();
         loop {
-            if let StepOutcome::Done = clean.step_guarded() {
+            if let StepOutcome::Done = clean.step_guarded(&mut ws) {
                 break;
             }
         }
@@ -898,7 +1040,7 @@ mod tests {
         let mut chaotic = SessionState::new(&chaotic_spec, &services);
         silence_chaos_panics();
         let report = loop {
-            match chaotic.step_guarded() {
+            match chaotic.step_guarded(&mut ws) {
                 StepOutcome::Done => break chaotic.finish(),
                 StepOutcome::Failed if chaotic.try_schedule_restart().is_none() => {
                     break chaotic.finish_quarantined();

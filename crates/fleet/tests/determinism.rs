@@ -355,3 +355,88 @@ fn admission_sheds_low_priority_and_leaves_the_rest_bit_identical() {
         by_name[name].assert_bitwise_eq(&run_session_alone(spec, &base_config()));
     }
 }
+
+/// The churn schedule: late joiners on the quanta clock, an early leaver,
+/// mid-run priority flips in both directions, one quarantined-then-
+/// restarted session that completes, and one double-panic session whose
+/// quarantine is terminal.
+fn churn_specs() -> Vec<SessionSpec> {
+    let kitti = kitti_sequences();
+    let euroc = euroc_sequences();
+    vec![
+        SessionSpec::new("c-anchor", kitti[0].truncated(2.5), Priority::High),
+        SessionSpec::new("c-leaver", kitti[1].truncated(2.5), Priority::Normal).leaving_after(14),
+        SessionSpec::new("c-flipper", kitti[2].truncated(2.5), Priority::High)
+            .with_priority_flip(8, Priority::Low)
+            .with_priority_flip(16, Priority::High),
+        SessionSpec::new("d-late", euroc[0].truncated(2.5), Priority::Normal).arriving_at(10),
+        SessionSpec::new("c-restarted", kitti[3].truncated(2.5), Priority::Normal)
+            .with_chaos(ChaosPlan::new(31).with(ChaosKind::SessionPanic { frame: 12 })),
+        SessionSpec::new("d-doomed", euroc[1].truncated(2.5), Priority::Low)
+            .arriving_at(6)
+            .with_chaos(
+                ChaosPlan::new(32)
+                    .with(ChaosKind::SessionPanic { frame: 9 })
+                    .with(ChaosKind::SessionPanic { frame: 19 }),
+            ),
+        SessionSpec::new("c-late-flip", kitti[4].truncated(2.5), Priority::Low)
+            .arriving_at(20)
+            .leaving_after(20)
+            .with_priority_flip(10, Priority::High),
+    ]
+}
+
+#[test]
+fn churn_schedule_matches_serial_alone_across_pools_and_orders() {
+    silence_chaos_panics();
+    let specs = churn_specs();
+    let alone = alone_reports(&specs);
+
+    // The serial references already pin the churn semantics: the leaver's
+    // stream is truncated, the restarted session replays to clean bits,
+    // the double-panic session quarantines terminally.
+    assert_eq!(alone["c-leaver"].frames, 14);
+    assert_eq!(alone["c-restarted"].outcome, SessionOutcome::Completed);
+    assert_eq!(alone["c-restarted"].restarts, 1);
+    assert_eq!(alone["d-doomed"].outcome, SessionOutcome::Quarantined);
+    assert_eq!(alone["d-doomed"].restarts, 1);
+
+    let mut reversed = specs.clone();
+    reversed.reverse();
+    let mut frozen: Option<HashMap<String, u64>> = None;
+    for threads in [1usize, 2, 8] {
+        for (order_name, order) in [("forward", &specs), ("reversed", &reversed)] {
+            let config = FleetConfig {
+                threads,
+                ..base_config()
+            };
+            let report = run_fleet(order, &config);
+            for (spec, session) in order.iter().zip(&report.sessions) {
+                session.assert_bitwise_eq(&alone[&spec.name]);
+            }
+            let quarantined: Vec<&str> = report
+                .sessions
+                .iter()
+                .filter(|s| s.outcome == SessionOutcome::Quarantined)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(
+                quarantined,
+                ["d-doomed"],
+                "exact quarantine set ({order_name}, {threads}t)"
+            );
+            assert_eq!(report.session_restarts, 2, "{order_name}, {threads}t");
+            // Digests must also be identical *across* pool sizes and
+            // admission orders, not only against the serial reference.
+            let digests: HashMap<String, u64> = report
+                .sessions
+                .iter()
+                .map(|s| (s.name.clone(), s.digest()))
+                .collect();
+            match &frozen {
+                None => frozen = Some(digests),
+                Some(f) => assert_eq!(*f, digests, "{order_name}, {threads}t"),
+            }
+        }
+    }
+}

@@ -45,7 +45,7 @@ cargo fmt --check
 # fleet/faults isolation layer — to zero warnings across all build targets.
 echo "linting (cargo clippy)..." >&2
 cargo clippy -q --workspace
-cargo clippy -q -p archytas-math -p archytas-fleet -p archytas-faults -p archytas-telemetry --all-targets -- -D warnings
+cargo clippy -q -p archytas-math -p archytas-fleet -p archytas-faults -p archytas-telemetry -p archytas-bench --all-targets -- -D warnings
 
 echo "building benches (release)..." >&2
 cargo build -q --release -p archytas-bench --benches
@@ -155,17 +155,27 @@ PY
 # Absolute regression gate: the fresh solver means must stay within
 # tolerance of the committed BENCH_solver.json baseline, and the fresh
 # synthesizer records within tolerance of the committed BENCH_par.json
-# plus the re-synthesis latency ceilings.
-scripts/perf_gate.sh "$SOLVER_OUT" "" "$OUT"
+# plus the re-synthesis latency ceilings. The fleet stage is skipped ("-")
+# here: BENCH_fleet.json is regenerated by fleet_smoke.sh below, and gating
+# the stale working-tree copy would compare the baseline against itself.
+scripts/perf_gate.sh "$SOLVER_OUT" "" "$OUT" "" -
 
 # Fault-matrix robustness smoke rides along (writes BENCH_faults.json and
 # enforces the 3x-nominal RMSE and pool-size determinism gates).
 scripts/fault_smoke.sh
 
-# Fleet serving smoke (writes BENCH_fleet.json and enforces the 1-vs-4
-# worker determinism gate plus, on >=4-CPU machines, the 2x throughput
-# scaling gate).
-scripts/fleet_smoke.sh
+# Fleet serving smoke (writes BENCH_fleet.json: 1-vs-4 worker determinism
+# byte-diff, the workers x sessions scaling sweep with a per-point
+# efficiency gate that never skips, the churn soak at pools {1,2,8}, and
+# the 2000-session admission-cost bench). SCALING_QUICK=1 trims the sweep
+# to {1,4} workers x {8,64} sessions so the smoke stays fast; run
+# scripts/fleet_smoke.sh directly for the full curve.
+SCALING_QUICK=1 scripts/fleet_smoke.sh
+
+# Fleet scaling regression: the fresh sweep points and admission cost must
+# stay within tolerance of the committed BENCH_fleet.json (solver and
+# synthesizer stages skipped — gated above).
+scripts/perf_gate.sh - "" - "" BENCH_fleet.json
 
 # Chaos-harness smoke (writes BENCH_chaos.json; enforces the in-process
 # quarantine/bitwise gates at pools {1,2,8} and the 1-vs-4 worker

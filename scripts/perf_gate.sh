@@ -16,17 +16,30 @@
 #   - warm-started virtex7 re-synthesis   <= 10 ms
 #   - SynthCache hit                      <= 10 us
 #
+# Stage 3 — fleet_scaling: compares the `scaling` sweep and `admission`
+# record of a freshly generated BENCH_fleet.json (from fleet_smoke.sh)
+# against the committed copy. Throughput regressions are classified per
+# sweep point (workers x sessions) under FLEET_TOLERANCE (default 1.30 —
+# whole-fleet wall clock is noisier than a criterion mean); admission cost
+# is gated both relatively (admit ns under FLEET_TOLERANCE, idle bytes
+# under 1.10x — allocation sizes are near-deterministic) and absolutely
+# (idle bytes < 10% of the former private per-session cost).
+#
 # Baselines default to the committed copies (git HEAD) — bench_smoke.sh
 # overwrites the working-tree files in place, so the committed copies are
 # the only durable reference points. Pass explicit baseline paths to
-# compare against something else.
+# compare against something else. Pass "-" as a fresh path to skip that
+# stage entirely (bench_smoke.sh gates the fleet file in a separate
+# invocation because fleet_smoke.sh runs after the solver gates).
 #
-# Thread handling: 1-thread records are always gated (they are meaningful
-# on any machine); 4-thread records are gated only on >=4-CPU machines,
-# where their scheduling is real rather than timeslicing noise.
+# Thread handling: 1-thread/1-worker records are always gated (they are
+# meaningful on any machine); N-thread records are gated only on machines
+# with >=N CPUs, where their scheduling is real rather than timeslicing
+# noise.
 #
 # Usage: scripts/perf_gate.sh [fresh_solver.json] [baseline_solver.json] \
-#                             [fresh_par.json] [baseline_par.json]
+#                             [fresh_par.json] [baseline_par.json] \
+#                             [fresh_fleet.json] [baseline_fleet.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,15 +47,21 @@ FRESH="${1:-BENCH_solver.json}"
 BASELINE="${2:-}"
 PAR_FRESH="${3:-BENCH_par.json}"
 PAR_BASELINE="${4:-}"
+FLEET_FRESH="${5:-BENCH_fleet.json}"
+FLEET_BASELINE="${6:-}"
 TOLERANCE="${PERF_GATE_TOLERANCE:-1.15}"
+FLEET_TOL="${FLEET_TOLERANCE:-1.30}"
 CPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 SOLVER_BASE_TMP=""
 PAR_BASE_TMP=""
-cleanup() { rm -f "$SOLVER_BASE_TMP" "$PAR_BASE_TMP"; }
+FLEET_BASE_TMP=""
+cleanup() { rm -f "$SOLVER_BASE_TMP" "$PAR_BASE_TMP" "$FLEET_BASE_TMP"; }
 trap cleanup EXIT
 
-if [ -z "$BASELINE" ]; then
+if [ "$FRESH" = "-" ]; then
+    BASELINE=""
+elif [ -z "$BASELINE" ]; then
     SOLVER_BASE_TMP="$(mktemp)"
     if git show HEAD:BENCH_solver.json > "$SOLVER_BASE_TMP" 2>/dev/null; then
         BASELINE="$SOLVER_BASE_TMP"
@@ -52,7 +71,9 @@ if [ -z "$BASELINE" ]; then
     fi
 fi
 
-if [ -z "$PAR_BASELINE" ]; then
+if [ "$PAR_FRESH" = "-" ]; then
+    PAR_BASELINE=""
+elif [ -z "$PAR_BASELINE" ]; then
     PAR_BASE_TMP="$(mktemp)"
     if git show HEAD:BENCH_par.json > "$PAR_BASE_TMP" 2>/dev/null; then
         PAR_BASELINE="$PAR_BASE_TMP"
@@ -127,10 +148,11 @@ PY
 fi
 
 # Stage 2: synthesizer records (design-space search latencies).
-if [ ! -f "$PAR_FRESH" ]; then
+if [ "$PAR_FRESH" = "-" ]; then
+    : # stage explicitly skipped by caller
+elif [ ! -f "$PAR_FRESH" ]; then
     echo "perf gate (synthesizer) SKIPPED: $PAR_FRESH not found" >&2
-    exit 0
-fi
+else
 python3 - "$PAR_FRESH" "${PAR_BASELINE:-/dev/null}" "$TOLERANCE" "$CPUS" <<'PY'
 import json
 import sys
@@ -219,4 +241,125 @@ if failures:
     sys.exit(1)
 print(f"perf gate (synthesizer) passed ({compared} check(s): relative "
       f"within {tol:.2f}x, ceilings met)", file=sys.stderr)
+PY
+fi
+
+# Stage 3: fleet scaling sweep + admission cost (serving-layer capacity).
+if [ "$FLEET_FRESH" = "-" ]; then
+    exit 0
+fi
+if [ ! -f "$FLEET_FRESH" ]; then
+    echo "perf gate (fleet_scaling) SKIPPED: $FLEET_FRESH not found" >&2
+    exit 0
+fi
+if [ -z "$FLEET_BASELINE" ]; then
+    FLEET_BASE_TMP="$(mktemp)"
+    if git show HEAD:BENCH_fleet.json > "$FLEET_BASE_TMP" 2>/dev/null; then
+        FLEET_BASELINE="$FLEET_BASE_TMP"
+    else
+        echo "perf gate (fleet_scaling) relative check limited: no committed BENCH_fleet.json baseline" >&2
+        FLEET_BASELINE=""
+    fi
+fi
+python3 - "$FLEET_FRESH" "${FLEET_BASELINE:-/dev/null}" "$FLEET_TOL" "$CPUS" <<'PY'
+import json
+import sys
+
+fresh_path, base_path, tol, cpus = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), int(sys.argv[4]))
+
+def load(path):
+    try:
+        return json.load(open(path))
+    except (OSError, json.JSONDecodeError):
+        return {}
+
+fresh = load(fresh_path)
+base = load(base_path)
+
+def sweep(doc):
+    """Index a BENCH_fleet.json scaling sweep by (workers, sessions). A
+    v1 document (pre-sweep schema) indexes empty, so every fresh point
+    reads as new rather than crashing the gate."""
+    return {
+        (p["workers"], p["sessions"]): p
+        for p in doc.get("scaling", [])
+    }
+
+fresh_pts = sweep(fresh)
+base_pts = sweep(base)
+
+if not fresh_pts:
+    print(f"perf gate (fleet_scaling) SKIPPED: no scaling sweep in "
+          f"{fresh_path}", file=sys.stderr)
+    sys.exit(0)
+
+failures = []
+compared = 0
+for (w, s), point in sorted(fresh_pts.items()):
+    ref = base_pts.get((w, s))
+    label = f"{w}w x {s} sessions"
+    if ref is None or ref.get("throughput_fps", 0.0) <= 0.0:
+        print(f"  new   [fleet_scaling] {label}: "
+              f"{point['throughput_fps']:.1f} fps (no baseline point)",
+              file=sys.stderr)
+        continue
+    # Regression = fresh throughput fell below baseline/tolerance. Gate
+    # mirrors the thread handling above: multi-worker points only count
+    # on machines with that much real parallelism.
+    ratio = ref["throughput_fps"] / point["throughput_fps"]
+    gated = w == 1 or cpus >= w
+    compared += gated
+    status = "FAIL" if (gated and ratio > tol) else ("info" if not gated else "ok")
+    print(f"  {status:<4}  [fleet_scaling] {label}: baseline/fresh = "
+          f"{ratio:.3f} ({ref['throughput_fps']:.1f} fps vs "
+          f"{point['throughput_fps']:.1f} fps)", file=sys.stderr)
+    if gated and ratio > tol:
+        failures.append(f"{label} throughput ({ratio:.2f}x slower)")
+
+adm = fresh.get("admission")
+if adm:
+    ref = base.get("admission")
+    if ref:
+        checks = [
+            ("admit_ns_per_session", tol, "admission latency"),
+            # Heap layout is near-deterministic; drift means new
+            # per-session state, not timing noise.
+            ("idle_bytes_per_session", 1.10, "idle resident bytes"),
+        ]
+        for key, ceiling, what in checks:
+            if ref.get(key, 0) <= 0:
+                continue
+            ratio = adm[key] / ref[key]
+            compared += 1
+            status = "FAIL" if ratio > ceiling else "ok"
+            print(f"  {status:<4}  [admission] {what}: fresh/baseline = "
+                  f"{ratio:.3f} ({adm[key]} vs {ref[key]}, "
+                  f"ceiling {ceiling:.2f}x)", file=sys.stderr)
+            if ratio > ceiling:
+                failures.append(f"admission {what} ({ratio:.2f}x)")
+    else:
+        print(f"  new   [admission] no baseline admission record",
+              file=sys.stderr)
+    # Absolute bound, independent of any baseline: the pooled layer's
+    # whole point is that an admitted-idle session costs a sliver of the
+    # former private RuntimeSystem + accelerator + workspace stack.
+    compared += 1
+    pct = adm["ratio_pct"]
+    status = "FAIL" if pct >= 10.0 else "ok"
+    print(f"  {status:<4}  [admission] idle/former = {pct:.2f}% "
+          f"(absolute ceiling 10%)", file=sys.stderr)
+    if pct >= 10.0:
+        failures.append(f"admission idle/former {pct:.2f}% >= 10%")
+
+if compared == 0:
+    print("perf gate (fleet_scaling) SKIPPED: no comparable points between "
+          "fresh and baseline", file=sys.stderr)
+    sys.exit(0)
+if failures:
+    print(f"perf gate (fleet_scaling) FAILED (tolerance {tol:.2f}x): "
+          f"{'; '.join(failures)}", file=sys.stderr)
+    sys.exit(1)
+print(f"perf gate (fleet_scaling) passed ({compared} check(s) within "
+      f"{tol:.2f}x of the committed sweep)", file=sys.stderr)
 PY
